@@ -1,0 +1,73 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: assembly
+ * speed and simulated instruction throughput. These guard the
+ * simulator's performance, not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "jasm/assembler.hh"
+#include "machine/jmachine.hh"
+#include "runtime/jos.hh"
+
+using namespace jmsim;
+
+namespace
+{
+
+const char *kSpin = R"(
+boot:
+    CALL A2, jos_init
+    LDL R0, #100000
+loop:
+    ADDI R0, R0, #-1
+    GTI R1, R0, #0
+    BT R1, loop
+    HALT
+)";
+
+void
+BM_AssembleKernel(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Program prog = assemble(jos::withKernel("app.jasm", kSpin, true));
+        benchmark::DoNotOptimize(prog.instructionCount());
+    }
+}
+BENCHMARK(BM_AssembleKernel);
+
+void
+BM_SimulatedInstructions(benchmark::State &state)
+{
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        Program prog = assemble(jos::withKernel("app.jasm", kSpin, false));
+        MachineConfig cfg;
+        cfg.dims = MeshDims::forNodeCount(1);
+        JMachine m(cfg, std::move(prog));
+        m.run(2'000'000);
+        instructions += m.node(0).processor().stats().instructions;
+    }
+    state.counters["sim_instr_per_s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedInstructions);
+
+void
+BM_MachineConstruction512(benchmark::State &state)
+{
+    Program prog = assemble(jos::withKernel("app.jasm", kSpin, false));
+    for (auto _ : state) {
+        MachineConfig cfg;
+        cfg.dims = MeshDims::forNodeCount(512);
+        Program copy = prog;
+        JMachine m(cfg, std::move(copy));
+        benchmark::DoNotOptimize(m.nodeCount());
+    }
+}
+BENCHMARK(BM_MachineConstruction512);
+
+} // namespace
+
+BENCHMARK_MAIN();

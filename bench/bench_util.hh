@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared table-printing and argument helpers for the bench binaries.
+ *
+ * Each bench regenerates one table or figure of the paper and prints
+ * the measured series next to the paper's reported values where those
+ * exist. `--quick` shrinks sweeps; `--full` runs paper-scale inputs.
+ */
+
+#ifndef JMSIM_BENCH_BENCH_UTIL_HH
+#define JMSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace jmsim
+{
+namespace bench
+{
+
+/** Scale selected from the command line. */
+enum class Scale
+{
+    Quick,
+    Default,
+    Full,
+};
+
+inline Scale
+parseScale(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick"))
+            return Scale::Quick;
+        if (!std::strcmp(argv[i], "--full"))
+            return Scale::Full;
+    }
+    return Scale::Default;
+}
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void
+row(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::vprintf(fmt, args);
+    va_end(args);
+    std::printf("\n");
+}
+
+} // namespace bench
+} // namespace jmsim
+
+#endif // JMSIM_BENCH_BENCH_UTIL_HH

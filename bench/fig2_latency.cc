@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 2: round-trip latency vs distance for Ping and remote reads
+ * of 1/6 words from internal/external memory, on an unloaded 8x8x8
+ * machine. The paper's headline numbers: slope 2 cycles/hop, base
+ * round trip 43 cycles, nearest-neighbour read 60 cycles, opposite-
+ * corner read 98 cycles.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "net/router_address.hh"
+#include "workloads/micro.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    const unsigned nodes = scale == bench::Scale::Quick ? 64 : 512;
+    const MeshDims dims = MeshDims::forNodeCount(nodes);
+
+    // Targets at increasing Manhattan distance from node 0.
+    std::vector<NodeId> targets;
+    targets.push_back(0);
+    for (unsigned d = 1; d <= dims.x + dims.y + dims.z - 3; ++d) {
+        RouterAddr a{};
+        unsigned left = d;
+        a.x = static_cast<std::uint8_t>(std::min(left, dims.x - 1));
+        left -= a.x;
+        a.y = static_cast<std::uint8_t>(std::min(left, dims.y - 1));
+        left -= a.y;
+        a.z = static_cast<std::uint8_t>(left);
+        targets.push_back(dims.toLinear(a));
+        if (scale == bench::Scale::Quick && d >= 6)
+            break;
+    }
+
+    bench::header("Figure 2: round-trip latency vs distance (cycles), " +
+                  std::to_string(nodes) + " nodes");
+    std::printf("%5s %8s %12s %12s %12s %12s\n", "hops", "ping",
+                "read1-imem", "read1-emem", "read6-imem", "read6-emem");
+    for (NodeId t : targets) {
+        const auto ping = measurePing(nodes, t, PingKind::Ping, false);
+        const auto r1i = measurePing(nodes, t, PingKind::Read1, false);
+        const auto r1e = measurePing(nodes, t, PingKind::Read1, true);
+        const auto r6i = measurePing(nodes, t, PingKind::Read6, false);
+        const auto r6e = measurePing(nodes, t, PingKind::Read6, true);
+        std::printf("%5u %8.1f %12.1f %12.1f %12.1f %12.1f\n", ping.hops,
+                    ping.roundTripCycles, r1i.roundTripCycles,
+                    r1e.roundTripCycles, r6i.roundTripCycles,
+                    r6e.roundTripCycles);
+    }
+    std::printf("\npaper: slope 2 cycles/hop; base RTT 43; "
+                "neighbour read 60; corner read 98\n");
+    return 0;
+}

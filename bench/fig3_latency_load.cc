@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 3: one-way message latency vs bisection traffic under uniform
+ * random traffic (left) and processor efficiency vs grain size
+ * (right). Paper: the 512-node network saturates near 6 Gbits/s of
+ * its 14.4 Gbits/s one-direction bisection capacity; the 50%%
+ * efficiency point falls at 100-300 cycles of computation per message
+ * exchange.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "net/router_address.hh"
+#include "workloads/micro.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    unsigned nodes = 512;
+    Cycle window = 15000;
+    std::vector<unsigned> idles = {0, 30, 80, 200, 500, 1500};
+    if (scale == bench::Scale::Quick) {
+        nodes = 64;
+        window = 8000;
+        idles = {0, 80, 500};
+    } else if (scale == bench::Scale::Full) {
+        window = 30000;
+        idles = {0, 15, 30, 60, 120, 250, 500, 1000, 2000};
+    }
+
+    const MeshDims dims = MeshDims::forNodeCount(nodes);
+    const double capacity =
+        static_cast<double>(dims.y) * dims.z * 0.5 * 36 * 12.5e6 / 1e9;
+    bench::header("Figure 3 (left): latency vs bisection traffic, " +
+                  std::to_string(nodes) + " nodes (capacity " +
+                  std::to_string(capacity).substr(0, 5) + " Gb/s)");
+    std::printf("%6s %10s %14s %14s %12s\n", "words", "idle-iter",
+                "traffic Mb/s", "latency cyc", "grain cyc");
+
+    struct Point { unsigned words; LoadPoint p; };
+    std::vector<Point> points;
+    for (unsigned words : {2u, 4u, 8u, 16u}) {
+        for (unsigned idle : idles) {
+            const LoadPoint p = measureLoadPoint(nodes, words, idle, window);
+            points.push_back({words, p});
+            std::printf("%6u %10u %14.1f %14.1f %12.1f\n", words, idle,
+                        p.bisectionMbits, p.oneWayLatency, p.grainCycles);
+        }
+    }
+
+    bench::header("Figure 3 (right): efficiency vs grain size");
+    std::printf("%6s %12s %12s\n", "words", "grain cyc", "efficiency");
+    for (const auto &[words, p] : points)
+        std::printf("%6u %12.1f %12.2f\n", words, p.grainCycles,
+                    p.efficiency);
+    std::printf("\npaper: saturation ~6 of 14.4 Gb/s; 50%% efficiency at "
+                "100-300 cycles/message\n");
+    return 0;
+}

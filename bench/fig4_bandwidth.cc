@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 4: terminal network bandwidth between two nodes vs message
+ * size, for three delivery treatments. Paper: ~200 Mbits/s peak
+ * (0.5 words/cycle at 12.5 MHz); 90% of peak with 8-word messages;
+ * ordering discard > copy-to-Imem > copy-to-Emem.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workloads/micro.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    const unsigned messages = scale == bench::Scale::Quick ? 16 : 64;
+
+    bench::header("Figure 4: terminal bandwidth vs message size (Mbits/s)");
+    std::printf("%6s %10s %12s %12s\n", "words", "discard", "copy-imem",
+                "copy-emem");
+    double peak = 0;
+    for (unsigned len : {1u, 2u, 4u, 8u, 12u, 16u}) {
+        const double d = measureBlast(len, BlastMode::Discard, messages);
+        const double i = measureBlast(len, BlastMode::CopyToImem, messages);
+        const double e = measureBlast(len, BlastMode::CopyToEmem, messages);
+        if (d > peak)
+            peak = d;
+        std::printf("%6u %10.1f %12.1f %12.1f\n", len, d, i, e);
+    }
+    std::printf("\npeak %.1f Mbits/s (channel limit 200); paper peak ~190\n",
+                peak);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 5: speedup of the four applications vs machine size at
+ * constant problem size. Speedups are relative to the one-node run of
+ * the same parallel program (the paper used tuned sequential bases
+ * for LCS/Radix/N-Queens, which mainly shifts the curves; shapes are
+ * comparable). Default problem sizes are scaled down from the paper's
+ * where a full-size sweep would be too slow on one host core;
+ * --full selects the paper's sizes.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "workloads/apps.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    std::vector<unsigned> sizes = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+    if (scale == bench::Scale::Quick)
+        sizes = {1, 4, 16, 64};
+
+    const unsigned lcs_a = 1024;
+    const unsigned lcs_b = scale == bench::Scale::Full ? 4096 : 2048;
+    const unsigned radix_keys = 65536;
+    const unsigned queens = scale == bench::Scale::Full ? 13 : 10;
+    const unsigned cities = scale == bench::Scale::Full ? 12 : 9;
+
+    bench::header("Figure 5: application speedup vs machine size");
+    std::printf("LCS %ux%u, radix %u keys, %u-queens, %u-city TSP\n",
+                lcs_a, lcs_b, radix_keys, queens, cities);
+
+    // Sequential jasm baselines for LCS / radix / N-Queens (as the
+    // paper); TSP's base is the one-node parallel code (also as the
+    // paper).
+    std::printf("measuring sequential baselines...\n");
+    const double base_lcs =
+        cyclesToSeconds(runLcsSequential(lcs_a, lcs_b)) * 1e3;
+    const double base_radix =
+        cyclesToSeconds(runRadixSequential(radix_keys)) * 1e3;
+    const double base_q =
+        cyclesToSeconds(runNQueensSequential(queens)) * 1e3;
+    std::printf("%6s %12s %12s %12s %12s\n", "nodes", "LCS", "Radix",
+                "NQueens", "TSP");
+
+    double base_tsp = 0;
+    for (unsigned n : sizes) {
+        LcsConfig lc;
+        lc.nodes = n;
+        lc.lenA = lcs_a;
+        lc.lenB = lcs_b;
+        const double t_lcs = runLcs(lc).runMs();
+
+        RadixConfig rc;
+        rc.nodes = n;
+        rc.keys = radix_keys;
+        const double t_radix = runRadixSort(rc).runMs();
+
+        NQueensConfig qc;
+        qc.nodes = n;
+        qc.queens = queens;
+        const double t_q = runNQueens(qc).runMs();
+
+        TspConfig tc;
+        tc.nodes = n;
+        tc.cities = cities;
+        const double t_tsp = runTsp(tc).runMs();
+
+        if (n == sizes.front())
+            base_tsp = t_tsp;
+        std::printf("%6u %12.2f %12.2f %12.2f %12.2f\n", n,
+                    base_lcs / t_lcs, base_radix / t_radix, base_q / t_q,
+                    base_tsp / t_tsp);
+    }
+    std::printf("\npaper shapes: LCS/NQueens near-linear into the "
+                "hundreds, radix with a glitch near the 64->128 "
+                "bisection-constant step, TSP super-linear early\n");
+    return 0;
+}

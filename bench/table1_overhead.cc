@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table 1: one-way message overhead. The measured jmsim row appears
+ * beside the paper's published numbers for contemporary machines
+ * (vendor libraries and Active Messages implementations).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workloads/micro.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+int
+main()
+{
+    const OverheadResult r = measureOverhead();
+
+    bench::header("Table 1: one-way message overhead");
+    std::printf("%-22s %10s %10s %12s %12s\n", "machine", "us/msg",
+                "us/byte", "cycles/msg", "cycles/byte");
+    // Published values quoted from the paper (its Table 1).
+    std::printf("%-22s %10.1f %10.2f %12d %12d\n", "nCUBE/2 (Vendor)",
+                160.0, 0.45, 3200, 9);
+    std::printf("%-22s %10.1f %10.2f %12d %12d\n", "CM-5 (Vendor)", 86.0,
+                0.12, 2838, 4);
+    std::printf("%-22s %10.1f %10.2f %12d %12d\n", "DELTA (Vendor)", 72.0,
+                0.08, 2880, 3);
+    std::printf("%-22s %10.1f %10.2f %12d %12d\n", "nCUBE/2 (Active)",
+                23.0, 0.45, 460, 9);
+    std::printf("%-22s %10.1f %10.2f %12d %12d\n", "CM-5 (Active)", 3.3,
+                0.12, 109, 4);
+    std::printf("%-22s %10.1f %10.2f %12.1f %12.2f   <- measured\n",
+                "J-Machine (jmsim)", r.usPerMsg(), r.usPerByte(),
+                r.cyclesPerMsg(), r.cyclesPerByte);
+    std::printf("%-22s %10.1f %10.2f %12d %12.1f\n",
+                "J-Machine (paper)", 0.9, 0.04, 11, 0.5);
+    std::printf("\nsend overhead %.1f + receive overhead %.1f cycles\n",
+                r.sendCyclesPerMsg, r.receiveCyclesPerMsg);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 3: software barrier time vs machine size, beside the paper's
+ * published numbers for the J-Machine and contemporary machines.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "workloads/micro.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    const unsigned max_nodes = scale == bench::Scale::Quick ? 64 : 512;
+
+    // Published columns quoted from the paper's Table 3.
+    const std::map<unsigned, double> paper_j = {
+        {2, 4.4},   {4, 6.5},   {8, 8.7},   {16, 11.7}, {32, 14.4},
+        {64, 16.5}, {128, 20.7}, {256, 24.4}, {512, 27.4}};
+    const std::map<unsigned, double> em4 = {
+        {2, 2.7}, {4, 3.6}, {8, 4.7}, {16, 5.4}, {64, 7.4}};
+    const std::map<unsigned, double> ksr = {
+        {2, 60}, {4, 90}, {8, 180}, {16, 260}, {32, 525}, {64, 847}};
+    const std::map<unsigned, double> ipsc = {
+        {2, 111}, {4, 234}, {8, 381}, {16, 546}, {32, 692}, {64, 3587}};
+    const std::map<unsigned, double> delta = {
+        {2, 109}, {4, 248}, {8, 473}, {16, 923}, {32, 1816}};
+
+    bench::header("Table 3: software barrier synchronization (us)");
+    std::printf("%6s %10s %10s | %8s %8s %10s %8s\n", "nodes", "jmsim",
+                "paper-J", "EM4", "KSR", "iPSC/860", "Delta");
+    const auto col = [](const std::map<unsigned, double> &m, unsigned n) {
+        auto it = m.find(n);
+        return it == m.end() ? std::string("      -")
+                             : (std::string(" ") +
+                                std::to_string(it->second).substr(0, 6));
+    };
+    for (unsigned n = 2; n <= max_nodes; n *= 2) {
+        const double us = measureBarrierUs(n);
+        std::printf("%6u %10.1f %10s |%9s %8s %10s %8s\n", n, us,
+                    col(paper_j, n).c_str(), col(em4, n).c_str(),
+                    col(ksr, n).c_str(), col(ipsc, n).c_str(),
+                    col(delta, n).c_str());
+    }
+    return 0;
+}

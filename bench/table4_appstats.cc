@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 4: application statistics on a 64-node machine -- run time and,
+ * per thread class, invocation count, instructions, mean thread
+ * length, and message length.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workloads/apps.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+namespace
+{
+
+void
+printApp(const char *name, const AppResult &r)
+{
+    std::printf("\n%s: runtime %.1f ms, %llu instructions\n", name,
+                r.runMs(), static_cast<unsigned long long>(r.instructions));
+    std::printf("  %-14s %10s %14s %12s %8s\n", "thread", "count",
+                "instructions", "instr/thread", "msg len");
+    for (const auto &t : r.threadClasses) {
+        if (t.name == "boot" || t.name.rfind("jos", 0) == 0)
+            continue;
+        std::printf("  %-14s %10llu %14llu %12.0f %8.1f\n", t.name.c_str(),
+                    static_cast<unsigned long long>(t.threads),
+                    static_cast<unsigned long long>(t.instructions),
+                    t.instrPerThread(), t.avgMessageLength());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    const bool full = scale == bench::Scale::Full;
+
+    bench::header("Table 4: application statistics, 64 nodes");
+
+    LcsConfig lc;
+    lc.nodes = 64;
+    lc.lenB = full ? 4096 : 2048;
+    printApp("LCS", runLcs(lc));
+
+    NQueensConfig qc;
+    qc.nodes = 64;
+    qc.queens = full ? 13 : 10;
+    printApp("NQueens", runNQueens(qc));
+
+    RadixConfig rc;
+    rc.nodes = 64;
+    printApp("RadixSort", runRadixSort(rc));
+
+    std::printf("\npaper (full sizes): LCS 153 ms, 262K NxtChar threads of"
+                " 232 instr (msg 3); NQueens 775 ms, 1030 threads of 296K"
+                " instr (msg 8); radix 63 ms, 452K WriteData threads of 4"
+                " instr (msg 3)\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 5: major cost components of TSP under the CST-like object
+ * layer -- user/OS split, xlate counts, and thread/message statistics.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workloads/apps.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    TspConfig tc;
+    tc.nodes = 64;
+    tc.cities = scale == bench::Scale::Full ? 12 : 10;
+
+    const AppResult r = runTsp(tc);
+
+    std::uint64_t user_threads = 0, user_instr = 0, user_msg_words = 0;
+    for (const auto &t : r.threadClasses) {
+        if (t.name.rfind("tsp_", 0) != 0)
+            continue;
+        user_threads += t.threads;
+        user_instr += t.instructions;
+        user_msg_words += t.messageWords;
+    }
+
+    bench::header("Table 5: TSP cost components, 64 nodes, " +
+                  std::to_string(tc.cities) + " cities");
+    std::printf("%-24s %14s %14s\n", "", "user", "O/S");
+    std::printf("%-24s %14.1f\n", "run time (ms)", r.runMs());
+    std::printf("%-24s %14llu\n", "threads (msgs)",
+                static_cast<unsigned long long>(user_threads));
+    std::printf("%-24s %14llu %14llu\n", "instructions",
+                static_cast<unsigned long long>(r.instructions -
+                                                r.instructionsOs),
+                static_cast<unsigned long long>(r.instructionsOs));
+    std::printf("%-24s %14llu\n", "xlates",
+                static_cast<unsigned long long>(r.xlates));
+    std::printf("%-24s %14llu\n", "xlate faults",
+                static_cast<unsigned long long>(r.xlateFaults));
+    std::printf("%-24s %14.0f\n", "instr/thread (mean)",
+                user_threads ? static_cast<double>(r.instructions -
+                                                   r.instructionsOs) /
+                                   user_threads
+                             : 0.0);
+    std::printf("%-24s %14.1f\n", "avg msg length",
+                user_threads ? static_cast<double>(user_msg_words) /
+                                   user_threads
+                             : 0.0);
+    std::printf("\npaper (14 cities): 26.3 s; 9.1M user threads of 309"
+                " instr; 5.4e8 OS instr; 5.1e8 xlates with 1.6e4 faults;"
+                " avg msg 5.1 words\n");
+    return 0;
+}

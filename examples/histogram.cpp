@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Parallel histogram with fine-grained remote increments -- the
+ * communication style the J-Machine was built for: every sample
+ * becomes a tiny 2-word message to the node owning its bucket, with
+ * no batching (compare the paper's radix-sort reorder phase).
+ *
+ *   $ ./build/examples/histogram [nodes] [samples-per-node]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "jasm/assembler.hh"
+#include "machine/jmachine.hh"
+#include "runtime/jos.hh"
+
+using namespace jmsim;
+
+namespace
+{
+
+const char *kHistogram = R"(
+.equ TBL, 1024
+.equ HDATA, 2048
+; params: +0 samples per node
+; state:  +8 markers received, +9 spill, +10 PRNG, +11 -log2(nodes)
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+.region nnr
+    LDL A0, seg(TBL, 544)
+    MOVEI R3, 0
+mk_addr:
+    MOVE R0, R3
+    CALL A2, jos_nnr
+    LDL R1, #32
+    ADD R1, R1, R3
+    STX [A0+R1], R0
+    ADDI R3, R3, #1
+    GETSP R1, NODES
+    LT R1, R3, R1
+    BT R1, mk_addr
+.region comp
+    ; -log2(nodes)
+    GETSP R0, NODES
+    MOVEI R1, 0
+lg:
+    LEI R2, R0, #1
+    BT R2, lg_done
+    LSHI R0, R0, #-1
+    ADDI R1, R1, #-1
+    BR lg
+lg_done:
+    ST [A1+11], R1
+    ; PRNG seed from the node id
+    GETSP R0, NODEID
+    LDL R1, #2654435761
+    MUL R0, R0, R1
+    ORI R0, R0, #1
+    ST [A1+10], R0
+    MOVEI R2, 0              ; sample cursor
+sample_loop:
+    LD R0, [A1+0]
+    LT R1, R2, R0
+    BF R1, samples_done
+    LD R0, [A1+10]
+    LSHI R1, R0, #13
+    XOR R0, R0, R1
+    LSHI R1, R0, #-15
+    XOR R0, R0, R1
+    LSHI R1, R0, #5
+    XOR R0, R0, R1
+    ST [A1+10], R0
+    ; owner = bucket & (N-1); local index = (bucket >> log2 N) & 63
+    GETSP R1, NODES
+    ADDI R1, R1, #-1
+    AND R3, R0, R1
+    LD R1, [A1+11]
+    LSH R0, R0, R1
+    LDL R1, #63
+    AND R0, R0, R1
+    ST [A1+9], R2
+    LDL A0, seg(TBL, 544)
+    LDL R2, #32
+    ADD R2, R2, R3
+    LDX R3, [A0+R2]
+.region comm
+    SEND0 R3
+    LDL R1, hdr(bump, 2)
+    SEND20E R1, R0
+.region comp
+    LD R2, [A1+9]
+    ADDI R2, R2, #1
+    BR sample_loop
+samples_done:
+    ; one completion marker to every node (FIFO behind the samples)
+    MOVEI R2, 0
+mark_loop:
+    GETSP R0, NODES
+    LT R0, R2, R0
+    BF R0, wait_done
+    LDL A0, seg(TBL, 544)
+    LDL R0, #32
+    ADD R0, R0, R2
+    LDX R3, [A0+R0]
+.region comm
+    SEND0 R3
+    LDL R1, hdr(marker, 1)
+    SEND0E R1
+.region comp
+    ADDI R2, R2, #1
+    BR mark_loop
+wait_done:
+.region sync
+wd:
+    LD R0, [A1+8]
+    GETSP R1, NODES
+    LT R0, R0, R1
+    BT R0, wd
+.region comp
+    ; total my 64 local buckets and report
+    LDL A0, seg(HDATA, 64)
+    MOVEI R0, 0
+    MOVEI R1, 0
+sum:
+    LDX R2, [A0+R1]
+    ADD R0, R0, R2
+    ADDI R1, R1, #1
+    LDL R2, #64
+    LT R2, R1, R2
+    BT R2, sum
+    OUT R0
+    HALT
+
+bump:                        ; [hdr, local bucket]
+    LDL A0, seg(HDATA, 64)
+    LD R0, [A3+1]
+    LDX R1, [A0+R0]
+    ADDI R1, R1, #1
+    STX [A0+R0], R1
+    SUSPEND
+
+marker:
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+8]
+    ADDI R0, R0, #1
+    ST [A1+8], R0
+    SUSPEND
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned nodes = argc > 1 ? std::atoi(argv[1]) : 16;
+    const unsigned samples = argc > 2 ? std::atoi(argv[2]) : 500;
+
+    Program prog = assemble(jos::withKernel("histogram.jasm", kHistogram));
+    MachineConfig config;
+    config.dims = MeshDims::forNodeCount(nodes);
+    JMachine machine(config, std::move(prog));
+    const Addr hdata = static_cast<Addr>(machine.program().symbol("HDATA"));
+    for (NodeId id = 0; id < nodes; ++id) {
+        machine.pokeInt(id, jos::kAppScratchBase + 0,
+                        static_cast<std::int32_t>(samples));
+        for (Addr b = 0; b < 64; ++b)
+            machine.pokeInt(id, hdata + b, 0);
+        for (Addr s = jos::kAppScratchBase + 8;
+             s < jos::kAppScratchBase + 12; ++s)
+            machine.pokeInt(id, s, 0);
+    }
+
+    const RunResult r = machine.run(400'000'000ull);
+    std::uint64_t total = 0;
+    for (NodeId id = 0; id < nodes; ++id) {
+        const auto &out = machine.node(id).processor().hostOut();
+        if (out.size() != 1) {
+            std::fprintf(stderr, "node %u reported nothing\n", id);
+            return 1;
+        }
+        total += static_cast<std::uint64_t>(out[0].asInt());
+    }
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(nodes) * samples;
+    std::printf("histogram: %llu samples binned across %u nodes in %llu "
+                "cycles (%s)\n",
+                static_cast<unsigned long long>(total), nodes,
+                static_cast<unsigned long long>(r.cycles),
+                total == expect ? "all accounted for" : "MISSING SAMPLES");
+    return total == expect ? 0 : 1;
+}

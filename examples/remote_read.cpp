@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Remote memory read as an RPC -- the paper's Figure 2 experiment as
+ * a minimal example: node 0 fetches a word from the far corner's
+ * external memory and prints the end-to-end latency.
+ *
+ *   $ ./build/examples/remote_read [nodes]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/micro.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const unsigned nodes = argc > 1 ? std::atoi(argv[1]) : 512;
+    const NodeId corner = nodes - 1;
+
+    const PingResult ping = measurePing(nodes, corner, PingKind::Ping,
+                                        false);
+    const PingResult read = measurePing(nodes, corner, PingKind::Read1,
+                                        true);
+    std::printf("machine of %u nodes; corner is %u hops away\n", nodes,
+                ping.hops);
+    std::printf("null RPC round trip: %.0f cycles (%.2f us)\n",
+                ping.roundTripCycles,
+                ping.roundTripCycles * kUsPerCycle);
+    std::printf("remote DRAM read:    %.0f cycles (%.2f us)\n",
+                read.roundTripCycles,
+                read.roundTripCycles * kUsPerCycle);
+    std::printf("the paper reads a neighbour in 60 cycles and the far "
+                "corner in 98\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+#include <sstream>
+
+#include "isa/instruction.hh"
+
+namespace jmsim
+{
+
+std::string
+Instruction::toString() const
+{
+    const auto &info = opcodeInfo(op);
+    std::ostringstream out;
+    out << info.mnemonic;
+
+    const auto r = [](std::uint8_t n) { return reg::name(n); };
+    const auto a = [](std::uint8_t n) {
+        return std::string(reg::name(static_cast<std::uint8_t>(n + 4)));
+    };
+
+    switch (info.format) {
+      case Format::None:
+        break;
+      case Format::R:
+      case Format::Wide:
+        out << " " << r(rd);
+        if (info.format == Format::Wide)
+            out << ", #" << literal.toString();
+        break;
+      case Format::RR:
+        out << " " << r(rd) << ", " << r(ra);
+        break;
+      case Format::RRR:
+        out << " " << r(rd) << ", " << r(ra) << ", " << r(rb);
+        break;
+      case Format::RRI:
+        out << " " << r(rd) << ", " << r(ra) << ", #" << imm;
+        break;
+      case Format::RI:
+        out << " " << r(rd) << ", #" << imm;
+        break;
+      case Format::RIT:
+        out << " " << r(rd) << ", " << r(ra) << ", #"
+            << tagName(static_cast<Tag>(imm));
+        break;
+      case Format::MemLoad:
+        out << " " << r(rd) << ", [" << a(abase) << "+" << imm << "]";
+        break;
+      case Format::MemLoadX:
+        out << " " << r(rd) << ", [" << a(abase) << "+" << r(rb) << "]";
+        break;
+      case Format::MemStore:
+        out << " [" << a(abase) << "+" << imm << "], " << r(rd);
+        break;
+      case Format::MemStoreX:
+        out << " [" << a(abase) << "+" << r(rb) << "], " << r(rd);
+        break;
+      case Format::MemOp:
+        out << " " << r(rd) << ", [" << a(abase) << "+" << imm << "]";
+        break;
+      case Format::Branch:
+        out << " " << (imm >= 0 ? "+" : "") << imm;
+        break;
+      case Format::CondBranch:
+      case Format::CallF:
+        out << " " << r(rd) << ", " << (imm >= 0 ? "+" : "") << imm;
+        break;
+    }
+    return out.str();
+}
+
+std::string
+disassemble(std::uint32_t slot_bits)
+{
+    return Instruction::decode(slot_bits).toString();
+}
+
+} // namespace jmsim

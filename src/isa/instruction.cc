@@ -1,0 +1,196 @@
+#include "isa/instruction.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+namespace reg
+{
+
+const char *
+name(std::uint8_t r)
+{
+    static constexpr std::array<const char *, 8> names = {
+        "R0", "R1", "R2", "R3", "A0", "A1", "A2", "A3",
+    };
+    return names[r & 7];
+}
+
+} // namespace reg
+
+namespace
+{
+
+void
+checkField(std::int64_t value, std::int64_t min, std::int64_t max,
+           const char *what)
+{
+    if (value < min || value > max)
+        fatal(std::string("instruction field out of range: ") + what +
+              " = " + std::to_string(value));
+}
+
+/** Encode a signed value into @p bits bits. */
+std::uint32_t
+signedField(std::int32_t value, unsigned bits)
+{
+    return static_cast<std::uint32_t>(value) & ((1u << bits) - 1);
+}
+
+/** Sign-extend the low @p bits bits. */
+std::int32_t
+signExtend(std::uint32_t value, unsigned bits)
+{
+    const std::uint32_t mask = (1u << bits) - 1;
+    std::uint32_t v = value & mask;
+    if (v & (1u << (bits - 1)))
+        v |= ~mask;
+    return static_cast<std::int32_t>(v);
+}
+
+} // namespace
+
+std::uint32_t
+Instruction::encode() const
+{
+    using namespace encoding;
+    const auto &info = opcodeInfo(op);
+    const std::uint32_t opbits = static_cast<std::uint32_t>(op) << 11;
+    checkField(rd, 0, 7, "rd");
+    checkField(ra, 0, 7, "ra");
+    checkField(rb, 0, 7, "rb");
+    checkField(abase, 0, 3, "abase");
+
+    switch (info.format) {
+      case Format::None:
+        return opbits;
+      case Format::R:
+        return opbits | (rd << 8);
+      case Format::RR:
+        return opbits | (rd << 8) | (ra << 5);
+      case Format::RRR:
+        return opbits | (rd << 8) | (ra << 5) | (rb << 2);
+      case Format::RRI:
+        checkField(imm, kSimm5Min, kSimm5Max, "simm5");
+        return opbits | (rd << 8) | (ra << 5) | signedField(imm, 5);
+      case Format::RI:
+        checkField(imm, kSimm8Min, kSimm8Max, "simm8");
+        return opbits | (rd << 8) | signedField(imm, 8);
+      case Format::RIT:
+        checkField(imm, 0, 15, "tag4");
+        return opbits | (rd << 8) | (ra << 5) |
+               (static_cast<std::uint32_t>(imm) << 1);
+      case Format::MemLoad:
+      case Format::MemStore:
+      case Format::MemOp:
+        checkField(imm, 0, kOffset6Max, "offset6");
+        return opbits | (rd << 8) | (static_cast<std::uint32_t>(abase) << 6) |
+               static_cast<std::uint32_t>(imm);
+      case Format::MemLoadX:
+      case Format::MemStoreX:
+        return opbits | (rd << 8) | (static_cast<std::uint32_t>(abase) << 6) |
+               (rb << 3);
+      case Format::Branch:
+        checkField(imm, kOff11Min, kOff11Max, "off11");
+        return opbits | signedField(imm, 11);
+      case Format::CondBranch:
+      case Format::CallF:
+        checkField(imm, kSimm8Min, kSimm8Max, "off8");
+        return opbits | (rd << 8) | signedField(imm, 8);
+      case Format::Wide:
+        return opbits | (rd << 8);
+    }
+    panic("unhandled instruction format");
+}
+
+Instruction
+Instruction::decode(std::uint32_t slot_bits)
+{
+    Instruction inst;
+    const auto opidx = (slot_bits >> 11) & 0x7f;
+    if (opidx >= static_cast<std::uint32_t>(Opcode::NumOpcodes))
+        fatal("decode: bad opcode field " + std::to_string(opidx));
+    inst.op = static_cast<Opcode>(opidx);
+    const auto &info = opcodeInfo(inst.op);
+
+    const auto rd = (slot_bits >> 8) & 7;
+    const auto ra = (slot_bits >> 5) & 7;
+    const auto rb = (slot_bits >> 2) & 7;
+
+    switch (info.format) {
+      case Format::None:
+        break;
+      case Format::R:
+      case Format::Wide:
+        inst.rd = rd;
+        break;
+      case Format::RR:
+        inst.rd = rd;
+        inst.ra = ra;
+        break;
+      case Format::RRR:
+        inst.rd = rd;
+        inst.ra = ra;
+        inst.rb = rb;
+        break;
+      case Format::RRI:
+        inst.rd = rd;
+        inst.ra = ra;
+        inst.imm = signExtend(slot_bits, 5);
+        break;
+      case Format::RI:
+        inst.rd = rd;
+        inst.imm = signExtend(slot_bits, 8);
+        break;
+      case Format::RIT:
+        inst.rd = rd;
+        inst.ra = ra;
+        inst.imm = static_cast<std::int32_t>((slot_bits >> 1) & 0xf);
+        break;
+      case Format::MemLoad:
+      case Format::MemStore:
+      case Format::MemOp:
+        inst.rd = rd;
+        inst.abase = static_cast<std::uint8_t>((slot_bits >> 6) & 3);
+        inst.imm = static_cast<std::int32_t>(slot_bits & 0x3f);
+        break;
+      case Format::MemLoadX:
+      case Format::MemStoreX:
+        inst.rd = rd;
+        inst.abase = static_cast<std::uint8_t>((slot_bits >> 6) & 3);
+        inst.rb = (slot_bits >> 3) & 7;
+        break;
+      case Format::Branch:
+        inst.imm = signExtend(slot_bits, 11);
+        break;
+      case Format::CondBranch:
+      case Format::CallF:
+        inst.rd = rd;
+        inst.imm = signExtend(slot_bits, 8);
+        break;
+    }
+    return inst;
+}
+
+std::uint64_t
+packInstrWord(std::uint32_t slot0, std::uint32_t slot1)
+{
+    const std::uint32_t mask = (1u << encoding::kSlotBits) - 1;
+    if (slot0 > mask || slot1 > mask)
+        panic("packInstrWord: slot exceeds 18 bits");
+    return static_cast<std::uint64_t>(slot0) |
+           (static_cast<std::uint64_t>(slot1) << encoding::kSlotBits);
+}
+
+std::uint32_t
+unpackInstrSlot(std::uint64_t instr_word, unsigned slot)
+{
+    const std::uint32_t mask = (1u << encoding::kSlotBits) - 1;
+    return static_cast<std::uint32_t>(
+        instr_word >> (slot ? encoding::kSlotBits : 0)) & mask;
+}
+
+} // namespace jmsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Decoded MDP instructions and their binary encoding.
+ *
+ * The MDP stores two instructions per 36-bit memory word. jmsim encodes
+ * each instruction in an 18-bit slot (the physical MDP used 17-bit
+ * slots plus two spare bits; we fold the spare bits into the slots to
+ * afford a 7-bit opcode field). Instruction addresses ("iaddr") count
+ * slots: iaddr = word_address * 2 + slot. Branch targets are always
+ * slot 0 of a word; the assembler pads with NOP to guarantee this.
+ *
+ * Wide instructions (LDL) occupy a full word by themselves and take
+ * their 36-bit literal from the following memory word, so literals can
+ * carry any tag (Ip continuations, Msg headers, Addr descriptors, ...).
+ */
+
+#ifndef JMSIM_ISA_INSTRUCTION_HH
+#define JMSIM_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "isa/word.hh"
+
+namespace jmsim
+{
+
+/** Instruction address: word_address * 2 + slot. */
+using IAddr = std::uint32_t;
+
+/** Register file addressing: 0-3 = R0-R3 (data), 4-7 = A0-A3 (address). */
+namespace reg
+{
+inline constexpr std::uint8_t R0 = 0, R1 = 1, R2 = 2, R3 = 3;
+inline constexpr std::uint8_t A0 = 4, A1 = 5, A2 = 6, A3 = 7;
+
+/** True for the four address registers. */
+inline constexpr bool isAddrReg(std::uint8_t r) { return r >= 4; }
+
+/** Register mnemonic ("R2", "A3"). */
+const char *name(std::uint8_t r);
+} // namespace reg
+
+/** Special registers readable through GETSP. */
+enum class SpecialReg : std::uint8_t
+{
+    NodeId = 0,   ///< linear node index
+    Nnr,          ///< own router address, packed x | y<<5 | z<<10
+    Nodes,        ///< total node count
+    Dims,         ///< mesh dims, packed x | y<<5 | z<<10
+    CycleLo,      ///< low 32 bits of the cycle counter
+    CycleHi,      ///< high 32 bits of the cycle counter
+    QLen0,        ///< words pending in the priority-0 queue
+    QLen1,        ///< words pending in the priority-1 queue
+    Fval0,        ///< first fault-value word of the current level
+    Fval1,        ///< second fault-value word of the current level
+    Fip,          ///< faulting instruction address (Ip word)
+    Tmp0,         ///< fault temporaries: writable via SETSP, one set
+    Tmp1,         ///<   per level, used by JOS handlers to free up
+    Tmp2,         ///<   general registers before saving state
+    Tmp3,
+    NumSpecials,
+};
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;     ///< destination / first register
+    std::uint8_t ra = 0;     ///< second register
+    std::uint8_t rb = 0;     ///< third register
+    std::uint8_t abase = 0;  ///< address-register index for memory formats
+    std::int32_t imm = 0;    ///< immediate / branch offset / tag / special#
+    Word literal;            ///< 36-bit literal for Wide format
+
+    bool operator==(const Instruction &other) const = default;
+
+    /** Pack into an 18-bit slot; range-checks every field. */
+    std::uint32_t encode() const;
+
+    /** Unpack from an 18-bit slot (literal must be supplied separately). */
+    static Instruction decode(std::uint32_t slot_bits);
+
+    /** Assembly rendering, e.g.\ "ADD R0, R1, R2". */
+    std::string toString() const;
+};
+
+/** Field ranges for the 18-bit slot encoding. */
+namespace encoding
+{
+inline constexpr int kSlotBits = 18;
+inline constexpr std::int32_t kSimm5Min = -16, kSimm5Max = 15;
+inline constexpr std::int32_t kSimm8Min = -128, kSimm8Max = 127;
+inline constexpr std::int32_t kOff11Min = -1024, kOff11Max = 1023;
+inline constexpr std::int32_t kOffset6Max = 63;
+} // namespace encoding
+
+/** Pack two slots into a 36-bit instruction word. */
+std::uint64_t packInstrWord(std::uint32_t slot0, std::uint32_t slot1);
+
+/** Extract slot 0 or 1 from a 36-bit instruction word. */
+std::uint32_t unpackInstrSlot(std::uint64_t instr_word, unsigned slot);
+
+/** Disassemble one slot (convenience wrapper over decode + toString). */
+std::string disassemble(std::uint32_t slot_bits);
+
+} // namespace jmsim
+
+#endif // JMSIM_ISA_INSTRUCTION_HH

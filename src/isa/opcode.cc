@@ -1,0 +1,166 @@
+#include "isa/opcode.hh"
+
+#include <array>
+#include <cctype>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+namespace
+{
+
+constexpr auto N = static_cast<std::size_t>(Opcode::NumOpcodes);
+
+constexpr std::array<OpcodeInfo, N> kOpcodeTable = {{
+    // mnemonic   format              cycles  class
+    {"NOP",      Format::None,       1, StatClass::Compute},
+    {"HALT",     Format::None,       1, StatClass::Compute},
+    {"SUSPEND",  Format::None,       1, StatClass::Sync},
+    {"RFE",      Format::None,       1, StatClass::Sync},
+    {"BR",       Format::Branch,     1, StatClass::Compute},
+    {"BT",       Format::CondBranch, 1, StatClass::Compute},
+    {"BF",       Format::CondBranch, 1, StatClass::Compute},
+    {"CALL",     Format::Wide,       2, StatClass::Compute},
+    {"JMP",      Format::R,          1, StatClass::Compute},
+    {"MOVE",     Format::RR,         1, StatClass::Compute},
+    {"MOVEI",    Format::RI,         1, StatClass::Compute},
+    {"LDL",      Format::Wide,       2, StatClass::Compute},
+    {"LD",       Format::MemLoad,    1, StatClass::Compute},
+    {"LDX",      Format::MemLoadX,   1, StatClass::Compute},
+    {"LDRAW",    Format::MemLoad,    1, StatClass::Sync},
+    {"LDRAWX",   Format::MemLoadX,   1, StatClass::Sync},
+    {"ST",       Format::MemStore,   1, StatClass::Compute},
+    {"STX",      Format::MemStoreX,  1, StatClass::Compute},
+    {"ADD",      Format::RRR,        1, StatClass::Compute},
+    {"SUB",      Format::RRR,        1, StatClass::Compute},
+    {"MUL",      Format::RRR,        2, StatClass::Compute},
+    {"ASH",      Format::RRR,        1, StatClass::Compute},
+    {"LSH",      Format::RRR,        1, StatClass::Compute},
+    {"AND",      Format::RRR,        1, StatClass::Compute},
+    {"OR",       Format::RRR,        1, StatClass::Compute},
+    {"XOR",      Format::RRR,        1, StatClass::Compute},
+    {"NOT",      Format::RR,         1, StatClass::Compute},
+    {"NEG",      Format::RR,         1, StatClass::Compute},
+    {"ADDI",     Format::RRI,        1, StatClass::Compute},
+    {"ASHI",     Format::RRI,        1, StatClass::Compute},
+    {"LSHI",     Format::RRI,        1, StatClass::Compute},
+    {"ANDI",     Format::RRI,        1, StatClass::Compute},
+    {"ORI",      Format::RRI,        1, StatClass::Compute},
+    {"XORI",     Format::RRI,        1, StatClass::Compute},
+    {"ADDM",     Format::MemOp,      1, StatClass::Compute},
+    {"SUBM",     Format::MemOp,      1, StatClass::Compute},
+    {"ANDM",     Format::MemOp,      1, StatClass::Compute},
+    {"ORM",      Format::MemOp,      1, StatClass::Compute},
+    {"XORM",     Format::MemOp,      1, StatClass::Compute},
+    {"EQ",       Format::RRR,        1, StatClass::Compute},
+    {"NE",       Format::RRR,        1, StatClass::Compute},
+    {"LT",       Format::RRR,        1, StatClass::Compute},
+    {"LE",       Format::RRR,        1, StatClass::Compute},
+    {"GT",       Format::RRR,        1, StatClass::Compute},
+    {"GE",       Format::RRR,        1, StatClass::Compute},
+    {"EQI",      Format::RRI,        1, StatClass::Compute},
+    {"NEI",      Format::RRI,        1, StatClass::Compute},
+    {"LTI",      Format::RRI,        1, StatClass::Compute},
+    {"LEI",      Format::RRI,        1, StatClass::Compute},
+    {"GTI",      Format::RRI,        1, StatClass::Compute},
+    {"GEI",      Format::RRI,        1, StatClass::Compute},
+    {"SEND0",    Format::R,          1, StatClass::Comm},
+    {"SEND0E",   Format::R,          1, StatClass::Comm},
+    {"SEND20",   Format::RR,         1, StatClass::Comm},
+    {"SEND20E",  Format::RR,         1, StatClass::Comm},
+    {"SEND1",    Format::R,          1, StatClass::Comm},
+    {"SEND1E",   Format::R,          1, StatClass::Comm},
+    {"SEND21",   Format::RR,         1, StatClass::Comm},
+    {"SEND21E",  Format::RR,         1, StatClass::Comm},
+    {"RTAG",     Format::RR,         1, StatClass::Compute},
+    {"WTAG",     Format::RIT,        1, StatClass::Compute},
+    {"CHECK",    Format::RIT,        1, StatClass::Sync},
+    {"SETSEG",   Format::RRR,        1, StatClass::Compute},
+    {"MKHDR",    Format::RRR,        1, StatClass::Comm},
+    {"ENTER",    Format::RR,         3, StatClass::Xlate},
+    {"XLATE",    Format::RR,         3, StatClass::Xlate},
+    {"PROBE",    Format::RR,         3, StatClass::Xlate},
+    {"GETSP",    Format::RI,         1, StatClass::Compute},
+    {"SETSP",    Format::RI,         1, StatClass::Compute},
+    {"JSP",      Format::RI,         1, StatClass::Compute},
+    {"OUT",      Format::R,          1, StatClass::Compute},
+}};
+
+} // namespace
+
+const char *
+statClassName(StatClass cls)
+{
+    static constexpr std::array<const char *,
+        static_cast<std::size_t>(StatClass::NumClasses)> names = {
+        "comp", "comm", "sync", "xlate", "nnr", "os", "idle",
+    };
+    return names[static_cast<std::size_t>(cls)];
+}
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    if (idx >= N)
+        panic("opcodeInfo: bad opcode " + std::to_string(idx));
+    return kOpcodeTable[idx];
+}
+
+std::optional<Opcode>
+opcodeFromMnemonic(const std::string &mnemonic)
+{
+    static const std::unordered_map<std::string, Opcode> map = [] {
+        std::unordered_map<std::string, Opcode> m;
+        for (std::size_t i = 0; i < N; ++i)
+            m.emplace(kOpcodeTable[i].mnemonic, static_cast<Opcode>(i));
+        return m;
+    }();
+    std::string upper;
+    upper.reserve(mnemonic.size());
+    for (char c : mnemonic)
+        upper.push_back(static_cast<char>(std::toupper(
+            static_cast<unsigned char>(c))));
+    auto it = map.find(upper);
+    if (it == map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+isSend(Opcode op)
+{
+    return op >= Opcode::Send0 && op <= Opcode::Send21e;
+}
+
+bool
+isSendEnd(Opcode op)
+{
+    return op == Opcode::Send0e || op == Opcode::Send20e ||
+           op == Opcode::Send1e || op == Opcode::Send21e;
+}
+
+unsigned
+sendPriority(Opcode op)
+{
+    return (op >= Opcode::Send1 && op <= Opcode::Send21e) ? 1 : 0;
+}
+
+unsigned
+sendWords(Opcode op)
+{
+    switch (op) {
+      case Opcode::Send20:
+      case Opcode::Send20e:
+      case Opcode::Send21:
+      case Opcode::Send21e:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+} // namespace jmsim

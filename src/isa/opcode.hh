@@ -1,0 +1,119 @@
+/**
+ * @file
+ * MDP opcode set and per-opcode metadata.
+ *
+ * The MDP packs two 17-bit instructions per 36-bit word. jmsim keeps a
+ * faithful 17-bit encoding (checked at assembly time) but executes from
+ * a decoded side table for speed. Per-opcode metadata carries the base
+ * cycle cost and the default accounting category used to reproduce the
+ * paper's Figure 6 time breakdown.
+ */
+
+#ifndef JMSIM_ISA_OPCODE_HH
+#define JMSIM_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace jmsim
+{
+
+/** All MDP operations implemented by jmsim. */
+enum class Opcode : std::uint8_t
+{
+    // control
+    Nop, Halt, Suspend, Rfe,
+    Br, Bt, Bf, Call, Jmp,
+    // data movement
+    Move, Movei, Ldl,
+    Ld, Ldx, Ldraw, Ldrawx, St, Stx,
+    // arithmetic / logic (register forms)
+    Add, Sub, Mul, Ash, Lsh, And, Or, Xor, Not, Neg,
+    // arithmetic / logic (5-bit immediate forms)
+    Addi, Ashi, Lshi, Andi, Ori, Xori,
+    // arithmetic with one internal-memory operand (2-address)
+    Addm, Subm, Andm, Orm, Xorm,
+    // comparisons (Bool result)
+    Eq, Ne, Lt, Le, Gt, Ge,
+    Eqi, Nei, Lti, Lei, Gti, Gei,
+    // communication: SEND<words><priority><E = end of message>
+    Send0, Send0e, Send20, Send20e,
+    Send1, Send1e, Send21, Send21e,
+    // tags and synchronization
+    Rtag, Wtag, Check,
+    // naming
+    Setseg, Mkhdr, Enter, Xlate, Probe,
+    // special registers and host I/O
+    Getsp, Setsp, Jsp, Out,
+
+    NumOpcodes,
+};
+
+/** Operand layout of an instruction (drives encoding and parsing). */
+enum class Format : std::uint8_t
+{
+    None,      ///< no operands
+    R,         ///< single register source (JMP, OUT)
+    RR,        ///< rd, ra
+    RRR,       ///< rd, ra, rb
+    RRI,       ///< rd, ra, simm5
+    RI,        ///< rd, simm8
+    RIT,       ///< rd/rs, ra, tag4 (WTAG / CHECK)
+    MemLoad,   ///< rd, [Aj + offset6]
+    MemLoadX,  ///< rd, [Aj + Rx]
+    MemStore,  ///< [Aj + offset6], rs
+    MemStoreX, ///< [Aj + Rx], rs
+    MemOp,     ///< rd (src+dst), [Aj + offset6]
+    Branch,    ///< word offset, 11-bit signed
+    CondBranch,///< rs, word offset, 8-bit signed
+    CallF,     ///< rd (link), word offset, 8-bit signed
+    Wide,      ///< rd + 32-bit literal in the following word
+};
+
+/** Accounting category for the Figure 6 breakdown. */
+enum class StatClass : std::uint8_t
+{
+    Compute = 0,  ///< plain computation
+    Comm,         ///< message formatting / injection / dispatch
+    Sync,         ///< suspension, restart, presence-tag handling
+    Xlate,        ///< name translation
+    Nnr,          ///< node-number to router-address calculation
+    Os,           ///< runtime kernel (fault handlers etc.)
+    Idle,         ///< nothing to run
+    NumClasses,
+};
+
+/** Human-readable class name for reports. */
+const char *statClassName(StatClass cls);
+
+/** Static description of one opcode. */
+struct OpcodeInfo
+{
+    const char *mnemonic;
+    Format format;
+    std::uint8_t baseCycles;  ///< cost with all operands in registers
+    StatClass defaultClass;   ///< accounting class unless overridden
+};
+
+/** Metadata for an opcode. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Reverse-lookup an opcode by (case-insensitive) mnemonic. */
+std::optional<Opcode> opcodeFromMnemonic(const std::string &mnemonic);
+
+/** True for the eight SEND-family opcodes. */
+bool isSend(Opcode op);
+
+/** True for SEND*E opcodes that terminate a message. */
+bool isSendEnd(Opcode op);
+
+/** 0 or 1: the network priority a SEND-family opcode targets. */
+unsigned sendPriority(Opcode op);
+
+/** Number of words a SEND-family opcode injects (1 or 2). */
+unsigned sendWords(Opcode op);
+
+} // namespace jmsim
+
+#endif // JMSIM_ISA_OPCODE_HH

@@ -1,0 +1,83 @@
+#include "isa/word.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+const char *
+tagName(Tag tag)
+{
+    static constexpr std::array<const char *, kNumTags> names = {
+        "int",  "bool", "sym",  "nil",   "ip",    "addr", "msg",   "ptr",
+        "cfut", "fut",  "ctx",  "user0", "user1", "user2", "user3", "bad",
+    };
+    return names[static_cast<unsigned>(tag) & 0xf];
+}
+
+std::string
+Word::toString() const
+{
+    return std::string(tagName(tag)) + ":" + std::to_string(asInt());
+}
+
+Word
+MsgHeader::encode() const
+{
+    if (handlerIp > kMaxIp)
+        fatal("message header IP out of range: " + std::to_string(handlerIp));
+    if (length > kMaxLength)
+        fatal("message length out of range: " + std::to_string(length));
+    return {(handlerIp << 12) | length, Tag::Msg};
+}
+
+MsgHeader
+MsgHeader::decode(Word word)
+{
+    MsgHeader hdr;
+    hdr.handlerIp = word.bits >> 12;
+    hdr.length = word.bits & 0xfff;
+    return hdr;
+}
+
+bool
+SegDesc::encodable() const
+{
+    if (base <= kSmallMax && length <= kSmallMax)
+        return true;
+    return base % kBaseAlign == 0 && base <= kMaxBase &&
+           length <= kMaxLength;
+}
+
+Word
+SegDesc::encode() const
+{
+    if (base <= kSmallMax && length <= kSmallMax)
+        return {(base << 12) | length, Tag::Addr};
+    if (base % kBaseAlign != 0)
+        fatal("large segment base not 64-word aligned: " +
+              std::to_string(base));
+    if (base > kMaxBase)
+        fatal("segment base out of range: " + std::to_string(base));
+    if (length > kMaxLength)
+        fatal("segment length out of range: " + std::to_string(length));
+    return {0x80000000u | ((base / kBaseAlign) << 18) | length, Tag::Addr};
+}
+
+SegDesc
+SegDesc::decode(Word word)
+{
+    SegDesc desc;
+    if (word.bits & 0x80000000u) {
+        desc.base = ((word.bits >> 18) & 0x1fff) * kBaseAlign;
+        desc.length = word.bits & 0x3ffff;
+    } else {
+        desc.base = (word.bits >> 12) & 0xfff;
+        desc.length = word.bits & 0xfff;
+    }
+    return desc;
+}
+
+} // namespace jmsim

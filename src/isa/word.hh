@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The MDP's 36-bit tagged word: 32 data bits plus a 4-bit type tag.
+ *
+ * Tags drive the J-Machine's synchronization and naming mechanisms:
+ * reading a @c Cfut / @c Fut tagged slot raises a fault (presence
+ * tags), @c Addr words are segment descriptors, @c Msg words are
+ * message headers carrying the dispatch IP and message length, and
+ * @c Ptr words are global virtual names resolved through the XLATE
+ * table.
+ */
+
+#ifndef JMSIM_ISA_WORD_HH
+#define JMSIM_ISA_WORD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace jmsim
+{
+
+/** The sixteen MDP data types (4-bit tag). */
+enum class Tag : std::uint8_t
+{
+    Int = 0,   ///< 32-bit signed integer
+    Bool,      ///< boolean (0 / 1)
+    Sym,       ///< symbol / opaque enumeration value
+    Nil,       ///< the distinguished empty value
+    Ip,        ///< instruction pointer (continuation)
+    Addr,      ///< segment descriptor: base + length
+    Msg,       ///< message header: dispatch IP + message length
+    Ptr,       ///< global virtual name (XLATE key)
+    Cfut,      ///< c-future: single-slot presence tag, traps on any read
+    Fut,       ///< future: copyable without fault, traps on use
+    Ctx,       ///< reference to a suspended thread context
+    User0,     ///< application-defined
+    User1,     ///< application-defined
+    User2,     ///< application-defined
+    User3,     ///< application-defined
+    Bad,       ///< uninitialized / poisoned memory
+};
+
+/** Number of distinct tags (fits in 4 bits). */
+inline constexpr unsigned kNumTags = 16;
+
+/** Human-readable tag mnemonic (e.g.\ "int", "cfut"). */
+const char *tagName(Tag tag);
+
+/** One 36-bit MDP word. */
+struct Word
+{
+    std::uint32_t bits = 0;
+    Tag tag = Tag::Bad;
+
+    constexpr Word() = default;
+    constexpr Word(std::uint32_t b, Tag t) : bits(b), tag(t) {}
+
+    /** Interpret the data bits as a signed integer. */
+    constexpr std::int32_t asInt() const
+    {
+        return static_cast<std::int32_t>(bits);
+    }
+
+    constexpr bool operator==(const Word &other) const = default;
+
+    /** True for the two presence-tag types that fault on read. */
+    constexpr bool
+    isFuture() const
+    {
+        return tag == Tag::Cfut || tag == Tag::Fut;
+    }
+
+    /** Short diagnostic rendering, e.g.\ "int:42". */
+    std::string toString() const;
+
+    // ---- constructors for each interpretation ----
+    static constexpr Word
+    makeInt(std::int32_t v)
+    {
+        return {static_cast<std::uint32_t>(v), Tag::Int};
+    }
+
+    static constexpr Word makeBool(bool v) { return {v ? 1u : 0u, Tag::Bool}; }
+    static constexpr Word makeNil() { return {0, Tag::Nil}; }
+    static constexpr Word makeIp(Addr ip) { return {ip, Tag::Ip}; }
+    static constexpr Word makeSym(std::uint32_t v) { return {v, Tag::Sym}; }
+    static constexpr Word makePtr(std::uint32_t name) { return {name, Tag::Ptr}; }
+    static constexpr Word makeCfut(std::uint32_t v = 0) { return {v, Tag::Cfut}; }
+    static constexpr Word makeBad() { return {0xdeadbeef, Tag::Bad}; }
+};
+
+/**
+ * Message header word (tag @c Msg).
+ *
+ * Layout: bits [31:12] = dispatch instruction address (word address of
+ * the handler's first instruction word), bits [11:0] = message length
+ * in words, including this header.
+ */
+struct MsgHeader
+{
+    Addr handlerIp = 0;
+    std::uint32_t length = 0;
+
+    /** Largest encodable handler address. */
+    static constexpr Addr kMaxIp = (1u << 20) - 1;
+    /** Largest encodable message length (words). */
+    static constexpr std::uint32_t kMaxLength = (1u << 12) - 1;
+
+    /** Pack into a Msg-tagged word; faults on field overflow. */
+    Word encode() const;
+
+    /** Unpack from a word (tag is not checked here). */
+    static MsgHeader decode(Word word);
+};
+
+/**
+ * Segment descriptor word (tag @c Addr).
+ *
+ * Two formats share the 32 data bits, selected by bit 31:
+ *
+ *  - small/exact (bit31 = 0): base = bits [23:12] (any SRAM address,
+ *    0..4095), length = bits [11:0] (up to 4095 words). Used for
+ *    message segments, queue regions, and other on-chip objects whose
+ *    base is not aligned.
+ *  - large (bit31 = 1): base = bits [30:18] * 64 (64-word aligned, up
+ *    to 512K), length = bits [17:0] (up to 256K words). Used for heap
+ *    objects in external memory.
+ *
+ * encode() picks the small format whenever it fits exactly, otherwise
+ * the large format (requiring 64-word alignment).
+ */
+struct SegDesc
+{
+    Addr base = 0;
+    std::uint32_t length = 0;
+
+    /** Base alignment granule of the large format, in words. */
+    static constexpr Addr kBaseAlign = 64;
+    /** Largest small-format base / length. */
+    static constexpr std::uint32_t kSmallMax = (1u << 12) - 1;
+    /** Largest large-format length. */
+    static constexpr std::uint32_t kMaxLength = (1u << 18) - 1;
+    /** Largest encodable base address. */
+    static constexpr Addr kMaxBase = ((1u << 13) - 1) * kBaseAlign;
+
+    /** Can this (base, length) pair be represented at all? */
+    bool encodable() const;
+
+    /** Pack into an Addr-tagged word; fatal() unless encodable(). */
+    Word encode() const;
+
+    /** Unpack from a word (tag is not checked here). */
+    static SegDesc decode(Word word);
+
+    /** True if the word-offset lies inside the segment. */
+    constexpr bool
+    contains(std::uint32_t offset) const
+    {
+        return offset < length;
+    }
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_ISA_WORD_HH

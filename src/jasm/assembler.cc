@@ -1,0 +1,592 @@
+#include "jasm/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+#include "jasm/parser.hh"
+#include "mem/memory.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+namespace
+{
+
+std::string
+upperCased(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(static_cast<char>(std::toupper(
+            static_cast<unsigned char>(c))));
+    return out;
+}
+
+std::optional<SpecialReg>
+specialFromName(const std::string &name)
+{
+    static const std::map<std::string, SpecialReg> map = {
+        {"NODEID", SpecialReg::NodeId},   {"NNR", SpecialReg::Nnr},
+        {"NODES", SpecialReg::Nodes},     {"DIMS", SpecialReg::Dims},
+        {"CYCLELO", SpecialReg::CycleLo}, {"CYCLEHI", SpecialReg::CycleHi},
+        {"QLEN0", SpecialReg::QLen0},     {"QLEN1", SpecialReg::QLen1},
+        {"FVAL0", SpecialReg::Fval0},     {"FVAL1", SpecialReg::Fval1},
+        {"FIP", SpecialReg::Fip},
+        {"TMP0", SpecialReg::Tmp0},       {"TMP1", SpecialReg::Tmp1},
+        {"TMP2", SpecialReg::Tmp2},       {"TMP3", SpecialReg::Tmp3},
+    };
+    auto it = map.find(upperCased(name));
+    if (it == map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<StatClass>
+statClassFromName(const std::string &name)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(StatClass::NumClasses);
+         ++i) {
+        if (name == statClassName(static_cast<StatClass>(i)))
+            return static_cast<StatClass>(i);
+    }
+    return std::nullopt;
+}
+
+/** One placed instruction awaiting final symbol resolution. */
+struct Placed
+{
+    IAddr iaddr;
+    Instruction inst;
+    StatClass cls;
+    int line;
+    std::string file;
+};
+
+class Assembly
+{
+  public:
+    Program run(const std::vector<SourceFile> &sources);
+
+    std::string curFile_;
+
+  private:
+    // ---- layout ----
+    Addr &counter() { return inEmem_ ? ememCounter_ : imemCounter_; }
+
+    void markWord(Addr addr, TokenCursor &cur);
+    std::size_t emit(TokenCursor &cur, const Instruction &inst);
+    void flushSlot(TokenCursor &cur);
+    void defineSymbol(TokenCursor &cur, const std::string &name,
+                      std::int64_t value);
+
+    // ---- per-line parsing ----
+    void parseLine(TokenCursor &cur);
+    void parseDirective(TokenCursor &cur, const std::string &name);
+    void parseInstruction(TokenCursor &cur, const std::string &mnemonic);
+    std::int64_t eagerExpr(TokenCursor &cur);
+
+    // ---- finalization ----
+    void resolveFixups();
+    Program finish();
+
+    // Layout state.
+    Addr imemCounter_ = 0;
+    Addr ememCounter_ = kEmemBase;
+    bool inEmem_ = false;
+    unsigned slot_ = 0;             ///< next slot in the current code word
+    StatClass region_ = StatClass::Compute;
+    std::unordered_set<Addr> usedWords_;
+
+    // Output under construction.
+    std::vector<Placed> placed_;
+    std::vector<std::pair<Addr, Word>> data_;
+    std::map<std::string, std::int64_t> symbols_;
+    std::vector<std::pair<IAddr, std::string>> labels_;
+
+    // Fixups.
+    struct BranchFix { std::size_t placedIdx; Expr target; };
+    struct ImmFix { std::size_t placedIdx; Expr value; };
+    struct LitFix { std::size_t placedIdx; Addr litAddr; LiteralSpec spec; };
+    struct DataFix { std::size_t dataIdx; LiteralSpec spec; };
+    std::vector<BranchFix> branchFixes_;
+    std::vector<ImmFix> immFixes_;
+    std::vector<LitFix> litFixes_;
+    std::vector<DataFix> dataFixes_;
+};
+
+void
+Assembly::markWord(Addr addr, TokenCursor &cur)
+{
+    if (!usedWords_.insert(addr).second)
+        cur.error("word address " + std::to_string(addr) +
+                  " assembled twice");
+}
+
+std::size_t
+Assembly::emit(TokenCursor &cur, const Instruction &inst)
+{
+    const Addr word = counter();
+    if (slot_ == 0)
+        markWord(word, cur);
+    Placed p;
+    p.iaddr = word * 2 + slot_;
+    p.inst = inst;
+    p.cls = region_;
+    p.line = cur.peek().line;
+    p.file = curFile_;
+    placed_.push_back(std::move(p));
+    if (slot_ == 0) {
+        slot_ = 1;
+    } else {
+        slot_ = 0;
+        counter() += 1;
+    }
+    return placed_.size() - 1;
+}
+
+void
+Assembly::flushSlot(TokenCursor &cur)
+{
+    if (slot_ == 1)
+        emit(cur, Instruction{});  // NOP filler
+}
+
+void
+Assembly::defineSymbol(TokenCursor &cur, const std::string &name,
+                       std::int64_t value)
+{
+    auto [it, inserted] = symbols_.emplace(name, value);
+    if (!inserted)
+        cur.error("symbol redefined: " + name);
+}
+
+std::int64_t
+Assembly::eagerExpr(TokenCursor &cur)
+{
+    const Expr expr = parseExpr(cur);
+    return evalExpr(expr, [&](const std::string &sym) -> std::int64_t {
+        auto it = symbols_.find(sym);
+        if (it == symbols_.end())
+            cur.error("symbol must be defined before use here: " + sym);
+        return it->second;
+    });
+}
+
+void
+Assembly::parseDirective(TokenCursor &cur, const std::string &name)
+{
+    if (name == "imem") {
+        flushSlot(cur);
+        inEmem_ = false;
+        return;
+    }
+    if (name == "emem") {
+        flushSlot(cur);
+        inEmem_ = true;
+        return;
+    }
+    if (name == "org") {
+        flushSlot(cur);
+        counter() = static_cast<Addr>(eagerExpr(cur));
+        return;
+    }
+    if (name == "equ") {
+        const Token &sym = cur.expect(TokKind::Ident, "symbol name");
+        const std::string sym_name = sym.text;
+        cur.expect(TokKind::Comma, "','");
+        defineSymbol(cur, sym_name, eagerExpr(cur));
+        return;
+    }
+    if (name == "word") {
+        flushSlot(cur);
+        do {
+            const Addr addr = counter();
+            markWord(addr, cur);
+            counter() += 1;
+            data_.emplace_back(addr, Word::makeBad());
+            dataFixes_.push_back({data_.size() - 1, parseLiteral(cur)});
+        } while (cur.accept(TokKind::Comma));
+        return;
+    }
+    if (name == "space") {
+        flushSlot(cur);
+        counter() += static_cast<Addr>(eagerExpr(cur));
+        return;
+    }
+    if (name == "align") {
+        flushSlot(cur);
+        return;
+    }
+    if (name == "region") {
+        const Token &t = cur.expect(TokKind::Ident, "region name");
+        auto cls = statClassFromName(t.text);
+        if (!cls)
+            cur.error("unknown region '" + t.text + "'");
+        region_ = *cls;
+        return;
+    }
+    cur.error("unknown directive '." + name + "'");
+}
+
+void
+Assembly::parseInstruction(TokenCursor &cur, const std::string &mnemonic)
+{
+    std::string canonical = upperCased(mnemonic);
+    if (canonical == "RET")
+        canonical = "JMP";
+    auto opcode = opcodeFromMnemonic(canonical);
+    if (!opcode)
+        cur.error("unknown mnemonic '" + mnemonic + "'");
+    Opcode op = *opcode;
+    const Format format = opcodeInfo(op).format;
+
+    Instruction inst;
+    inst.op = op;
+
+    const auto parseReg = [&]() -> std::uint8_t {
+        return static_cast<std::uint8_t>(
+            cur.expect(TokKind::Reg, "register").value);
+    };
+    const auto parseAddrRegBase = [&]() -> std::uint8_t {
+        const Token &t = cur.expect(TokKind::Reg, "address register");
+        if (t.value < 4)
+            cur.error("memory base must be an address register");
+        return static_cast<std::uint8_t>(t.value - 4);
+    };
+
+    switch (format) {
+      case Format::None:
+        emit(cur, inst);
+        return;
+
+      case Format::R:
+        inst.rd = parseReg();
+        emit(cur, inst);
+        return;
+
+      case Format::RR:
+        inst.rd = parseReg();
+        cur.expect(TokKind::Comma, "','");
+        inst.ra = parseReg();
+        emit(cur, inst);
+        return;
+
+      case Format::RRR:
+        inst.rd = parseReg();
+        cur.expect(TokKind::Comma, "','");
+        inst.ra = parseReg();
+        cur.expect(TokKind::Comma, "','");
+        inst.rb = parseReg();
+        emit(cur, inst);
+        return;
+
+      case Format::RRI: {
+        inst.rd = parseReg();
+        cur.expect(TokKind::Comma, "','");
+        inst.ra = parseReg();
+        cur.expect(TokKind::Comma, "','");
+        cur.accept(TokKind::Hash);  // '#' before immediates is optional
+        Expr e = parseExpr(cur);
+        const std::size_t idx = emit(cur, inst);
+        immFixes_.push_back({idx, std::move(e)});
+        return;
+      }
+
+      case Format::RI: {
+        if (op == Opcode::Jsp) {
+            // JSP <special>: jump to the address held in a special reg.
+            const Token &t = cur.expect(TokKind::Ident, "special register");
+            auto spec = specialFromName(t.text);
+            if (!spec)
+                cur.error("unknown special register '" + t.text + "'");
+            inst.imm = static_cast<std::int32_t>(*spec);
+            emit(cur, inst);
+            return;
+        }
+        if (op == Opcode::Setsp) {
+            // SETSP <special>, <reg>: special := reg.
+            const Token &t = cur.expect(TokKind::Ident, "special register");
+            auto spec = specialFromName(t.text);
+            if (!spec)
+                cur.error("unknown special register '" + t.text + "'");
+            inst.imm = static_cast<std::int32_t>(*spec);
+            cur.expect(TokKind::Comma, "','");
+            inst.rd = parseReg();
+            emit(cur, inst);
+            return;
+        }
+        inst.rd = parseReg();
+        cur.expect(TokKind::Comma, "','");
+        if (op == Opcode::Getsp && cur.peek().kind == TokKind::Ident) {
+            auto spec = specialFromName(cur.peek().text);
+            if (!spec)
+                cur.error("unknown special register '" + cur.peek().text +
+                          "'");
+            cur.next();
+            inst.imm = static_cast<std::int32_t>(*spec);
+            emit(cur, inst);
+            return;
+        }
+        cur.accept(TokKind::Hash);  // '#' before immediates is optional
+        Expr e = parseExpr(cur);
+        const std::size_t idx = emit(cur, inst);
+        immFixes_.push_back({idx, std::move(e)});
+        return;
+      }
+
+      case Format::RIT: {
+        inst.rd = parseReg();
+        cur.expect(TokKind::Comma, "','");
+        if (op == Opcode::Wtag) {
+            inst.ra = parseReg();
+            cur.expect(TokKind::Comma, "','");
+        }
+        cur.expect(TokKind::Hash, "'#'");
+        const Token &t = cur.expect(TokKind::Ident, "tag name");
+        inst.imm = static_cast<std::int32_t>(tagFromName(cur, t.text));
+        emit(cur, inst);
+        return;
+      }
+
+      case Format::MemLoad:
+      case Format::MemLoadX: {
+        inst.rd = parseReg();
+        cur.expect(TokKind::Comma, "','");
+        cur.expect(TokKind::LBracket, "'['");
+        inst.abase = parseAddrRegBase();
+        if (cur.accept(TokKind::Plus)) {
+            if (cur.peek().kind == TokKind::Reg) {
+                const Token &t = cur.next();
+                if (t.value >= 4)
+                    cur.error("index must be a data register");
+                if (op == Opcode::Ldraw)
+                    cur.error("LDRAW does not support an index register");
+                if (op != Opcode::Ldrawx)
+                    inst.op = Opcode::Ldx;
+                inst.rb = static_cast<std::uint8_t>(t.value);
+                cur.expect(TokKind::RBracket, "']'");
+                emit(cur, inst);
+                return;
+            }
+            Expr e = parseExpr(cur);
+            cur.expect(TokKind::RBracket, "']'");
+            const std::size_t idx = emit(cur, inst);
+            immFixes_.push_back({idx, std::move(e)});
+            return;
+        }
+        cur.expect(TokKind::RBracket, "']'");
+        emit(cur, inst);
+        return;
+      }
+
+      case Format::MemStore:
+      case Format::MemStoreX: {
+        cur.expect(TokKind::LBracket, "'['");
+        inst.abase = parseAddrRegBase();
+        bool indexed = false;
+        Expr off;
+        if (cur.accept(TokKind::Plus)) {
+            if (cur.peek().kind == TokKind::Reg) {
+                const Token &t = cur.next();
+                if (t.value >= 4)
+                    cur.error("index must be a data register");
+                inst.op = Opcode::Stx;
+                inst.rb = static_cast<std::uint8_t>(t.value);
+                indexed = true;
+            } else {
+                inst.op = Opcode::St;
+                off = parseExpr(cur);
+            }
+        } else {
+            inst.op = Opcode::St;
+        }
+        cur.expect(TokKind::RBracket, "']'");
+        cur.expect(TokKind::Comma, "','");
+        inst.rd = parseReg();
+        const std::size_t idx = emit(cur, inst);
+        if (!indexed && (off.kind != Expr::Kind::Num || off.num != 0))
+            immFixes_.push_back({idx, std::move(off)});
+        return;
+      }
+
+      case Format::MemOp: {
+        inst.rd = parseReg();
+        cur.expect(TokKind::Comma, "','");
+        cur.expect(TokKind::LBracket, "'['");
+        inst.abase = parseAddrRegBase();
+        Expr off;
+        bool have_off = false;
+        if (cur.accept(TokKind::Plus)) {
+            off = parseExpr(cur);
+            have_off = true;
+        }
+        cur.expect(TokKind::RBracket, "']'");
+        const std::size_t idx = emit(cur, inst);
+        if (have_off)
+            immFixes_.push_back({idx, std::move(off)});
+        return;
+      }
+
+      case Format::Branch: {
+        Expr target = parseExpr(cur);
+        const std::size_t idx = emit(cur, inst);
+        branchFixes_.push_back({idx, std::move(target)});
+        return;
+      }
+
+      case Format::CondBranch:
+      case Format::CallF: {
+        inst.rd = parseReg();
+        cur.expect(TokKind::Comma, "','");
+        Expr target = parseExpr(cur);
+        const std::size_t idx = emit(cur, inst);
+        branchFixes_.push_back({idx, std::move(target)});
+        return;
+      }
+
+      case Format::Wide: {
+        inst.rd = parseReg();
+        cur.expect(TokKind::Comma, "','");
+        LiteralSpec spec;
+        if (op == Opcode::Call) {
+            // CALL <link>, <label>: the literal is the target Ip.
+            spec.kind = LiteralSpec::Kind::Ip;
+            spec.a = parseExpr(cur);
+        } else {
+            spec = parseLiteral(cur);
+        }
+        flushSlot(cur);
+        const Addr lit_addr = counter() + 1;
+        const std::size_t idx = emit(cur, inst);  // slot 0
+        emit(cur, Instruction{});                 // slot 1 filler, never runs
+        markWord(counter(), cur);                 // the literal word
+        counter() += 1;
+        litFixes_.push_back({idx, lit_addr, std::move(spec)});
+        return;
+      }
+    }
+    cur.error("unhandled instruction format");
+}
+
+void
+Assembly::parseLine(TokenCursor &cur)
+{
+    // Labels: IDENT ':' (possibly several).
+    while (cur.peek().kind == TokKind::Ident) {
+        // Lookahead for ':' by trying the accept after saving state is
+        // awkward with this cursor; instead peek the token after the
+        // identifier via a copy-free convention: an identifier followed
+        // by ':' is always a label, anything else is a mnemonic.
+        const Token ident = cur.peek();
+        cur.next();
+        if (cur.accept(TokKind::Colon)) {
+            flushSlot(cur);
+            defineSymbol(cur, ident.text,
+                         static_cast<std::int64_t>(counter()));
+            labels_.emplace_back(counter() * 2, ident.text);
+            continue;
+        }
+        parseInstruction(cur, ident.text);
+        break;
+    }
+    if (cur.peek().kind == TokKind::Directive) {
+        const Token t = cur.next();
+        parseDirective(cur, t.text);
+    }
+    if (!cur.atEol())
+        cur.error("trailing tokens on line");
+    cur.next();  // consume EOL
+}
+
+void
+Assembly::resolveFixups()
+{
+    const SymbolResolver resolve =
+        [this](const std::string &sym) -> std::int64_t {
+        auto it = symbols_.find(sym);
+        if (it == symbols_.end())
+            fatal("undefined symbol: " + sym);
+        return it->second;
+    };
+
+    for (auto &fix : immFixes_)
+        placed_[fix.placedIdx].inst.imm =
+            static_cast<std::int32_t>(evalExpr(fix.value, resolve));
+
+    for (auto &fix : branchFixes_) {
+        Placed &p = placed_[fix.placedIdx];
+        const std::int64_t target_word = evalExpr(fix.target, resolve);
+        p.inst.imm = static_cast<std::int32_t>(
+            target_word - static_cast<std::int64_t>(p.iaddr / 2));
+    }
+
+    for (auto &fix : litFixes_) {
+        const Word lit = resolveLiteral(fix.spec, resolve);
+        placed_[fix.placedIdx].inst.literal = lit;
+        data_.emplace_back(fix.litAddr, lit);
+    }
+
+    for (auto &fix : dataFixes_)
+        data_[fix.dataIdx].second = resolveLiteral(fix.spec, resolve);
+}
+
+Program
+Assembly::finish()
+{
+    Program prog;
+    for (const Placed &p : placed_) {
+        // Validate every field by round-tripping the encoding.
+        const std::uint32_t bits = p.inst.encode();
+        Instruction check = Instruction::decode(bits);
+        check.literal = p.inst.literal;
+        if (!(check == p.inst))
+            panic("encode/decode mismatch at " + p.file + ":" +
+                  std::to_string(p.line) + " for " + p.inst.toString());
+        prog.setInstruction(p.iaddr, p.inst, p.cls);
+    }
+    for (const auto &[name, value] : symbols_)
+        prog.define(name, static_cast<std::int32_t>(value));
+    for (const auto &[iaddr, name] : labels_)
+        prog.addLabel(name, iaddr);
+    for (const auto &[addr, word] : data_)
+        prog.addData(addr, word);
+    return prog;
+}
+
+Program
+Assembly::run(const std::vector<SourceFile> &sources)
+{
+    for (const SourceFile &src : sources) {
+        curFile_ = src.name;
+        const std::vector<Token> tokens = tokenize(src);
+        TokenCursor cur(src.name, tokens);
+        while (!cur.atEnd())
+            parseLine(cur);
+        // Close a half-filled word at end of file.
+        TokenCursor tail(src.name, tokens);
+        flushSlot(tail);
+    }
+    resolveFixups();
+    return finish();
+}
+
+} // namespace
+
+Program
+assemble(const std::vector<SourceFile> &sources)
+{
+    Assembly assembly;
+    return assembly.run(sources);
+}
+
+Program
+assembleString(const std::string &text)
+{
+    return assemble({SourceFile{"<string>", text}});
+}
+
+} // namespace jmsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The jasm assembler.
+ *
+ * Single layout pass with fixups: instructions and data are placed
+ * immediately (sizes never depend on symbol values), symbol references
+ * are patched once every source file has been read, and finally every
+ * instruction is round-tripped through its 18-bit encoding to validate
+ * field ranges.
+ *
+ * Directives:
+ *   .imem / .emem        switch between the internal- and external-
+ *                        memory location counters
+ *   .org expr            set the current counter (eager expression)
+ *   .equ NAME, expr      define a constant (eager)
+ *   .word lit {, lit}    emit initialized data words
+ *   .space expr          reserve words without emitting data
+ *   .align               close a half-filled instruction word
+ *   .region name         accounting class for following instructions
+ *                        (comp, comm, sync, xlate, nnr, os)
+ */
+
+#ifndef JMSIM_JASM_ASSEMBLER_HH
+#define JMSIM_JASM_ASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "jasm/lexer.hh"
+#include "jasm/program.hh"
+
+namespace jmsim
+{
+
+/** Assemble one or more source files into a program image. */
+Program assemble(const std::vector<SourceFile> &sources);
+
+/** Convenience: assemble a single anonymous source string. */
+Program assembleString(const std::string &text);
+
+} // namespace jmsim
+
+#endif // JMSIM_JASM_ASSEMBLER_HH

@@ -1,0 +1,154 @@
+#include "jasm/lexer.hh"
+
+#include <cctype>
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** R0-R3 -> 0-3, A0-A3 -> 4-7, anything else -> -1. */
+int
+registerNumber(const std::string &ident)
+{
+    if (ident.size() != 2)
+        return -1;
+    const char c0 = static_cast<char>(std::toupper(
+        static_cast<unsigned char>(ident[0])));
+    const char c1 = ident[1];
+    if (c1 < '0' || c1 > '3')
+        return -1;
+    if (c0 == 'R')
+        return c1 - '0';
+    if (c0 == 'A')
+        return 4 + (c1 - '0');
+    return -1;
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const SourceFile &src)
+{
+    std::vector<Token> out;
+    int line = 1;
+    const std::string &s = src.text;
+    std::size_t i = 0;
+
+    auto fail = [&](const std::string &msg) {
+        fatal(src.name + ":" + std::to_string(line) + ": " + msg);
+    };
+    auto push = [&](TokKind kind, std::string text = "",
+                    std::int64_t value = 0) {
+        out.push_back(Token{kind, std::move(text), value, line});
+    };
+
+    while (i < s.size()) {
+        const char c = s[i];
+        if (c == '\n') {
+            push(TokKind::Eol);
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == ';') {
+            while (i < s.size() && s[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '.' && i + 1 < s.size() && isIdentStart(s[i + 1])) {
+            std::size_t j = i + 1;
+            while (j < s.size() && isIdentChar(s[j]))
+                ++j;
+            push(TokKind::Directive, s.substr(i + 1, j - i - 1));
+            i = j;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            while (j < s.size() && isIdentChar(s[j]))
+                ++j;
+            std::string ident = s.substr(i, j - i);
+            const int regnum = registerNumber(ident);
+            if (regnum >= 0)
+                push(TokKind::Reg, std::move(ident), regnum);
+            else
+                push(TokKind::Ident, std::move(ident));
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            std::int64_t value = 0;
+            if (c == '0' && j + 1 < s.size() &&
+                (s[j + 1] == 'x' || s[j + 1] == 'X')) {
+                j += 2;
+                if (j >= s.size() ||
+                    !std::isxdigit(static_cast<unsigned char>(s[j])))
+                    fail("malformed hex literal");
+                while (j < s.size() &&
+                       std::isxdigit(static_cast<unsigned char>(s[j]))) {
+                    value = value * 16 +
+                            (std::isdigit(static_cast<unsigned char>(s[j]))
+                                 ? s[j] - '0'
+                                 : (std::tolower(s[j]) - 'a' + 10));
+                    ++j;
+                }
+            } else {
+                while (j < s.size() &&
+                       std::isdigit(static_cast<unsigned char>(s[j]))) {
+                    value = value * 10 + (s[j] - '0');
+                    ++j;
+                }
+            }
+            push(TokKind::Number, "", value);
+            i = j;
+            continue;
+        }
+        if (c == '\'') {
+            if (i + 2 >= s.size() || s[i + 2] != '\'')
+                fail("malformed character literal");
+            push(TokKind::Number, "", static_cast<unsigned char>(s[i + 1]));
+            i += 3;
+            continue;
+        }
+        switch (c) {
+          case ',': push(TokKind::Comma); break;
+          case ':': push(TokKind::Colon); break;
+          case '#': push(TokKind::Hash); break;
+          case '[': push(TokKind::LBracket); break;
+          case ']': push(TokKind::RBracket); break;
+          case '(': push(TokKind::LParen); break;
+          case ')': push(TokKind::RParen); break;
+          case '+': push(TokKind::Plus); break;
+          case '-': push(TokKind::Minus); break;
+          case '*': push(TokKind::Star); break;
+          default:
+            fail(std::string("unexpected character '") + c + "'");
+        }
+        ++i;
+    }
+    push(TokKind::Eol);
+    return out;
+}
+
+} // namespace jmsim

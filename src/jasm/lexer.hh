@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tokenizer for jasm assembly source.
+ *
+ * jasm is line-oriented: ';' starts a comment, a trailing ':' makes a
+ * label, directives begin with '.'. The lexer recognizes register
+ * names (R0-R3, A0-A3) as their own token kind so the parser can
+ * select instruction variants (e.g. LD vs LDX) by operand shape.
+ */
+
+#ifndef JMSIM_JASM_LEXER_HH
+#define JMSIM_JASM_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jmsim
+{
+
+/** Token kinds produced by the lexer. */
+enum class TokKind : std::uint8_t
+{
+    Ident,      ///< identifier (mnemonic, symbol, tag name, ...)
+    Directive,  ///< .identifier
+    Reg,        ///< R0-R3 / A0-A3; value = register number 0-7
+    Number,     ///< integer literal (decimal, 0x hex, 'c' char)
+    Comma, Colon, Hash,
+    LBracket, RBracket, LParen, RParen,
+    Plus, Minus, Star,
+    Eol,        ///< end of line (one per source line)
+};
+
+/** One token. */
+struct Token
+{
+    TokKind kind;
+    std::string text;       ///< identifier / directive spelling
+    std::int64_t value = 0; ///< number value or register index
+    int line = 0;           ///< 1-based source line
+};
+
+/** A named piece of assembly source. */
+struct SourceFile
+{
+    std::string name;
+    std::string text;
+};
+
+/**
+ * Tokenize one source file.
+ * fatal() (with file:line) on a character the grammar can't start.
+ */
+std::vector<Token> tokenize(const SourceFile &src);
+
+} // namespace jmsim
+
+#endif // JMSIM_JASM_LEXER_HH

@@ -1,0 +1,249 @@
+#include "jasm/parser.hh"
+
+#include <cctype>
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+const Token &
+TokenCursor::expect(TokKind kind, const char *what)
+{
+    if (peek().kind != kind)
+        error(std::string("expected ") + what);
+    return next();
+}
+
+bool
+TokenCursor::accept(TokKind kind)
+{
+    if (peek().kind != kind)
+        return false;
+    next();
+    return true;
+}
+
+void
+TokenCursor::error(const std::string &msg) const
+{
+    fatal(file_ + ":" + std::to_string(peek().line) + ": " + msg);
+}
+
+namespace
+{
+
+Expr
+makeBinary(Expr::Kind kind, Expr lhs, Expr rhs)
+{
+    Expr e;
+    e.kind = kind;
+    e.lhs = std::make_unique<Expr>(std::move(lhs));
+    e.rhs = std::make_unique<Expr>(std::move(rhs));
+    return e;
+}
+
+Expr
+parseFactor(TokenCursor &cur)
+{
+    if (cur.accept(TokKind::Minus)) {
+        Expr e;
+        e.kind = Expr::Kind::Neg;
+        e.lhs = std::make_unique<Expr>(parseFactor(cur));
+        return e;
+    }
+    if (cur.accept(TokKind::LParen)) {
+        Expr e = parseExpr(cur);
+        cur.expect(TokKind::RParen, "')'");
+        return e;
+    }
+    const Token &t = cur.peek();
+    if (t.kind == TokKind::Number) {
+        cur.next();
+        Expr e;
+        e.kind = Expr::Kind::Num;
+        e.num = t.value;
+        return e;
+    }
+    if (t.kind == TokKind::Ident) {
+        cur.next();
+        Expr e;
+        e.kind = Expr::Kind::Sym;
+        e.sym = t.text;
+        return e;
+    }
+    cur.error("expected number, symbol, or '('");
+}
+
+Expr
+parseTerm(TokenCursor &cur)
+{
+    Expr lhs = parseFactor(cur);
+    while (cur.peek().kind == TokKind::Star) {
+        cur.next();
+        lhs = makeBinary(Expr::Kind::Mul, std::move(lhs), parseFactor(cur));
+    }
+    return lhs;
+}
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c))));
+    return out;
+}
+
+} // namespace
+
+Expr
+parseExpr(TokenCursor &cur)
+{
+    Expr lhs = parseTerm(cur);
+    while (true) {
+        if (cur.peek().kind == TokKind::Plus) {
+            cur.next();
+            lhs = makeBinary(Expr::Kind::Add, std::move(lhs), parseTerm(cur));
+        } else if (cur.peek().kind == TokKind::Minus) {
+            cur.next();
+            lhs = makeBinary(Expr::Kind::Sub, std::move(lhs), parseTerm(cur));
+        } else {
+            return lhs;
+        }
+    }
+}
+
+LiteralSpec
+parseLiteral(TokenCursor &cur)
+{
+    LiteralSpec spec;
+    if (cur.accept(TokKind::Hash)) {
+        spec.kind = LiteralSpec::Kind::IntExpr;
+        spec.a = parseExpr(cur);
+        return spec;
+    }
+    const Token &t = cur.peek();
+    if (t.kind == TokKind::Ident) {
+        const std::string name = lowered(t.text);
+        const auto oneArg = [&](LiteralSpec::Kind kind) {
+            cur.next();
+            cur.expect(TokKind::LParen, "'('");
+            spec.kind = kind;
+            spec.a = parseExpr(cur);
+            cur.expect(TokKind::RParen, "')'");
+            return std::move(spec);
+        };
+        const auto twoArg = [&](LiteralSpec::Kind kind) {
+            cur.next();
+            cur.expect(TokKind::LParen, "'('");
+            spec.kind = kind;
+            spec.a = parseExpr(cur);
+            cur.expect(TokKind::Comma, "','");
+            spec.b = parseExpr(cur);
+            cur.expect(TokKind::RParen, "')'");
+            return std::move(spec);
+        };
+        if (name == "seg")
+            return twoArg(LiteralSpec::Kind::Seg);
+        if (name == "hdr")
+            return twoArg(LiteralSpec::Kind::Hdr);
+        if (name == "ip")
+            return oneArg(LiteralSpec::Kind::Ip);
+        if (name == "ptr")
+            return oneArg(LiteralSpec::Kind::Ptr);
+        if (name == "sym")
+            return oneArg(LiteralSpec::Kind::Sym);
+        if (name == "bool")
+            return oneArg(LiteralSpec::Kind::Bool);
+        if (name == "nil") {
+            cur.next();
+            spec.kind = LiteralSpec::Kind::Nil;
+            return spec;
+        }
+        if (name == "cfut") {
+            cur.next();
+            spec.kind = LiteralSpec::Kind::Cfut;
+            return spec;
+        }
+    }
+    // Bare expression in .word context: an int word.
+    spec.kind = LiteralSpec::Kind::IntExpr;
+    spec.a = parseExpr(cur);
+    return spec;
+}
+
+std::int64_t
+evalExpr(const Expr &expr, const SymbolResolver &resolve)
+{
+    switch (expr.kind) {
+      case Expr::Kind::Num:
+        return expr.num;
+      case Expr::Kind::Sym:
+        return resolve(expr.sym);
+      case Expr::Kind::Add:
+        return evalExpr(*expr.lhs, resolve) + evalExpr(*expr.rhs, resolve);
+      case Expr::Kind::Sub:
+        return evalExpr(*expr.lhs, resolve) - evalExpr(*expr.rhs, resolve);
+      case Expr::Kind::Mul:
+        return evalExpr(*expr.lhs, resolve) * evalExpr(*expr.rhs, resolve);
+      case Expr::Kind::Neg:
+        return -evalExpr(*expr.lhs, resolve);
+    }
+    panic("bad expression node");
+}
+
+Word
+resolveLiteral(const LiteralSpec &spec, const SymbolResolver &resolve)
+{
+    switch (spec.kind) {
+      case LiteralSpec::Kind::IntExpr:
+        return Word::makeInt(
+            static_cast<std::int32_t>(evalExpr(spec.a, resolve)));
+      case LiteralSpec::Kind::Seg: {
+        SegDesc desc;
+        desc.base = static_cast<Addr>(evalExpr(spec.a, resolve));
+        desc.length = static_cast<std::uint32_t>(evalExpr(spec.b, resolve));
+        return desc.encode();
+      }
+      case LiteralSpec::Kind::Hdr: {
+        MsgHeader hdr;
+        // Symbols evaluate to word addresses; the dispatch IP is an
+        // instruction address (slot 0 of the word).
+        hdr.handlerIp = static_cast<Addr>(evalExpr(spec.a, resolve)) * 2;
+        hdr.length = static_cast<std::uint32_t>(evalExpr(spec.b, resolve));
+        return hdr.encode();
+      }
+      case LiteralSpec::Kind::Ip:
+        return Word::makeIp(
+            static_cast<Addr>(evalExpr(spec.a, resolve)) * 2);
+      case LiteralSpec::Kind::Ptr:
+        return Word::makePtr(
+            static_cast<std::uint32_t>(evalExpr(spec.a, resolve)));
+      case LiteralSpec::Kind::Sym:
+        return Word::makeSym(
+            static_cast<std::uint32_t>(evalExpr(spec.a, resolve)));
+      case LiteralSpec::Kind::Nil:
+        return Word::makeNil();
+      case LiteralSpec::Kind::Cfut:
+        return Word::makeCfut();
+      case LiteralSpec::Kind::Bool:
+        return Word::makeBool(evalExpr(spec.a, resolve) != 0);
+    }
+    panic("bad literal spec");
+}
+
+Tag
+tagFromName(TokenCursor &cur, const std::string &name)
+{
+    const std::string low = lowered(name);
+    for (unsigned i = 0; i < kNumTags; ++i) {
+        if (low == tagName(static_cast<Tag>(i)))
+            return static_cast<Tag>(i);
+    }
+    cur.error("unknown tag name '" + name + "'");
+}
+
+} // namespace jmsim

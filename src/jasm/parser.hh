@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Expression and literal parsing shared by the assembler.
+ *
+ * Expressions support +, -, *, unary minus, decimal/hex/char numbers,
+ * and symbols (labels evaluate to their word address). Literal specs
+ * are the tagged-word constructors usable in LDL and .word:
+ *
+ *   #expr           int word        ip(sym)      Ip continuation
+ *   seg(base, len)  Addr descriptor hdr(sym, n)  Msg header (n words)
+ *   ptr(expr)       Ptr name        sym(expr)    Sym word
+ *   nil             Nil word        cfut         Cfut word
+ *   bool(expr)      Bool word
+ */
+
+#ifndef JMSIM_JASM_PARSER_HH
+#define JMSIM_JASM_PARSER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "isa/word.hh"
+#include "jasm/lexer.hh"
+
+namespace jmsim
+{
+
+/** Expression AST node. */
+struct Expr
+{
+    enum class Kind : std::uint8_t { Num, Sym, Add, Sub, Mul, Neg };
+
+    Kind kind = Kind::Num;
+    std::int64_t num = 0;
+    std::string sym;
+    std::unique_ptr<Expr> lhs;
+    std::unique_ptr<Expr> rhs;
+};
+
+/** Maps a symbol name to its value; fatal() on undefined symbols. */
+using SymbolResolver = std::function<std::int64_t(const std::string &)>;
+
+/** Tagged-word literal constructor (see file comment). */
+struct LiteralSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        IntExpr, Seg, Hdr, Ip, Ptr, Sym, Nil, Cfut, Bool,
+    };
+
+    Kind kind = Kind::IntExpr;
+    Expr a;
+    Expr b;
+};
+
+/** Token stream cursor with file:line error reporting. */
+class TokenCursor
+{
+  public:
+    TokenCursor(const std::string &file, const std::vector<Token> &tokens)
+        : file_(file), tokens_(tokens)
+    {
+    }
+
+    const Token &peek() const { return tokens_[pos_]; }
+    bool atEol() const { return peek().kind == TokKind::Eol; }
+    bool atEnd() const { return pos_ + 1 >= tokens_.size(); }
+
+    const Token &
+    next()
+    {
+        const Token &t = tokens_[pos_];
+        if (t.kind != TokKind::Eol || pos_ + 1 < tokens_.size())
+            ++pos_;
+        return t;
+    }
+
+    /** Consume a token of the given kind or fail with @p what. */
+    const Token &expect(TokKind kind, const char *what);
+
+    /** Consume the token if it matches; @return whether it did. */
+    bool accept(TokKind kind);
+
+    /** Report a parse error at the current token. Never returns. */
+    [[noreturn]] void error(const std::string &msg) const;
+
+  private:
+    std::string file_;
+    const std::vector<Token> &tokens_;
+    std::size_t pos_ = 0;
+};
+
+/** Parse an expression at the cursor. */
+Expr parseExpr(TokenCursor &cur);
+
+/** Parse a literal spec (LDL operand / .word element). */
+LiteralSpec parseLiteral(TokenCursor &cur);
+
+/** Evaluate an expression tree. */
+std::int64_t evalExpr(const Expr &expr, const SymbolResolver &resolve);
+
+/** Build the tagged word a literal spec describes. */
+Word resolveLiteral(const LiteralSpec &spec, const SymbolResolver &resolve);
+
+/** Parse a tag name ("cfut", "int", ...) used after '#'. */
+Tag tagFromName(TokenCursor &cur, const std::string &name);
+
+} // namespace jmsim
+
+#endif // JMSIM_JASM_PARSER_HH

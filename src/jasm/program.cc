@@ -1,0 +1,83 @@
+#include "jasm/program.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+const Instruction &
+Program::fetch(IAddr iaddr) const
+{
+    if (!validIaddr(iaddr))
+        panic("instruction fetch from non-code address " +
+              std::to_string(iaddr));
+    return code_[iaddr];
+}
+
+std::int32_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols_.find(name);
+    if (it == symbols_.end())
+        fatal("undefined symbol: " + name);
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols_.count(name) != 0;
+}
+
+std::string
+Program::nearestLabel(IAddr iaddr) const
+{
+    auto it = std::upper_bound(
+        labels_.begin(), labels_.end(), iaddr,
+        [](IAddr a, const auto &entry) { return a < entry.first; });
+    if (it == labels_.begin())
+        return "?";
+    return std::prev(it)->second;
+}
+
+void
+Program::setInstruction(IAddr iaddr, const Instruction &inst, StatClass cls)
+{
+    if (iaddr >= code_.size()) {
+        code_.resize(iaddr + 1);
+        present_.resize(iaddr + 1, 0);
+        klass_.resize(iaddr + 1, StatClass::Compute);
+    }
+    if (present_[iaddr])
+        fatal("code overlap at instruction address " + std::to_string(iaddr));
+    code_[iaddr] = inst;
+    present_[iaddr] = 1;
+    klass_[iaddr] = cls;
+    instrCount_ += 1;
+}
+
+void
+Program::define(const std::string &name, std::int32_t value)
+{
+    auto [it, inserted] = symbols_.emplace(name, value);
+    if (!inserted)
+        fatal("symbol redefined: " + name);
+}
+
+void
+Program::addLabel(const std::string &name, IAddr iaddr)
+{
+    labels_.emplace_back(iaddr, name);
+    // Labels arrive in increasing address order within a section but
+    // sections may interleave; keep the vector sorted incrementally.
+    for (std::size_t i = labels_.size(); i > 1; --i) {
+        if (labels_[i - 1].first < labels_[i - 2].first)
+            std::swap(labels_[i - 1], labels_[i - 2]);
+        else
+            break;
+    }
+}
+
+} // namespace jmsim

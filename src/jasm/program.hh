@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The output of the jasm assembler: a loadable MDP program image.
+ *
+ * A Program holds the decoded instruction store (indexed by
+ * instruction address), the per-instruction accounting class used for
+ * the paper's Figure 6 breakdown, the initialized data words, and the
+ * symbol table. One Program is shared read-only by every node of a
+ * machine; per-node data is poked by workload drivers after loading.
+ */
+
+#ifndef JMSIM_JASM_PROGRAM_HH
+#define JMSIM_JASM_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/word.hh"
+#include "sim/types.hh"
+
+namespace jmsim
+{
+
+/** An assembled, loadable program image. */
+class Program
+{
+  public:
+    /** Is @p iaddr inside the assembled code? */
+    bool
+    validIaddr(IAddr iaddr) const
+    {
+        return iaddr < code_.size() && present_[iaddr];
+    }
+
+    /** Decoded instruction at @p iaddr (panics unless validIaddr). */
+    const Instruction &fetch(IAddr iaddr) const;
+
+    /** Accounting class of the instruction at @p iaddr. */
+    StatClass
+    klassAt(IAddr iaddr) const
+    {
+        return iaddr < klass_.size() ? klass_[iaddr] : StatClass::Compute;
+    }
+
+    /** Value of a symbol (label word address or .equ constant). */
+    std::int32_t symbol(const std::string &name) const;
+
+    /** True if @p name was defined. */
+    bool hasSymbol(const std::string &name) const;
+
+    /** Instruction address of a code label (slot 0 of its word). */
+    IAddr
+    entry(const std::string &label) const
+    {
+        return static_cast<IAddr>(symbol(label)) * 2;
+    }
+
+    /** Initialized data words (address, value), in emit order. */
+    const std::vector<std::pair<Addr, Word>> &data() const { return data_; }
+
+    /** Name of the nearest label at or before @p iaddr ("?" if none). */
+    std::string nearestLabel(IAddr iaddr) const;
+
+    /** Number of instruction slots emitted (for size reporting). */
+    std::uint64_t instructionCount() const { return instrCount_; }
+
+    /** Highest code word address + 1. */
+    Addr codeEndWord() const { return static_cast<Addr>(code_.size() / 2); }
+
+    // ---- assembler-side construction interface ----
+
+    /** Record an instruction at @p iaddr. */
+    void setInstruction(IAddr iaddr, const Instruction &inst, StatClass cls);
+
+    /** Record an initialized data word. */
+    void addData(Addr addr, Word value) { data_.emplace_back(addr, value); }
+
+    /** Define a symbol; fatal() on redefinition. */
+    void define(const std::string &name, std::int32_t value);
+
+    /** Record a code label for nearestLabel() reporting. */
+    void addLabel(const std::string &name, IAddr iaddr);
+
+  private:
+    std::vector<Instruction> code_;
+    std::vector<std::uint8_t> present_;
+    std::vector<StatClass> klass_;
+    std::vector<std::pair<Addr, Word>> data_;
+    std::map<std::string, std::int32_t> symbols_;
+    std::vector<std::pair<IAddr, std::string>> labels_;  ///< sorted by iaddr
+    std::uint64_t instrCount_ = 0;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_JASM_PROGRAM_HH

@@ -1,0 +1,145 @@
+#include "machine/jmachine.hh"
+
+#include "machine/loader.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+JMachine::JMachine(const MachineConfig &config, Program prog,
+                   const std::string &boot_label)
+    : config_(config),
+      prog_(std::move(prog)),
+      net_(config.dims),
+      activeFlag_(config.dims.nodes(), 0),
+      haltedFlag_(config.dims.nodes(), 0)
+{
+    const unsigned n = config_.dims.nodes();
+    nodes_.reserve(n);
+    net_.setRoundRobin(config_.roundRobinArbitration);
+    for (NodeId id = 0; id < n; ++id) {
+        nodes_.push_back(std::make_unique<Node>());
+        nodes_[id]->init(id, config_.dims, config_.memory, config_.ni,
+                         config_.proc, &net_, &prog_,
+                         [this, id] { activateNode(id); });
+    }
+    loadProgram(*this, boot_label);
+    for (NodeId id = 0; id < n; ++id)
+        activateNode(id);
+}
+
+void
+JMachine::activateNode(NodeId id)
+{
+    if (!activeFlag_[id]) {
+        activeFlag_[id] = 1;
+        activeNodes_.push_back(id);
+        nodes_[id]->processor().noteWake(now_);
+    }
+}
+
+RunResult
+JMachine::run(Cycle max_cycles)
+{
+    RunResult result;
+    while (now_ < max_cycles) {
+        // Step active nodes; compact the list as nodes go idle.
+        std::size_t keep = 0;
+        const std::size_t n = activeNodes_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const NodeId id = activeNodes_[i];
+            Node &node = *nodes_[id];
+            if (node.step(now_)) {
+                activeNodes_[keep++] = id;
+            } else {
+                activeFlag_[id] = 0;
+                node.processor().noteSleep(now_);
+                if (node.processor().halted() && !haltedFlag_[id]) {
+                    haltedFlag_[id] = 1;
+                    haltedCount_ += 1;
+                }
+            }
+        }
+        // Nodes woken during this loop (by activateNode) were appended
+        // past n; keep them.
+        for (std::size_t i = n; i < activeNodes_.size(); ++i)
+            activeNodes_[keep++] = activeNodes_[i];
+        activeNodes_.resize(keep);
+
+        net_.step(now_);
+        now_ += 1;
+
+        if (haltedCount_ == nodeCount()) {
+            result.reason = StopReason::AllHalted;
+            result.cycles = now_;
+            return result;
+        }
+        if (activeNodes_.empty() && !net_.anyActive()) {
+            result.reason = StopReason::Quiescent;
+            result.cycles = now_;
+            return result;
+        }
+    }
+    result.reason = StopReason::CycleLimit;
+    result.cycles = now_;
+    return result;
+}
+
+void
+JMachine::poke(NodeId id, Addr addr, Word value)
+{
+    nodes_[id]->memory().write(addr, value);
+}
+
+Word
+JMachine::peek(NodeId id, Addr addr) const
+{
+    return nodes_[id]->memory().read(addr);
+}
+
+void
+JMachine::pokeInt(NodeId id, Addr addr, std::int32_t v)
+{
+    poke(id, addr, Word::makeInt(v));
+}
+
+std::int32_t
+JMachine::peekInt(NodeId id, Addr addr) const
+{
+    return peek(id, addr).asInt();
+}
+
+ProcessorStats
+JMachine::aggregateStats() const
+{
+    ProcessorStats total;
+    for (const auto &node : nodes_) {
+        const ProcessorStats &s = node->processor().stats();
+        for (std::size_t c = 0; c < total.cyclesByClass.size(); ++c)
+            total.cyclesByClass[c] += s.cyclesByClass[c];
+        total.instructions += s.instructions;
+        total.instructionsOs += s.instructionsOs;
+        total.dispatches += s.dispatches;
+        total.suspends += s.suspends;
+        for (std::size_t f = 0; f < kNumFaults; ++f)
+            total.faults[f] += s.faults[f];
+        total.queueStallCycles += s.queueStallCycles;
+        total.runCycles += s.runCycles;
+        total.idleCycles += s.idleCycles;
+    }
+    return total;
+}
+
+void
+JMachine::resetStats()
+{
+    for (auto &node : nodes_) {
+        node->processor().resetStats();
+        node->ni().resetStats();
+        node->ni().queue(0).resetStats();
+        node->ni().queue(1).resetStats();
+    }
+    net_.resetStats();
+}
+
+} // namespace jmsim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The top-level machine: an X*Y*Z mesh of nodes plus the interconnect.
+ *
+ * The run loop is cycle-stepped but only touches active components:
+ * nodes deactivate when their processor has nothing runnable and their
+ * NI has drained, and reactivate when a message header arrives. A run
+ * ends at a cycle limit, when every node has executed HALT, or when
+ * the whole machine is quiescent (nothing running, nothing in flight).
+ */
+
+#ifndef JMSIM_MACHINE_JMACHINE_HH
+#define JMSIM_MACHINE_JMACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "jasm/program.hh"
+#include "machine/node.hh"
+#include "net/mesh_network.hh"
+
+namespace jmsim
+{
+
+/** Everything configurable about a machine. */
+struct MachineConfig
+{
+    MeshDims dims{2, 1, 1};
+    MemoryConfig memory;
+    NetworkInterface::Config ni;
+    ProcessorConfig proc;
+    bool roundRobinArbitration = false;
+};
+
+/** Why a run() returned. */
+enum class StopReason : std::uint8_t
+{
+    CycleLimit,
+    AllHalted,
+    Quiescent,   ///< nothing running and nothing in flight
+};
+
+/** Result of a run() call. */
+struct RunResult
+{
+    Cycle cycles = 0;        ///< absolute cycle count at stop
+    StopReason reason = StopReason::CycleLimit;
+};
+
+/** One simulated J-Machine. */
+class JMachine
+{
+  public:
+    /**
+     * Build a machine and load @p prog on every node.
+     * @param boot_label program symbol where background threads start
+     */
+    JMachine(const MachineConfig &config, Program prog,
+             const std::string &boot_label = "boot");
+
+    JMachine(const JMachine &) = delete;
+    JMachine &operator=(const JMachine &) = delete;
+
+    /** Run until @p max_cycles (absolute), all-halt, or quiescence. */
+    RunResult run(Cycle max_cycles);
+
+    /** Run for @p cycles more cycles. */
+    RunResult runFor(Cycle cycles) { return run(now_ + cycles); }
+
+    Node &node(NodeId id) { return *nodes_[id]; }
+    const Node &node(NodeId id) const { return *nodes_[id]; }
+    MeshNetwork &network() { return net_; }
+    const Program &program() const { return prog_; }
+    const MachineConfig &config() const { return config_; }
+    Cycle now() const { return now_; }
+    unsigned nodeCount() const { return config_.dims.nodes(); }
+
+    /** Mark a node as needing stepping (message arrival etc.). */
+    void activateNode(NodeId id);
+
+    // ---- host (driver) access to node memory ----
+    void poke(NodeId id, Addr addr, Word value);
+    Word peek(NodeId id, Addr addr) const;
+    void pokeInt(NodeId id, Addr addr, std::int32_t v);
+    std::int32_t peekInt(NodeId id, Addr addr) const;
+
+    /** Aggregate processor statistics over every node. */
+    ProcessorStats aggregateStats() const;
+
+    /** Reset all statistics (nodes, NIs, network) for a fresh window. */
+    void resetStats();
+
+  private:
+    MachineConfig config_;
+    Program prog_;
+    MeshNetwork net_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<NodeId> activeNodes_;
+    std::vector<std::uint8_t> activeFlag_;
+    Cycle now_ = 0;
+    unsigned haltedCount_ = 0;
+    std::vector<std::uint8_t> haltedFlag_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_MACHINE_JMACHINE_HH

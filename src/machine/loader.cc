@@ -1,0 +1,68 @@
+#include "machine/loader.hh"
+
+#include <array>
+
+#include "machine/jmachine.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+const char *
+faultVectorSymbol(unsigned fault_kind)
+{
+    static constexpr std::array<const char *, kNumFaults> names = {
+        "jos_fault_cfut",  "jos_fault_fut",    "jos_fault_send",
+        "jos_fault_sendfmt", "jos_fault_xlate", "jos_fault_tag",
+        "jos_fault_bounds", "jos_fault_badaddr",
+    };
+    return names[fault_kind];
+}
+
+void
+loadProgram(JMachine &machine, const std::string &boot_label)
+{
+    const Program &prog = machine.program();
+    const NetworkInterface::Config &ni = machine.config().ni;
+
+    // The message-queue regions live in SRAM; refuse images that walk
+    // into them.
+    const auto overlapsQueues = [&](Addr addr) {
+        return (addr >= ni.queueBase0 && addr < ni.queueBase0 + ni.queueWords0) ||
+               (addr >= ni.queueBase1 && addr < ni.queueBase1 + ni.queueWords1);
+    };
+    for (const auto &[addr, word] : prog.data()) {
+        (void)word;
+        if (overlapsQueues(addr))
+            fatal("program data at address " + std::to_string(addr) +
+                  " overlaps a message-queue region");
+    }
+    for (Addr w = 0; w < prog.codeEndWord(); ++w) {
+        if ((prog.validIaddr(w * 2) || prog.validIaddr(w * 2 + 1)) &&
+            overlapsQueues(w))
+            fatal("program code at word " + std::to_string(w) +
+                  " overlaps a message-queue region");
+    }
+
+    if (!prog.hasSymbol(boot_label))
+        fatal("program has no boot symbol '" + boot_label + "'");
+    const IAddr boot_ip = prog.entry(boot_label);
+
+    for (NodeId id = 0; id < machine.nodeCount(); ++id) {
+        Node &node = machine.node(id);
+        for (const auto &[addr, word] : prog.data())
+            node.memory().write(addr, word);
+        if (prog.hasSymbol("jos_bounce"))
+            node.ni().setBounceHandler(prog.entry("jos_bounce"));
+        for (unsigned f = 0; f < kNumFaults; ++f) {
+            const char *sym = faultVectorSymbol(f);
+            if (prog.hasSymbol(sym)) {
+                node.processor().setFaultVector(static_cast<FaultKind>(f),
+                                                prog.entry(sym));
+            }
+        }
+        node.processor().boot(boot_ip);
+    }
+}
+
+} // namespace jmsim

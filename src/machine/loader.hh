@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Program loading: data image, fault vectors, and boot.
+ *
+ * Fault vectors are taken from well-known program symbols (defined by
+ * the JOS runtime kernel): jos_fault_cfut, jos_fault_fut,
+ * jos_fault_send, jos_fault_sendfmt, jos_fault_xlate, jos_fault_tag,
+ * jos_fault_bounds, jos_fault_badaddr. Missing symbols leave the
+ * corresponding fault unhandled (the simulator stops with a
+ * diagnostic if one fires).
+ */
+
+#ifndef JMSIM_MACHINE_LOADER_HH
+#define JMSIM_MACHINE_LOADER_HH
+
+#include <string>
+
+namespace jmsim
+{
+
+class JMachine;
+
+/** Load the machine's program onto every node and boot them. */
+void loadProgram(JMachine &machine, const std::string &boot_label);
+
+/** The vector symbol for a fault kind ("jos_fault_cfut", ...). */
+const char *faultVectorSymbol(unsigned fault_kind);
+
+} // namespace jmsim
+
+#endif // JMSIM_MACHINE_LOADER_HH

@@ -1,0 +1,19 @@
+#include "machine/node.hh"
+
+namespace jmsim
+{
+
+void
+Node::init(NodeId id, const MeshDims &dims, const MemoryConfig &mem_cfg,
+           const NetworkInterface::Config &ni_cfg,
+           const ProcessorConfig &proc_cfg, MeshNetwork *net,
+           const Program *prog, std::function<void()> wake)
+{
+    id_ = id;
+    mem_ = std::make_unique<NodeMemory>(mem_cfg);
+    ni_.init(id, ni_cfg, net, mem_.get(), std::move(wake));
+    proc_.init(id, net->dims(), proc_cfg, mem_.get(), &ni_, prog);
+    (void)dims;
+}
+
+} // namespace jmsim

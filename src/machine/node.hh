@@ -1,0 +1,64 @@
+/**
+ * @file
+ * One J-Machine processing node: an MDP core, its network interface,
+ * and 1 MByte of DRAM next to the on-chip SRAM.
+ */
+
+#ifndef JMSIM_MACHINE_NODE_HH
+#define JMSIM_MACHINE_NODE_HH
+
+#include <functional>
+
+#include "mdp/network_interface.hh"
+#include "mdp/processor.hh"
+#include "mem/memory.hh"
+
+namespace jmsim
+{
+
+/** A complete processing node. */
+class Node
+{
+  public:
+    Node() = default;
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    /** Wire the node into a machine (called once at machine build). */
+    void init(NodeId id, const MeshDims &dims, const MemoryConfig &mem_cfg,
+              const NetworkInterface::Config &ni_cfg,
+              const ProcessorConfig &proc_cfg, MeshNetwork *net,
+              const Program *prog, std::function<void()> wake);
+
+    /**
+     * Advance one cycle.
+     * @return true if the node still needs stepping next cycle.
+     */
+    bool
+    step(Cycle now)
+    {
+        const bool proc_active = proc_.step(now);
+        ni_.step(now);
+        return proc_active || ni_.sendBusy();
+    }
+
+    NodeMemory &memory() { return *mem_; }
+    const NodeMemory &memory() const { return *mem_; }
+    Processor &processor() { return proc_; }
+    const Processor &processor() const { return proc_; }
+    NetworkInterface &ni() { return ni_; }
+    const NetworkInterface &ni() const { return ni_; }
+
+    NodeId id() const { return id_; }
+
+  private:
+    NodeId id_ = 0;
+    std::unique_ptr<NodeMemory> mem_;
+    NetworkInterface ni_;
+    Processor proc_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_MACHINE_NODE_HH

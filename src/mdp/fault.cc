@@ -1,0 +1,35 @@
+#include "mdp/fault.hh"
+
+#include <array>
+
+namespace jmsim
+{
+
+const char *
+faultName(FaultKind kind)
+{
+    static constexpr std::array<const char *, kNumFaults> names = {
+        "cfut-read", "fut-use",      "send-fault",   "send-format",
+        "xlate-miss", "tag-mismatch", "bounds-error", "bad-address",
+    };
+    return names[static_cast<unsigned>(kind)];
+}
+
+StatClass
+faultStatClass(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::CfutRead:
+      case FaultKind::FutUse:
+        return StatClass::Sync;
+      case FaultKind::SendFault:
+      case FaultKind::SendFormat:
+        return StatClass::Comm;
+      case FaultKind::XlateMiss:
+        return StatClass::Xlate;
+      default:
+        return StatClass::Sync;
+    }
+}
+
+} // namespace jmsim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * MDP fault (trap) kinds and their metadata.
+ *
+ * Faults vector to software handlers in the JOS runtime kernel. The
+ * handler either repairs the condition and RFEs (retrying the faulting
+ * instruction — send faults, xlate misses) or turns the event into a
+ * scheduling action (cfut reads suspend the thread).
+ */
+
+#ifndef JMSIM_MDP_FAULT_HH
+#define JMSIM_MDP_FAULT_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+
+namespace jmsim
+{
+
+/** Trap causes. */
+enum class FaultKind : std::uint8_t
+{
+    CfutRead = 0,  ///< load touched a cfut-tagged memory word
+    FutUse,        ///< ALU consumed a cfut/fut-tagged operand
+    SendFault,     ///< network send buffer cannot accept a word
+    SendFormat,    ///< malformed message (bad header / length mismatch)
+    XlateMiss,     ///< XLATE key absent from the translation table
+    TagMismatch,   ///< CHECK failed or ill-typed operand
+    BoundsError,   ///< indexed access outside its segment
+    BadAddress,    ///< unmapped address or bad destination coordinates
+    NumFaults,
+};
+
+inline constexpr unsigned kNumFaults =
+    static_cast<unsigned>(FaultKind::NumFaults);
+
+/** Human-readable fault name. */
+const char *faultName(FaultKind kind);
+
+/** Accounting class charged for entering this fault's handler. */
+StatClass faultStatClass(FaultKind kind);
+
+} // namespace jmsim
+
+#endif // JMSIM_MDP_FAULT_HH

@@ -1,0 +1,99 @@
+#include "mdp/message_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+void
+MessageQueue::configure(Addr base, std::uint32_t size_words)
+{
+    if (size_words == 0)
+        fatal("message queue needs a non-empty region");
+    base_ = base;
+    size_ = size_words;
+    tail_ = 0;
+    used_ = 0;
+    messages_.clear();
+}
+
+bool
+MessageQueue::canBegin(std::uint32_t length) const
+{
+    if (length == 0 || length > size_)
+        return false;
+    // Fits at the tail without wrapping?
+    if (tail_ + length <= size_)
+        return used_ + length <= size_;
+    // Otherwise we would skip (size_ - tail_) pad words and start at 0.
+    const std::uint32_t pad = size_ - tail_;
+    return used_ + pad + length <= size_;
+}
+
+Addr
+MessageQueue::begin(std::uint32_t length, NodeId src, Cycle now)
+{
+    if (!canBegin(length)) {
+        stats_.refusals += 1;
+        panic("MessageQueue::begin without canBegin");
+    }
+    QueuedMessage qm;
+    qm.length = length;
+    qm.src = src;
+    qm.firstWordCycle = now;
+    if (tail_ + length <= size_) {
+        qm.start = base_ + tail_;
+        qm.padBefore = 0;
+        used_ += length;
+        tail_ = (tail_ + length) % size_;
+    } else {
+        qm.padBefore = size_ - tail_;
+        qm.start = base_;
+        used_ += qm.padBefore + length;
+        tail_ = length % size_;
+    }
+    messages_.push_back(qm);
+    stats_.messagesAccepted += 1;
+    if (used_ > stats_.maxWordsUsed)
+        stats_.maxWordsUsed = used_;
+    return qm.start;
+}
+
+void
+MessageQueue::wordArrived()
+{
+    if (messages_.empty())
+        panic("wordArrived with no incoming message");
+    QueuedMessage &qm = messages_.back();
+    if (qm.complete())
+        panic("wordArrived past end of message");
+    qm.arrived += 1;
+    stats_.wordsAccepted += 1;
+}
+
+QueuedMessage *
+MessageQueue::incoming()
+{
+    if (messages_.empty() || messages_.back().complete())
+        return nullptr;
+    return &messages_.back();
+}
+
+void
+MessageQueue::pop()
+{
+    if (messages_.empty())
+        panic("pop of empty message queue");
+    const QueuedMessage &qm = messages_.front();
+    if (!qm.complete())
+        panic("pop of incompletely delivered message");
+    used_ -= qm.padBefore + qm.length;
+    messages_.pop_front();
+    if (messages_.empty()) {
+        // Reset to keep allocations contiguous from the region start.
+        tail_ = 0;
+        used_ = 0;
+    }
+}
+
+} // namespace jmsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The MDP's hardware message queue (one per priority).
+ *
+ * Arriving messages are buffered in a ring region of on-chip SRAM.
+ * Messages are stored contiguously so the dispatched handler can
+ * address its arguments through an A3 segment descriptor; if a message
+ * does not fit in the space remaining at the end of the region, the
+ * allocator skips to the start (the skipped words are reclaimed when
+ * their predecessor is freed). When a message does not fit at all the
+ * delivery port refuses flits and the worm blocks in the network —
+ * the back-pressure behaviour the paper critiques.
+ *
+ * The queue manages only allocation metadata; the words themselves
+ * live in node SRAM so that ordinary LD instructions (and the JOS
+ * spill code) see them.
+ */
+
+#ifndef JMSIM_MDP_MESSAGE_QUEUE_HH
+#define JMSIM_MDP_MESSAGE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "isa/word.hh"
+#include "sim/types.hh"
+
+namespace jmsim
+{
+
+/** Allocation record for one buffered message. */
+struct QueuedMessage
+{
+    Addr start = 0;          ///< absolute SRAM address of word 0 (header)
+    std::uint32_t length = 0;///< message length in words
+    std::uint32_t arrived = 0; ///< words delivered so far
+    std::uint32_t padBefore = 0; ///< ring words skipped to stay contiguous
+    NodeId src = 0;
+    Cycle firstWordCycle = 0;
+
+    bool complete() const { return arrived == length; }
+};
+
+/** Queue statistics. */
+struct QueueStats
+{
+    std::uint64_t messagesAccepted = 0;
+    std::uint64_t wordsAccepted = 0;
+    std::uint64_t refusals = 0;      ///< begin attempts refused (full)
+    std::uint32_t maxWordsUsed = 0;  ///< high-water mark
+};
+
+/** Ring allocator over one SRAM region. */
+class MessageQueue
+{
+  public:
+    MessageQueue() = default;
+
+    /** Configure the SRAM region [base, base+size). */
+    void configure(Addr base, std::uint32_t size_words);
+
+    /** Can a message of @p length words be accepted now? */
+    bool canBegin(std::uint32_t length) const;
+
+    /**
+     * Allocate space for an arriving message.
+     * @return the absolute address of its first word.
+     */
+    Addr begin(std::uint32_t length, NodeId src, Cycle now);
+
+    /** Record the arrival of the next word of the newest message. */
+    void wordArrived();
+
+    /** Message currently being delivered into (newest), if any. */
+    QueuedMessage *incoming();
+
+    /** True if a dispatchable message (header arrived) is queued. */
+    bool
+    headDispatchable() const
+    {
+        return !messages_.empty() && messages_.front().arrived >= 1;
+    }
+
+    const QueuedMessage &head() const { return messages_.front(); }
+    QueuedMessage &head() { return messages_.front(); }
+
+    /** Free the head message (handler SUSPENDed). */
+    void pop();
+
+    bool empty() const { return messages_.empty(); }
+    std::size_t messageCount() const { return messages_.size(); }
+    std::uint32_t wordsUsed() const { return used_; }
+    std::uint32_t capacity() const { return size_; }
+    Addr base() const { return base_; }
+
+    const QueueStats &stats() const { return stats_; }
+    void resetStats() { stats_ = QueueStats{}; }
+
+  private:
+    Addr base_ = 0;
+    std::uint32_t size_ = 0;
+    std::uint32_t tail_ = 0;   ///< next free offset
+    std::uint32_t used_ = 0;   ///< words allocated (incl. pads)
+    std::deque<QueuedMessage> messages_;
+    QueueStats stats_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_MDP_MESSAGE_QUEUE_HH

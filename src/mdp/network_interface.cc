@@ -1,0 +1,225 @@
+#include "mdp/network_interface.hh"
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+void
+NetworkInterface::init(NodeId id, const Config &config, MeshNetwork *net,
+                       NodeMemory *mem, std::function<void()> wake)
+{
+    id_ = id;
+    config_ = config;
+    net_ = net;
+    mem_ = mem;
+    wake_ = std::move(wake);
+    queues_[0].configure(config.queueBase0, config.queueWords0);
+    queues_[1].configure(config.queueBase1, config.queueWords1);
+    net_->setDeliverSink(id, this);
+}
+
+SendResult
+NetworkInterface::appendWord(unsigned prio, Word word, bool end)
+{
+    SendChannel &ch = send_[prio];
+    if (!ch.buildingStarted) {
+        // First word of a new message: the destination router address.
+        if (end)
+            return SendResult::BadFormat;  // dest-only message
+        if (word.tag != Tag::Int && word.tag != Tag::Sym)
+            return SendResult::BadFormat;
+        const RouterAddr dest = RouterAddr::unpack(word.bits);
+        const MeshDims &dims = net_->dims();
+        if (dest.x >= dims.x || dest.y >= dims.y || dest.z >= dims.z)
+            return SendResult::BadDest;
+        auto msg = std::make_shared<Message>();
+        msg->src = id_;
+        msg->destAddr = dest;
+        msg->dest = dims.toLinear(dest);
+        msg->priority = static_cast<std::uint8_t>(prio);
+        ch.pending.push_back(std::move(msg));
+        ch.buildingStarted = true;
+        return SendResult::Ok;
+    }
+
+    Message &msg = *ch.pending.back();
+    msg.words.push_back(word);
+    ch.bufferedWords += 1;
+    if (end) {
+        if (msg.words.empty() || msg.words[0].tag != Tag::Msg)
+            return SendResult::BadFormat;
+        const MsgHeader hdr = MsgHeader::decode(msg.words[0]);
+        if (hdr.length != msg.words.size())
+            return SendResult::BadFormat;
+        msg.finalized = true;
+        ch.buildingStarted = false;
+        stats_.messagesSent += 1;
+        stats_.wordsSent += msg.words.size();
+    }
+    return SendResult::Ok;
+}
+
+SendResult
+NetworkInterface::sendWord(unsigned prio, Word word, bool end)
+{
+    SendChannel &ch = send_[prio];
+    // Capacity check: the destination word costs no buffer space (it
+    // becomes the head flit), payload words do.
+    const bool is_dest = !ch.buildingStarted;
+    if (!is_dest && ch.bufferedWords + 1 > config_.sendBufferWords) {
+        stats_.sendFullEvents += 1;
+        return SendResult::Full;
+    }
+    return appendWord(prio, word, end);
+}
+
+SendResult
+NetworkInterface::sendWords2(unsigned prio, Word w0, Word w1, bool end)
+{
+    SendChannel &ch = send_[prio];
+    const unsigned payload = ch.buildingStarted ? 2 : 1;
+    if (ch.bufferedWords + payload > config_.sendBufferWords) {
+        stats_.sendFullEvents += 1;
+        return SendResult::Full;
+    }
+    const SendResult first = appendWord(prio, w0, false);
+    if (first != SendResult::Ok)
+        return first;
+    return appendWord(prio, w1, end);
+}
+
+void
+NetworkInterface::step(Cycle now)
+{
+    for (unsigned prio = 0; prio < 2; ++prio) {
+        SendChannel &ch = send_[prio];
+        // Queue captured bounce-backs behind any complete messages (a
+        // message under construction by the processor keeps the back
+        // slot until its SEND*E).
+        while (!bounceReady_[prio].empty() && !ch.buildingStarted) {
+            MessageRef &b = bounceReady_[prio].front();
+            ch.bufferedWords += static_cast<std::uint32_t>(b->words.size());
+            ch.pending.push_back(std::move(b));
+            bounceReady_[prio].pop_front();
+        }
+        // Offer up to two flits per cycle to keep the router's inject
+        // FIFO primed (the channel itself drains 1 flit/cycle).
+        for (unsigned burst = 0; burst < 2; ++burst) {
+            if (ch.pending.empty())
+                break;
+            MessageRef &msg = ch.pending.front();
+            // Flits that exist so far: head + 2 per appended word.
+            const std::uint32_t available = msg->flitCount();
+            if (ch.flitsInjected >= available)
+                break;
+            if (!net_->canInject(id_, prio))
+                break;
+            Flit flit;
+            flit.msg = msg;
+            flit.index = ch.flitsInjected;
+            flit.vn = static_cast<std::uint8_t>(prio);
+            if (flit.index == 0)
+                msg->injectCycle = now;
+            const bool was_tail = flit.isTail();
+            // A word leaves the buffer when its second flit goes out.
+            if (flit.index > 0 && flit.index % kFlitsPerWord == 0)
+                ch.bufferedWords -= 1;
+            net_->injectFlit(id_, std::move(flit));
+            ch.flitsInjected += 1;
+            if (was_tail) {
+                ch.pending.pop_front();
+                ch.flitsInjected = 0;
+            }
+        }
+    }
+}
+
+bool
+NetworkInterface::sendBusy() const
+{
+    return !send_[0].pending.empty() || !send_[1].pending.empty();
+}
+
+bool
+NetworkInterface::canAcceptFlit(const Flit &flit)
+{
+    const std::int32_t word = flit.completesWord();
+    if (word != 0)
+        return true;  // head flits and non-allocating flits always fit
+    if (bounce_[flit.vn].active)
+        return true;  // mid-capture: keep absorbing the worm
+    const MsgHeader hdr = MsgHeader::decode(flit.msg->words[0]);
+    MessageQueue &q = queues_[flit.vn];
+    if (q.canBegin(hdr.length))
+        return true;
+    if (config_.returnToSender && bounceHandler_ != 0)
+        return true;  // absorb and return instead of blocking
+    stats_.deliveryStallCycles += 1;
+    return false;
+}
+
+void
+NetworkInterface::acceptFlit(const Flit &flit, Cycle now)
+{
+    const std::int32_t word = flit.completesWord();
+    if (word < 0) {
+        if (flit.isTail())
+            panic("tail flit should complete a word");
+        return;
+    }
+    MessageQueue &q = queues_[flit.vn];
+    // Return-to-sender capture path.
+    BounceCapture &cap = bounce_[flit.vn];
+    if (cap.active || (word == 0 && config_.returnToSender &&
+                       bounceHandler_ != 0 &&
+                       !q.canBegin(MsgHeader::decode(flit.msg->words[0])
+                                       .length))) {
+        if (!cap.active) {
+            cap.active = true;
+            cap.msg = std::make_shared<Message>();
+            cap.msg->src = id_;
+            cap.msg->dest = flit.msg->src;
+            cap.msg->destAddr = net_->dims().toCoord(flit.msg->src);
+            cap.msg->priority = flit.vn;
+            const MsgHeader orig = MsgHeader::decode(flit.msg->words[0]);
+            MsgHeader hdr;
+            hdr.handlerIp = bounceHandler_;
+            hdr.length = orig.length + 2;
+            cap.msg->words.push_back(hdr.encode());
+            cap.msg->words.push_back(Word::makeInt(static_cast<std::int32_t>(
+                net_->dims().toCoord(id_).pack())));
+        }
+        cap.msg->words.push_back(
+            flit.msg->words[static_cast<std::size_t>(word)]);
+        if (flit.isTail()) {
+            cap.msg->finalized = true;
+            bounceReady_[flit.vn].push_back(std::move(cap.msg));
+            cap.active = false;
+            stats_.messagesBounced += 1;
+        }
+        return;
+    }
+    Addr start;
+    if (word == 0) {
+        const MsgHeader hdr = MsgHeader::decode(flit.msg->words[0]);
+        start = q.begin(hdr.length, flit.msg->src, now);
+    } else {
+        QueuedMessage *in = q.incoming();
+        if (!in)
+            panic("body word with no incoming message");
+        start = in->start;
+    }
+    mem_->write(start + static_cast<Addr>(word),
+                flit.msg->words[static_cast<std::size_t>(word)]);
+    q.wordArrived();
+    if (flit.isTail()) {
+        flit.msg->deliverCycle = now;
+        net_->noteMessageDelivered(*flit.msg);
+    }
+    // Header arrival makes the message dispatchable; wake the node.
+    if (word == 0 && wake_)
+        wake_();
+}
+
+} // namespace jmsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The MDP network interface: send buffers and delivery logic.
+ *
+ * Sending: the SEND instruction family writes words into a per-priority
+ * send buffer at up to 2 words/cycle. The first word of each message is
+ * the destination router address; the following words are the payload
+ * (word 0 = Msg header). The NI cuts messages through: flits are
+ * offered to the router's inject port as soon as their words exist, so
+ * injection overlaps execution. A full buffer makes the next SEND
+ * raise a send fault, which JOS retries — the congestion back-pressure
+ * the paper describes.
+ *
+ * Receiving: the NI is the mesh's DeliverSink. Arriving words are
+ * written into the message-queue region of node SRAM at 0.5
+ * words/cycle; a message that no longer fits leaves the worm blocked
+ * in the network.
+ */
+
+#ifndef JMSIM_MDP_NETWORK_INTERFACE_HH
+#define JMSIM_MDP_NETWORK_INTERFACE_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+
+#include "isa/instruction.hh"
+#include "mdp/message_queue.hh"
+#include "mem/memory.hh"
+#include "net/mesh_network.hh"
+
+namespace jmsim
+{
+
+/** Result of offering a word to the send buffer. */
+enum class SendResult : std::uint8_t
+{
+    Ok,
+    Full,       ///< buffer cannot accept the word(s): send fault
+    BadDest,    ///< destination coordinates outside the mesh
+    BadFormat,  ///< header not Msg-tagged or length mismatch at end
+};
+
+/** NI statistics. */
+struct NiStats
+{
+    std::uint64_t messagesSent = 0;
+    std::uint64_t wordsSent = 0;
+    std::uint64_t sendFullEvents = 0;
+    std::uint64_t deliveryStallCycles = 0;  ///< queue-full refusals
+    std::uint64_t messagesBounced = 0;      ///< return-to-sender mode
+};
+
+/** One node's network interface. */
+class NetworkInterface : public DeliverSink
+{
+  public:
+    struct Config
+    {
+        std::uint32_t sendBufferWords = 16;  ///< per priority
+        Addr queueBase0 = 3072;
+        std::uint32_t queueWords0 = 512;
+        Addr queueBase1 = 3584;
+        std::uint32_t queueWords1 = 256;
+        /** The paper's "future directions" flow control: when a
+         *  message no longer fits in the queue, absorb it and return
+         *  it to the sender (dispatching the jos_bounce handler there)
+         *  instead of blocking the network. */
+        bool returnToSender = false;
+    };
+
+    NetworkInterface() = default;
+
+    /** Wire the NI into its node (called once at machine build). */
+    void init(NodeId id, const Config &config, MeshNetwork *net,
+              NodeMemory *mem, std::function<void()> wake);
+
+    // ---- processor side ----
+
+    /**
+     * Append a word to the priority-@p prio message under construction
+     * (the first word of a message is the destination).
+     * @param end this word ends the message (SEND*E)
+     */
+    SendResult sendWord(unsigned prio, Word word, bool end);
+
+    /** Two-word variant (SEND2x): both words or neither. */
+    SendResult sendWords2(unsigned prio, Word w0, Word w1, bool end);
+
+    /** Loader hook: handler dispatched at the sender for returned
+     *  messages (return-to-sender mode). */
+    void setBounceHandler(IAddr entry) { bounceHandler_ = entry; }
+
+    /** The message queue for a priority level. */
+    MessageQueue &queue(unsigned prio) { return queues_[prio]; }
+    const MessageQueue &queue(unsigned prio) const { return queues_[prio]; }
+
+    // ---- per-cycle ----
+
+    /** Offer pending flits to the router inject port. */
+    void step(Cycle now);
+
+    /** True while unsent flits remain buffered. */
+    bool sendBusy() const;
+
+    // ---- DeliverSink ----
+    bool canAcceptFlit(const Flit &flit) override;
+    void acceptFlit(const Flit &flit, Cycle now) override;
+
+    const NiStats &stats() const { return stats_; }
+    void resetStats() { stats_ = NiStats{}; }
+
+  private:
+    struct SendChannel
+    {
+        std::deque<MessageRef> pending;  ///< front = injecting, back = building
+        std::uint32_t flitsInjected = 0; ///< cursor into front message
+        std::uint32_t bufferedWords = 0; ///< words not yet fully injected
+        bool buildingStarted = false;    ///< back message got its dest word
+    };
+
+    SendResult appendWord(unsigned prio, Word word, bool end);
+
+    /** Per-VN capture of a message being returned to its sender. */
+    struct BounceCapture
+    {
+        MessageRef msg;   ///< under construction, dest = original src
+        bool active = false;
+    };
+
+    NodeId id_ = 0;
+    Config config_;
+    MeshNetwork *net_ = nullptr;
+    NodeMemory *mem_ = nullptr;
+    std::function<void()> wake_;
+    std::array<SendChannel, 2> send_;
+    std::array<MessageQueue, 2> queues_;
+    std::array<BounceCapture, 2> bounce_;
+    std::array<std::deque<MessageRef>, 2> bounceReady_;
+    IAddr bounceHandler_ = 0;
+    NiStats stats_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_MDP_NETWORK_INTERFACE_HH

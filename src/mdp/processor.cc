@@ -1,0 +1,851 @@
+#include "mdp/processor.hh"
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+namespace
+{
+
+/** Sentinel forcing an instruction-word refetch. */
+constexpr Addr kNoFetchWord = 0xffffffffu;
+
+} // namespace
+
+void
+Processor::init(NodeId id, const MeshDims &dims, const ProcessorConfig &config,
+                NodeMemory *mem, NetworkInterface *ni, const Program *prog)
+{
+    id_ = id;
+    dims_ = dims;
+    config_ = config;
+    mem_ = mem;
+    ni_ = ni;
+    prog_ = prog;
+    lastFetchWord_.fill(kNoFetchWord);
+}
+
+void
+Processor::boot(IAddr entry)
+{
+    RegisterSet &bg = sets_[static_cast<unsigned>(Level::Background)];
+    bg.live = true;
+    bg.parked = false;
+    bg.ip = entry;
+    handlerEntry_[static_cast<unsigned>(Level::Background)] = entry;
+    handlerStats_[entry].dispatches += 1;
+}
+
+void
+Processor::resetStats()
+{
+    stats_ = ProcessorStats{};
+    handlerStats_.clear();
+    xlate_.resetStats();
+}
+
+bool
+Processor::runnable() const
+{
+    for (unsigned l = 0; l < kNumLevels; ++l) {
+        const RegisterSet &rs = sets_[l];
+        if (rs.live && !(l == 0 && rs.parked))
+            return true;
+    }
+    return ni_->queue(0).headDispatchable() ||
+           ni_->queue(1).headDispatchable();
+}
+
+void
+Processor::noteWake(Cycle now)
+{
+    if (sleeping_) {
+        stats_.idleCycles += now - sleepStart_;
+        attributeIdle(now - sleepStart_);
+        sleeping_ = false;
+    }
+}
+
+void
+Processor::noteSleep(Cycle now)
+{
+    if (!sleeping_ && !halted_) {
+        sleeping_ = true;
+        sleepStart_ = now;
+    }
+}
+
+void
+Processor::attribute(StatClass cls, unsigned cycles)
+{
+    stats_.cyclesByClass[static_cast<std::size_t>(cls)] += cycles;
+    stats_.runCycles += cycles;
+}
+
+void
+Processor::attributeIdle(Cycle cycles)
+{
+    stats_.cyclesByClass[static_cast<std::size_t>(StatClass::Idle)] += cycles;
+}
+
+void
+Processor::die(const std::string &msg, IAddr iaddr)
+{
+    std::string what = "node " + std::to_string(id_) + " @ iaddr " +
+                       std::to_string(iaddr) + " (near '" +
+                       prog_->nearestLabel(iaddr) + "'): " + msg;
+    if (prog_->validIaddr(iaddr))
+        what += " [" + prog_->fetch(iaddr).toString() + "]";
+    fatal(what);
+}
+
+void
+Processor::selectLevel(Cycle now)
+{
+    // An open send sequence is atomic: stay on its level until the
+    // SEND*E instruction closes the message.
+    for (unsigned l = kNumLevels; l-- > 0;) {
+        if (sets_[l].live && sets_[l].sending) {
+            current_ = static_cast<Level>(l);
+            currentValid_ = true;
+            return;
+        }
+    }
+
+    // A live fault handler is never preempted.
+    for (unsigned l = kNumLevels; l-- > 0;) {
+        if (sets_[l].live && sets_[l].inFault) {
+            current_ = static_cast<Level>(l);
+            currentValid_ = true;
+            return;
+        }
+    }
+
+    for (int prio = 1; prio >= 0; --prio) {
+        const Level level = prio ? Level::P1 : Level::P0;
+        RegisterSet &rs = sets_[static_cast<unsigned>(level)];
+        if (rs.live) {
+            current_ = level;
+            currentValid_ = true;
+            return;
+        }
+        MessageQueue &q = ni_->queue(static_cast<unsigned>(prio));
+        if (q.headDispatchable()) {
+            // Hardware dispatch: load IP from the header, point A3 at
+            // the message, fetch the first instruction — 4 cycles.
+            const QueuedMessage &m = q.head();
+            const MsgHeader hdr = MsgHeader::decode(mem_->read(m.start));
+            rs.live = true;
+            rs.ip = hdr.handlerIp;
+            rs[reg::A3] = SegDesc{m.start, m.length}.encode();
+            lastFetchWord_[static_cast<unsigned>(level)] = kNoFetchWord;
+            current_ = level;
+            currentValid_ = true;
+            busyUntil_ = now + config_.dispatchCycles;
+            attribute(StatClass::Comm, config_.dispatchCycles);
+            stats_.dispatches += 1;
+            handlerEntry_[static_cast<unsigned>(level)] = hdr.handlerIp;
+            HandlerStats &hs = handlerStats_[hdr.handlerIp];
+            hs.dispatches += 1;
+            hs.messageWords += m.length;
+            return;
+        }
+    }
+
+    RegisterSet &bg = sets_[static_cast<unsigned>(Level::Background)];
+    if (bg.live && !bg.parked) {
+        current_ = Level::Background;
+        currentValid_ = true;
+        return;
+    }
+    currentValid_ = false;
+}
+
+bool
+Processor::step(Cycle now)
+{
+    if (halted_)
+        return false;
+    if (busyUntil_ > now)
+        return true;
+    selectLevel(now);
+    if (!currentValid_)
+        return false;
+    if (busyUntil_ > now)
+        return true;  // this cycle went to a dispatch
+    executeOne(now);
+    return true;
+}
+
+bool
+Processor::aluOperand(std::uint8_t r, std::int32_t &out)
+{
+    const Word &w = cur()[r];
+    if (w.isFuture()) {
+        faultPending_ = true;
+        faultKind_ = FaultKind::FutUse;
+        faultVal0_ = w;
+        faultVal1_ = Word::makeInt(r);
+        return false;
+    }
+    if (w.tag != Tag::Int && w.tag != Tag::Bool) {
+        faultPending_ = true;
+        faultKind_ = FaultKind::TagMismatch;
+        faultVal0_ = w;
+        faultVal1_ = Word::makeInt(r);
+        return false;
+    }
+    out = w.asInt();
+    return true;
+}
+
+bool
+Processor::boolOperand(std::uint8_t r, bool &out)
+{
+    const Word &w = cur()[r];
+    if (w.isFuture()) {
+        faultPending_ = true;
+        faultKind_ = FaultKind::FutUse;
+        faultVal0_ = w;
+        faultVal1_ = Word::makeInt(r);
+        return false;
+    }
+    out = w.bits != 0;
+    return true;
+}
+
+bool
+Processor::memAddress(const Instruction &inst, bool indexed, Addr &addr,
+                      unsigned &penalty)
+{
+    const Word &aw = cur()[4 + inst.abase];
+    if (aw.tag != Tag::Addr) {
+        faultPending_ = true;
+        faultKind_ = FaultKind::TagMismatch;
+        faultVal0_ = aw;
+        faultVal1_ = Word::makeInt(4 + inst.abase);
+        return false;
+    }
+    const SegDesc desc = SegDesc::decode(aw);
+    std::int32_t off;
+    if (indexed) {
+        if (!aluOperand(inst.rb, off))
+            return false;
+    } else {
+        off = inst.imm;
+    }
+    if (off < 0 || !desc.contains(static_cast<std::uint32_t>(off))) {
+        faultPending_ = true;
+        faultKind_ = FaultKind::BoundsError;
+        faultVal0_ = Word::makeInt(off);
+        faultVal1_ = aw;
+        return false;
+    }
+    addr = desc.base + static_cast<Addr>(off);
+    if (!mem_->isValid(addr)) {
+        faultPending_ = true;
+        faultKind_ = FaultKind::BadAddress;
+        faultVal0_ = Word::makeInt(static_cast<std::int32_t>(addr));
+        faultVal1_ = aw;
+        return false;
+    }
+    penalty = mem_->accessPenalty(addr);
+    return true;
+}
+
+bool
+Processor::queueWordReady(Addr addr)
+{
+    if (current_ == Level::Background)
+        return true;
+    const unsigned prio = current_ == Level::P1 ? 1 : 0;
+    const MessageQueue &q = ni_->queue(prio);
+    if (q.empty())
+        return true;
+    const QueuedMessage &m = q.head();
+    if (addr < m.start || addr >= m.start + m.length)
+        return true;
+    return addr < m.start + m.arrived;
+}
+
+void
+Processor::raiseFault(FaultKind kind, Word fval0, Word fval1)
+{
+    faultPending_ = true;
+    faultKind_ = kind;
+    faultVal0_ = fval0;
+    faultVal1_ = fval1;
+}
+
+void
+Processor::executeOne(Cycle now)
+{
+    RegisterSet &rs = cur();
+    const unsigned lvl = static_cast<unsigned>(current_);
+    const IAddr ip = rs.ip;
+    if (!prog_->validIaddr(ip))
+        die("execution reached a non-code address", ip);
+    const Instruction &inst = prog_->fetch(ip);
+    const OpcodeInfo &info = opcodeInfo(inst.op);
+    if (trace_) {
+        std::fprintf(stderr,
+                     "[n%u c%llu L%u i%u %s] %-28s R0=%s R1=%s R2=%s R3=%s\n",
+                     id_, static_cast<unsigned long long>(now),
+                     static_cast<unsigned>(current_), ip,
+                     prog_->nearestLabel(ip).c_str(),
+                     inst.toString().c_str(),
+                     rs[0].toString().c_str(), rs[1].toString().c_str(),
+                     rs[2].toString().c_str(), rs[3].toString().c_str());
+    }
+    unsigned cost = info.baseCycles;
+
+    // Instruction fetch: internal fetches overlap execution; a new
+    // external code word costs a DRAM access.
+    const Addr word_addr = ip >> 1;
+    if (lastFetchWord_[lvl] != word_addr) {
+        lastFetchWord_[lvl] = word_addr;
+        if (word_addr >= kEmemBase)
+            cost += config_.ememFetchCycles;
+    }
+
+    IAddr next = ip + 1;
+    faultPending_ = false;
+    bool stall = false;
+    unsigned penalty = 0;
+    Addr addr = 0;
+    std::int32_t a = 0, b = 0;
+
+    const auto takeBranch = [&](std::int32_t word_off) {
+        next = (static_cast<IAddr>(
+                    static_cast<std::int64_t>(word_addr) + word_off)) *
+               2;
+        cost += config_.takenBranchPenalty;
+    };
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        halted_ = true;
+        break;
+
+      case Opcode::Suspend:
+        stats_.suspends += 1;
+        if (current_ == Level::Background) {
+            rs.parked = true;
+            rs.inFault = false;
+        } else {
+            MessageQueue &q = ni_->queue(current_ == Level::P1 ? 1 : 0);
+            if (!q.head().complete()) {
+                stall = true;  // wait for the worm's tail before freeing
+                stats_.suspends -= 1;
+            } else {
+                q.pop();
+                rs.live = false;
+                rs.inFault = false;  // cfut handlers suspend to end a fault
+            }
+        }
+        break;
+
+      case Opcode::Rfe:
+        if (!rs.inFault)
+            die("RFE outside a fault handler", ip);
+        next = rs.faultIp;
+        rs.inFault = false;
+        lastFetchWord_[lvl] = kNoFetchWord;
+        break;
+
+      case Opcode::Br:
+        takeBranch(inst.imm);
+        break;
+      case Opcode::Bt:
+      case Opcode::Bf: {
+        bool cond;
+        if (!boolOperand(inst.rd, cond))
+            break;
+        if (cond == (inst.op == Opcode::Bt))
+            takeBranch(inst.imm);
+        break;
+      }
+      case Opcode::Call:
+        // Wide format: the return point skips the literal word.
+        rs[inst.rd] = Word::makeIp(ip + 4);
+        next = inst.literal.bits;
+        cost += config_.takenBranchPenalty;
+        break;
+      case Opcode::Jmp: {
+        const Word &t = rs[inst.rd];
+        if (t.tag != Tag::Ip && t.tag != Tag::Int) {
+            raiseFault(FaultKind::TagMismatch, t, Word::makeInt(inst.rd));
+            break;
+        }
+        next = t.bits;
+        cost += config_.takenBranchPenalty;
+        break;
+      }
+
+      case Opcode::Move:
+        rs[inst.rd] = rs[inst.ra];
+        break;
+      case Opcode::Movei:
+        rs[inst.rd] = Word::makeInt(inst.imm);
+        break;
+      case Opcode::Ldl:
+        rs[inst.rd] = inst.literal;
+        next = ip + 4;  // skip the filler slot and the literal word
+        break;
+
+      case Opcode::Ld:
+      case Opcode::Ldx:
+      case Opcode::Ldraw:
+      case Opcode::Ldrawx: {
+        const bool indexed =
+            inst.op == Opcode::Ldx || inst.op == Opcode::Ldrawx;
+        const bool no_trap =
+            inst.op == Opcode::Ldraw || inst.op == Opcode::Ldrawx;
+        if (!memAddress(inst, indexed, addr, penalty))
+            break;
+        if (!queueWordReady(addr)) {
+            stall = true;
+            break;
+        }
+        cost += penalty;
+        const Word v = mem_->read(addr);
+        if (!no_trap && v.tag == Tag::Cfut) {
+            raiseFault(FaultKind::CfutRead,
+                       Word::makeInt(static_cast<std::int32_t>(addr)), v);
+            break;
+        }
+        rs[inst.rd] = v;
+        break;
+      }
+
+      case Opcode::St:
+      case Opcode::Stx:
+        if (!memAddress(inst, inst.op == Opcode::Stx, addr, penalty))
+            break;
+        cost += penalty;
+        mem_->write(addr, rs[inst.rd]);
+        break;
+
+      case Opcode::Addm:
+      case Opcode::Subm:
+      case Opcode::Andm:
+      case Opcode::Orm:
+      case Opcode::Xorm: {
+        if (!memAddress(inst, false, addr, penalty))
+            break;
+        if (!queueWordReady(addr)) {
+            stall = true;
+            break;
+        }
+        cost += penalty;
+        const Word m = mem_->read(addr);
+        if (m.tag == Tag::Cfut) {
+            raiseFault(FaultKind::CfutRead,
+                       Word::makeInt(static_cast<std::int32_t>(addr)), m);
+            break;
+        }
+        if (m.tag == Tag::Fut) {
+            raiseFault(FaultKind::FutUse, m, Word::makeInt(inst.rd));
+            break;
+        }
+        if (m.tag != Tag::Int && m.tag != Tag::Bool) {
+            raiseFault(FaultKind::TagMismatch, m, Word::makeInt(inst.rd));
+            break;
+        }
+        if (!aluOperand(inst.rd, a))
+            break;
+        const std::int32_t mv = m.asInt();
+        std::int32_t r = 0;
+        switch (inst.op) {
+          case Opcode::Addm: r = a + mv; break;
+          case Opcode::Subm: r = a - mv; break;
+          case Opcode::Andm: r = a & mv; break;
+          case Opcode::Orm:  r = a | mv; break;
+          case Opcode::Xorm: r = a ^ mv; break;
+          default: break;
+        }
+        rs[inst.rd] = Word::makeInt(r);
+        break;
+      }
+
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Ash:
+      case Opcode::Lsh:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor: {
+        if (!aluOperand(inst.ra, a) || !aluOperand(inst.rb, b))
+            break;
+        std::int32_t r = 0;
+        switch (inst.op) {
+          case Opcode::Add: r = a + b; break;
+          case Opcode::Sub: r = a - b; break;
+          case Opcode::Mul: r = a * b; break;
+          case Opcode::Ash:
+            r = b >= 0 ? (b > 31 ? 0 : a << b) : (-b > 31 ? (a < 0 ? -1 : 0)
+                                                          : a >> -b);
+            break;
+          case Opcode::Lsh:
+            r = b >= 0
+                    ? (b > 31 ? 0 : a << b)
+                    : (-b > 31 ? 0
+                               : static_cast<std::int32_t>(
+                                     static_cast<std::uint32_t>(a) >> -b));
+            break;
+          case Opcode::And: r = a & b; break;
+          case Opcode::Or:  r = a | b; break;
+          case Opcode::Xor: r = a ^ b; break;
+          default: break;
+        }
+        rs[inst.rd] = Word::makeInt(r);
+        break;
+      }
+
+      case Opcode::Not:
+        if (!aluOperand(inst.ra, a))
+            break;
+        rs[inst.rd] = Word::makeInt(~a);
+        break;
+      case Opcode::Neg:
+        if (!aluOperand(inst.ra, a))
+            break;
+        rs[inst.rd] = Word::makeInt(-a);
+        break;
+
+      case Opcode::Addi:
+      case Opcode::Ashi:
+      case Opcode::Lshi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori: {
+        if (!aluOperand(inst.ra, a))
+            break;
+        const std::int32_t k = inst.imm;
+        std::int32_t r = 0;
+        switch (inst.op) {
+          case Opcode::Addi: r = a + k; break;
+          case Opcode::Ashi:
+            r = k >= 0 ? (k > 31 ? 0 : a << k) : (-k > 31 ? (a < 0 ? -1 : 0)
+                                                          : a >> -k);
+            break;
+          case Opcode::Lshi:
+            r = k >= 0
+                    ? (k > 31 ? 0 : a << k)
+                    : (-k > 31 ? 0
+                               : static_cast<std::int32_t>(
+                                     static_cast<std::uint32_t>(a) >> -k));
+            break;
+          case Opcode::Andi: r = a & k; break;
+          case Opcode::Ori:  r = a | k; break;
+          case Opcode::Xori: r = a ^ k; break;
+          default: break;
+        }
+        rs[inst.rd] = Word::makeInt(r);
+        break;
+      }
+
+      case Opcode::Eq:
+      case Opcode::Ne: {
+        const Word &wa = rs[inst.ra];
+        const Word &wb = rs[inst.rb];
+        if (wa.isFuture() || wb.isFuture()) {
+            raiseFault(FaultKind::FutUse, wa.isFuture() ? wa : wb,
+                       Word::makeInt(inst.rd));
+            break;
+        }
+        const bool equal = wa == wb;
+        rs[inst.rd] = Word::makeBool(inst.op == Opcode::Eq ? equal : !equal);
+        break;
+      }
+      case Opcode::Lt:
+      case Opcode::Le:
+      case Opcode::Gt:
+      case Opcode::Ge: {
+        if (!aluOperand(inst.ra, a) || !aluOperand(inst.rb, b))
+            break;
+        bool r = false;
+        switch (inst.op) {
+          case Opcode::Lt: r = a < b; break;
+          case Opcode::Le: r = a <= b; break;
+          case Opcode::Gt: r = a > b; break;
+          case Opcode::Ge: r = a >= b; break;
+          default: break;
+        }
+        rs[inst.rd] = Word::makeBool(r);
+        break;
+      }
+      case Opcode::Eqi:
+      case Opcode::Nei:
+      case Opcode::Lti:
+      case Opcode::Lei:
+      case Opcode::Gti:
+      case Opcode::Gei: {
+        if (!aluOperand(inst.ra, a))
+            break;
+        const std::int32_t k = inst.imm;
+        bool r = false;
+        switch (inst.op) {
+          case Opcode::Eqi: r = a == k; break;
+          case Opcode::Nei: r = a != k; break;
+          case Opcode::Lti: r = a < k; break;
+          case Opcode::Lei: r = a <= k; break;
+          case Opcode::Gti: r = a > k; break;
+          case Opcode::Gei: r = a >= k; break;
+          default: break;
+        }
+        rs[inst.rd] = Word::makeBool(r);
+        break;
+      }
+
+      case Opcode::Send0:
+      case Opcode::Send0e:
+      case Opcode::Send20:
+      case Opcode::Send20e:
+      case Opcode::Send1:
+      case Opcode::Send1e:
+      case Opcode::Send21:
+      case Opcode::Send21e: {
+        const unsigned prio = sendPriority(inst.op);
+        const bool end = isSendEnd(inst.op);
+        SendResult res;
+        if (sendWords(inst.op) == 2)
+            res = ni_->sendWords2(prio, rs[inst.rd], rs[inst.ra], end);
+        else
+            res = ni_->sendWord(prio, rs[inst.rd], end);
+        switch (res) {
+          case SendResult::Ok:
+            rs.sending = !end;
+            break;
+          case SendResult::Full:
+            raiseFault(FaultKind::SendFault,
+                       Word::makeInt(static_cast<std::int32_t>(prio)),
+                       Word::makeNil());
+            break;
+          case SendResult::BadDest:
+            raiseFault(FaultKind::BadAddress, rs[inst.rd], Word::makeNil());
+            break;
+          case SendResult::BadFormat:
+            raiseFault(FaultKind::SendFormat, rs[inst.rd], Word::makeNil());
+            break;
+        }
+        break;
+      }
+
+      case Opcode::Rtag:
+        rs[inst.rd] = Word::makeInt(
+            static_cast<std::int32_t>(rs[inst.ra].tag));
+        break;
+      case Opcode::Wtag:
+        rs[inst.rd] = Word{rs[inst.ra].bits,
+                           static_cast<Tag>(inst.imm & 0xf)};
+        break;
+      case Opcode::Check:
+        if (rs[inst.rd].tag != static_cast<Tag>(inst.imm & 0xf))
+            raiseFault(FaultKind::TagMismatch, rs[inst.rd],
+                       Word::makeInt(inst.imm));
+        break;
+
+      case Opcode::Setseg: {
+        if (!aluOperand(inst.ra, a) || !aluOperand(inst.rb, b))
+            break;
+        SegDesc desc;
+        desc.base = static_cast<Addr>(a);
+        desc.length = static_cast<std::uint32_t>(b);
+        if (a < 0 || b < 0 || !desc.encodable()) {
+            raiseFault(FaultKind::BoundsError, Word::makeInt(a),
+                       Word::makeInt(b));
+            break;
+        }
+        rs[inst.rd] = desc.encode();
+        break;
+      }
+
+      case Opcode::Mkhdr: {
+        const Word &ipw = rs[inst.ra];
+        if (ipw.tag != Tag::Ip && ipw.tag != Tag::Int) {
+            raiseFault(FaultKind::TagMismatch, ipw, Word::makeInt(inst.ra));
+            break;
+        }
+        if (!aluOperand(inst.rb, b))
+            break;
+        MsgHeader hdr;
+        hdr.handlerIp = ipw.bits;
+        hdr.length = static_cast<std::uint32_t>(b);
+        if (b < 0 || hdr.handlerIp > MsgHeader::kMaxIp ||
+            hdr.length > MsgHeader::kMaxLength) {
+            raiseFault(FaultKind::BoundsError, ipw, Word::makeInt(b));
+            break;
+        }
+        rs[inst.rd] = hdr.encode();
+        break;
+      }
+
+      case Opcode::Enter:
+        xlate_.enter(rs[inst.rd], rs[inst.ra]);
+        break;
+      case Opcode::Xlate: {
+        const auto hit = xlate_.lookup(rs[inst.ra]);
+        if (!hit) {
+            raiseFault(FaultKind::XlateMiss, rs[inst.ra], Word::makeNil());
+            break;
+        }
+        rs[inst.rd] = *hit;
+        break;
+      }
+      case Opcode::Probe: {
+        const auto hit = xlate_.lookup(rs[inst.ra]);
+        rs[inst.rd] = hit ? *hit : Word::makeNil();
+        break;
+      }
+
+      case Opcode::Getsp: {
+        Word v;
+        switch (static_cast<SpecialReg>(inst.imm)) {
+          case SpecialReg::NodeId:
+            v = Word::makeInt(static_cast<std::int32_t>(id_));
+            break;
+          case SpecialReg::Nnr:
+            v = Word::makeInt(static_cast<std::int32_t>(
+                dims_.toCoord(id_).pack()));
+            break;
+          case SpecialReg::Nodes:
+            v = Word::makeInt(static_cast<std::int32_t>(dims_.nodes()));
+            break;
+          case SpecialReg::Dims:
+            v = Word::makeInt(static_cast<std::int32_t>(dims_.pack()));
+            break;
+          case SpecialReg::CycleLo:
+            v = Word::makeInt(static_cast<std::int32_t>(now & 0xffffffffu));
+            break;
+          case SpecialReg::CycleHi:
+            v = Word::makeInt(static_cast<std::int32_t>(now >> 32));
+            break;
+          case SpecialReg::QLen0:
+            v = Word::makeInt(static_cast<std::int32_t>(
+                ni_->queue(0).wordsUsed()));
+            break;
+          case SpecialReg::QLen1:
+            v = Word::makeInt(static_cast<std::int32_t>(
+                ni_->queue(1).wordsUsed()));
+            break;
+          case SpecialReg::Fval0:
+            v = rs.fval0;
+            break;
+          case SpecialReg::Fval1:
+            v = rs.fval1;
+            break;
+          case SpecialReg::Fip:
+            v = Word::makeIp(rs.faultIp);
+            break;
+          case SpecialReg::Tmp0:
+          case SpecialReg::Tmp1:
+          case SpecialReg::Tmp2:
+          case SpecialReg::Tmp3:
+            v = rs.tmp[inst.imm -
+                       static_cast<std::int32_t>(SpecialReg::Tmp0)];
+            break;
+          default:
+            die("GETSP of unknown special register", ip);
+        }
+        rs[inst.rd] = v;
+        break;
+      }
+
+      case Opcode::Setsp: {
+        const auto spec = static_cast<SpecialReg>(inst.imm);
+        if (spec < SpecialReg::Tmp0 || spec > SpecialReg::Tmp3)
+            die("SETSP target must be a fault temporary", ip);
+        rs.tmp[inst.imm - static_cast<std::int32_t>(SpecialReg::Tmp0)] =
+            rs[inst.rd];
+        break;
+      }
+
+      case Opcode::Jsp: {
+        Word t;
+        switch (static_cast<SpecialReg>(inst.imm)) {
+          case SpecialReg::Fip:
+            t = Word::makeIp(rs.faultIp);
+            break;
+          case SpecialReg::Tmp0:
+          case SpecialReg::Tmp1:
+          case SpecialReg::Tmp2:
+          case SpecialReg::Tmp3:
+            t = rs.tmp[inst.imm -
+                       static_cast<std::int32_t>(SpecialReg::Tmp0)];
+            break;
+          default:
+            die("JSP source must be FIP or a fault temporary", ip);
+        }
+        if (t.tag != Tag::Ip && t.tag != Tag::Int) {
+            raiseFault(FaultKind::TagMismatch, t, Word::makeInt(inst.imm));
+            break;
+        }
+        next = t.bits;
+        cost += config_.takenBranchPenalty;
+        break;
+      }
+
+      case Opcode::Out:
+        hostOut_.push_back(rs[inst.rd]);
+        break;
+
+      case Opcode::NumOpcodes:
+        die("corrupt opcode", ip);
+    }
+
+    if (faultPending_) {
+        stats_.faults[static_cast<unsigned>(faultKind_)] += 1;
+        if (rs.inFault)
+            die(std::string("fault '") + faultName(faultKind_) +
+                    "' inside a fault handler",
+                ip);
+        if (!config_.hasVector[static_cast<unsigned>(faultKind_)])
+            die(std::string("unhandled fault '") + faultName(faultKind_) +
+                    "' (fval0=" + faultVal0_.toString() + ")",
+                ip);
+        rs.inFault = true;
+        rs.faultIp = ip;
+        rs.fval0 = faultVal0_;
+        rs.fval1 = faultVal1_;
+        rs.ip = config_.vectors[static_cast<unsigned>(faultKind_)];
+        lastFetchWord_[lvl] = kNoFetchWord;
+        cost += config_.faultEntryCycles;
+        attribute(faultStatClass(faultKind_), cost);
+        busyUntil_ = now + cost;
+        return;
+    }
+
+    if (stall) {
+        stats_.queueStallCycles += 1;
+        attribute(StatClass::Comm, 1);
+        busyUntil_ = now + 1;
+        return;
+    }
+
+    rs.ip = next;
+    busyUntil_ = now + cost;
+    stats_.instructions += 1;
+
+    const StatClass region = prog_->klassAt(ip);
+    StatClass effective;
+    if (region == StatClass::Os) {
+        effective = StatClass::Os;
+        stats_.instructionsOs += 1;
+    } else if (info.defaultClass != StatClass::Compute) {
+        effective = info.defaultClass;
+    } else {
+        effective = region;
+    }
+    attribute(effective, cost);
+
+    HandlerStats &hs = handlerStats_[handlerEntry_[lvl]];
+    hs.instructions += 1;
+    hs.cycles += cost;
+}
+
+} // namespace jmsim

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The MDP processor core.
+ *
+ * Executes the decoded program with the paper's cost model: one cycle
+ * for register-register instructions, two when one operand is in
+ * internal memory, six cycles total for an external-memory access,
+ * a four-cycle hardware dispatch from the message queue to the first
+ * handler instruction, three-cycle XLATE hits, and a one-cycle taken-
+ * branch penalty (two 18-bit instructions per word, branch targets
+ * word-aligned). Instruction fetch from external memory costs a DRAM
+ * access per instruction word.
+ *
+ * Three register sets (background / priority 0 / priority 1) allow
+ * preemption at instruction boundaries without spilling state;
+ * presence tags (cfut/fut) and the fault machinery implement the
+ * paper's synchronization mechanisms.
+ */
+
+#ifndef JMSIM_MDP_PROCESSOR_HH
+#define JMSIM_MDP_PROCESSOR_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "jasm/program.hh"
+#include "mdp/fault.hh"
+#include "mdp/network_interface.hh"
+#include "mdp/register_set.hh"
+#include "mem/memory.hh"
+#include "mem/xlate_table.hh"
+#include "net/router_address.hh"
+
+namespace jmsim
+{
+
+/** Processor timing and fault-vector configuration. */
+struct ProcessorConfig
+{
+    unsigned dispatchCycles = 4;     ///< queue head -> first handler instr
+    unsigned faultEntryCycles = 4;   ///< trap entry overhead
+    unsigned takenBranchPenalty = 1; ///< pipeline flush on taken branch
+    unsigned ememFetchCycles = 6;    ///< fetch of an external code word
+
+    /** Fault vectors: entry iaddr per FaultKind (valid if hasVector). */
+    std::array<IAddr, kNumFaults> vectors{};
+    std::array<bool, kNumFaults> hasVector{};
+};
+
+/** Per-handler ("thread class") statistics for Table 4. */
+struct HandlerStats
+{
+    std::uint64_t dispatches = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t messageWords = 0;
+};
+
+/** Processor statistics. */
+struct ProcessorStats
+{
+    std::array<std::uint64_t,
+        static_cast<std::size_t>(StatClass::NumClasses)> cyclesByClass{};
+    std::uint64_t instructions = 0;
+    std::uint64_t instructionsOs = 0;   ///< executed under .region os
+    std::uint64_t dispatches = 0;
+    std::uint64_t suspends = 0;
+    std::array<std::uint64_t, kNumFaults> faults{};
+    std::uint64_t queueStallCycles = 0; ///< waiting for message words
+    Cycle runCycles = 0;                ///< busy (non-idle) cycles
+    Cycle idleCycles = 0;
+
+    std::uint64_t
+    totalCycles() const
+    {
+        return runCycles + idleCycles;
+    }
+};
+
+/** One MDP core. */
+class Processor
+{
+  public:
+    Processor() = default;
+
+    /** Wire the core into its node (called once at machine build). */
+    void init(NodeId id, const MeshDims &dims, const ProcessorConfig &config,
+              NodeMemory *mem, NetworkInterface *ni, const Program *prog);
+
+    /** Start the background thread at @p entry (boot). */
+    void boot(IAddr entry);
+
+    /** Point a fault's vector at a handler entry (loader use). */
+    void
+    setFaultVector(FaultKind kind, IAddr entry)
+    {
+        config_.vectors[static_cast<unsigned>(kind)] = entry;
+        config_.hasVector[static_cast<unsigned>(kind)] = true;
+    }
+
+    /**
+     * Advance by one cycle.
+     * @return true if the core is doing anything (false = idle/halted).
+     */
+    bool step(Cycle now);
+
+    /** A message header arrived (or other wake source) at @p now. */
+    void noteWake(Cycle now);
+
+    /** The machine deactivated the node at @p now (idle accounting). */
+    void noteSleep(Cycle now);
+
+    bool halted() const { return halted_; }
+
+    /** Is any level live (or dispatchable work pending)? */
+    bool runnable() const;
+
+    /** Host output buffer written by the OUT instruction. */
+    const std::vector<Word> &hostOut() const { return hostOut_; }
+    std::vector<Word> &hostOut() { return hostOut_; }
+
+    RegisterSet &regs(Level level) { return sets_[static_cast<unsigned>(level)]; }
+    XlateTable &xlate() { return xlate_; }
+    const XlateTable &xlate() const { return xlate_; }
+
+    const ProcessorStats &stats() const { return stats_; }
+    void resetStats();
+
+    /** Idle cycles including any still-open sleep interval. */
+    Cycle
+    idleCyclesAt(Cycle now) const
+    {
+        return stats_.idleCycles + (sleeping_ ? now - sleepStart_ : 0);
+    }
+
+    /** Per-handler statistics, keyed by handler entry iaddr. */
+    const std::unordered_map<IAddr, HandlerStats> &handlerStats() const
+    {
+        return handlerStats_;
+    }
+
+    NodeId id() const { return id_; }
+
+    /** Debug: stream every executed instruction to stderr. */
+    void setTrace(bool on) { trace_ = on; }
+
+  private:
+    RegisterSet &cur() { return sets_[static_cast<unsigned>(current_)]; }
+
+    /** Pick the level to run; dispatch a queued message if possible. */
+    void selectLevel(Cycle now);
+
+    /** Execute one instruction at the current level. */
+    void executeOne(Cycle now);
+
+    /** Raise a fault: redirect to the vector (or die loudly). */
+    void raiseFault(FaultKind kind, Word fval0, Word fval1);
+
+    // ---- operand helpers (set fault state on error) ----
+    bool aluOperand(std::uint8_t r, std::int32_t &out);
+    bool boolOperand(std::uint8_t r, bool &out);
+    bool memAddress(const Instruction &inst, bool indexed, Addr &addr,
+                    unsigned &penalty);
+    bool queueWordReady(Addr addr);
+
+    void attribute(StatClass cls, unsigned cycles);
+    void attributeIdle(Cycle cycles);
+
+    [[noreturn]] void die(const std::string &msg, IAddr iaddr);
+
+    NodeId id_ = 0;
+    MeshDims dims_;
+    ProcessorConfig config_;
+    NodeMemory *mem_ = nullptr;
+    NetworkInterface *ni_ = nullptr;
+    const Program *prog_ = nullptr;
+    XlateTable xlate_;
+
+    std::array<RegisterSet, kNumLevels> sets_;
+    Level current_ = Level::Background;
+    bool currentValid_ = false;
+    bool halted_ = false;
+    Cycle busyUntil_ = 0;
+    std::array<Addr, kNumLevels> lastFetchWord_{};
+
+    // Fault raised by the executing instruction (applied by executeOne).
+    bool faultPending_ = false;
+    FaultKind faultKind_ = FaultKind::CfutRead;
+    Word faultVal0_;
+    Word faultVal1_;
+
+    // Idle bookkeeping.
+    bool sleeping_ = false;
+    Cycle sleepStart_ = 0;
+
+    // Per-level handler attribution.
+    std::array<IAddr, kNumLevels> handlerEntry_{};
+
+    std::vector<Word> hostOut_;
+    bool trace_ = false;
+    ProcessorStats stats_;
+    std::unordered_map<IAddr, HandlerStats> handlerStats_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_MDP_PROCESSOR_HH

@@ -1,0 +1,2 @@
+// register_set.hh is header-only; this file anchors the translation unit.
+#include "mdp/register_set.hh"

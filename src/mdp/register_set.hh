@@ -1,0 +1,57 @@
+/**
+ * @file
+ * One of the MDP's three register sets.
+ *
+ * The MDP keeps a full register set per execution level (background,
+ * priority 0, priority 1) so that dispatching a higher-priority task
+ * never spills registers — the paper's "fast interrupt processing is
+ * achieved through the use of three distinct register sets".
+ */
+
+#ifndef JMSIM_MDP_REGISTER_SET_HH
+#define JMSIM_MDP_REGISTER_SET_HH
+
+#include <array>
+
+#include "isa/instruction.hh"
+#include "isa/word.hh"
+
+namespace jmsim
+{
+
+/** Execution levels, lowest to highest priority. */
+enum class Level : std::uint8_t
+{
+    Background = 0,
+    P0 = 1,
+    P1 = 2,
+};
+
+inline constexpr unsigned kNumLevels = 3;
+
+/** Registers and per-level execution state. */
+struct RegisterSet
+{
+    std::array<Word, 8> regs{};  ///< R0-R3 then A0-A3
+    IAddr ip = 0;
+    bool live = false;           ///< a thread is running at this level
+    bool parked = false;         ///< background only: suspended for good
+    /** A SEND sequence is open (first SEND seen, no SEND*E yet). The
+     *  MDP makes send sequences atomic: no dispatch or preemption may
+     *  interleave another thread's words into the send channel. */
+    bool sending = false;
+
+    // Fault state (one outstanding fault per level).
+    bool inFault = false;
+    IAddr faultIp = 0;           ///< instruction to retry on RFE
+    Word fval0;                  ///< fault value (e.g. the missed key)
+    Word fval1;
+    std::array<Word, 4> tmp{};   ///< SETSP/GETSP fault temporaries
+
+    Word &operator[](std::uint8_t r) { return regs[r & 7]; }
+    const Word &operator[](std::uint8_t r) const { return regs[r & 7]; }
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_MDP_REGISTER_SET_HH

@@ -1,0 +1,46 @@
+#include "mem/memory.hh"
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+NodeMemory::NodeMemory(const MemoryConfig &config)
+    : config_(config), imem_(config.imemWords, Word::makeBad())
+{
+    if (config.imemWords > kEmemBase)
+        fatal("internal memory overlaps external base");
+    if (config.ememAccessCycles < 1)
+        fatal("external access must cost at least one cycle");
+}
+
+Word
+NodeMemory::read(Addr addr) const
+{
+    if (isInternal(addr))
+        return imem_[addr];
+    if (isExternal(addr)) {
+        if (emem_.empty())
+            return Word::makeBad();
+        return emem_[addr - kEmemBase];
+    }
+    panic("NodeMemory::read of unmapped address " + std::to_string(addr));
+}
+
+void
+NodeMemory::write(Addr addr, Word value)
+{
+    if (isInternal(addr)) {
+        imem_[addr] = value;
+        return;
+    }
+    if (isExternal(addr)) {
+        if (emem_.empty())
+            emem_.assign(config_.ememWords, Word::makeBad());
+        emem_[addr - kEmemBase] = value;
+        return;
+    }
+    panic("NodeMemory::write of unmapped address " + std::to_string(addr));
+}
+
+} // namespace jmsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-node memory: 4K-word on-chip SRAM plus 1 MByte of external DRAM.
+ *
+ * The node sees a flat word-addressed space: internal memory occupies
+ * [0, 4096) and external memory [kEmemBase, kEmemBase + 256K). The two
+ * regions differ only in access cost: internal accesses add one cycle
+ * to an instruction, external accesses cost kEmemAccessCycles in total
+ * (the paper's 6-cycle external-memory latency). Addresses in the gap
+ * or past the end raise a BadAddress fault in the processor.
+ */
+
+#ifndef JMSIM_MEM_MEMORY_HH
+#define JMSIM_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/word.hh"
+#include "sim/types.hh"
+
+namespace jmsim
+{
+
+/** Geometry and timing constants of a node's memory system. */
+struct MemoryConfig
+{
+    std::uint32_t imemWords = 4096;        ///< on-chip SRAM size
+    std::uint32_t ememWords = 262144;      ///< 1 MByte of DRAM (32b data/word)
+    unsigned ememAccessCycles = 6;         ///< total cost of a DRAM access
+    unsigned imemExtraCycles = 1;          ///< extra cost of an SRAM operand
+};
+
+/** Default base address of external memory. */
+inline constexpr Addr kEmemBase = 0x10000;
+
+/** One node's data memory. */
+class NodeMemory
+{
+  public:
+    explicit NodeMemory(const MemoryConfig &config = MemoryConfig{});
+
+    /** True if @p addr names a valid internal-SRAM word. */
+    bool isInternal(Addr addr) const { return addr < config_.imemWords; }
+
+    /** True if @p addr names a valid external-DRAM word. */
+    bool
+    isExternal(Addr addr) const
+    {
+        return addr >= kEmemBase && addr < kEmemBase + config_.ememWords;
+    }
+
+    /** True if @p addr is mapped at all. */
+    bool isValid(Addr addr) const { return isInternal(addr) || isExternal(addr); }
+
+    /**
+     * Extra cycles an instruction pays to touch @p addr
+     * (on top of its 1-cycle base cost).
+     */
+    unsigned
+    accessPenalty(Addr addr) const
+    {
+        return isInternal(addr) ? config_.imemExtraCycles
+                                : config_.ememAccessCycles - 1;
+    }
+
+    /** Read a word; panics on unmapped address (callers pre-check). */
+    Word read(Addr addr) const;
+
+    /** Has this node ever written external memory? (lazy backing) */
+    bool ememTouched() const { return !emem_.empty(); }
+
+    /** Write a word; panics on unmapped address (callers pre-check). */
+    void write(Addr addr, Word value);
+
+    const MemoryConfig &config() const { return config_; }
+
+    /** First address of external memory. */
+    Addr ememBase() const { return kEmemBase; }
+
+    /** One-past-last valid external address. */
+    Addr ememEnd() const { return kEmemBase + config_.ememWords; }
+
+  private:
+    MemoryConfig config_;
+    std::vector<Word> imem_;
+    /** Allocated on first external write (most nodes never touch DRAM
+     *  in small experiments; eager allocation would cost 2 MB/node). */
+    mutable std::vector<Word> emem_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_MEM_MEMORY_HH

@@ -1,0 +1,55 @@
+#include "mem/segment.hh"
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+namespace
+{
+
+Addr
+alignUp(Addr addr)
+{
+    const Addr mask = SegDesc::kBaseAlign - 1;
+    return (addr + mask) & ~mask;
+}
+
+} // namespace
+
+SegmentAllocator::SegmentAllocator(Addr base, std::uint32_t size_words)
+    : next_(alignUp(base)), end_(base + size_words)
+{
+    if (next_ > end_)
+        fatal("SegmentAllocator region too small for alignment");
+}
+
+SegmentAllocator
+SegmentAllocator::forExternal(const NodeMemory &mem)
+{
+    return {mem.ememBase(), mem.config().ememWords};
+}
+
+SegmentAllocator
+SegmentAllocator::forInternal(const NodeMemory &mem, Addr reserved_words)
+{
+    if (reserved_words > mem.config().imemWords)
+        fatal("internal reservation exceeds SRAM size");
+    return {reserved_words, mem.config().imemWords - reserved_words};
+}
+
+SegDesc
+SegmentAllocator::allocate(std::uint32_t length)
+{
+    if (length > SegDesc::kMaxLength)
+        fatal("segment too large: " + std::to_string(length));
+    const Addr base = next_;
+    if (base + length > end_)
+        fatal("segment allocator exhausted (wanted " +
+              std::to_string(length) + " words, " +
+              std::to_string(end_ - base) + " left)");
+    next_ = alignUp(base + length);
+    return SegDesc{base, length};
+}
+
+} // namespace jmsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Segment allocation helpers.
+ *
+ * The MDP references local memory through segment descriptors (base +
+ * length, see SegDesc in isa/word.hh). SegmentAllocator is the host's
+ * bump allocator used by workload drivers to lay out per-node objects
+ * before a run; it hands out 16-word-aligned segments so every
+ * allocation is representable as a descriptor word.
+ */
+
+#ifndef JMSIM_MEM_SEGMENT_HH
+#define JMSIM_MEM_SEGMENT_HH
+
+#include <cstdint>
+
+#include "isa/word.hh"
+#include "mem/memory.hh"
+
+namespace jmsim
+{
+
+/** Bump allocator over one region of a node's address space. */
+class SegmentAllocator
+{
+  public:
+    /** Manage [base, base + size) of some node's memory. */
+    SegmentAllocator(Addr base, std::uint32_t size_words);
+
+    /** Allocator over a node's whole external memory. */
+    static SegmentAllocator forExternal(const NodeMemory &mem);
+
+    /** Allocator over internal SRAM above the given reserved prefix. */
+    static SegmentAllocator forInternal(const NodeMemory &mem,
+                                        Addr reserved_words);
+
+    /**
+     * Allocate @p length words (16-word-aligned base); fatal() if the
+     * region is exhausted.
+     */
+    SegDesc allocate(std::uint32_t length);
+
+    /** Words still available (ignoring alignment loss). */
+    std::uint32_t remaining() const { return end_ - next_; }
+
+    /** Next base that would be returned. */
+    Addr watermark() const { return next_; }
+
+  private:
+    Addr next_;
+    Addr end_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_MEM_SEGMENT_HH

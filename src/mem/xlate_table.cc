@@ -1,0 +1,86 @@
+#include "mem/xlate_table.hh"
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+XlateTable::XlateTable(unsigned num_sets, unsigned ways)
+    : numSets_(num_sets), ways_(ways),
+      entries_(static_cast<std::size_t>(num_sets) * ways),
+      victim_(num_sets, 0)
+{
+    if (num_sets == 0 || (num_sets & (num_sets - 1)) != 0)
+        fatal("XlateTable sets must be a power of two");
+    if (ways == 0)
+        fatal("XlateTable needs at least one way");
+}
+
+std::size_t
+XlateTable::setIndex(Word key) const
+{
+    // Mix data bits and tag so consecutive names spread across sets.
+    std::uint32_t h = key.bits ^ (static_cast<std::uint32_t>(key.tag) << 28);
+    h ^= h >> 16;
+    h *= 0x45d9f3b;
+    h ^= h >> 16;
+    return h & (numSets_ - 1);
+}
+
+void
+XlateTable::enter(Word key, Word value)
+{
+    stats_.inserts += 1;
+    Entry *set = &entries_[setIndex(key) * ways_];
+    // Update in place on re-ENTER of an existing key.
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].key == key) {
+            set[w].value = value;
+            return;
+        }
+    }
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!set[w].valid) {
+            set[w] = {true, key, value};
+            return;
+        }
+    }
+    auto &vic = victim_[setIndex(key)];
+    set[vic] = {true, key, value};
+    vic = static_cast<std::uint8_t>((vic + 1) % ways_);
+    stats_.evictions += 1;
+}
+
+std::optional<Word>
+XlateTable::lookup(Word key)
+{
+    stats_.lookups += 1;
+    Entry *set = &entries_[setIndex(key) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].key == key) {
+            stats_.hits += 1;
+            return set[w].value;
+        }
+    }
+    stats_.misses += 1;
+    return std::nullopt;
+}
+
+void
+XlateTable::invalidate(Word key)
+{
+    Entry *set = &entries_[setIndex(key) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].key == key)
+            set[w].valid = false;
+    }
+}
+
+void
+XlateTable::clear()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+} // namespace jmsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The MDP's hardware name-translation table.
+ *
+ * ENTER inserts a (key, value) pair; XLATE looks a key up in 3 cycles
+ * on a hit and faults to a software handler on a miss. The table is a
+ * small set-associative cache of bindings; software owns the full
+ * name directory and refills the table inside the miss handler, which
+ * is exactly how CST/COSMOS used the mechanism (Table 5's xlate-fault
+ * counts).
+ */
+
+#ifndef JMSIM_MEM_XLATE_TABLE_HH
+#define JMSIM_MEM_XLATE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/word.hh"
+
+namespace jmsim
+{
+
+/** Statistics kept by the translation table. */
+struct XlateStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+};
+
+/** Set-associative hardware translation cache. */
+class XlateTable
+{
+  public:
+    /**
+     * @param num_sets power-of-two number of sets
+     * @param ways     associativity
+     */
+    explicit XlateTable(unsigned num_sets = 64, unsigned ways = 2);
+
+    /** Insert or update a binding (ENTER). */
+    void enter(Word key, Word value);
+
+    /** Look up a key (XLATE / PROBE); counts hit or miss. */
+    std::optional<Word> lookup(Word key);
+
+    /** Remove one binding if present. */
+    void invalidate(Word key);
+
+    /** Drop every binding. */
+    void clear();
+
+    const XlateStats &stats() const { return stats_; }
+    void resetStats() { stats_ = XlateStats{}; }
+
+    unsigned numSets() const { return numSets_; }
+    unsigned ways() const { return ways_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Word key;
+        Word value;
+    };
+
+    std::size_t setIndex(Word key) const;
+
+    unsigned numSets_;
+    unsigned ways_;
+    std::vector<Entry> entries_;   ///< numSets_ * ways_, set-major
+    std::vector<std::uint8_t> victim_;  ///< round-robin pointer per set
+    XlateStats stats_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_MEM_XLATE_TABLE_HH

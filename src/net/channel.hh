@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A one-flit pipeline register between adjacent routers.
+ *
+ * A flit written in cycle t becomes visible to the downstream router
+ * in cycle t+1 (the paper's 1 cycle/hop minimum latency). The channel
+ * holds at most one flit; if the downstream input buffer is full, the
+ * flit stays put and the upstream router cannot send — wormhole
+ * back-pressure.
+ */
+
+#ifndef JMSIM_NET_CHANNEL_HH
+#define JMSIM_NET_CHANNEL_HH
+
+#include "net/message.hh"
+#include "sim/types.hh"
+
+namespace jmsim
+{
+
+/** Unidirectional link between two routers. */
+class Channel
+{
+  public:
+    Channel() = default;
+
+    /** Identify endpoints (set once by the mesh at construction). */
+    void
+    setEndpoints(NodeId from, NodeId to, unsigned axis, bool positive)
+    {
+        from_ = from;
+        to_ = to;
+        axis_ = axis;
+        positive_ = positive;
+    }
+
+    NodeId from() const { return from_; }
+    NodeId to() const { return to_; }
+    unsigned axis() const { return axis_; }
+    bool positive() const { return positive_; }
+
+    /** Upstream: may a flit be written this cycle? */
+    bool canSend() const { return !curValid_ && !nextValid_; }
+
+    /** Upstream: write a flit (requires canSend()). */
+    void
+    send(Flit flit)
+    {
+        next_ = std::move(flit);
+        nextValid_ = true;
+    }
+
+    /** Downstream: is a flit visible this cycle? */
+    bool hasFlit() const { return curValid_; }
+
+    /** Downstream: inspect the visible flit. */
+    const Flit &peek() const { return cur_; }
+
+    /** Downstream: consume the visible flit. */
+    Flit
+    take()
+    {
+        curValid_ = false;
+        return std::move(cur_);
+    }
+
+    /** End of cycle: advance the pipeline register. @return true if a
+     *  flit became visible (the mesh then wakes the destination). */
+    bool
+    commit()
+    {
+        if (!nextValid_)
+            return false;
+        cur_ = std::move(next_);
+        curValid_ = true;
+        nextValid_ = false;
+        return true;
+    }
+
+    /** True if the channel holds anything at all. */
+    bool busy() const { return curValid_ || nextValid_; }
+
+  private:
+    Flit cur_;
+    Flit next_;
+    bool curValid_ = false;
+    bool nextValid_ = false;
+    NodeId from_ = 0;
+    NodeId to_ = 0;
+    unsigned axis_ = 0;
+    bool positive_ = true;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_NET_CHANNEL_HH

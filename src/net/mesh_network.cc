@@ -1,0 +1,177 @@
+#include "net/mesh_network.hh"
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+namespace
+{
+
+/** Neighbour coordinate in direction @p dir, or false if off-mesh. */
+bool
+neighbour(const MeshDims &dims, RouterAddr at, unsigned dir, RouterAddr &out)
+{
+    int x = at.x, y = at.y, z = at.z;
+    switch (dir) {
+      case kXNeg: x -= 1; break;
+      case kXPos: x += 1; break;
+      case kYNeg: y -= 1; break;
+      case kYPos: y += 1; break;
+      case kZNeg: z -= 1; break;
+      case kZPos: z += 1; break;
+      default: panic("bad direction");
+    }
+    if (x < 0 || y < 0 || z < 0 || x >= static_cast<int>(dims.x) ||
+        y >= static_cast<int>(dims.y) || z >= static_cast<int>(dims.z))
+        return false;
+    out = {static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y),
+           static_cast<std::uint8_t>(z)};
+    return true;
+}
+
+unsigned
+oppositeDir(unsigned dir)
+{
+    return dir ^ 1u;
+}
+
+} // namespace
+
+MeshNetwork::MeshNetwork(const MeshDims &dims)
+    : dims_(dims),
+      routers_(dims.nodes()),
+      channels_(static_cast<std::size_t>(dims.nodes()) * kNumDirs),
+      activeFlag_(dims.nodes(), 0)
+{
+    for (NodeId id = 0; id < dims.nodes(); ++id) {
+        const RouterAddr addr = dims.toCoord(id);
+        routers_[id].init(id, addr, nullptr);
+        for (unsigned dir = 0; dir < kNumDirs; ++dir) {
+            RouterAddr to;
+            if (!neighbour(dims, addr, dir, to))
+                continue;
+            const NodeId to_id = dims.toLinear(to);
+            Channel &ch = channels_[id * kNumDirs + dir];
+            ch.setEndpoints(id, to_id, dir / 2, (dir & 1) != 0);
+            routers_[id].setOutChannel(static_cast<Direction>(dir), &ch);
+            routers_[to_id].setInChannel(
+                static_cast<Direction>(oppositeDir(dir)), &ch);
+        }
+    }
+    touched_.reserve(channels_.size());
+    active_.reserve(dims.nodes());
+}
+
+void
+MeshNetwork::setDeliverSink(NodeId id, DeliverSink *sink)
+{
+    routers_[id].init(id, dims_.toCoord(id), sink);
+}
+
+void
+MeshNetwork::setRoundRobin(bool rr)
+{
+    for (auto &r : routers_)
+        r.setRoundRobin(rr);
+}
+
+void
+MeshNetwork::activate(NodeId id)
+{
+    if (!activeFlag_[id]) {
+        activeFlag_[id] = 1;
+        active_.push_back(id);
+    }
+}
+
+void
+MeshNetwork::injectFlit(NodeId id, Flit flit)
+{
+    routers_[id].inject(std::move(flit));
+    activate(id);
+}
+
+void
+MeshNetwork::step(Cycle now)
+{
+    if (active_.empty())
+        return;
+
+    // activate() may append to active_ during the commit loop below, so
+    // phases iterate by index over the cycle-start snapshot length.
+    const std::size_t n = active_.size();
+
+    for (std::size_t i = 0; i < n; ++i)
+        routers_[active_[i]].pullPhase();
+
+    for (std::size_t i = 0; i < n; ++i)
+        routers_[active_[i]].movePhase(now);
+
+    // Commit channel pipeline registers written by this cycle's moves,
+    // waking the downstream routers and counting bisection crossings.
+    const unsigned mid = dims_.x / 2;
+    for (std::size_t i = 0; i < n; ++i) {
+        const NodeId id = active_[i];
+        for (unsigned dir = 0; dir < kNumDirs; ++dir) {
+            Channel &ch = channels_[id * kNumDirs + dir];
+            if (!ch.commit())
+                continue;
+            activate(ch.to());
+            if (dims_.x > 1 && ch.axis() == 0 && !ch.peek().isHead()) {
+                const RouterAddr from = dims_.toCoord(ch.from());
+                if (ch.positive() && from.x == mid - 1)
+                    stats_.bisectionFlitsPos += 1;
+                else if (!ch.positive() && from.x == mid)
+                    stats_.bisectionFlitsNeg += 1;
+            }
+        }
+    }
+
+    // Keep only routers that still have (or are about to have) work;
+    // routers woken during commit carry a pending channel flit and so
+    // pass the hasPendingInput() test.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        const NodeId id = active_[i];
+        const Router &r = routers_[id];
+        if (r.residentFlits() > 0 || r.hasPendingInput()) {
+            active_[keep++] = id;
+        } else {
+            activeFlag_[id] = 0;
+        }
+    }
+    active_.resize(keep);
+}
+
+bool
+MeshNetwork::busy() const
+{
+    for (const auto &r : routers_) {
+        if (r.residentFlits() > 0)
+            return true;
+    }
+    for (const auto &ch : channels_) {
+        if (ch.busy())
+            return true;
+    }
+    return false;
+}
+
+void
+MeshNetwork::resetStats()
+{
+    stats_ = NetworkStats{};
+    for (auto &r : routers_)
+        r.resetStats();
+}
+
+double
+MeshNetwork::bisectionCapacityBitsPerSec() const
+{
+    const double channels = static_cast<double>(dims_.y) * dims_.z;
+    const double words_per_cycle = 1.0 / kFlitsPerWord;
+    return channels * words_per_cycle * kBitsPerWord * kClockHz;
+}
+
+} // namespace jmsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The 3-D mesh fabric: routers, channels, and activity tracking.
+ *
+ * The mesh advances in lock-step with the processor clock but only
+ * touches routers that hold flits (or are about to receive one), so an
+ * idle network costs nothing. Bisection traffic is counted the way the
+ * paper quotes it: payload flits crossing the X mid-plane in the
+ * positive direction, at 36 bits per word, against a one-direction
+ * capacity of width * 0.5 words/cycle.
+ */
+
+#ifndef JMSIM_NET_MESH_NETWORK_HH
+#define JMSIM_NET_MESH_NETWORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/channel.hh"
+#include "net/router.hh"
+#include "net/router_address.hh"
+#include "sim/types.hh"
+
+namespace jmsim
+{
+
+/** Fabric-level statistics. */
+struct NetworkStats
+{
+    std::uint64_t messagesDelivered = 0;
+    std::uint64_t wordsDelivered = 0;
+    /** Payload flits crossing the X mid-plane, per direction. */
+    std::uint64_t bisectionFlitsPos = 0;
+    std::uint64_t bisectionFlitsNeg = 0;
+
+    /** Bits crossing the mid-plane in the positive direction. */
+    double
+    bisectionBitsPos() const
+    {
+        return static_cast<double>(bisectionFlitsPos) *
+               (kBitsPerWord / kFlitsPerWord);
+    }
+};
+
+/** The complete interconnect of one J-Machine. */
+class MeshNetwork
+{
+  public:
+    explicit MeshNetwork(const MeshDims &dims);
+
+    MeshNetwork(const MeshNetwork &) = delete;
+    MeshNetwork &operator=(const MeshNetwork &) = delete;
+
+    /** Attach node @p id's delivery sink (must precede stepping). */
+    void setDeliverSink(NodeId id, DeliverSink *sink);
+
+    /** Select arbitration policy on every router (ablation hook). */
+    void setRoundRobin(bool rr);
+
+    /** Advance the fabric by one cycle. */
+    void step(Cycle now);
+
+    /** NI-side: may node @p id inject a flit at priority @p vn? */
+    bool
+    canInject(NodeId id, unsigned vn) const
+    {
+        return routers_[id].canInject(vn);
+    }
+
+    /** NI-side: push one flit into node @p id's inject port. */
+    void injectFlit(NodeId id, Flit flit);
+
+    /** Called by sinks when a whole message has been delivered. */
+    void
+    noteMessageDelivered(const Message &msg)
+    {
+        stats_.messagesDelivered += 1;
+        stats_.wordsDelivered += msg.words.size();
+    }
+
+    /** True if any flit is in flight anywhere (exhaustive scan). */
+    bool busy() const;
+
+    /** Cheap activity check: any router on the active list? */
+    bool anyActive() const { return !active_.empty(); }
+
+    const MeshDims &dims() const { return dims_; }
+    Router &router(NodeId id) { return routers_[id]; }
+    const NetworkStats &stats() const { return stats_; }
+    void resetStats();
+
+    /** One-direction bisection capacity in bits per second. */
+    double bisectionCapacityBitsPerSec() const;
+
+  private:
+    void activate(NodeId id);
+
+    MeshDims dims_;
+    std::vector<Router> routers_;
+    /** Channels indexed [node * kNumDirs + dir] = outgoing channel. */
+    std::vector<Channel> channels_;
+    std::vector<Channel *> touched_;      ///< channels written this cycle
+    std::vector<NodeId> active_;          ///< routers to step this cycle
+    std::vector<std::uint8_t> activeFlag_;
+    NetworkStats stats_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_NET_MESH_NETWORK_HH

@@ -1,0 +1,2 @@
+// message.hh is header-only; this file anchors the translation unit.
+#include "net/message.hh"

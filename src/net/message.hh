@@ -1,0 +1,88 @@
+/**
+ * @file
+ * In-flight network messages and their flit decomposition.
+ *
+ * A message on the wire is a head flit carrying the destination and
+ * priority followed by two body flits per 36-bit payload word (the
+ * channel moves half a word per cycle: the paper's 0.5 words/cycle
+ * channel bandwidth). Payload word 0 is the Msg-tagged header holding
+ * the dispatch IP and length; the destination word consumed by the
+ * first SEND never appears in the payload, mirroring the MDP.
+ */
+
+#ifndef JMSIM_NET_MESSAGE_HH
+#define JMSIM_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/word.hh"
+#include "net/router_address.hh"
+#include "sim/types.hh"
+
+namespace jmsim
+{
+
+/** Number of body flits per payload word. */
+inline constexpr unsigned kFlitsPerWord = 2;
+
+/** Bits per payload word for bandwidth accounting (36-bit words). */
+inline constexpr unsigned kBitsPerWord = 36;
+
+/** One message travelling through the mesh. */
+struct Message
+{
+    NodeId src = 0;
+    NodeId dest = 0;
+    RouterAddr destAddr;
+    std::uint8_t priority = 0;           ///< 0 or 1
+    std::vector<Word> words;             ///< payload, [0] = Msg header
+    Cycle injectCycle = 0;               ///< first flit entered the router
+    Cycle deliverCycle = 0;              ///< last word written to the queue
+    /** Cut-through: words may still be appended until the sender's
+     *  SEND*E executes; only then is the last flit a tail. */
+    bool finalized = false;
+
+    /** Total flits on a channel so far: head + 2 per word. */
+    std::uint32_t
+    flitCount() const
+    {
+        return 1 + kFlitsPerWord * static_cast<std::uint32_t>(words.size());
+    }
+};
+
+using MessageRef = std::shared_ptr<Message>;
+
+/** One flit: a cursor into a message. */
+struct Flit
+{
+    MessageRef msg;
+    std::uint32_t index = 0;   ///< 0 = head flit
+    std::uint8_t vn = 0;       ///< virtual network (= message priority)
+
+    bool isHead() const { return index == 0; }
+
+    bool
+    isTail() const
+    {
+        return msg && msg->finalized && index + 1 == msg->flitCount();
+    }
+
+    /**
+     * Payload word this flit completes, or -1.
+     * Body flits for word w have indices 1+2w and 2+2w; the second one
+     * completes the word.
+     */
+    std::int32_t
+    completesWord() const
+    {
+        if (index == 0 || (index % kFlitsPerWord) != 0)
+            return -1;
+        return static_cast<std::int32_t>(index / kFlitsPerWord) - 1;
+    }
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_NET_MESSAGE_HH

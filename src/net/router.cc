@@ -1,0 +1,150 @@
+#include "net/router.hh"
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+void
+Router::init(NodeId id, RouterAddr addr, DeliverSink *sink)
+{
+    id_ = id;
+    addr_ = addr;
+    sink_ = sink;
+    for (auto &per_out : owner_)
+        per_out.fill(-1);
+}
+
+void
+Router::pullPhase()
+{
+    for (unsigned dir = 0; dir < kNumDirs; ++dir) {
+        Channel *ch = in_[dir];
+        if (!ch || !ch->hasFlit())
+            continue;
+        const unsigned vn = ch->peek().vn;
+        if (fifos_[dir][vn].full())
+            continue;
+        fifos_[dir][vn].push(ch->take());
+        ++resident_;
+    }
+}
+
+unsigned
+Router::route(const RouterAddr &dest) const
+{
+    if (dest.x != addr_.x)
+        return dest.x > addr_.x ? kXPos : kXNeg;
+    if (dest.y != addr_.y)
+        return dest.y > addr_.y ? kYPos : kYNeg;
+    if (dest.z != addr_.z)
+        return dest.z > addr_.z ? kZPos : kZNeg;
+    return kDeliverPort;
+}
+
+bool
+Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now)
+{
+    FlitFifo &fifo = fifos_[in][vn];
+    if (out == kDeliverPort) {
+        if (!sink_->canAcceptFlit(fifo.front()))
+            return false;
+        Flit flit = fifo.pop();
+        --resident_;
+        const bool tail = flit.isTail();
+        stats_.flitsDelivered += 1;
+        sink_->acceptFlit(flit, now);
+        owner_[out][vn] = tail ? -1 : static_cast<std::int8_t>(in);
+        return true;
+    }
+    Channel *ch = out_[out];
+    if (!ch || !ch->canSend())
+        return false;
+    Flit flit = fifo.pop();
+    --resident_;
+    const bool tail = flit.isTail();
+    stats_.flitsRouted += 1;
+    ch->send(std::move(flit));
+    owner_[out][vn] = tail ? -1 : static_cast<std::int8_t>(in);
+    sentThisCycle_ = true;
+    if (in == kInjectPort)
+        injectMoved_[vn] = true;
+    return true;
+}
+
+bool
+Router::movePhase(Cycle now)
+{
+    sentThisCycle_ = false;
+    injectMoved_.fill(false);
+    if (resident_ == 0)
+        return false;
+
+    for (unsigned out = 0; out < kNumOutPorts; ++out) {
+        bool moved = false;
+        // Priority-1 virtual network is preferred on every physical port.
+        for (unsigned vn_i = 0; vn_i < kNumVns && !moved; ++vn_i) {
+            const unsigned vn = 1 - vn_i;
+            const std::int8_t own = owner_[out][vn];
+            if (own >= 0) {
+                // Continuing worm: only its body flits may use the port.
+                FlitFifo &fifo = fifos_[own][vn];
+                if (!fifo.empty())
+                    moved = tryMove(out, vn, own, now);
+                continue;
+            }
+            // Allocate the output to a new worm: scan head flits.
+            const unsigned start = roundRobin_ ? rrNext_[out] : 0;
+            for (unsigned k = 0; k < kNumInPorts; ++k) {
+                const unsigned in = (start + k) % kNumInPorts;
+                FlitFifo &fifo = fifos_[in][vn];
+                if (fifo.empty() || !fifo.front().isHead())
+                    continue;
+                if (route(fifo.front().msg->destAddr) != out)
+                    continue;
+                if (tryMove(out, vn, in, now)) {
+                    moved = true;
+                    if (roundRobin_)
+                        rrNext_[out] =
+                            static_cast<std::uint8_t>((in + 1) % kNumInPorts);
+                    break;
+                }
+                // Head flit blocked downstream: the output stays free
+                // this cycle, but no lower-priority input may claim it
+                // either (a blocked head still holds its request).
+                break;
+            }
+        }
+    }
+
+    // Injection fairness statistic: a pending inject head that did not
+    // move this cycle counts as a stall.
+    for (unsigned vn = 0; vn < kNumVns; ++vn) {
+        const FlitFifo &inj = fifos_[kInjectPort][vn];
+        if (!inj.empty() && !injectMoved_[vn])
+            stats_.injectStalls += 1;
+    }
+    return sentThisCycle_;
+}
+
+void
+Router::inject(Flit flit)
+{
+    const unsigned vn = flit.vn;
+    if (fifos_[kInjectPort][vn].full())
+        panic("Router::inject on full FIFO (call canInject first)");
+    fifos_[kInjectPort][vn].push(std::move(flit));
+    ++resident_;
+}
+
+bool
+Router::hasPendingInput() const
+{
+    for (unsigned dir = 0; dir < kNumDirs; ++dir) {
+        if (in_[dir] && in_[dir]->hasFlit())
+            return true;
+    }
+    return false;
+}
+
+} // namespace jmsim

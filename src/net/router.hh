@@ -1,0 +1,173 @@
+/**
+ * @file
+ * One MDP router: deterministic e-cube wormhole routing on a 3-D mesh
+ * with two priority levels carried on separate virtual networks.
+ *
+ * Output arbitration is fixed-priority by input index with injection
+ * last — the source of the unfairness the paper observed in radix sort
+ * ("nodes may be unable to inject a message ... for an arbitrarily
+ * long period of time"). A round-robin mode is provided for the
+ * arbitration ablation. Priority-1 traffic is preferred over
+ * priority-0 whenever both want the same physical channel.
+ */
+
+#ifndef JMSIM_NET_ROUTER_HH
+#define JMSIM_NET_ROUTER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "net/channel.hh"
+#include "net/message.hh"
+#include "net/router_address.hh"
+
+namespace jmsim
+{
+
+/** Input/output directions; Inject/Deliver are the local ports. */
+enum Direction : std::uint8_t
+{
+    kXNeg = 0, kXPos, kYNeg, kYPos, kZNeg, kZPos,
+    kNumDirs = 6,
+};
+
+/** Input port indices: six directions then injection. */
+inline constexpr unsigned kInjectPort = 6;
+inline constexpr unsigned kNumInPorts = 7;
+
+/** Output port indices: six directions then delivery. */
+inline constexpr unsigned kDeliverPort = 6;
+inline constexpr unsigned kNumOutPorts = 7;
+
+/** Number of virtual networks (message priorities). */
+inline constexpr unsigned kNumVns = 2;
+
+/** Sink for flits that reach their destination (the node's NI). */
+class DeliverSink
+{
+  public:
+    virtual ~DeliverSink() = default;
+
+    /** May the sink accept this flit this cycle? */
+    virtual bool canAcceptFlit(const Flit &flit) = 0;
+
+    /** Hand a flit to the sink (only after canAcceptFlit). */
+    virtual void acceptFlit(const Flit &flit, Cycle now) = 0;
+};
+
+/** A small flit FIFO (per input port, per virtual network). */
+class FlitFifo
+{
+  public:
+    static constexpr unsigned kCapacity = 4;
+
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == kCapacity; }
+    unsigned size() const { return count_; }
+
+    void
+    push(Flit flit)
+    {
+        slots_[(head_ + count_) % kCapacity] = std::move(flit);
+        ++count_;
+    }
+
+    const Flit &front() const { return slots_[head_]; }
+
+    Flit
+    pop()
+    {
+        Flit f = std::move(slots_[head_]);
+        head_ = (head_ + 1) % kCapacity;
+        --count_;
+        return f;
+    }
+
+  private:
+    std::array<Flit, kCapacity> slots_;
+    unsigned head_ = 0;
+    unsigned count_ = 0;
+};
+
+/** Router statistics. */
+struct RouterStats
+{
+    std::uint64_t flitsRouted = 0;     ///< flits moved to any output
+    std::uint64_t flitsDelivered = 0;  ///< flits handed to the local sink
+    std::uint64_t injectStalls = 0;    ///< cycles the inject head lost arbitration
+};
+
+/** One node's router. */
+class Router
+{
+  public:
+    Router() = default;
+
+    /** Wire the router into the mesh (called once at construction). */
+    void init(NodeId id, RouterAddr addr, DeliverSink *sink);
+
+    /** Attach the outgoing channel in direction @p dir (may be null). */
+    void setOutChannel(Direction dir, Channel *ch) { out_[dir] = ch; }
+
+    /** Attach the incoming channel in direction @p dir (may be null). */
+    void setInChannel(Direction dir, Channel *ch) { in_[dir] = ch; }
+
+    /** Select round-robin (true) or fixed-priority (false) arbitration. */
+    void setRoundRobin(bool rr) { roundRobin_ = rr; }
+
+    /** Phase 1: drain visible flits from incoming channels. */
+    void pullPhase();
+
+    /** Phase 2: arbitrate outputs and move at most 1 flit per output.
+     *  @return true if any output channel was written. */
+    bool movePhase(Cycle now);
+
+    /** May the NI enqueue a flit on the inject port? */
+    bool
+    canInject(unsigned vn) const
+    {
+        return !fifos_[kInjectPort][vn].full();
+    }
+
+    /** NI pushes one flit onto the inject port. */
+    void inject(Flit flit);
+
+    /** Total flits buffered in this router. */
+    unsigned residentFlits() const { return resident_; }
+
+    /** True if an incoming channel holds a flit we have not pulled. */
+    bool hasPendingInput() const;
+
+    const RouterStats &stats() const { return stats_; }
+    void resetStats() { stats_ = RouterStats{}; }
+
+    NodeId id() const { return id_; }
+    RouterAddr addr() const { return addr_; }
+
+  private:
+    /** E-cube output for a head flit addressed to @p dest. */
+    unsigned route(const RouterAddr &dest) const;
+
+    /** Move one flit from input @p in to output @p out if possible. */
+    bool tryMove(unsigned out, unsigned vn, unsigned in, Cycle now);
+
+    NodeId id_ = 0;
+    RouterAddr addr_;
+    DeliverSink *sink_ = nullptr;
+    std::array<Channel *, kNumDirs> in_{};
+    std::array<Channel *, kNumDirs> out_{};
+    std::array<std::array<FlitFifo, kNumVns>, kNumInPorts> fifos_;
+    /** Input currently owning each (output, vn), or -1. */
+    std::array<std::array<std::int8_t, kNumVns>, kNumOutPorts> owner_;
+    /** Round-robin scan start per output (ablation mode only). */
+    std::array<std::uint8_t, kNumOutPorts> rrNext_{};
+    unsigned resident_ = 0;
+    bool roundRobin_ = false;
+    bool sentThisCycle_ = false;
+    std::array<bool, kNumVns> injectMoved_{};
+    RouterStats stats_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_NET_ROUTER_HH

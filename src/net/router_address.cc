@@ -1,0 +1,50 @@
+#include "net/router_address.hh"
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+namespace
+{
+
+unsigned
+absDiff(std::uint8_t a, std::uint8_t b)
+{
+    return a > b ? a - b : b - a;
+}
+
+} // namespace
+
+unsigned
+RouterAddr::hopsTo(const RouterAddr &other) const
+{
+    return absDiff(x, other.x) + absDiff(y, other.y) + absDiff(z, other.z);
+}
+
+std::string
+RouterAddr::toString() const
+{
+    return "(" + std::to_string(x) + "," + std::to_string(y) + "," +
+           std::to_string(z) + ")";
+}
+
+MeshDims
+MeshDims::forNodeCount(unsigned nodes)
+{
+    if (nodes == 0 || (nodes & (nodes - 1)) != 0 || nodes > 32768)
+        fatal("node count must be a power of two <= 32768, got " +
+              std::to_string(nodes));
+    // Distribute the log2 across z, y, x so that dims differ by at
+    // most a factor of two and x gets the largest share.
+    unsigned log = 0;
+    for (unsigned n = nodes; n > 1; n >>= 1)
+        ++log;
+    MeshDims dims;
+    dims.x = 1u << ((log + 2) / 3);
+    dims.y = 1u << ((log + 1) / 3);
+    dims.z = 1u << (log / 3);
+    return dims;
+}
+
+} // namespace jmsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * 3-D mesh coordinates and mesh geometry.
+ *
+ * Router addresses are (x, y, z) coordinates packed into a word as
+ * x | y<<5 | z<<10 (5 bits per dimension, up to 32 nodes per axis).
+ * Applications obtain their own address from the NNR special register
+ * and compute peers' addresses from linear node indices — the "NNR
+ * calc" overhead category of the paper's Figure 6.
+ */
+
+#ifndef JMSIM_NET_ROUTER_ADDRESS_HH
+#define JMSIM_NET_ROUTER_ADDRESS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace jmsim
+{
+
+/** Coordinates of one node in the 3-D mesh. */
+struct RouterAddr
+{
+    std::uint8_t x = 0;
+    std::uint8_t y = 0;
+    std::uint8_t z = 0;
+
+    bool operator==(const RouterAddr &other) const = default;
+
+    /** Pack into the NNR word format. */
+    std::uint32_t
+    pack() const
+    {
+        return static_cast<std::uint32_t>(x) |
+               (static_cast<std::uint32_t>(y) << 5) |
+               (static_cast<std::uint32_t>(z) << 10);
+    }
+
+    /** Unpack from the NNR word format. */
+    static RouterAddr
+    unpack(std::uint32_t bits)
+    {
+        return {static_cast<std::uint8_t>(bits & 0x1f),
+                static_cast<std::uint8_t>((bits >> 5) & 0x1f),
+                static_cast<std::uint8_t>((bits >> 10) & 0x1f)};
+    }
+
+    /** Manhattan distance to @p other (network hops). */
+    unsigned hopsTo(const RouterAddr &other) const;
+
+    std::string toString() const;
+};
+
+/** Mesh dimensions plus linear <-> coordinate conversion. */
+struct MeshDims
+{
+    unsigned x = 1;
+    unsigned y = 1;
+    unsigned z = 1;
+
+    unsigned nodes() const { return x * y * z; }
+
+    /** Packed form for the DIMS special register. */
+    std::uint32_t
+    pack() const
+    {
+        return x | (y << 5) | (z << 10);
+    }
+
+    /** x-major linear index of a coordinate. */
+    NodeId
+    toLinear(const RouterAddr &addr) const
+    {
+        return addr.x + x * (addr.y + y * addr.z);
+    }
+
+    /** Coordinate of a linear index. */
+    RouterAddr
+    toCoord(NodeId id) const
+    {
+        return {static_cast<std::uint8_t>(id % x),
+                static_cast<std::uint8_t>((id / x) % y),
+                static_cast<std::uint8_t>(id / (x * y))};
+    }
+
+    /**
+     * Standard experiment geometry for a node count: the most cubic
+     * power-of-two box (matches how the 512-node prototype was run as
+     * 8x8x8). fatal() unless @p nodes is a power of two <= 32768.
+     */
+    static MeshDims forNodeCount(unsigned nodes);
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_NET_ROUTER_ADDRESS_HH

@@ -1,0 +1,418 @@
+#include "runtime/jos.hh"
+
+namespace jmsim
+{
+namespace jos
+{
+
+const char *
+kernelSource()
+{
+    return R"(
+; ======================================================================
+; JOS -- the jmsim runtime kernel.
+; See runtime/jos.hh for the memory map and calling conventions.
+; ======================================================================
+.region os
+
+.equ JOS_SCRATCH,   3840
+.equ JOS_GLOBALS,   3856
+.equ JOS_CTX_POOL,  3872
+.equ JOS_CTX_COUNT, 8
+.equ JOS_CTX_SIZE,  16
+.equ BAR_BASE,      4000
+.equ APP_SCRATCH,   4032
+.equ JOS_DIR,       65536
+.equ JOS_DIR_WORDS, 8192
+.equ TAG_CTX,       10
+
+; ----------------------------------------------------------------------
+; jos_init: boot-time setup. Link in A2. Clobbers R0-R3, A0, A1.
+; Globals: +0 -xshift   +1 -(xshift+yshift)   +2 xmask   +3 ymask
+;          +4 context free-list head (0 = exhausted)
+; ----------------------------------------------------------------------
+jos_init:
+    LDL A0, seg(JOS_GLOBALS, 16)
+    GETSP R0, DIMS
+    LDL R3, #31
+    AND R1, R0, R3          ; dx
+    ADDI R2, R1, #-1
+    ST [A0+2], R2           ; xmask = dx-1
+    MOVEI R2, 0
+jos_init_xs:
+    LEI A1, R1, #1
+    BT A1, jos_init_xd
+    LSHI R1, R1, #-1
+    ADDI R2, R2, #1
+    BR jos_init_xs
+jos_init_xd:
+    MOVE A1, R2             ; keep xshift
+    NEG R2, R2
+    ST [A0+0], R2           ; -xshift
+    LSHI R1, R0, #-5
+    LDL R3, #31
+    AND R1, R1, R3          ; dy
+    ADDI R2, R1, #-1
+    ST [A0+3], R2           ; ymask = dy-1
+    MOVEI R2, 0
+jos_init_ys:
+    LEI R3, R1, #1
+    BT R3, jos_init_yd
+    LSHI R1, R1, #-1
+    ADDI R2, R2, #1
+    BR jos_init_ys
+jos_init_yd:
+    ADD R2, R2, A1
+    NEG R2, R2
+    ST [A0+1], R2           ; -(xshift+yshift)
+    ; Thread the context pool onto the free list.
+    LDL R0, #JOS_CTX_POOL
+    ST [A0+4], R0
+    MOVEI R1, 0
+jos_init_ctx:
+    MOVEI R2, 16
+    SETSEG A1, R0, R2
+    ADD R3, R0, R2          ; next block
+    EQI R2, R1, #JOS_CTX_COUNT-1
+    BF R2, jos_init_ctx_link
+    MOVEI R3, 0             ; last block terminates the list
+jos_init_ctx_link:
+    ST [A1+10], R3
+    MOVEI R2, 16
+    ADD R0, R0, R2
+    ADDI R1, R1, #1
+    LTI R2, R1, #JOS_CTX_COUNT
+    BT R2, jos_init_ctx
+    ; Zero the barrier-library state region (counters live in SRAM).
+    LDL A1, seg(BAR_BASE, 32)
+    MOVEI R0, 0
+    MOVEI R1, 0
+    MOVEI R2, 19
+jos_init_bar:
+    STX [A1+R1], R0
+    ADDI R1, R1, #1
+    LT R3, R1, R2
+    BT R3, jos_init_bar
+    JMP A2
+
+; ----------------------------------------------------------------------
+; jos_nnr: linear node index (R0) -> packed router address (R0).
+; Link A2. Clobbers R1, R2, A1.
+; ----------------------------------------------------------------------
+.region nnr
+jos_nnr:
+    SETSP TMP0, A1
+    LDL A1, seg(JOS_GLOBALS, 16)
+    LD R1, [A1+1]           ; -(xshift+yshift)
+    LSH R1, R0, R1          ; z
+    LSHI R1, R1, #10
+    LD R2, [A1+0]           ; -xshift
+    LSH R2, R0, R2
+    ANDM R2, [A1+3]         ; y
+    LSHI R2, R2, #5
+    OR R1, R1, R2
+    ANDM R0, [A1+2]         ; x
+    OR R0, R0, R1
+    GETSP A1, TMP0
+    JMP A2
+.region os
+
+; ----------------------------------------------------------------------
+; jos_park: park the background thread (workers idle here).
+; ----------------------------------------------------------------------
+jos_park:
+    SUSPEND
+
+; ----------------------------------------------------------------------
+; jos_die: force an unhandled fault so the simulator stops with a
+; diagnostic pointing here.
+; ----------------------------------------------------------------------
+jos_die:
+    MOVEI R0, 0
+    CHECK R0, #bad
+
+; ----------------------------------------------------------------------
+; Send fault: the NI buffer is full; retry the SEND until it drains.
+; ----------------------------------------------------------------------
+jos_fault_send:
+    RFE
+
+; ----------------------------------------------------------------------
+; Cfut fault: a load touched a not-yet-present value. Suspend the
+; thread: allocate a context block, save the register set and resume
+; point, leave a ctx-tagged reference in the slot, and give up the
+; processor. jos_put restarts it when the value arrives.
+; ----------------------------------------------------------------------
+jos_fault_cfut:
+    SETSP TMP0, A3
+    SETSP TMP1, R0
+    SETSP TMP2, R1
+    LDL A3, seg(JOS_GLOBALS, 16)
+    LD R0, [A3+4]           ; context free-list head
+    NEI R1, R0, #0
+    BT R1, jos_cfut_have
+    BR jos_die              ; context pool exhausted
+jos_cfut_have:
+    MOVEI R1, 16
+    SETSEG A3, R0, R1       ; A3 -> context block
+    ST [A3+11], R0          ; ctx[11] = own address
+    LD R1, [A3+10]          ; next free block
+    SETSP TMP3, R1
+    GETSP R1, TMP1
+    ST [A3+0], R1           ; R0
+    GETSP R1, TMP2
+    ST [A3+1], R1           ; R1
+    ST [A3+2], R2
+    ST [A3+3], R3
+    ST [A3+4], A0
+    ST [A3+5], A1
+    ST [A3+6], A2
+    GETSP R1, TMP0
+    ST [A3+7], R1           ; A3
+    GETSP R1, FIP
+    ST [A3+8], R1           ; resume point (retries the load)
+    GETSP R1, FVAL0
+    ST [A3+9], R1           ; slot address
+    ; Write the ctx reference into the slot (arbitrary address: build
+    ; a 64-word descriptor around it).
+    LDL R3, #63
+    AND R2, R1, R3
+    SUB R1, R1, R2
+    MOVEI R3, 64
+    SETSEG A0, R1, R3
+    WTAG R3, R0, #ctx
+    STX [A0+R2], R3
+    ; Commit the free-list pop.
+    LDL A1, seg(JOS_GLOBALS, 16)
+    GETSP R1, TMP3
+    ST [A1+4], R1
+    SUSPEND
+
+; ----------------------------------------------------------------------
+; jos_put: producer-side store with consumer restart.
+;   A0 = segment holding the slot, R0 = slot index, R1 = value.
+; Link A2. Clobbers R2, R3; on restart the suspended thread resumes
+; inside this task (A2/A3 are consumed).
+; ----------------------------------------------------------------------
+jos_put:
+    LDRAWX R3, [A0+R0]
+    RTAG R2, R3
+    EQI R2, R2, #TAG_CTX
+    BT R2, jos_put_restart
+    STX [A0+R0], R1
+    JMP A2
+jos_put_restart:
+    STX [A0+R0], R1         ; deliver the value first
+    WTAG R1, R3, #int       ; R1 = context address
+    MOVEI R2, 16
+    SETSEG A3, R1, R2       ; A3 -> context
+    LDL A2, seg(JOS_GLOBALS, 16)
+    LD R2, [A2+4]           ; free-list push
+    ST [A3+10], R2
+    ST [A2+4], R1
+    LD R0, [A3+8]           ; resume IP
+    SETSP TMP0, R0
+    LD A0, [A3+4]
+    LD A1, [A3+5]
+    LD A2, [A3+6]
+    LD R0, [A3+0]
+    LD R1, [A3+1]
+    LD R2, [A3+2]
+    LD R3, [A3+3]
+    LD A3, [A3+7]
+    JSP TMP0
+
+; ----------------------------------------------------------------------
+; Xlate miss: refill the hardware table from the software directory
+; and retry. Dies if the name was never bound.
+; ----------------------------------------------------------------------
+jos_fault_xlate:
+    SETSP TMP0, A3
+    LDL A3, seg(JOS_SCRATCH, 16)
+    ST [A3+0], R0
+    ST [A3+1], R1
+    ST [A3+2], R2
+    ST [A3+3], R3
+    ST [A3+4], A0
+    ST [A3+5], A1
+    LDL A0, seg(JOS_DIR, JOS_DIR_WORDS)
+    LD R0, [A0+0]           ; number of (key, value) pairs
+    MOVEI R1, 0
+    GETSP R2, FVAL0         ; the missed key
+jos_xl_loop:
+    GE R3, R1, R0
+    BT R3, jos_die          ; unbound name
+    ASHI R3, R1, #1
+    ADDI R3, R3, #1
+    LDX A1, [A0+R3]         ; candidate key
+    EQ A1, A1, R2
+    BF A1, jos_xl_next
+    ADDI R3, R3, #1
+    LDX A1, [A0+R3]         ; bound value
+    ENTER R2, A1
+    LDL A3, seg(JOS_SCRATCH, 16)
+    LD R0, [A3+0]
+    LD R1, [A3+1]
+    LD R2, [A3+2]
+    LD R3, [A3+3]
+    LD A0, [A3+4]
+    LD A1, [A3+5]
+    GETSP A3, TMP0
+    RFE
+jos_xl_next:
+    ADDI R1, R1, #1
+    BR jos_xl_loop
+
+; ----------------------------------------------------------------------
+; jos_dir_add: bind R0 (key) -> R1 (value) in the software directory
+; and the hardware table. Link A2. Clobbers R2, R3, A1.
+; ----------------------------------------------------------------------
+jos_dir_add:
+    LDL A1, seg(JOS_DIR, JOS_DIR_WORDS)
+    LD R2, [A1+0]
+    ASHI R3, R2, #1
+    ADDI R3, R3, #1
+    STX [A1+R3], R0
+    ADDI R3, R3, #1
+    STX [A1+R3], R1
+    ADDI R2, R2, #1
+    ST [A1+0], R2
+    ENTER R0, R1
+    JMP A2
+
+; ----------------------------------------------------------------------
+; jos_dir_bind: like jos_dir_add but without priming the hardware
+; table -- the first XLATE of the name takes a cold miss (how CST
+; populated translations lazily). Same interface and clobbers.
+; ----------------------------------------------------------------------
+jos_dir_bind:
+    LDL A1, seg(JOS_DIR, JOS_DIR_WORDS)
+    LD R2, [A1+0]
+    ASHI R3, R2, #1
+    ADDI R3, R3, #1
+    STX [A1+R3], R0
+    ADDI R3, R3, #1
+    STX [A1+R3], R1
+    ADDI R2, R2, #1
+    ST [A1+0], R2
+    JMP A2
+
+; ----------------------------------------------------------------------
+; jos_bounce: a message we sent was refused (return-to-sender flow
+; control) and came back as [hdr, original dest, original message...].
+; Retransmit it.
+; ----------------------------------------------------------------------
+jos_bounce:
+    LD R0, [A3+1]           ; original destination
+    SEND0 R0
+    LD R1, [A3+2]           ; original header
+    WTAG R2, R1, #int       ; strip the Msg tag to reach the length
+    LDL R3, #4095
+    AND R2, R2, R3
+    ADDI R2, R2, #-1        ; payload words after the header
+    EQI R0, R2, #0
+    BF R0, jos_rb_multi
+    SEND0E R1
+    SUSPEND
+jos_rb_multi:
+    SEND0 R1
+    MOVEI R3, 3
+jos_rb_loop:
+    LDX R0, [A3+R3]
+    ADDI R3, R3, #1
+    ADDI R2, R2, #-1
+    EQI R1, R2, #0
+    BT R1, jos_rb_last
+    SEND0 R0
+    BR jos_rb_loop
+jos_rb_last:
+    SEND0E R0
+    SUSPEND
+
+; The directory's pair count lives at its first word.
+.emem
+.org JOS_DIR
+.word 0
+.imem
+.region comp
+)";
+}
+
+const char *
+barrierSource()
+{
+    return R"(
+; ======================================================================
+; Scan-style (dissemination) barrier library -- Table 3's routine.
+; bar_barrier: call from the background thread with CALL A2, bar_barrier.
+; Clobbers R0-R3, A0, A1. ceil(log2 N) waves; one message per wave per
+; node; handlers bump per-wave counters that the caller spins on.
+; State at BAR_BASE: +0..15 wave counters, +16 instance, +17 saved
+; link, +18 current wave bit.
+; ======================================================================
+.region sync
+bar_barrier:
+    LDL A0, seg(BAR_BASE, 32)
+    ST [A0+17], A2
+    LD R3, [A0+16]
+    ADDI R3, R3, #1
+    ST [A0+16], R3          ; new barrier instance
+    GETSP R0, NODES
+    EQI R1, R0, #1
+    BT R1, bar_exit
+    MOVEI R0, 1
+    ST [A0+18], R0          ; wave bit = 1
+    MOVEI R3, 0             ; wave index k = 0
+bar_wave:
+    GETSP R0, NODEID
+    LD R1, [A0+18]
+    XOR R0, R0, R1          ; partner = id ^ bit
+    CALL A2, jos_nnr
+.region comm
+    SEND0 R0
+    LDL R1, hdr(bar_handler, 2)
+    SEND20E R1, R3
+.region sync
+bar_spin:
+    LDX R1, [A0+R3]         ; counts[k]
+    LD R2, [A0+16]
+    LT R1, R1, R2
+    BT R1, bar_spin
+    ADDI R3, R3, #1
+    LD R1, [A0+18]
+    ASHI R1, R1, #1
+    ST [A0+18], R1
+    GETSP R2, NODES
+    LT R2, R1, R2
+    BT R2, bar_wave
+bar_exit:
+    LD A2, [A0+17]
+    JMP A2
+
+bar_handler:
+    LDL A0, seg(BAR_BASE, 32)
+    LD R0, [A3+1]           ; wave index
+    LDX R1, [A0+R0]
+    ADDI R1, R1, #1
+    STX [A0+R0], R1
+    SUSPEND
+; Barrier state (counters, instance, link, bit) lives at BAR_BASE in
+; SRAM and is zeroed by jos_init.
+.region comp
+)";
+}
+
+std::vector<SourceFile>
+withKernel(const std::string &app_name, const std::string &app_source,
+           bool with_barrier)
+{
+    std::vector<SourceFile> sources;
+    sources.push_back({"jos.jasm", kernelSource()});
+    if (with_barrier)
+        sources.push_back({"barrier.jasm", barrierSource()});
+    sources.push_back({app_name, app_source});
+    return sources;
+}
+
+} // namespace jos
+} // namespace jmsim

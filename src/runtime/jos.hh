@@ -1,0 +1,80 @@
+/**
+ * @file
+ * JOS: the jmsim runtime kernel, written in jasm.
+ *
+ * JOS provides what the J-Machine's runtime provided on the hardware:
+ *
+ *  - fault handlers: send retry (jos_fault_send), cfut thread
+ *    suspension (jos_fault_cfut), and xlate-miss refill from a
+ *    software name directory (jos_fault_xlate)
+ *  - jos_init: boot-time setup (NNR shift/mask tables, context pool)
+ *  - jos_nnr: linear node index -> packed router address (the "NNR
+ *    calc" overhead category of Figure 6)
+ *  - jos_dir_add: bind a global name in the software directory and the
+ *    hardware XLATE table
+ *  - jos_put: producer-side store that restarts a consumer suspended
+ *    on a cfut slot
+ *  - jos_park / jos_die: background parking and loud failure
+ *
+ * Calling conventions are per-routine and documented in the source;
+ * the link register for CALLs into JOS is A2 unless noted.
+ *
+ * SRAM layout (word addresses):
+ *   0    .. 3071  code + data (JOS first, application after)
+ *   3072 .. 3583  priority-0 message queue (128 minimum messages)
+ *   3584 .. 3839  priority-1 message queue
+ *   3840 .. 3855  fault-handler scratch
+ *   3856 .. 3871  JOS globals (NNR shifts/masks, context free list)
+ *   3872 .. 3999  context pool (8 contexts x 16 words)
+ *   4000 .. 4031  barrier-library state
+ *   4032 .. 4095  application scratch
+ */
+
+#ifndef JMSIM_RUNTIME_JOS_HH
+#define JMSIM_RUNTIME_JOS_HH
+
+#include <string>
+#include <vector>
+
+#include "jasm/assembler.hh"
+#include "sim/types.hh"
+
+namespace jmsim
+{
+namespace jos
+{
+
+/** SRAM layout constants (must match the .equ block in the kernel). */
+inline constexpr Addr kScratchBase = 3840;
+inline constexpr Addr kGlobalsBase = 3856;
+inline constexpr Addr kCtxPoolBase = 3872;
+inline constexpr unsigned kCtxCount = 8;
+inline constexpr unsigned kCtxSize = 16;
+inline constexpr Addr kBarrierBase = 4000;
+inline constexpr Addr kAppScratchBase = 4032;
+
+/** External-memory words reserved for the JOS name directory. */
+inline constexpr Addr kDirBase = 0x10000;
+inline constexpr std::uint32_t kDirWords = 8192;
+/** First external word available to applications. */
+inline constexpr Addr kAppEmemBase = kDirBase + kDirWords;
+
+/** The kernel source (fault handlers + library routines). */
+const char *kernelSource();
+
+/** The scan-style barrier library source. */
+const char *barrierSource();
+
+/**
+ * Bundle the kernel (and optionally the barrier library) with an
+ * application for assembly. The kernel comes first so its code sits at
+ * low SRAM addresses.
+ */
+std::vector<SourceFile> withKernel(const std::string &app_name,
+                                   const std::string &app_source,
+                                   bool with_barrier = true);
+
+} // namespace jos
+} // namespace jmsim
+
+#endif // JMSIM_RUNTIME_JOS_HH

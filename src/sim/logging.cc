@@ -1,0 +1,45 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+
+namespace jmsim
+{
+
+namespace
+{
+bool quietMode = false;
+} // namespace
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (!quietMode)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (!quietMode)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+} // namespace jmsim

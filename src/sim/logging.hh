@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic() is for internal simulator bugs (condition that can never
+ * happen regardless of user input); fatal() is for user errors (bad
+ * configuration, malformed assembly, ...). Both throw typed exceptions
+ * rather than aborting so that library users and tests can recover.
+ */
+
+#ifndef JMSIM_SIM_LOGGING_HH
+#define JMSIM_SIM_LOGGING_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace jmsim
+{
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user asked for something unsatisfiable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Report an internal simulator bug. Never returns. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report an unrecoverable user error. Never returns. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a warning to stderr (simulation continues). */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Globally silence warn()/inform() (used by benchmarks). */
+void setQuiet(bool quiet);
+
+} // namespace jmsim
+
+#endif // JMSIM_SIM_LOGGING_HH

@@ -1,0 +1,34 @@
+#include "sim/random.hh"
+
+namespace jmsim
+{
+
+Xorshift64::Xorshift64(std::uint64_t seed)
+    : state_(seed ? seed : 0x9e3779b97f4a7c15ULL)
+{
+}
+
+std::uint64_t
+Xorshift64::next()
+{
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dULL;
+}
+
+std::uint64_t
+Xorshift64::nextBelow(std::uint64_t bound)
+{
+    return bound <= 1 ? 0 : next() % bound;
+}
+
+double
+Xorshift64::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+} // namespace jmsim

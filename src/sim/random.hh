@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * All stochastic behaviour in jmsim (random traffic destinations, key
+ * generation, ...) flows through Xorshift64 so that every experiment
+ * is reproducible from its seed.
+ */
+
+#ifndef JMSIM_SIM_RANDOM_HH
+#define JMSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace jmsim
+{
+
+/** Marsaglia xorshift64* generator: tiny, fast, and deterministic. */
+class Xorshift64
+{
+  public:
+    /** Seed must be non-zero; zero is remapped to a fixed constant. */
+    explicit Xorshift64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound) for bound >= 1. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_SIM_RANDOM_HH

@@ -1,0 +1,65 @@
+#include "sim/stats.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : bucketWidth_(bucket_width), buckets_(num_buckets + 1, 0)
+{
+    if (bucket_width == 0)
+        fatal("Histogram bucket width must be >= 1");
+    if (num_buckets == 0)
+        fatal("Histogram needs at least one bucket");
+}
+
+void
+Histogram::add(std::uint64_t value)
+{
+    std::size_t idx = static_cast<std::size_t>(value / bucketWidth_);
+    if (idx >= buckets_.size() - 1)
+        idx = buckets_.size() - 1; // overflow bucket
+    buckets_[idx] += 1;
+    stat_.add(static_cast<double>(value));
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    stat_.reset();
+}
+
+std::uint64_t
+Histogram::percentile(double fraction) const
+{
+    if (stat_.count() == 0)
+        return 0;
+    if (fraction < 0)
+        fraction = 0;
+    if (fraction > 1)
+        fraction = 1;
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(fraction * static_cast<double>(stat_.count()));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return (i + 1) * bucketWidth_ - 1;
+    }
+    return static_cast<std::uint64_t>(stat_.max());
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+} // namespace jmsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight statistics primitives used throughout the simulator.
+ *
+ * Components keep their statistics as plain member structs built from
+ * these types; experiment harnesses read the fields directly and format
+ * tables themselves. There is deliberately no global registry: every
+ * stat is reachable from the component that owns it.
+ */
+
+#ifndef JMSIM_SIM_STATS_HH
+#define JMSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jmsim
+{
+
+/** Running mean/min/max/count accumulator for scalar samples. */
+class SampleStat
+{
+  public:
+    /** Record one sample. */
+    void
+    add(double value)
+    {
+        sum_ += value;
+        count_ += 1;
+        if (count_ == 1 || value < min_)
+            min_ = value;
+        if (count_ == 1 || value > max_)
+            max_ = value;
+    }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const SampleStat &other)
+    {
+        if (other.count_ == 0)
+            return;
+        sum_ += other.sum_;
+        if (count_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_)
+            max_ = other.max_;
+        count_ += other.count_;
+    }
+
+    /** Discard all samples. */
+    void
+    reset()
+    {
+        sum_ = 0;
+        min_ = 0;
+        max_ = 0;
+        count_ = 0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0; }
+    double max() const { return count_ ? max_ : 0; }
+    double mean() const { return count_ ? sum_ / count_ : 0; }
+
+  private:
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-width bucket histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket (>=1)
+     * @param num_buckets  number of regular buckets before overflow
+     */
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
+
+    /** Record one sample. */
+    void add(std::uint64_t value);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return stat_.count(); }
+    double mean() const { return stat_.mean(); }
+    std::uint64_t min() const { return static_cast<std::uint64_t>(stat_.min()); }
+    std::uint64_t max() const { return static_cast<std::uint64_t>(stat_.max()); }
+
+    /** Value below which the given fraction of samples fall. */
+    std::uint64_t percentile(double fraction) const;
+
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t bucketWidth() const { return bucketWidth_; }
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    SampleStat stat_;
+};
+
+/** Format a double with the given precision (table printing helper). */
+std::string formatDouble(double value, int precision);
+
+} // namespace jmsim
+
+#endif // JMSIM_SIM_STATS_HH

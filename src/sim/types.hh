@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every jmsim module.
+ */
+
+#ifndef JMSIM_SIM_TYPES_HH
+#define JMSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace jmsim
+{
+
+/** Simulated processor cycle count (12.5 MHz clock: 80 ns per cycle). */
+using Cycle = std::uint64_t;
+
+/** Word address inside one node's flat local address space. */
+using Addr = std::uint32_t;
+
+/** Linear node index inside a machine (0 .. nodes-1). */
+using NodeId = std::uint32_t;
+
+/** Processor clock frequency of the J-Machine prototype, in Hz. */
+inline constexpr double kClockHz = 12.5e6;
+
+/** Duration of one processor cycle in microseconds. */
+inline constexpr double kUsPerCycle = 1e6 / kClockHz;
+
+/** Convert a cycle count to microseconds at the prototype clock. */
+inline constexpr double
+cyclesToUs(Cycle cycles)
+{
+    return static_cast<double>(cycles) * kUsPerCycle;
+}
+
+/** Convert a cycle count to seconds at the prototype clock. */
+inline constexpr double
+cyclesToSeconds(Cycle cycles)
+{
+    return static_cast<double>(cycles) / kClockHz;
+}
+
+} // namespace jmsim
+
+#endif // JMSIM_SIM_TYPES_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The paper's four macro-benchmark applications (Section 4), each
+ * implemented in jasm with a C++ driver and validated against a C++
+ * reference implementation.
+ *
+ * All four report an AppResult: the run time in cycles plus the
+ * statistics the paper tabulates (Figure 5 speedups, Figure 6 time
+ * breakdowns, Table 4/5 thread statistics).
+ */
+
+#ifndef JMSIM_WORKLOADS_APPS_HH
+#define JMSIM_WORKLOADS_APPS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "sim/types.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+
+/** Per-thread-class statistics (Table 4 rows). */
+struct ThreadClassStats
+{
+    std::string name;
+    std::uint64_t threads = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t messageWords = 0;
+
+    double
+    instrPerThread() const
+    {
+        return threads ? static_cast<double>(instructions) / threads : 0;
+    }
+
+    double
+    avgMessageLength() const
+    {
+        return threads ? static_cast<double>(messageWords) / threads : 0;
+    }
+};
+
+/** Result of one application run. */
+struct AppResult
+{
+    Cycle runCycles = 0;
+    std::int64_t answer = 0;      ///< application-level result (validated)
+    std::uint64_t instructions = 0;
+    std::uint64_t instructionsOs = 0;
+    std::uint64_t xlates = 0;
+    std::uint64_t xlateFaults = 0;
+    std::uint64_t dispatches = 0;
+    /** Aggregate cycles per accounting class (Figure 6). */
+    std::array<std::uint64_t,
+        static_cast<std::size_t>(StatClass::NumClasses)> cyclesByClass{};
+    Cycle idleCycles = 0;
+    /** Thread classes keyed by handler label (Table 4/5). */
+    std::vector<ThreadClassStats> threadClasses;
+
+    double runMs() const { return cyclesToSeconds(runCycles) * 1e3; }
+};
+
+/** Longest Common Subsequence: systolic, one char per message. */
+struct LcsConfig
+{
+    unsigned nodes = 64;
+    unsigned lenA = 1024;   ///< distributed string (rows)
+    unsigned lenB = 4096;   ///< streamed string (columns)
+    std::uint32_t seed = 42;
+};
+AppResult runLcs(const LcsConfig &config);
+
+/** Radix sort: 4-bit digits, counting sort per digit, fine-grained
+ *  remote writes in the reorder phase. */
+struct RadixConfig
+{
+    unsigned nodes = 64;
+    unsigned keys = 65536;
+    unsigned keyBits = 28;
+    unsigned digitBits = 4;
+    std::uint32_t seed = 7;
+};
+AppResult runRadixSort(const RadixConfig &config);
+
+/** N-Queens: breadth-first expansion then distributed depth-first. */
+struct NQueensConfig
+{
+    unsigned nodes = 64;
+    unsigned queens = 10;
+    unsigned expandDepth = 0;  ///< 0 = choose automatically
+};
+AppResult runNQueens(const NQueensConfig &config);
+
+/** Traveling Salesperson with a CST-like object layer. */
+struct TspConfig
+{
+    unsigned nodes = 64;
+    unsigned cities = 10;
+    unsigned prefixDepth = 0;  ///< 0 = choose automatically
+    std::uint32_t seed = 3;
+    /** DFS steps between null-call suspensions (CST behaviour). */
+    unsigned suspendPeriod = 12;
+};
+AppResult runTsp(const TspConfig &config);
+
+// ---- sequential jasm baselines (Figure 5 speedup bases) ----
+
+/** Tuned sequential LCS on one node; returns validated run cycles. */
+Cycle runLcsSequential(unsigned len_a, unsigned len_b, std::uint32_t seed = 42);
+
+/** Tuned sequential radix sort on one node. */
+Cycle runRadixSequential(unsigned keys, unsigned key_bits = 28,
+                         std::uint32_t seed = 7);
+
+/** Tuned sequential N-Queens on one node. */
+Cycle runNQueensSequential(unsigned queens);
+
+// ---- C++ reference implementations (validation + speedup bases) ----
+
+/** Reference LCS length. */
+unsigned referenceLcs(const std::vector<std::uint8_t> &a,
+                      const std::vector<std::uint8_t> &b);
+
+/** Reference radix-sorted copy. */
+std::vector<std::uint32_t> referenceSort(std::vector<std::uint32_t> keys);
+
+/** Reference N-Queens solution count. */
+std::uint64_t referenceNQueens(unsigned n);
+
+/** Reference optimal TSP tour cost (exhaustive branch and bound). */
+std::int64_t referenceTsp(const std::vector<std::vector<std::int32_t>> &dist);
+
+/** Deterministic inputs shared by driver and reference. */
+std::vector<std::uint8_t> lcsString(unsigned length, std::uint32_t seed);
+std::vector<std::uint32_t> radixKeys(unsigned count, unsigned bits,
+                                     std::uint32_t seed);
+std::vector<std::vector<std::int32_t>> tspMatrix(unsigned cities,
+                                                 std::uint32_t seed);
+
+} // namespace workloads
+} // namespace jmsim
+
+#endif // JMSIM_WORKLOADS_APPS_HH

@@ -1,0 +1,107 @@
+#include "workloads/driver.hh"
+
+#include <cstdlib>
+#include <map>
+
+namespace jmsim
+{
+namespace workloads
+{
+
+namespace
+{
+unsigned dispatchOverride = 0;
+} // namespace
+
+void
+setDispatchCyclesForTesting(unsigned cycles)
+{
+    dispatchOverride = cycles;
+}
+
+MachineConfig
+standardConfig(unsigned nodes)
+{
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(nodes);
+    if (dispatchOverride)
+        cfg.proc.dispatchCycles = dispatchOverride;
+    return cfg;
+}
+
+std::unique_ptr<JMachine>
+buildMachine(unsigned nodes, const std::string &app_name,
+             const std::string &app_source, bool with_barrier)
+{
+    Program prog =
+        assemble(jos::withKernel(app_name, app_source, with_barrier));
+    auto m = std::make_unique<JMachine>(standardConfig(nodes),
+                                        std::move(prog));
+    // Zero the application scratch area so programs can keep counters
+    // there without their own init loops.
+    for (NodeId id = 0; id < m->nodeCount(); ++id) {
+        for (Addr a = jos::kAppScratchBase; a < 4096; ++a)
+            m->pokeInt(id, a, 0);
+    }
+    // Debug hook: JMSIM_TRACE_NODE=<id> streams that node's execution.
+    if (const char *tn = std::getenv("JMSIM_TRACE_NODE"))
+        m->node(static_cast<NodeId>(std::atoi(tn))).processor().setTrace(true);
+    return m;
+}
+
+void
+pokeParam(JMachine &m, NodeId node, unsigned index, std::int32_t value)
+{
+    m.pokeInt(node, jos::kAppScratchBase + index, value);
+}
+
+void
+pokeParamAll(JMachine &m, unsigned index, std::int32_t value)
+{
+    for (NodeId id = 0; id < m.nodeCount(); ++id)
+        pokeParam(m, id, index, value);
+}
+
+std::vector<std::int32_t>
+outInts(const JMachine &m, NodeId node)
+{
+    std::vector<std::int32_t> out;
+    for (const Word &w : m.node(node).processor().hostOut())
+        out.push_back(w.asInt());
+    return out;
+}
+
+AppResult
+collectAppResult(const JMachine &m)
+{
+    AppResult result;
+    std::map<std::string, ThreadClassStats> classes;
+    const Program &prog = m.program();
+    for (NodeId id = 0; id < m.nodeCount(); ++id) {
+        const Processor &proc = m.node(id).processor();
+        const ProcessorStats &s = proc.stats();
+        result.instructions += s.instructions;
+        result.instructionsOs += s.instructionsOs;
+        result.dispatches += s.dispatches;
+        result.xlates += proc.xlate().stats().lookups;
+        result.xlateFaults +=
+            s.faults[static_cast<unsigned>(FaultKind::XlateMiss)];
+        for (std::size_t c = 0; c < result.cyclesByClass.size(); ++c)
+            result.cyclesByClass[c] += s.cyclesByClass[c];
+        result.idleCycles += proc.idleCyclesAt(m.now());
+        for (const auto &[entry, hs] : proc.handlerStats()) {
+            ThreadClassStats &tc = classes[prog.nearestLabel(entry)];
+            tc.threads += hs.dispatches;
+            tc.instructions += hs.instructions;
+            tc.messageWords += hs.messageWords;
+        }
+    }
+    for (auto &[name, tc] : classes) {
+        tc.name = name;
+        result.threadClasses.push_back(tc);
+    }
+    return result;
+}
+
+} // namespace workloads
+} // namespace jmsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for workload drivers: build a machine around a jasm
+ * application, poke parameters, run, and collect OUT results.
+ */
+
+#ifndef JMSIM_WORKLOADS_DRIVER_HH
+#define JMSIM_WORKLOADS_DRIVER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jasm/assembler.hh"
+#include "machine/jmachine.hh"
+#include "runtime/jos.hh"
+#include "workloads/apps.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+
+/** Build the standard machine configuration for @p nodes. */
+MachineConfig standardConfig(unsigned nodes);
+
+/** Ablation hook: override the dispatch cost used by standardConfig
+ *  (0 restores the architectural default of 4 cycles). */
+void setDispatchCyclesForTesting(unsigned cycles);
+
+/** Assemble kernel(+barrier)+app and build a machine. */
+std::unique_ptr<JMachine> buildMachine(unsigned nodes,
+                                       const std::string &app_name,
+                                       const std::string &app_source,
+                                       bool with_barrier = false);
+
+/** Poke an application parameter word (APP_SCRATCH + index). */
+void pokeParam(JMachine &m, NodeId node, unsigned index, std::int32_t value);
+
+/** Poke a parameter on every node. */
+void pokeParamAll(JMachine &m, unsigned index, std::int32_t value);
+
+/** Host-output words of one node as ints. */
+std::vector<std::int32_t> outInts(const JMachine &m, NodeId node);
+
+/** Aggregate the machine's statistics into an AppResult (Figure 6 /
+ *  Table 4 material). runCycles and answer are filled by the caller. */
+AppResult collectAppResult(const JMachine &m);
+
+} // namespace workloads
+} // namespace jmsim
+
+#endif // JMSIM_WORKLOADS_DRIVER_HH

@@ -1,0 +1,204 @@
+#include "workloads/apps.hh"
+
+#include "sim/logging.hh"
+#include "workloads/driver.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+
+namespace
+{
+
+/**
+ * Systolic LCS, as the paper describes: one string distributed across
+ * the nodes (rows of the DP), the other streamed from node 0 one
+ * character per message. Each NxtChar message carries the character
+ * and the packed boundary values (diag in bits [12:0], left-boundary
+ * in bits [25:13] -- LCS values fit in 13 bits); the handler sweeps this node's rows and forwards.
+ *
+ * SRAM layout: ACH+1.. holds this node's chunk of A, COL+0 holds the
+ * row count and COL+1.. the current column values.
+ */
+const char *kLcsSource = R"(
+.equ ACH, 992
+.equ COL, 2020
+.equ BSTR, 73728
+; params: +0 rows, +1 lenB
+; state:  +8 processed, +12 successor router addr, +13 last-node flag
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    GETSP R0, NODEID
+    ADDI R0, R0, #1
+    GETSP R1, NODES
+    LT R2, R0, R1
+    BT R2, not_last
+    MOVEI R2, 1
+    ST [A1+13], R2
+    BR after_succ
+not_last:
+.region nnr
+    CALL A2, jos_nnr
+    ST [A1+12], R0
+.region comp
+after_succ:
+    ; zero col[1..rows], col[0] = rows
+    LDL A2, seg(COL, 1056)
+    LD R0, [A1+0]
+    ST [A2+0], R0
+    MOVEI R1, 1
+    MOVEI R2, 0
+zcol:
+    GT R3, R1, R0
+    BT R3, zdone
+    STX [A2+R1], R2
+    ADDI R1, R1, #1
+    BR zcol
+zdone:
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, park
+    ; node 0 streams the 4096 characters of B to itself
+    LDL A0, seg(BSTR, 4096)
+    MOVEI R2, 0
+feed:
+    LD R0, [A1+1]
+    LT R3, R2, R0
+    BF R3, park
+    LDX R0, [A0+R2]
+.region comm
+    MOVEI R3, 0
+    SEND0 R3                ; node 0's router address is 0
+    LDL R1, hdr(nxtchar, 3)
+    SEND20 R1, R0
+    MOVEI R1, 0
+    SEND0E R1               ; zero boundary carries
+.region comp
+    ADDI R2, R2, #1
+    BR feed
+park:
+    CALL A2, jos_park
+
+; ----------------------------------------------------------------------
+; NxtChar: the application's single hot handler.
+; ----------------------------------------------------------------------
+nxtchar:
+    LDL A0, seg(ACH, 1056)
+    LDL A2, seg(COL, 1056)
+    LD R0, [A3+1]            ; character
+    LD R1, [A3+2]            ; carries: diag | left<<13
+    MOVEI R2, 1              ; row index
+row_loop:
+    LDX R3, [A0+R2]          ; a[i]
+    EQ R3, R3, R0
+    BF R3, nomatch
+    ; new = diag + 1, diag = carry - (left << 13)
+    LSHI R3, R1, #-13
+    LSHI R3, R3, #13
+    SUB R3, R1, R3           ; diag
+    ADDI R3, R3, #1
+    LDX A1, [A2+R2]          ; up (next row's diag)
+    BR store_common
+nomatch:
+    ; new = max(up, left)
+    LSHI R3, R1, #-13        ; left
+    LDX A1, [A2+R2]          ; up
+    LT R1, A1, R3
+    BT R1, store_common
+    MOVE R3, A1              ; new = up
+store_common:
+    ; carry for the next row: diag = old col[i] (up), left = new
+    LSHI R1, R3, #13
+    OR R1, R1, A1
+    STX [A2+R2], R3
+    ADDI R2, R2, #1
+    LD A1, [A2+0]            ; rows
+    LE A1, R2, A1
+    BT A1, row_loop
+    ; epilogue: count and forward (or finish)
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R2, [A1+8]
+    ADDI R2, R2, #1
+    ST [A1+8], R2
+    LD R3, [A1+13]
+    EQI R3, R3, #1
+    BT R3, last_node
+.region comm
+    LD R3, [A1+12]
+    SEND0 R3
+    LDL R2, hdr(nxtchar, 3)
+    SEND20 R2, R0
+    SEND0E R1
+.region comp
+    SUSPEND
+last_node:
+    LD R3, [A1+1]
+    LT R3, R2, R3
+    BF R3, all_done
+    SUSPEND
+all_done:
+    ; final LCS value is the freshly computed last-row entry
+    LSHI R0, R1, #-13
+.region comm
+    MOVEI R3, 0
+    SEND0 R3
+    LDL R2, hdr(lcs_done, 2)
+    SEND20E R2, R0
+.region comp
+    SUSPEND
+
+lcs_done:
+    LD R0, [A3+1]
+    OUT R0
+    SUSPEND
+)";
+
+} // namespace
+
+AppResult
+runLcs(const LcsConfig &config)
+{
+    if (config.lenA % config.nodes != 0)
+        fatal("LCS: lenA must divide evenly across nodes");
+    const unsigned rows = config.lenA / config.nodes;
+    if (rows > 1024)
+        fatal("LCS: more than 1024 rows per node");
+
+    const auto a = lcsString(config.lenA, config.seed);
+    const auto b = lcsString(config.lenB, config.seed + 1);
+
+    auto m = buildMachine(config.nodes, "lcs.jasm", kLcsSource);
+    pokeParamAll(*m, 0, static_cast<std::int32_t>(rows));
+    pokeParamAll(*m, 1, static_cast<std::int32_t>(config.lenB));
+    const Addr ach = static_cast<Addr>(m->program().symbol("ACH"));
+    const Addr bstr = static_cast<Addr>(m->program().symbol("BSTR"));
+    for (NodeId id = 0; id < config.nodes; ++id) {
+        for (unsigned i = 0; i < rows; ++i)
+            m->pokeInt(id, ach + 1 + i, a[id * rows + i]);
+    }
+    for (unsigned j = 0; j < config.lenB; ++j)
+        m->pokeInt(0, bstr + j, b[j]);
+
+    const Cycle limit =
+        static_cast<Cycle>(config.lenB) * (40ull * rows + 4000) + 1000000;
+    const RunResult r = m->run(limit);
+    if (r.reason == StopReason::CycleLimit)
+        fatal("LCS did not finish");
+    const auto out = outInts(*m, 0);
+    if (out.size() != 1)
+        fatal("LCS produced no result");
+
+    AppResult result = collectAppResult(*m);
+    result.runCycles = r.cycles;
+    result.answer = out[0];
+    const unsigned expect = referenceLcs(a, b);
+    if (out[0] != static_cast<std::int32_t>(expect))
+        fatal("LCS wrong answer: " + std::to_string(out[0]) + " vs " +
+              std::to_string(expect));
+    return result;
+}
+
+} // namespace workloads
+} // namespace jmsim

@@ -1,0 +1,901 @@
+#include "workloads/micro.hh"
+
+#include "sim/logging.hh"
+#include "workloads/driver.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+
+namespace
+{
+
+// Parameter slots (APP_SCRATCH offsets) shared by the micro programs.
+// +0..+3 inputs, +8.. runtime state.
+
+const char *kPingSource = R"(
+; Figure 2: round-trip latency of a null RPC / remote read.
+; Params (node 0): +0 target id, +1 iterations, +2 mode (0 ping,
+; 1 read1, 2 read6), +3 absolute read address.
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, worker
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+1]
+    ST [A1+10], R0          ; remaining iterations
+main_loop:
+    MOVEI R0, 0
+    ST [A1+8], R0           ; flag = 0
+    GETSP R0, CYCLELO
+    ST [A1+9], R0           ; t0
+.region comm
+    LD R0, [A1+0]
+    CALL A2, jos_nnr
+    SEND0 R0
+    LD R1, [A1+2]
+    EQI R2, R1, #0
+    BT R2, send_ping
+    EQI R2, R1, #1
+    BT R2, send_read1
+    LDL R1, hdr(read_handler, 4)
+    SEND0 R1
+    GETSP R1, NNR
+    LD R2, [A1+3]
+    SEND20 R1, R2
+    MOVEI R1, 6
+    SEND0E R1
+    BR wait
+send_read1:
+    LDL R1, hdr(read_handler, 4)
+    SEND0 R1
+    GETSP R1, NNR
+    LD R2, [A1+3]
+    SEND20 R1, R2
+    MOVEI R1, 1
+    SEND0E R1
+    BR wait
+send_ping:
+    LDL R1, hdr(ping_handler, 2)
+    GETSP R2, NNR
+    SEND20E R1, R2
+wait:
+.region sync
+    LD R0, [A1+8]
+    EQI R0, R0, #0
+    BT R0, wait
+.region comp
+    GETSP R0, CYCLELO
+    LD R1, [A1+9]
+    SUB R0, R0, R1
+    OUT R0
+    LD R0, [A1+10]
+    ADDI R0, R0, #-1
+    ST [A1+10], R0
+    GTI R1, R0, #0
+    BT R1, main_loop
+    HALT
+
+worker:
+    CALL A2, jos_park
+
+ping_handler:               ; [hdr, replyaddr]
+    LD R0, [A3+1]
+    SEND0 R0
+    LDL R1, hdr(ack_handler, 1)
+    SEND0E R1
+    SUSPEND
+
+read_handler:               ; [hdr, replyaddr, addr, n]
+    LD R0, [A3+2]
+    LDL R2, #63
+    AND R1, R0, R2
+    SUB R0, R0, R1
+    LDL R2, #70
+    SETSEG A0, R0, R2       ; 64-aligned window over the data
+    LD R0, [A3+1]
+    SEND0 R0
+    LD R2, [A3+3]
+    EQI R0, R2, #6
+    BT R0, read6_body
+    LDL R0, hdr(ackd_handler, 2)
+    LDX R2, [A0+R1]
+    SEND20E R0, R2
+    SUSPEND
+read6_body:
+    LDL R0, hdr(ackd_handler, 7)
+    SEND0 R0
+    LDX R0, [A0+R1]
+    ADDI R1, R1, #1
+    LDX R2, [A0+R1]
+    SEND20 R0, R2
+    ADDI R1, R1, #1
+    LDX R0, [A0+R1]
+    ADDI R1, R1, #1
+    LDX R2, [A0+R1]
+    SEND20 R0, R2
+    ADDI R1, R1, #1
+    LDX R0, [A0+R1]
+    ADDI R1, R1, #1
+    LDX R2, [A0+R1]
+    SEND20E R0, R2
+    SUSPEND
+
+ack_handler:
+    LDL A1, seg(APP_SCRATCH, 64)
+    MOVEI R0, 1
+    ST [A1+8], R0
+    SUSPEND
+
+ackd_handler:
+    LDL A1, seg(APP_SCRATCH, 64)
+    MOVEI R0, 1
+    ST [A1+8], R0
+    SUSPEND
+)";
+
+const char *kLoadSource = R"(
+; Figure 3: random-traffic latency vs offered load.
+; Params (all nodes): +0 message length L (words, incl. header, >= 2),
+; +1 idle-loop iterations (3 cycles each), +2 messages enabled.
+; State: +8 acks, +9 iterations done, +10 PRNG, +11 requests sent,
+; +12 accumulated round-trip cycles, +13 exchange start stamp.
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+loop:
+    LD R0, [A1+2]
+    EQI R0, R0, #0
+    BT R0, skip_msg
+    ; xorshift32 step
+    LD R0, [A1+10]
+    LSHI R1, R0, #13
+    XOR R0, R0, R1
+    LSHI R1, R0, #-15
+    XOR R0, R0, R1
+    LSHI R1, R0, #5
+    XOR R0, R0, R1
+    ST [A1+10], R0
+    GETSP R1, NODES
+    ADDI R1, R1, #-1
+    AND R0, R0, R1          ; dest = x & (N-1)
+    CALL A2, jos_nnr
+    GETSP R1, CYCLELO
+    ST [A1+13], R1          ; exchange start stamp
+.region comm
+    SEND0 R0
+    LD R2, [A1+0]
+    LDL R3, ip(load_req)
+    MKHDR R1, R3, R2
+    SEND0 R1                ; header
+    GETSP R1, NNR
+    ADDI R2, R2, #-2
+    EQI R3, R2, #0
+    BF R3, have_pads
+    SEND0E R1
+    BR sent
+have_pads:
+    SEND0 R1                ; reply address
+pad_loop:                   ; stream pads at 2 words/cycle
+    LEI R3, R2, #4
+    BT R3, pad_tail
+    SEND20 R2, R2
+    SEND20 R2, R2
+    ADDI R2, R2, #-4
+    BR pad_loop
+pad_tail:
+    EQI R3, R2, #1
+    BT R3, pad_t1
+    EQI R3, R2, #2
+    BT R3, pad_t2
+    EQI R3, R2, #3
+    BT R3, pad_t3
+    SEND20 R2, R2
+    SEND20E R2, R2
+    BR sent
+pad_t3:
+    SEND20 R2, R2
+    SEND0E R2
+    BR sent
+pad_t2:
+    SEND20E R2, R2
+    BR sent
+pad_t1:
+    SEND0E R2
+sent:
+.region comp
+    LD R0, [A1+11]
+    ADDI R0, R0, #1
+    ST [A1+11], R0
+.region sync
+ack_spin:
+    LD R1, [A1+8]
+    LD R0, [A1+11]
+    LT R1, R1, R0
+    BT R1, ack_spin
+.region comp
+    GETSP R0, CYCLELO
+    LD R1, [A1+13]
+    SUB R0, R0, R1
+    LD R1, [A1+12]
+    ADD R1, R1, R0
+    ST [A1+12], R1          ; accumulate round-trip cycles
+skip_msg:
+    LD R0, [A1+1]
+idle_loop:
+    GTI R1, R0, #0
+    BF R1, idle_done
+    ADDI R0, R0, #-1
+    BR idle_loop
+idle_done:
+    LD R0, [A1+9]
+    ADDI R0, R0, #1
+    ST [A1+9], R0
+    BR loop
+
+load_req:                   ; [hdr, replyaddr, pads...]
+.region comm
+    LD R0, [A3+1]
+    SEND0 R0
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R2, [A1+0]
+    LDL R3, ip(load_ack)
+    MKHDR R1, R3, R2
+    ADDI R2, R2, #-1
+    EQI R3, R2, #0
+    BF R3, rep_pads
+    SEND0E R1
+    SUSPEND
+rep_pads:
+    SEND0 R1
+rep_loop:
+    LEI R3, R2, #4
+    BT R3, rep_tail
+    SEND20 R2, R2
+    SEND20 R2, R2
+    ADDI R2, R2, #-4
+    BR rep_loop
+rep_tail:
+    EQI R3, R2, #1
+    BT R3, rep_t1
+    EQI R3, R2, #2
+    BT R3, rep_t2
+    EQI R3, R2, #3
+    BT R3, rep_t3
+    SEND20 R2, R2
+    SEND20E R2, R2
+    SUSPEND
+rep_t3:
+    SEND20 R2, R2
+    SEND0E R2
+    SUSPEND
+rep_t2:
+    SEND20E R2, R2
+    SUSPEND
+rep_t1:
+    SEND0E R2
+    SUSPEND
+
+load_ack:
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+8]
+    ADDI R0, R0, #1
+    ST [A1+8], R0
+    SUSPEND
+)";
+
+const char *kBlastSource = R"(
+; Figure 4: two-node terminal bandwidth.
+; Params (node 0): +0 L (words incl. header), +1 message count,
+; +2 mode (0 discard, 1 copy to imem, 2 copy to emem).
+; Params (node 1): +0 L (for the copy loop bound).
+.equ IBUF, 2944
+.equ EBUF, 73728
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, worker
+    LDL A1, seg(APP_SCRATCH, 64)
+    ; Hoist the per-message constants: destination router address and
+    ; the mode's message header.
+    MOVEI R0, 1
+    CALL A2, jos_nnr
+    ST [A1+11], R0          ; dest
+    LD R1, [A1+2]
+    EQI R2, R1, #0
+    BF R2, not_discard
+    LDL R3, ip(blast_discard)
+    BR have_ip
+not_discard:
+    EQI R2, R1, #1
+    BF R2, mode_emem
+    LDL R3, ip(blast_imem)
+    BR have_ip
+mode_emem:
+    LDL R3, ip(blast_emem)
+have_ip:
+    LD R2, [A1+0]
+    MKHDR R1, R3, R2
+    ST [A1+12], R1          ; header word
+    GETSP R0, CYCLELO
+    ST [A1+9], R0           ; t0
+    ; Registers across the send loop: R0 = dest, R1 = header,
+    ; R2 = pad word, A0 = remaining message count.
+    LD R0, [A1+11]
+    LD R1, [A1+12]
+    MOVEI R2, 0
+    LD A0, [A1+1]
+    ; Dispatch to an unrolled loop for the common sizes (tuned code,
+    ; as the paper's microbenchmarks were).
+    LD R3, [A1+0]
+    ADDI R3, R3, #-16
+    EQI R3, R3, #0
+    BT R3, u16
+    LD R3, [A1+0]
+    EQI R3, R3, #12
+    BT R3, u12
+    LD R3, [A1+0]
+    EQI R3, R3, #8
+    BT R3, u8
+    LD R3, [A1+0]
+    EQI R3, R3, #4
+    BT R3, u4
+    LD R3, [A1+0]
+    EQI R3, R3, #2
+    BT R3, u2
+    LD R3, [A1+0]
+    EQI R3, R3, #1
+    BT R3, u1
+    BR generic
+.region comm
+u16:
+    SEND0 R0
+    SEND20 R1, R2
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND20E R2, R2
+    ADDI A0, A0, #-1
+    GTI R3, A0, #0
+    BT R3, u16
+    BR b_done
+u12:
+    SEND0 R0
+    SEND20 R1, R2
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND20E R2, R2
+    ADDI A0, A0, #-1
+    GTI R3, A0, #0
+    BT R3, u12
+    BR b_done
+u8:
+    SEND0 R0
+    SEND20 R1, R2
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND20E R2, R2
+    ADDI A0, A0, #-1
+    GTI R3, A0, #0
+    BT R3, u8
+    BR b_done
+u4:
+    SEND0 R0
+    SEND20 R1, R2
+    SEND20E R2, R2
+    ADDI A0, A0, #-1
+    GTI R3, A0, #0
+    BT R3, u4
+    BR b_done
+u2:
+    SEND0 R0
+    SEND20E R1, R2
+    ADDI A0, A0, #-1
+    GTI R3, A0, #0
+    BT R3, u2
+    BR b_done
+u1:
+    SEND0 R0
+    SEND0E R1
+    ADDI A0, A0, #-1
+    GTI R3, A0, #0
+    BT R3, u1
+    BR b_done
+.region comp
+generic:
+    LD R0, [A1+1]
+    ST [A1+10], R0          ; remaining messages
+blast_loop:
+.region comm
+    LD R0, [A1+11]
+    SEND0 R0                ; destination
+    LD R1, [A1+12]
+    LD R2, [A1+0]
+    ADDI R2, R2, #-1        ; payload words after the header
+    EQI R3, R2, #0
+    BF R3, b_pads
+    SEND0E R1
+    BR b_sent
+b_pads:
+    SEND0 R1                ; header
+b_pad_loop:                 ; stream pads at 2 words/cycle
+    LEI R3, R2, #4
+    BT R3, b_tail
+    SEND20 R2, R2
+    SEND20 R2, R2
+    ADDI R2, R2, #-4
+    BR b_pad_loop
+b_tail:
+    EQI R3, R2, #1
+    BT R3, b_t1
+    EQI R3, R2, #2
+    BT R3, b_t2
+    EQI R3, R2, #3
+    BT R3, b_t3
+    SEND20 R2, R2
+    SEND20E R2, R2
+    BR b_sent
+b_t3:
+    SEND20 R2, R2
+    SEND0E R2
+    BR b_sent
+b_t2:
+    SEND20E R2, R2
+    BR b_sent
+b_t1:
+    SEND0E R2
+b_sent:
+.region comp
+    LD R0, [A1+10]
+    ADDI R0, R0, #-1
+    ST [A1+10], R0
+    GTI R1, R0, #0
+    BT R1, blast_loop
+b_done:
+    ; completion marker (FIFO behind the blast)
+.region comm
+    LD R0, [A1+11]
+    SEND0 R0
+    LDL R1, hdr(blast_done, 2)
+    GETSP R2, NNR
+    SEND20E R1, R2
+.region sync
+done_spin:
+    LD R0, [A1+8]
+    EQI R0, R0, #0
+    BT R0, done_spin
+.region comp
+    GETSP R0, CYCLELO
+    LD R1, [A1+9]
+    SUB R0, R0, R1
+    OUT R0
+    HALT
+
+worker:
+    CALL A2, jos_park
+
+blast_discard:
+    SUSPEND
+
+blast_imem:
+    LDL A0, seg(IBUF, 64)
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R2, [A1+0]
+    MOVEI R1, 1
+bi_loop:
+    LT R3, R1, R2
+    BF R3, bi_done
+    LDX R3, [A3+R1]
+    STX [A0+R1], R3
+    ADDI R1, R1, #1
+    BR bi_loop
+bi_done:
+    SUSPEND
+
+blast_emem:
+    LDL A0, seg(EBUF, 64)
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R2, [A1+0]
+    MOVEI R1, 1
+be_loop:
+    LT R3, R1, R2
+    BF R3, be_done
+    LDX R3, [A3+R1]
+    STX [A0+R1], R3
+    ADDI R1, R1, #1
+    BR be_loop
+be_done:
+    SUSPEND
+
+blast_done:                 ; [hdr, replyaddr]
+    LD R0, [A3+1]
+    SEND0 R0
+    LDL R1, hdr(blast_ack, 1)
+    SEND0E R1
+    SUSPEND
+
+blast_ack:
+    LDL A1, seg(APP_SCRATCH, 64)
+    MOVEI R0, 1
+    ST [A1+8], R0
+    SUSPEND
+)";
+
+const char *kSyncSource = R"(
+; Table 2: producer-consumer synchronization costs.
+; Node 0 measures the straight-line sequences with cycle stamps, then
+; reads a cfut slot and suspends. Node 1 delays long enough for the
+; suspension to complete, then sends a producer message whose handler
+; (on node 0) delivers the value through jos_put and restarts the
+; consumer. Slots: DATA at +16 (int), FLAG at +17, CSLOT at +18 (cfut).
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, node1
+    LDL A0, seg(APP_SCRATCH, 64)
+    ; ---- calibration: empty timed region ----
+    GETSP R0, CYCLELO
+    GETSP R1, CYCLELO
+    SUB R1, R1, R0
+    OUT R1                  ; [0] harness overhead
+    ; ---- tags, success: read a present value ----
+    GETSP R0, CYCLELO
+    LD R2, [A0+16]
+    GETSP R1, CYCLELO
+    SUB R1, R1, R0
+    OUT R1                  ; [1]
+    ; ---- no tags, success: test flag then read ----
+    GETSP R0, CYCLELO
+    LD R2, [A0+17]
+    EQI R3, R2, #0
+    BT R3, nt_absent
+    LD R2, [A0+16]
+nt_absent:
+    GETSP R1, CYCLELO
+    SUB R1, R1, R0
+    OUT R1                  ; [2] (flag=1 path poked by driver)
+    ; ---- no tags, failure: flag clear, branch away ----
+    MOVEI R2, 0
+    ST [A0+17], R2
+    GETSP R0, CYCLELO
+    LD R2, [A0+17]
+    EQI R3, R2, #0
+    BF R3, nt2_present
+    MOVEI R2, 0             ; "suspend entry" stand-in
+nt2_present:
+    GETSP R1, CYCLELO
+    SUB R1, R1, R0
+    OUT R1                  ; [3]
+    ; ---- no tags, write: store data + set flag ----
+    GETSP R0, CYCLELO
+    ST [A0+16], R2
+    MOVEI R3, 1
+    ST [A0+17], R3
+    GETSP R1, CYCLELO
+    SUB R1, R1, R0
+    OUT R1                  ; [4]
+    ; ---- tags, write (value-present path of jos_put) ----
+    MOVEI R0, 16
+    LDL R1, #42
+    GETSP R2, CYCLELO
+    OUT R2                  ; [5] t before
+    CALL A2, jos_put
+    GETSP R2, CYCLELO
+    OUT R2                  ; [6] t after
+    ; ---- phase 2: fault on the cfut slot and suspend ----
+    LDL A0, seg(APP_SCRATCH, 64)
+    LD R1, [A0+18]          ; cfut -> fault, save, suspend
+    ; ------- restarted here by jos_put -------
+    GETSP R0, CYCLELO
+    OUT R0                  ; [7] t3: thread resumed
+    OUT R1                  ; [8] delivered value (sanity)
+    HALT
+
+node1:
+    LDL R0, #400
+n1_delay:
+    ADDI R0, R0, #-1
+    GTI R1, R0, #0
+    BT R1, n1_delay
+    MOVEI R0, 0
+    CALL A2, jos_nnr
+    SEND0 R0
+    LDL R1, hdr(producer, 1)
+    SEND0E R1
+    HALT
+
+producer:                   ; runs on node 0
+    LDL A0, seg(APP_SCRATCH, 64)
+    MOVEI R0, 18
+    LDL R1, #555
+    GETSP R2, CYCLELO
+    OUT R2                  ; [node0: next] t2: just before jos_put
+    CALL A2, jos_put
+    SUSPEND
+)";
+
+const char *kBarrierSource = R"(
+; Table 3: software barrier timing. Every node runs K barriers; node 0
+; stamps before and after. Param +0: K.
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+0]
+    ST [A1+10], R0
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, others
+    GETSP R0, CYCLELO
+    ST [A1+9], R0
+others:
+    CALL A2, bar_barrier
+    LD R0, [A1+10]
+    ADDI R0, R0, #-1
+    ST [A1+10], R0
+    GTI R1, R0, #0
+    BT R1, others
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, done
+    GETSP R0, CYCLELO
+    LD R1, [A1+9]
+    SUB R0, R0, R1
+    OUT R0
+done:
+    HALT
+)";
+
+} // namespace
+
+PingResult
+measurePing(unsigned nodes, NodeId target, PingKind kind, bool emem_data,
+            unsigned iterations)
+{
+    auto m = buildMachine(nodes, "ping.jasm", kPingSource);
+    const Addr read_addr = emem_data ? jos::kAppEmemBase : 3000;
+    pokeParam(*m, 0, 0, static_cast<std::int32_t>(target));
+    pokeParam(*m, 0, 1, static_cast<std::int32_t>(iterations));
+    pokeParam(*m, 0, 2, static_cast<std::int32_t>(kind));
+    pokeParam(*m, 0, 3, static_cast<std::int32_t>(read_addr));
+    for (unsigned i = 0; i < 8; ++i)
+        m->pokeInt(target, read_addr + i, 1000 + static_cast<int>(i));
+
+    const RunResult r = m->run(2'000'000);
+    if (r.reason == StopReason::CycleLimit)
+        fatal("ping benchmark did not finish");
+    const auto out = outInts(*m, 0);
+    if (out.size() != iterations)
+        fatal("ping benchmark produced wrong output count");
+
+    PingResult result;
+    const MeshDims &dims = m->config().dims;
+    result.hops = dims.toCoord(0).hopsTo(dims.toCoord(target));
+    double sum = 0;
+    for (auto v : out)
+        sum += v;
+    result.roundTripCycles = sum / out.size();
+    return result;
+}
+
+OverheadResult
+measureOverhead()
+{
+    OverheadResult result;
+    // Send overhead: the self-ping program's comm prologue is known
+    // code; measure a single 2-word send sequence with cycle stamps.
+    auto m = buildMachine(2, "sendcost.jasm", R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, w
+    MOVEI R0, 1
+    CALL A2, jos_nnr
+    GETSP R2, CYCLELO
+    SEND0 R0
+    LDL R1, hdr(null_h, 2)
+    GETSP R3, NNR
+    SEND20E R1, R3
+    GETSP R1, CYCLELO
+    SUB R1, R1, R2
+    OUT R1
+    HALT
+w:
+    CALL A2, jos_park
+null_h:
+    SUSPEND
+)");
+    m->run(100000);
+    const auto out = outInts(*m, 0);
+    if (out.size() != 1)
+        fatal("overhead benchmark failed");
+    // Subtract the closing GETSP that is part of the harness.
+    result.sendCyclesPerMsg = out[0] - 1;
+
+    // Receive overhead: hardware dispatch plus the null handler's
+    // SUSPEND, read from the handler statistics of the run above.
+    const Program &prog = m->program();
+    const auto &hs = m->node(1).processor().handlerStats();
+    auto it = hs.find(prog.entry("null_h"));
+    if (it == hs.end())
+        fatal("null handler never ran");
+    result.receiveCyclesPerMsg =
+        static_cast<double>(m->config().proc.dispatchCycles) +
+        static_cast<double>(it->second.cycles) / it->second.dispatches;
+
+    // Per-byte: steady-state channel occupancy from a 16-word blast.
+    const double mbits = measureBlast(16, BlastMode::Discard, 64);
+    // cycles per byte = (cycles/sec) / (bytes/sec)
+    result.cyclesPerByte = kClockHz / (mbits * 1e6 / 8.0);
+    return result;
+}
+
+LoadPoint
+measureLoadPoint(unsigned nodes, unsigned msg_words, unsigned idle_iters,
+                 Cycle window, std::uint32_t seed)
+{
+    if (msg_words < 2)
+        fatal("load messages need at least 2 words");
+
+    const auto run_case = [&](bool enabled) {
+        auto m = buildMachine(nodes, "load.jasm", kLoadSource);
+        pokeParamAll(*m, 0, static_cast<std::int32_t>(msg_words));
+        pokeParamAll(*m, 1, static_cast<std::int32_t>(idle_iters));
+        pokeParamAll(*m, 2, enabled ? 1 : 0);
+        for (NodeId id = 0; id < m->nodeCount(); ++id) {
+            const std::uint32_t s =
+                (id + seed) * 2654435761u ^ 0x9e3779b9u;
+            m->pokeInt(id, jos::kAppScratchBase + 10,
+                       static_cast<std::int32_t>(s | 1));
+        }
+        // Warmup, then measure.
+        m->run(window);
+        std::vector<std::int32_t> iters0(m->nodeCount());
+        std::vector<std::int32_t> rtt0(m->nodeCount());
+        for (NodeId id = 0; id < m->nodeCount(); ++id) {
+            iters0[id] = m->peekInt(id, jos::kAppScratchBase + 9);
+            rtt0[id] = m->peekInt(id, jos::kAppScratchBase + 12);
+        }
+        m->network().resetStats();
+        m->run(2 * window);
+        double iter_sum = 0, rtt_sum = 0;
+        for (NodeId id = 0; id < m->nodeCount(); ++id) {
+            iter_sum += m->peekInt(id, jos::kAppScratchBase + 9) - iters0[id];
+            rtt_sum += m->peekInt(id, jos::kAppScratchBase + 12) - rtt0[id];
+        }
+        struct CaseResult
+        {
+            double cyclesPerIter;
+            double rttPerIter;
+            double bisectionBits;
+        };
+        const double per_iter =
+            iter_sum > 0 ? static_cast<double>(window) * m->nodeCount() /
+                               iter_sum
+                         : 0;
+        const double rtt = iter_sum > 0 ? rtt_sum / iter_sum : 0;
+        return CaseResult{per_iter, rtt,
+                          m->network().stats().bisectionBitsPos()};
+    };
+
+    const auto base = run_case(false);
+    const auto loaded = run_case(true);
+
+    LoadPoint point;
+    point.grainCycles = base.cyclesPerIter;
+    // One-way latency from the per-exchange stamps (the stamp brackets
+    // send + round trip + ack detection; halve for one way).
+    point.oneWayLatency = loaded.rttPerIter / 2.0;
+    point.bisectionMbits =
+        loaded.bisectionBits * kClockHz / static_cast<double>(window) / 1e6;
+    point.msgsPerNodePerKcycle =
+        loaded.cyclesPerIter > 0 ? 1000.0 / loaded.cyclesPerIter : 0;
+    point.efficiency = loaded.cyclesPerIter > 0
+                           ? base.cyclesPerIter / loaded.cyclesPerIter
+                           : 0;
+    return point;
+}
+
+double
+measureBlast(unsigned msg_words, BlastMode mode, unsigned messages)
+{
+    auto m = buildMachine(2, "blast.jasm", kBlastSource);
+    pokeParam(*m, 0, 0, static_cast<std::int32_t>(msg_words));
+    pokeParam(*m, 0, 1, static_cast<std::int32_t>(messages));
+    pokeParam(*m, 0, 2, static_cast<std::int32_t>(mode));
+    pokeParam(*m, 1, 0, static_cast<std::int32_t>(msg_words));
+    const RunResult r = m->run(10'000'000);
+    if (r.reason == StopReason::CycleLimit)
+        fatal("blast benchmark did not finish");
+    const auto out = outInts(*m, 0);
+    if (out.size() != 1)
+        fatal("blast benchmark produced no result");
+    const double cycles = out[0];
+    const double bits =
+        static_cast<double>(messages) * msg_words * 32.0;
+    return bits / (cycles / kClockHz) / 1e6;
+}
+
+SyncCosts
+measureSyncCosts()
+{
+    auto m = buildMachine(2, "sync.jasm", kSyncSource);
+    m->pokeInt(0, jos::kAppScratchBase + 16, 7);
+    m->pokeInt(0, jos::kAppScratchBase + 17, 1);
+    m->poke(0, jos::kAppScratchBase + 18, Word::makeCfut());
+
+    // Step cycle by cycle so we can observe the fault and the moment
+    // the consumer's suspension completes (node 0 going idle).
+    const Processor &proc = m->node(0).processor();
+    Cycle fault_cycle = 0;
+    Cycle idle_cycle = 0;
+    for (unsigned i = 0; i < 50000; ++i) {
+        const RunResult r = m->runFor(1);
+        const auto &st = proc.stats();
+        const auto cfuts =
+            st.faults[static_cast<unsigned>(FaultKind::CfutRead)];
+        if (fault_cycle == 0 && cfuts == 1)
+            fault_cycle = m->now();
+        if (fault_cycle != 0 && idle_cycle == 0 && !proc.runnable())
+            idle_cycle = m->now();
+        if (r.reason == StopReason::AllHalted)
+            break;
+        if (i + 2 == 50000)
+            fatal("sync benchmark did not finish");
+    }
+    if (fault_cycle == 0 || idle_cycle == 0)
+        fatal("sync benchmark never faulted/suspended");
+
+    const auto out = outInts(*m, 0);
+    if (out.size() != 10)
+        fatal("sync benchmark produced wrong output count: " +
+              std::to_string(out.size()));
+    const double harness = out[0];
+
+    SyncCosts costs;
+    costs.tagSuccess = out[1] - harness;
+    costs.noTagSuccess = out[2] - harness;
+    costs.noTagFailure = out[3] - harness;
+    costs.noTagWrite = out[4] - harness;
+    // jos_put present path: subtract CALL (3) + return JMP (2).
+    costs.tagWrite = (out[6] - out[5] - harness) - 5;
+
+    const ProcessorConfig &pc = m->config().proc;
+    // Failure (the trap itself): the load plus trap entry.
+    costs.tagFailure = 2.0 + pc.faultEntryCycles;
+    // Save: from the fault being charged to the processor going idle.
+    costs.tagSave = static_cast<double>(idle_cycle - fault_cycle);
+    // Restore: t3 - t2 spans jos_put's CALL (3), its ctx-detect
+    // prologue (LDRAWX+RTAG+EQI+taken BT = 6), the restore body, the
+    // re-executed load (2), and the closing GETSP (1).
+    costs.tagRestore = (out[8] - out[7]) - 12;
+    if (out[9] != 555)
+        fatal("sync benchmark delivered a wrong value");
+    return costs;
+}
+
+double
+measureBarrierUs(unsigned nodes, unsigned iterations)
+{
+    auto m = buildMachine(nodes, "barrier.jasm", kBarrierSource, true);
+    pokeParamAll(*m, 0, static_cast<std::int32_t>(iterations));
+    const RunResult r = m->run(40'000'000);
+    if (r.reason == StopReason::CycleLimit)
+        fatal("barrier benchmark did not finish");
+    const auto out = outInts(*m, 0);
+    if (out.size() != 1)
+        fatal("barrier benchmark produced no result");
+    return cyclesToUs(static_cast<Cycle>(out[0])) / iterations;
+}
+
+} // namespace workloads
+} // namespace jmsim

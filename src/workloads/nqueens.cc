@@ -1,0 +1,291 @@
+#include "workloads/apps.hh"
+
+#include "sim/logging.hh"
+#include "workloads/driver.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+
+namespace
+{
+
+/**
+ * N-Queens (paper Section 4.3.3): node 0 expands the first few rows
+ * breadth-first and scatters the resulting boards round-robin as
+ * 8-word NQueens messages; each board is counted by an iterative
+ * bitmask depth-first search run to completion inside the handler
+ * (the paper's ~300K-instruction coarse-grained threads). Results
+ * return to node 0 as 3-word NQDone messages.
+ *
+ * The P0 handler and the background expander use separate DFS stacks
+ * (STK_P0 / STK_BG) since the handler may preempt the expander.
+ */
+const char *kNQueensSource = R"(
+.equ TBL,    1024
+.equ STK_P0, 1600
+.equ STK_BG, 1700
+; params: +4 full mask, +5 expansion depth E
+; state:  +20 handler count, +21 boards, +22 round robin, +23 done,
+;         +24 total
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, park
+    ; ---- node->router table (node 0 only needs it) ----
+.region nnr
+    LDL A0, seg(TBL, 544)
+    MOVEI R3, 0
+mk_addr:
+    MOVE R0, R3
+    CALL A2, jos_nnr
+    LDL R1, #32
+    ADD R1, R1, R3
+    STX [A0+R1], R0
+    ADDI R3, R3, #1
+    GETSP R1, NODES
+    LT R1, R3, R1
+    BT R1, mk_addr
+.region comp
+    ; ---- breadth-first expansion to depth E ----
+    LDL A0, seg(STK_BG, 100)
+    MOVEI R0, 0
+    MOVEI R1, 0
+    MOVEI R2, 0
+    MOVEI R3, 0
+x_push:
+    ; frame: [avail, cols, d1, d2]; child board is sent (not pushed)
+    ; when it holds E queens (depth check happens at child creation)
+    OR A2, R0, R1
+    OR A2, A2, R2
+    NOT A2, A2
+    LD A3, [A1+4]
+    AND A2, A2, A3
+    STX [A0+R3], A2
+    ADDI R3, R3, #1
+    STX [A0+R3], R0
+    ADDI R3, R3, #1
+    STX [A0+R3], R1
+    ADDI R3, R3, #1
+    STX [A0+R3], R2
+    ADDI R3, R3, #1
+x_top:
+    ADDI R3, R3, #-4
+    LDX A2, [A0+R3]
+    ADDI R3, R3, #4
+    EQI A3, A2, #0
+    BT A3, x_pop
+    NEG A3, A2
+    AND A3, A2, A3           ; next column bit
+    SUB A2, A2, A3
+    ADDI R3, R3, #-4
+    STX [A0+R3], A2
+    ADDI R3, R3, #1
+    LDX R0, [A0+R3]
+    ADDI R3, R3, #1
+    LDX R1, [A0+R3]
+    ADDI R3, R3, #1
+    LDX R2, [A0+R3]
+    ADDI R3, R3, #1
+    ; child = (cols|bit, ((d1|bit)<<1)&full, (d2|bit)>>1)
+    OR R0, R0, A3
+    OR R1, R1, A3
+    ASHI R1, R1, #1
+    LD A2, [A1+4]
+    AND R1, R1, A2
+    OR R2, R2, A3
+    LSHI R2, R2, #-1
+    ; depth of child = sp/4
+    LSHI A2, R3, #-2
+    LD A3, [A1+5]
+    EQ A2, A2, A3
+    BT A2, x_send
+    BR x_push
+x_send:
+    ; scatter the board round-robin as an 8-word message; the DFS
+    ; stack pointer spills to memory while R3 indexes the tables
+    ST [A1+25], R3
+    LD R3, [A1+21]
+    ADDI R3, R3, #1
+    ST [A1+21], R3           ; boards++
+    LD R3, [A1+22]           ; round-robin cursor
+    LDL A2, seg(TBL, 544)
+    LDL A3, #32
+    ADD R3, R3, A3
+    LDX A3, [A2+R3]          ; destination router address
+.region comm
+    SEND0 A3
+    LDL A2, hdr(nqueens, 8)
+    SEND20 A2, R0            ; header, cols
+    SEND20 R1, R2            ; d1, d2
+    MOVEI A2, 0
+    SEND20 A2, A2
+    SEND20E A2, A2           ; pad to 8 words
+.region comp
+    LD R3, [A1+22]
+    ADDI R3, R3, #1
+    GETSP A2, NODES
+    LT A3, R3, A2
+    BT A3, rr_ok
+    MOVEI R3, 0
+rr_ok:
+    ST [A1+22], R3
+    LD R3, [A1+25]           ; restore the stack pointer
+    BR x_top
+x_pop:
+    ADDI R3, R3, #-4
+    LTI A2, R3, #1
+    BT A2, x_done
+    BR x_top
+x_done:
+    ; wait for every board's result
+.region sync
+x_wait:
+    LD R0, [A1+23]
+    LD R1, [A1+21]
+    LT R0, R0, R1
+    BT R0, x_wait
+.region comp
+    LD R0, [A1+24]
+    OUT R0
+    LD R0, [A1+21]
+    OUT R0
+    HALT
+park:
+    CALL A2, jos_park
+
+; ----------------------------------------------------------------------
+; NQueens: count solutions below one board by iterative DFS.
+; ----------------------------------------------------------------------
+nqueens:                     ; [hdr, cols, d1, d2, pad*4]
+    LDL A0, seg(STK_P0, 100)
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A3+1]
+    LD R1, [A3+2]
+    LD R2, [A3+3]
+    MOVEI R3, 0
+    ST [A1+20], R3
+q_push:
+    LD A2, [A1+4]
+    EQ A2, R0, A2
+    BF A2, q_not_leaf
+    LD A2, [A1+20]
+    ADDI A2, A2, #1
+    ST [A1+20], A2
+    BR q_pop
+q_not_leaf:
+    OR A2, R0, R1
+    OR A2, A2, R2
+    NOT A2, A2
+    LD A3, [A1+4]
+    AND A2, A2, A3
+    STX [A0+R3], A2
+    ADDI R3, R3, #1
+    STX [A0+R3], R0
+    ADDI R3, R3, #1
+    STX [A0+R3], R1
+    ADDI R3, R3, #1
+    STX [A0+R3], R2
+    ADDI R3, R3, #1
+q_top:
+    ADDI R3, R3, #-4
+    LDX A2, [A0+R3]
+    ADDI R3, R3, #4
+    EQI A3, A2, #0
+    BT A3, q_pop
+    NEG A3, A2
+    AND A3, A2, A3
+    SUB A2, A2, A3
+    ADDI R3, R3, #-4
+    STX [A0+R3], A2
+    ADDI R3, R3, #1
+    LDX R0, [A0+R3]
+    ADDI R3, R3, #1
+    LDX R1, [A0+R3]
+    ADDI R3, R3, #1
+    LDX R2, [A0+R3]
+    ADDI R3, R3, #1
+    OR R0, R0, A3
+    OR R1, R1, A3
+    ASHI R1, R1, #1
+    LD A2, [A1+4]
+    AND R1, R1, A2
+    OR R2, R2, A3
+    LSHI R2, R2, #-1
+    BR q_push
+q_pop:
+    ADDI R3, R3, #-4
+    LTI A2, R3, #1
+    BT A2, q_done
+    BR q_top
+q_done:
+    LD R0, [A1+20]
+.region comm
+    MOVEI R1, 0
+    SEND0 R1                 ; node 0
+    LDL R2, hdr(nqdone, 3)
+    SEND20 R2, R0
+    MOVEI R1, 0
+    SEND0E R1
+.region comp
+    SUSPEND
+
+nqdone:                      ; [hdr, count, pad]
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A3+1]
+    LD R1, [A1+24]
+    ADD R1, R1, R0
+    ST [A1+24], R1
+    LD R1, [A1+23]
+    ADDI R1, R1, #1
+    ST [A1+23], R1
+    SUSPEND
+)";
+
+} // namespace
+
+AppResult
+runNQueens(const NQueensConfig &config)
+{
+    if (config.queens < 4 || config.queens > 16)
+        fatal("N-Queens: queens must be in [4, 16]");
+    unsigned expand = config.expandDepth;
+    if (expand == 0) {
+        // Deepen until the board pool comfortably over-decomposes the
+        // machine (the paper varied the expansion with machine size).
+        std::uint64_t boards = 1;
+        for (expand = 1; expand < config.queens - 1; ++expand) {
+            boards *= config.queens - (expand - 1);
+            if (boards >= 8ull * config.nodes)
+                break;
+        }
+    }
+
+    auto m = buildMachine(config.nodes, "nqueens.jasm", kNQueensSource);
+    pokeParamAll(*m, 4,
+                 static_cast<std::int32_t>((1u << config.queens) - 1));
+    pokeParamAll(*m, 5, static_cast<std::int32_t>(expand));
+
+    const Cycle limit = 4'000'000'000ull;
+    const RunResult r = m->run(limit);
+    if (r.reason == StopReason::CycleLimit)
+        fatal("N-Queens did not finish");
+    const auto out = outInts(*m, 0);
+    if (out.size() != 2)
+        fatal("N-Queens produced no result");
+
+    AppResult result = collectAppResult(*m);
+    result.runCycles = r.cycles;
+    result.answer = out[0];
+    const std::uint64_t expect = referenceNQueens(config.queens);
+    if (static_cast<std::uint64_t>(out[0]) != expect)
+        fatal("N-Queens wrong answer: " + std::to_string(out[0]) +
+              " vs " + std::to_string(expect));
+    return result;
+}
+
+} // namespace workloads
+} // namespace jmsim

@@ -1,0 +1,453 @@
+#include "workloads/apps.hh"
+
+#include "sim/logging.hh"
+#include "workloads/driver.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+
+namespace
+{
+
+/**
+ * Parallel radix sort, 4 bits per digit (paper Section 4.3.2). Keys
+ * are distributed evenly; each pass runs a local counting phase, a
+ * binary combining/distributing tree that turns per-node bucket counts
+ * into per-node bucket base ranks, and a reorder phase that sends
+ * every key to its destination slot as a 3-word WriteData message.
+ * The tree doubles as the inter-pass synchronization point, exactly
+ * as the paper notes.
+ *
+ * SRAM: TBL holds the node-base ranks (NB, [0..15]), per-pass
+ * constants, and the node->router-address table ([32..]); HIST is the
+ * local histogram; ACC/UPB/UPF are the tree's per-level partial sums,
+ * receive buffers, and arrival flags. Key buffers live in external
+ * memory (BUFA/BUFB, swapped per pass).
+ */
+const char *kRadixSource = R"(
+.equ TBL,  1024
+.equ HIST, 1664
+.equ ACC,  1696
+.equ UPB,  1856
+.equ UPF,  2016
+.equ BUFA, 73728
+.equ BUFB, 139264
+; params: +0 kpn, +1 log2kpn, +2 passes
+; state:  +8 recvcount, +10 downflag, +13 bitk, +14 k, +15 k2, +16 pass
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    ; ---- node -> router address table ----
+.region nnr
+    LDL A0, seg(TBL, 576)
+    MOVEI R3, 0
+mk_addr:
+    MOVE R0, R3
+    CALL A2, jos_nnr
+    LDL R1, #32
+    ADD R1, R1, R3
+    STX [A0+R1], R0
+    ADDI R3, R3, #1
+    GETSP R1, NODES
+    LT R1, R3, R1
+    BT R1, mk_addr
+.region comp
+    ; ---- constants ----
+    LD R0, [A1+1]
+    NEG R0, R0
+    ST [A0+17], R0           ; -log2kpn
+    LD R0, [A1+0]
+    ADDI R1, R0, #-1
+    ST [A0+18], R1           ; slot mask
+    ST [A0+21], R0           ; kpn
+    LDL R0, #32
+    ST [A0+20], R0
+    MOVEI R0, 0
+    ST [A1+16], R0           ; pass = 0
+
+; ======================= pass loop =======================
+pass_loop:
+    LDL A1, seg(APP_SCRATCH, 64)
+    LDL A0, seg(TBL, 576)
+    ; per-pass constants: shift and WriteData header (parity)
+    LD R0, [A1+16]
+    ASHI R0, R0, #2
+    NEG R0, R0
+    ST [A0+16], R0           ; -(4*pass)
+    LD R0, [A1+16]
+    ANDI R0, R0, #1
+    EQI R0, R0, #0
+    BF R0, hdr_odd
+    LDL R1, hdr(writedata_a, 3)
+    BR hdr_done
+hdr_odd:
+    LDL R1, hdr(writedata_b, 3)
+hdr_done:
+    ST [A0+19], R1
+
+    ; ---- phase 1: local histogram ----
+    LDL A2, seg(HIST, 16)
+    MOVEI R0, 0
+    MOVEI R1, 0
+zh:
+    STX [A2+R0], R1
+    ADDI R0, R0, #1
+    LEI R2, R0, #15
+    BT R2, zh
+    ; A0 = source buffer for this pass
+    LD R0, [A1+16]
+    ANDI R0, R0, #1
+    EQI R0, R0, #0
+    BF R0, src_b
+    LDL A0, seg(BUFA, 65536)
+    BR src_done
+src_b:
+    LDL A0, seg(BUFB, 65536)
+src_done:
+    LDL A2, seg(TBL, 576)
+    LD R3, [A2+16]           ; shift
+    LD R1, [A2+21]           ; kpn
+    LDL A2, seg(HIST, 16)
+    MOVEI R0, 0
+count_loop:
+    LDX R2, [A0+R0]
+    LSH R2, R2, R3
+    ANDI R2, R2, #15
+    LDX A3, [A2+R2]
+    ADDI A3, A3, #1
+    STX [A2+R2], A3
+    ADDI R0, R0, #1
+    LT A3, R0, R1
+    BT A3, count_loop
+
+    ; ---- phase 2: combining / distributing tree ----
+    MOVEI R0, 1
+    ST [A1+13], R0           ; bitk
+    MOVEI R0, 0
+    ST [A1+14], R0           ; k
+tree_up:
+    LD R1, [A1+13]
+    GETSP R2, NODES
+    GE R3, R1, R2
+    BT R3, tree_root
+    GETSP R0, NODEID
+    AND R3, R0, R1
+    NEI R3, R3, #0
+    BT R3, up_send
+    ; left parent at this level: remember ACC[k] = HIST, merge child
+    LDL A0, seg(ACC, 160)
+    LDL A2, seg(HIST, 16)
+    LD R0, [A1+14]
+    ASHI R0, R0, #4
+    MOVEI R1, 0
+cp1:
+    LDX R2, [A2+R1]
+    ADD R3, R0, R1
+    STX [A0+R3], R2
+    ADDI R1, R1, #1
+    LEI R3, R1, #15
+    BT R3, cp1
+    ; wait for the right child's counts
+    LDL A0, seg(UPF, 16)
+    LD R0, [A1+14]
+.region sync
+w_up:
+    LDX R1, [A0+R0]
+    EQI R1, R1, #0
+    BT R1, w_up
+.region comp
+    MOVEI R1, 0
+    STX [A0+R0], R1          ; clear for the next pass
+    LDL A0, seg(UPB, 160)
+    LD R0, [A1+14]
+    ASHI R0, R0, #4
+    MOVEI R1, 0
+cp2:
+    ADD R3, R0, R1
+    LDX R2, [A0+R3]
+    LDX R3, [A2+R1]
+    ADD R2, R2, R3
+    STX [A2+R1], R2
+    ADDI R1, R1, #1
+    LEI R3, R1, #15
+    BT R3, cp2
+    LD R0, [A1+14]
+    ADDI R0, R0, #1
+    ST [A1+14], R0
+    LD R0, [A1+13]
+    ASHI R0, R0, #1
+    ST [A1+13], R0
+    BR tree_up
+up_send:
+    ; send accumulated counts to the parent (me - bitk)
+    GETSP R0, NODEID
+    LD R1, [A1+13]
+    SUB R0, R0, R1
+    LDL A0, seg(TBL, 576)
+    LDL R2, #32
+    ADD R0, R0, R2
+    LDX R0, [A0+R0]
+.region comm
+    SEND0 R0
+    LDL R2, hdr(rs_up, 18)
+    LD R3, [A1+14]
+    SEND20 R2, R3
+    LDL A2, seg(HIST, 16)
+    MOVEI R1, 0
+up_words:
+    LDX R2, [A2+R1]
+    ADDI R1, R1, #1
+    LEI R3, R1, #15
+    BT R3, up_more
+    SEND0E R2
+    BR up_sent
+up_more:
+    SEND0 R2
+    BR up_words
+up_sent:
+.region sync
+w_down:
+    LD R0, [A1+10]
+    EQI R0, R0, #0
+    BT R0, w_down
+.region comp
+    MOVEI R0, 0
+    ST [A1+10], R0
+    BR tree_down
+tree_root:
+    ; node 0: NB = exclusive scan of the global totals
+    LDL A0, seg(TBL, 576)
+    LDL A2, seg(HIST, 16)
+    MOVEI R0, 0
+    MOVEI R1, 0
+scan:
+    STX [A0+R1], R0
+    LDX R2, [A2+R1]
+    ADD R0, R0, R2
+    ADDI R1, R1, #1
+    LEI R2, R1, #15
+    BT R2, scan
+tree_down:
+    ; distribute bases to right children, deepest level first
+    LD R0, [A1+14]
+down_loop:
+    ADDI R0, R0, #-1
+    LTI R1, R0, #0
+    BT R1, tree_done
+    ST [A1+15], R0
+    MOVEI R1, 1
+    LSH R1, R1, R0
+    GETSP R2, NODEID
+    ADD R1, R1, R2
+    LDL A0, seg(TBL, 576)
+    LDL R2, #32
+    ADD R1, R1, R2
+    LDX R1, [A0+R1]
+.region comm
+    SEND0 R1
+    LDL R2, hdr(rs_down, 17)
+    SEND0 R2
+    LDL A2, seg(ACC, 160)
+    LD R0, [A1+15]
+    ASHI R0, R0, #4
+    MOVEI R1, 0
+dw:
+    ADD R2, R0, R1
+    LDX R2, [A2+R2]
+    LDX R3, [A0+R1]
+    ADD R2, R2, R3
+    ADDI R1, R1, #1
+    LEI R3, R1, #15
+    BT R3, dw_more
+    SEND0E R2
+    BR dw_done
+dw_more:
+    SEND0 R2
+    BR dw
+dw_done:
+.region comp
+    LD R0, [A1+15]
+    BR down_loop
+tree_done:
+
+    ; ---- phase 3: reorder (one WriteData message per key) ----
+    LD R0, [A1+16]
+    ANDI R0, R0, #1
+    EQI R0, R0, #0
+    BF R0, rsrc_b
+    LDL A0, seg(BUFA, 65536)
+    BR rsrc_done
+rsrc_b:
+    LDL A0, seg(BUFB, 65536)
+rsrc_done:
+    LDL A1, seg(TBL, 576)
+    MOVEI R0, 0
+reorder:
+    LDX R1, [A0+R0]          ; key
+    LD R2, [A1+16]
+    LSH R2, R1, R2
+    ANDI R2, R2, #15         ; digit
+    LDX A2, [A1+R2]          ; rank = NB[d]
+    ADDI A3, A2, #1
+    STX [A1+R2], A3
+    LD R2, [A1+17]
+    LSH R2, A2, R2           ; destination node
+    LD A3, [A1+20]
+    ADD R2, R2, A3
+    LDX R2, [A1+R2]          ; destination router address
+    LD A3, [A1+18]
+    AND A2, A2, A3           ; destination slot
+.region comm
+    SEND0 R2
+    LD R2, [A1+19]
+    SEND20 R2, A2
+    SEND0E R1
+.region comp
+    ADDI R0, R0, #1
+    LD A3, [A1+21]
+    LT A3, R0, A3
+    BT A3, reorder
+
+    ; ---- phase 4: wait until my slice fully arrived ----
+    LDL A1, seg(APP_SCRATCH, 64)
+.region sync
+w_recv:
+    LD R0, [A1+8]
+    LD R1, [A1+0]
+    LT R0, R0, R1
+    BT R0, w_recv
+.region comp
+    MOVEI R0, 0
+    ST [A1+8], R0
+    LD R0, [A1+16]
+    ADDI R0, R0, #1
+    ST [A1+16], R0
+    LD R1, [A1+2]
+    LT R1, R0, R1
+    BF R1, radix_done
+    BR pass_loop
+radix_done:
+    HALT
+
+; ---------------- handlers ----------------
+rs_up:                       ; [hdr, level, c0..c15]
+    LDL A0, seg(UPB, 176)
+    LD R0, [A3+1]
+    ASHI R0, R0, #4
+    MOVEI R1, 0
+ru_copy:
+    ADDI R3, R1, #2
+    LDX R2, [A3+R3]
+    ADD R3, R0, R1
+    STX [A0+R3], R2
+    ADDI R1, R1, #1
+    LEI R3, R1, #15
+    BT R3, ru_copy
+    LDL A0, seg(UPF, 16)
+    LD R0, [A3+1]
+    MOVEI R1, 1
+    STX [A0+R0], R1
+    SUSPEND
+
+rs_down:                     ; [hdr, b0..b15]
+    LDL A0, seg(TBL, 576)
+    MOVEI R1, 0
+rd_copy:
+    ADDI R3, R1, #1
+    LDX R2, [A3+R3]
+    STX [A0+R1], R2
+    ADDI R1, R1, #1
+    LEI R3, R1, #15
+    BT R3, rd_copy
+    LDL A1, seg(APP_SCRATCH, 64)
+    MOVEI R0, 1
+    ST [A1+10], R0
+    SUSPEND
+
+writedata_a:                 ; even pass: write into BUFB
+    LDL A0, seg(BUFB, 65536)
+    LD R0, [A3+1]
+    LD R1, [A3+2]
+    STX [A0+R0], R1
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+8]
+    ADDI R0, R0, #1
+    ST [A1+8], R0
+    SUSPEND
+
+writedata_b:                 ; odd pass: write into BUFA
+    LDL A0, seg(BUFA, 65536)
+    LD R0, [A3+1]
+    LD R1, [A3+2]
+    STX [A0+R0], R1
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+8]
+    ADDI R0, R0, #1
+    ST [A1+8], R0
+    SUSPEND
+)";
+
+} // namespace
+
+AppResult
+runRadixSort(const RadixConfig &config)
+{
+    if (config.keys % config.nodes != 0)
+        fatal("radix: keys must divide evenly across nodes");
+    const unsigned kpn = config.keys / config.nodes;
+    if (kpn > 65536)
+        fatal("radix: more than 64K keys per node");
+    unsigned log2kpn = 0;
+    while ((1u << log2kpn) < kpn)
+        ++log2kpn;
+    if ((1u << log2kpn) != kpn)
+        fatal("radix: keys per node must be a power of two");
+    const unsigned passes =
+        (config.keyBits + config.digitBits - 1) / config.digitBits;
+    if (config.digitBits != 4)
+        fatal("radix: this implementation sorts 4 bits per digit");
+
+    const auto keys = radixKeys(config.keys, config.keyBits, config.seed);
+
+    auto m = buildMachine(config.nodes, "radix.jasm", kRadixSource);
+    pokeParamAll(*m, 0, static_cast<std::int32_t>(kpn));
+    pokeParamAll(*m, 1, static_cast<std::int32_t>(log2kpn));
+    pokeParamAll(*m, 2, static_cast<std::int32_t>(passes));
+    const Addr bufa = static_cast<Addr>(m->program().symbol("BUFA"));
+    const Addr bufb = static_cast<Addr>(m->program().symbol("BUFB"));
+    for (NodeId id = 0; id < config.nodes; ++id) {
+        for (unsigned i = 0; i < kpn; ++i) {
+            m->pokeInt(id, bufa + i,
+                       static_cast<std::int32_t>(keys[id * kpn + i]));
+        }
+    }
+
+    const Cycle limit = static_cast<Cycle>(passes) *
+                            (static_cast<Cycle>(kpn) * 120 + 100000) +
+                        1000000;
+    const RunResult r = m->run(limit);
+    if (r.reason != StopReason::AllHalted)
+        fatal("radix sort did not finish");
+
+    // Validate against the reference.
+    const auto expect = referenceSort(keys);
+    const Addr final_buf = (passes % 2) ? bufb : bufa;
+    for (NodeId id = 0; id < config.nodes; ++id) {
+        for (unsigned i = 0; i < kpn; ++i) {
+            const std::int32_t got = m->peekInt(id, final_buf + i);
+            if (got != static_cast<std::int32_t>(expect[id * kpn + i]))
+                fatal("radix sort wrong value at rank " +
+                      std::to_string(id * kpn + i));
+        }
+    }
+
+    AppResult result = collectAppResult(*m);
+    result.runCycles = r.cycles;
+    result.answer = static_cast<std::int64_t>(config.keys);
+    return result;
+}
+
+} // namespace workloads
+} // namespace jmsim

@@ -1,0 +1,138 @@
+#include <algorithm>
+#include <numeric>
+
+#include "sim/random.hh"
+#include "workloads/apps.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+
+std::vector<std::uint8_t>
+lcsString(unsigned length, std::uint32_t seed)
+{
+    Xorshift64 rng(seed);
+    std::vector<std::uint8_t> s(length);
+    for (auto &c : s)
+        c = static_cast<std::uint8_t>('a' + rng.nextBelow(4));
+    return s;
+}
+
+unsigned
+referenceLcs(const std::vector<std::uint8_t> &a,
+             const std::vector<std::uint8_t> &b)
+{
+    // Two-row dynamic program over |a| x |b|.
+    std::vector<unsigned> prev(a.size() + 1, 0), cur(a.size() + 1, 0);
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+        for (std::size_t i = 1; i <= a.size(); ++i) {
+            if (a[i - 1] == b[j - 1])
+                cur[i] = prev[i - 1] + 1;
+            else
+                cur[i] = std::max(prev[i], cur[i - 1]);
+        }
+        std::swap(prev, cur);
+    }
+    return prev[a.size()];
+}
+
+std::vector<std::uint32_t>
+radixKeys(unsigned count, unsigned bits, std::uint32_t seed)
+{
+    Xorshift64 rng(seed);
+    const std::uint32_t mask =
+        bits >= 32 ? 0xffffffffu : ((1u << bits) - 1);
+    std::vector<std::uint32_t> keys(count);
+    for (auto &k : keys)
+        k = static_cast<std::uint32_t>(rng.next()) & mask;
+    return keys;
+}
+
+std::vector<std::uint32_t>
+referenceSort(std::vector<std::uint32_t> keys)
+{
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+namespace
+{
+
+std::uint64_t
+queensRec(std::uint32_t cols, std::uint32_t d1, std::uint32_t d2,
+          std::uint32_t full)
+{
+    if (cols == full)
+        return 1;
+    std::uint64_t count = 0;
+    std::uint32_t avail = ~(cols | d1 | d2) & full;
+    while (avail) {
+        const std::uint32_t bit = avail & (0u - avail);
+        avail -= bit;
+        count += queensRec(cols | bit, ((d1 | bit) << 1) & full,
+                           (d2 | bit) >> 1, full);
+    }
+    return count;
+}
+
+} // namespace
+
+std::uint64_t
+referenceNQueens(unsigned n)
+{
+    return queensRec(0, 0, 0, (1u << n) - 1);
+}
+
+std::vector<std::vector<std::int32_t>>
+tspMatrix(unsigned cities, std::uint32_t seed)
+{
+    Xorshift64 rng(seed);
+    std::vector<std::vector<std::int32_t>> d(
+        cities, std::vector<std::int32_t>(cities, 0));
+    for (unsigned i = 0; i < cities; ++i) {
+        for (unsigned j = i + 1; j < cities; ++j) {
+            const std::int32_t w =
+                static_cast<std::int32_t>(1 + rng.nextBelow(99));
+            d[i][j] = w;
+            d[j][i] = w;
+        }
+    }
+    return d;
+}
+
+namespace
+{
+
+void
+tspRec(const std::vector<std::vector<std::int32_t>> &d, unsigned city,
+       std::uint32_t visited, std::int64_t cost, std::int64_t &best)
+{
+    const unsigned n = d.size();
+    if (cost >= best)
+        return;
+    if (visited == (1u << n) - 1) {
+        const std::int64_t total = cost + d[city][0];
+        if (total < best)
+            best = total;
+        return;
+    }
+    for (unsigned next = 1; next < n; ++next) {
+        if (visited & (1u << next))
+            continue;
+        tspRec(d, next, visited | (1u << next), cost + d[city][next], best);
+    }
+}
+
+} // namespace
+
+std::int64_t
+referenceTsp(const std::vector<std::vector<std::int32_t>> &dist)
+{
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    tspRec(dist, 0, 1, 0, best);
+    return best;
+}
+
+} // namespace workloads
+} // namespace jmsim

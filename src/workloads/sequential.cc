@@ -1,0 +1,331 @@
+#include "workloads/apps.hh"
+
+#include "sim/logging.hh"
+#include "workloads/driver.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+
+namespace
+{
+
+/**
+ * Tuned sequential baselines for Figure 5. The paper's speedups for
+ * LCS, radix sort, and N-Queens are relative to "a good sequential
+ * implementation"; these are single-node jasm programs with no
+ * message traffic, written in the same style the parallel codes use.
+ */
+
+const char *kSeqLcs = R"(
+; params: +0 lenA, +1 lenB. A at ACH+1.., B in external memory.
+; Two-row DP: col[] holds the previous column.
+.equ ACH, 992
+.equ COL, 2020
+.equ BSTR, 73728
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    ; zero col[1..lenA]
+    LDL A2, seg(COL, 1056)
+    LD R0, [A1+0]
+    ST [A2+0], R0
+    MOVEI R1, 1
+    MOVEI R2, 0
+zc:
+    GT R3, R1, R0
+    BT R3, zd
+    STX [A2+R1], R2
+    ADDI R1, R1, #1
+    BR zc
+zd:
+    LDL A0, seg(BSTR, 4096)
+    MOVEI R2, 0              ; j
+col_loop:
+    LD R0, [A1+1]
+    LT R3, R2, R0
+    BF R3, finish
+    LDX R0, [A0+R2]          ; c = b[j]
+    ST [A1+9], R2            ; spill j
+    ; inner sweep over the rows, carry packed as in the parallel code
+    MOVEI R1, 0              ; carry = diag | left<<13
+    MOVEI R2, 1              ; i
+row_loop:
+    LDL A3, seg(ACH, 1056)
+    LDX R3, [A3+R2]
+    EQ R3, R3, R0
+    BF R3, nomatch
+    LSHI R3, R1, #-13
+    LSHI R3, R3, #13
+    SUB R3, R1, R3
+    ADDI R3, R3, #1
+    LDX A3, [A2+R2]
+    BR store
+nomatch:
+    LSHI R3, R1, #-13
+    LDX A3, [A2+R2]
+    LT R1, A3, R3
+    BT R1, store
+    MOVE R3, A3
+store:
+    LSHI R1, R3, #13
+    OR R1, R1, A3
+    STX [A2+R2], R3
+    ADDI R2, R2, #1
+    LD A3, [A2+0]
+    LE A3, R2, A3
+    BT A3, row_loop
+    LD R2, [A1+9]
+    ADDI R2, R2, #1
+    BR col_loop
+finish:
+    LD R0, [A1+0]
+    LDX R0, [A2+R0]          ; col[lenA]
+    OUT R0
+    HALT
+)";
+
+const char *kSeqRadix = R"(
+; params: +0 keys, +1 passes. Buffers in external memory.
+.equ HIST, 1664
+.equ NB,   1696
+.equ BUFA, 73728
+.equ BUFB, 139264
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    MOVEI R0, 0
+    ST [A1+16], R0           ; pass
+pass_loop:
+    ; zero hist
+    LDL A2, seg(HIST, 16)
+    MOVEI R0, 0
+    MOVEI R1, 0
+zh:
+    STX [A2+R0], R1
+    ADDI R0, R0, #1
+    LEI R2, R0, #15
+    BT R2, zh
+    ; source buffer by parity
+    LD R0, [A1+16]
+    ANDI R0, R0, #1
+    EQI R0, R0, #0
+    BF R0, src_b
+    LDL A0, seg(BUFA, 65536)
+    BR src_done
+src_b:
+    LDL A0, seg(BUFB, 65536)
+src_done:
+    ; count
+    LD R0, [A1+16]
+    ASHI R3, R0, #2
+    NEG R3, R3               ; shift
+    ST [A1+17], R3
+    LD R1, [A1+0]
+    MOVEI R0, 0
+count:
+    LDX R2, [A0+R0]
+    LSH R2, R2, R3
+    ANDI R2, R2, #15
+    LDX A3, [A2+R2]
+    ADDI A3, A3, #1
+    STX [A2+R2], A3
+    ADDI R0, R0, #1
+    LT A3, R0, R1
+    BT A3, count
+    ; exclusive scan into NB
+    LDL A3, seg(NB, 16)
+    MOVEI R0, 0
+    MOVEI R1, 0
+scan:
+    STX [A3+R1], R0
+    LDX R2, [A2+R1]
+    ADD R0, R0, R2
+    ADDI R1, R1, #1
+    LEI R2, R1, #15
+    BT R2, scan
+    ; reorder into the other buffer
+    LD R0, [A1+16]
+    ANDI R0, R0, #1
+    EQI R0, R0, #0
+    BF R0, dst_a
+    LDL A2, seg(BUFB, 65536)
+    BR dst_done
+dst_a:
+    LDL A2, seg(BUFA, 65536)
+dst_done:
+    LDL A3, seg(NB, 16)
+    LD R3, [A1+17]
+    MOVEI R0, 0
+reorder:
+    LDX R1, [A0+R0]          ; key
+    LSH R2, R1, R3
+    ANDI R2, R2, #15         ; digit
+    ST [A1+18], R0           ; spill the key index
+    LDX R0, [A3+R2]          ; rank = NB[d]
+    ST [A1+19], R0
+    ADDI R0, R0, #1
+    STX [A3+R2], R0          ; NB[d]++
+    LD R0, [A1+19]
+    STX [A2+R0], R1          ; dst[rank] = key
+    LD R0, [A1+18]
+    ADDI R0, R0, #1
+    LD R2, [A1+0]
+    LT R2, R0, R2
+    BT R2, reorder
+    ; next pass
+    LD R0, [A1+16]
+    ADDI R0, R0, #1
+    ST [A1+16], R0
+    LD R1, [A1+1]
+    LT R1, R0, R1
+    BF R1, seq_done
+    BR pass_loop
+seq_done:
+    HALT
+)";
+
+const char *kSeqQueens = R"(
+; params: +4 full mask. Counts all solutions by iterative DFS.
+.equ STK, 1600
+boot:
+    CALL A2, jos_init
+    LDL A0, seg(STK, 100)
+    LDL A1, seg(APP_SCRATCH, 64)
+    MOVEI R0, 0
+    MOVEI R1, 0
+    MOVEI R2, 0
+    MOVEI R3, 0
+    ST [A1+20], R3
+q_push:
+    LD A2, [A1+4]
+    EQ A2, R0, A2
+    BF A2, q_not_leaf
+    LD A2, [A1+20]
+    ADDI A2, A2, #1
+    ST [A1+20], A2
+    BR q_pop
+q_not_leaf:
+    OR A2, R0, R1
+    OR A2, A2, R2
+    NOT A2, A2
+    LD A3, [A1+4]
+    AND A2, A2, A3
+    STX [A0+R3], A2
+    ADDI R3, R3, #1
+    STX [A0+R3], R0
+    ADDI R3, R3, #1
+    STX [A0+R3], R1
+    ADDI R3, R3, #1
+    STX [A0+R3], R2
+    ADDI R3, R3, #1
+q_top:
+    ADDI R3, R3, #-4
+    LDX A2, [A0+R3]
+    ADDI R3, R3, #4
+    EQI A3, A2, #0
+    BT A3, q_pop
+    NEG A3, A2
+    AND A3, A2, A3
+    SUB A2, A2, A3
+    ADDI R3, R3, #-4
+    STX [A0+R3], A2
+    ADDI R3, R3, #1
+    LDX R0, [A0+R3]
+    ADDI R3, R3, #1
+    LDX R1, [A0+R3]
+    ADDI R3, R3, #1
+    LDX R2, [A0+R3]
+    ADDI R3, R3, #1
+    OR R0, R0, A3
+    OR R1, R1, A3
+    ASHI R1, R1, #1
+    LD A2, [A1+4]
+    AND R1, R1, A2
+    OR R2, R2, A3
+    LSHI R2, R2, #-1
+    BR q_push
+q_pop:
+    ADDI R3, R3, #-4
+    LTI A2, R3, #1
+    BT A2, q_done
+    BR q_top
+q_done:
+    LD R0, [A1+20]
+    OUT R0
+    HALT
+)";
+
+} // namespace
+
+Cycle
+runLcsSequential(unsigned len_a, unsigned len_b, std::uint32_t seed)
+{
+    if (len_a > 1024 || len_b > 4096)
+        fatal("sequential LCS: strings too long");
+    const auto a = lcsString(len_a, seed);
+    const auto b = lcsString(len_b, seed + 1);
+    auto m = buildMachine(1, "seq_lcs.jasm", kSeqLcs);
+    pokeParam(*m, 0, 0, static_cast<std::int32_t>(len_a));
+    pokeParam(*m, 0, 1, static_cast<std::int32_t>(len_b));
+    const Addr ach = static_cast<Addr>(m->program().symbol("ACH"));
+    const Addr bstr = static_cast<Addr>(m->program().symbol("BSTR"));
+    for (unsigned i = 0; i < len_a; ++i)
+        m->pokeInt(0, ach + 1 + i, a[i]);
+    for (unsigned j = 0; j < len_b; ++j)
+        m->pokeInt(0, bstr + j, b[j]);
+    const RunResult r = m->run(4'000'000'000ull);
+    if (r.reason != StopReason::AllHalted)
+        fatal("sequential LCS did not finish");
+    const auto out = outInts(*m, 0);
+    if (out.size() != 1 ||
+        out[0] != static_cast<std::int32_t>(referenceLcs(a, b)))
+        fatal("sequential LCS wrong answer");
+    return r.cycles;
+}
+
+Cycle
+runNQueensSequential(unsigned queens)
+{
+    auto m = buildMachine(1, "seq_queens.jasm", kSeqQueens);
+    pokeParam(*m, 0, 4, static_cast<std::int32_t>((1u << queens) - 1));
+    const RunResult r = m->run(8'000'000'000ull);
+    if (r.reason != StopReason::AllHalted)
+        fatal("sequential N-Queens did not finish");
+    const auto out = outInts(*m, 0);
+    if (out.size() != 1 ||
+        static_cast<std::uint64_t>(out[0]) != referenceNQueens(queens))
+        fatal("sequential N-Queens wrong answer");
+    return r.cycles;
+}
+
+Cycle
+runRadixSequential(unsigned keys, unsigned key_bits, std::uint32_t seed)
+{
+    if (keys > 65536)
+        fatal("sequential radix: too many keys");
+    const unsigned passes = (key_bits + 3) / 4;
+    const auto input = radixKeys(keys, key_bits, seed);
+    auto m = buildMachine(1, "seq_radix.jasm", kSeqRadix);
+    pokeParam(*m, 0, 0, static_cast<std::int32_t>(keys));
+    pokeParam(*m, 0, 1, static_cast<std::int32_t>(passes));
+    const Addr bufa = static_cast<Addr>(m->program().symbol("BUFA"));
+    const Addr bufb = static_cast<Addr>(m->program().symbol("BUFB"));
+    for (unsigned i = 0; i < keys; ++i)
+        m->pokeInt(0, bufa + i, static_cast<std::int32_t>(input[i]));
+    const RunResult r = m->run(4'000'000'000ull);
+    if (r.reason != StopReason::AllHalted)
+        fatal("sequential radix did not finish");
+    const auto expect = referenceSort(input);
+    const Addr final_buf = (passes % 2) ? bufb : bufa;
+    for (unsigned i = 0; i < keys; ++i) {
+        if (m->peekInt(0, final_buf + i) !=
+            static_cast<std::int32_t>(expect[i]))
+            fatal("sequential radix wrong value at " + std::to_string(i));
+    }
+    return r.cycles;
+}
+
+} // namespace workloads
+} // namespace jmsim

@@ -1,0 +1,429 @@
+#include "workloads/apps.hh"
+
+#include "sim/logging.hh"
+#include "workloads/driver.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+
+namespace
+{
+
+/**
+ * Traveling Salesperson (paper Section 4.3.4), reproducing the way the
+ * CST/COSMOS system used the machine:
+ *
+ *  - the distance matrix is a distributed-object stand-in: each row is
+ *    a named object (Ptr tag) resolved through XLATE at every use
+ *    (Table 5's enormous xlate counts; misses refill from the JOS
+ *    software directory);
+ *  - task-processing threads suspend periodically via a null call (a
+ *    continuation message to self) so bound updates can be processed —
+ *    the paper's 16% synchronization overhead;
+ *  - improved bounds are broadcast to every node;
+ *  - tasks (fixed-length subpaths) are distributed round-robin.
+ *
+ * Task state (explicit DFS stack) lives in a per-task block in
+ * external memory, so a "null call" saves only the stack pointer.
+ */
+const char *kTspSource = R"(
+.equ TBL,    1024
+.equ STK_BG, 1600
+.equ MAT,    73728
+.equ TASKS,  81920
+; params: +4 n, +5 step budget K, +6 full mask, +7 prefix depth P
+; state:  +21 tasks, +22 round robin, +23 done, +25 spill,
+;         +26 local slot counter, +27 bound, +28 spill
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    ; ---- bind row names (every node): ptr(i) -> row descriptor ----
+    MOVEI R3, 0
+ent:
+    LD R0, [A1+4]
+    LT R0, R3, R0
+    BF R0, ent_done
+    LSHI R0, R3, #6
+    LDL R1, #MAT
+    ADD R0, R0, R1
+    LD R1, [A1+4]
+    SETSEG R1, R0, R1
+    WTAG R0, R3, #ptr
+    ST [A1+28], R3
+    CALL A2, jos_dir_bind
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R3, [A1+28]
+    ADDI R3, R3, #1
+    BR ent
+ent_done:
+    ; ---- node->router table (all nodes broadcast bounds) ----
+.region nnr
+    LDL A0, seg(TBL, 544)
+    MOVEI R3, 0
+mk_addr:
+    MOVE R0, R3
+    CALL A2, jos_nnr
+    LDL R1, #32
+    ADD R1, R1, R3
+    STX [A0+R1], R0
+    ADDI R3, R3, #1
+    GETSP R1, NODES
+    LT R1, R3, R1
+    BT R1, mk_addr
+.region comp
+    LDL A1, seg(APP_SCRATCH, 64)
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, park
+    ; ---- generate depth-P subpath tasks ----
+    LDL A0, seg(STK_BG, 100)
+    MOVEI R3, 0
+    MOVEI R0, 1
+    STX [A0+R3], R0          ; nextcity = 1
+    ADDI R3, R3, #1
+    MOVEI R0, 0
+    STX [A0+R3], R0          ; city = 0
+    ADDI R3, R3, #1
+    STX [A0+R3], R0          ; cost = 0
+    ADDI R3, R3, #1
+    MOVEI R0, 1
+    STX [A0+R3], R0          ; visited = {0}
+    ADDI R3, R3, #1
+g_step:
+    LEI R0, R3, #0
+    BT R0, g_done
+    ADDI R3, R3, #-4
+    LDX R0, [A0+R3]          ; candidate index i
+    LD R1, [A1+4]
+    LT R1, R0, R1
+    BF R1, g_step            ; frame exhausted: R3 already popped
+    ADDI R1, R0, #1
+    STX [A0+R3], R1
+    ADDI R3, R3, #4
+    MOVEI R1, 1
+    LSH R1, R1, R0           ; bit
+    ADDI R3, R3, #-1
+    LDX A2, [A0+R3]          ; visited
+    ADDI R3, R3, #1
+    AND A3, A2, R1
+    EQI A3, A3, #0
+    BF A3, g_step
+    ; newcost = cost + M[city][i] (direct access in the generator)
+    ADDI R3, R3, #-3
+    LDX A3, [A0+R3]          ; city
+    ADDI R3, R3, #1
+    LDX R1, [A0+R3]          ; cost
+    ADDI R3, R3, #2
+    LSHI A3, A3, #6
+    LDL A2, #MAT
+    ADD A3, A3, A2
+    LD A2, [A1+4]
+    SETSEG A3, A3, A2
+    LDX A2, [A3+R0]
+    ADD R1, R1, A2           ; newcost
+    MOVEI A2, 1
+    LSH A2, A2, R0
+    ADDI R3, R3, #-1
+    LDX A3, [A0+R3]
+    ADDI R3, R3, #1
+    OR A2, A2, A3            ; visited'
+    LSHI A3, R3, #-2         ; child depth
+    LD R2, [A1+7]
+    EQ A3, A3, R2
+    BT A3, g_send
+    MOVEI R2, 1
+    STX [A0+R3], R2
+    ADDI R3, R3, #1
+    STX [A0+R3], R0
+    ADDI R3, R3, #1
+    STX [A0+R3], R1
+    ADDI R3, R3, #1
+    STX [A0+R3], A2
+    ADDI R3, R3, #1
+    BR g_step
+g_send:
+    LD R2, [A1+21]
+    ADDI R2, R2, #1
+    ST [A1+21], R2           ; tasks++
+    LD R2, [A1+22]
+    ST [A1+25], R3
+    LDL A3, seg(TBL, 544)
+    LDL R3, #32
+    ADD R3, R3, R2
+    LDX A3, [A3+R3]
+.region comm
+    SEND0 A3
+    LDL R3, hdr(tsp_task, 5)
+    SEND20 R3, R0            ; header, last city
+    SEND20 A2, R1            ; visited', cost
+    MOVEI R3, 0
+    SEND0E R3
+.region comp
+    LD R2, [A1+22]
+    ADDI R2, R2, #1
+    GETSP R3, NODES
+    LT R3, R2, R3
+    BT R3, g_rr
+    MOVEI R2, 0
+g_rr:
+    ST [A1+22], R2
+    LD R3, [A1+25]
+    BR g_step
+g_done:
+.region sync
+g_wait:
+    LD R0, [A1+23]
+    LD R1, [A1+21]
+    LT R0, R0, R1
+    BT R0, g_wait
+.region comp
+    LD R0, [A1+27]
+    OUT R0                   ; optimal tour cost
+    LD R0, [A1+21]
+    OUT R0                   ; task count
+    HALT
+park:
+    CALL A2, jos_park
+
+; ----------------------------------------------------------------------
+; Task processing (method invocation): allocate a task block and run.
+; ----------------------------------------------------------------------
+tsp_task:                    ; [hdr, city, visited, cost, pad]
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+26]
+    ADDI R1, R0, #1
+    ST [A1+26], R1
+    LDL R1, #512
+    LT R1, R0, R1
+    BT R1, slot_ok
+    BR jos_die               ; task-block pool exhausted
+slot_ok:
+    LSHI R1, R0, #7          ; slot * 128
+    LDL R2, #TASKS
+    ADD R1, R1, R2
+    LDL R2, #128
+    SETSEG A0, R1, R2
+    ST [A0+4], R0            ; remember the slot id
+    MOVEI R1, 1
+    ST [A0+8], R1            ; frame: nextcity = 1
+    LD R1, [A3+1]
+    ST [A0+9], R1            ;   city
+    LD R1, [A3+3]
+    ST [A0+10], R1           ;   cost
+    LD R1, [A3+2]
+    ST [A0+11], R1           ;   visited
+    MOVEI R1, 12
+    ST [A0+0], R1            ; sp
+    BR tsp_run
+
+tsp_cont:                    ; [hdr, slot, pad] -- the null call returns
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A3+1]
+    LSHI R1, R0, #7
+    LDL R2, #TASKS
+    ADD R1, R1, R2
+    LDL R2, #128
+    SETSEG A0, R1, R2
+    BR tsp_run
+
+; shared DFS segment runner: A0 = task block, A1 = scratch
+tsp_run:
+    LD R3, [A1+5]
+    ST [A0+1], R3            ; refill the step budget
+    LD R2, [A0+0]            ; sp
+step:
+    LEI R0, R2, #8
+    BT R0, task_done
+    ADDI R2, R2, #-4
+    LDX R0, [A0+R2]          ; i = nextcity
+    LD R1, [A1+4]
+    LT R1, R0, R1
+    BF R1, step              ; frame exhausted (R2 already popped)
+    ADDI R1, R0, #1
+    STX [A0+R2], R1
+    ADDI R2, R2, #4
+    MOVEI R1, 1
+    LSH R1, R1, R0
+    ADDI R2, R2, #-1
+    LDX A2, [A0+R2]          ; visited
+    ADDI R2, R2, #1
+    AND A3, A2, R1
+    EQI A3, A3, #0
+    BF A3, budget_next
+    ; newcost = cost + row(city)[i], row resolved by name
+    ADDI R2, R2, #-3
+    LDX A3, [A0+R2]          ; city
+    ADDI R2, R2, #1
+    LDX R1, [A0+R2]          ; cost
+    ADDI R2, R2, #2
+.region xlate
+    WTAG A3, A3, #ptr
+    XLATE A3, A3
+.region comp
+    LDX R3, [A3+R0]
+    ADD R1, R1, R3           ; newcost
+    LD R3, [A1+27]
+    GE R3, R1, R3
+    BT R3, budget_next       ; prune against the bound
+    MOVEI R3, 1
+    LSH R3, R3, R0
+    OR A2, A2, R3            ; visited'
+    LD R3, [A1+6]
+    EQ R3, A2, R3
+    BF R3, push_child
+    ; complete tour: close the cycle through city 0
+.region xlate
+    WTAG A3, R0, #ptr
+    XLATE A3, A3
+.region comp
+    MOVEI R3, 0
+    LDX R3, [A3+R3]
+    ADD R1, R1, R3
+    LD R3, [A1+27]
+    LT R3, R1, R3
+    BF R3, budget_next
+    ST [A1+27], R1           ; new local bound
+    ; broadcast the bound to every node
+    ST [A0+2], R2
+    ST [A0+3], R0
+    MOVEI R0, 0
+bc_loop:
+    GETSP R3, NODES
+    LT R3, R0, R3
+    BF R3, bc_done
+    LDL A2, seg(TBL, 544)
+    LDL R3, #32
+    ADD R3, R3, R0
+    LDX A3, [A2+R3]
+.region comm
+    SEND0 A3
+    LDL A3, hdr(tsp_bound, 2)
+    SEND20E A3, R1
+.region comp
+    ADDI R0, R0, #1
+    BR bc_loop
+bc_done:
+    LD R2, [A0+2]
+    LD R0, [A0+3]
+    BR budget_next
+push_child:
+    MOVEI R3, 1
+    STX [A0+R2], R3
+    ADDI R2, R2, #1
+    STX [A0+R2], R0
+    ADDI R2, R2, #1
+    STX [A0+R2], R1
+    ADDI R2, R2, #1
+    STX [A0+R2], A2
+    ADDI R2, R2, #1
+budget_next:
+    LD R3, [A0+1]
+    ADDI R3, R3, #-1
+    ST [A0+1], R3
+    GTI R3, R3, #0
+    BT R3, step
+    ; null call: save the stack pointer, continue via a self-message
+    ST [A0+0], R2
+.region sync
+    GETSP R0, NNR
+    SEND0 R0
+    LDL R1, hdr(tsp_cont, 3)
+    LD R2, [A0+4]
+    SEND20 R1, R2
+    MOVEI R1, 0
+    SEND0E R1
+.region comp
+    SUSPEND
+task_done:
+.region comm
+    MOVEI R0, 0
+    SEND0 R0
+    LDL R1, hdr(tsp_done, 3)
+    MOVEI R2, 1
+    SEND20 R1, R2
+    MOVEI R1, 0
+    SEND0E R1
+.region comp
+    SUSPEND
+
+tsp_bound:                   ; [hdr, cost]
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A3+1]
+    LD R1, [A1+27]
+    LT R1, R0, R1
+    BF R1, bound_old
+    ST [A1+27], R0
+bound_old:
+    SUSPEND
+
+tsp_done:                    ; [hdr, 1, pad]
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+23]
+    ADDI R0, R0, #1
+    ST [A1+23], R0
+    SUSPEND
+)";
+
+} // namespace
+
+AppResult
+runTsp(const TspConfig &config)
+{
+    if (config.cities < 4 || config.cities > 16)
+        fatal("TSP: cities must be in [4, 16]");
+    unsigned prefix = config.prefixDepth;
+    std::uint64_t tasks = 1;
+    if (prefix == 0) {
+        for (prefix = 2; prefix < std::min(config.cities - 1, 5u);
+             ++prefix) {
+            tasks = 1;
+            for (unsigned k = 1; k < prefix; ++k)
+                tasks *= config.cities - k;
+            if (tasks >= 4ull * config.nodes)
+                break;
+        }
+    }
+    tasks = 1;
+    for (unsigned k = 1; k < prefix; ++k)
+        tasks *= config.cities - k;
+    if ((tasks + config.nodes - 1) / config.nodes > 512)
+        fatal("TSP: too many tasks per node");
+
+    const auto dist = tspMatrix(config.cities, config.seed);
+
+    auto m = buildMachine(config.nodes, "tsp.jasm", kTspSource);
+    pokeParamAll(*m, 4, static_cast<std::int32_t>(config.cities));
+    pokeParamAll(*m, 5, static_cast<std::int32_t>(config.suspendPeriod));
+    pokeParamAll(*m, 6,
+                 static_cast<std::int32_t>((1u << config.cities) - 1));
+    pokeParamAll(*m, 7, static_cast<std::int32_t>(prefix));
+    const Addr mat = static_cast<Addr>(m->program().symbol("MAT"));
+    for (NodeId id = 0; id < config.nodes; ++id) {
+        m->pokeInt(id, jos::kAppScratchBase + 27, 1 << 30);  // bound
+        for (unsigned i = 0; i < config.cities; ++i) {
+            for (unsigned j = 0; j < config.cities; ++j)
+                m->pokeInt(id, mat + i * 64 + j, dist[i][j]);
+        }
+    }
+
+    const RunResult r = m->run(8'000'000'000ull);
+    if (r.reason == StopReason::CycleLimit)
+        fatal("TSP did not finish");
+    const auto out = outInts(*m, 0);
+    if (out.size() != 2)
+        fatal("TSP produced no result");
+
+    AppResult result = collectAppResult(*m);
+    result.runCycles = r.cycles;
+    result.answer = out[0];
+    const std::int64_t expect = referenceTsp(dist);
+    if (out[0] != expect)
+        fatal("TSP wrong answer: " + std::to_string(out[0]) + " vs " +
+              std::to_string(expect));
+    return result;
+}
+
+} // namespace workloads
+} // namespace jmsim

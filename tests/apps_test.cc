@@ -1,0 +1,146 @@
+/** @file End-to-end tests of the four macro-benchmark applications.
+ *
+ * Each run*() driver validates its answer against the C++ reference
+ * internally (wrong results throw), so these tests double as
+ * correctness checks of the assembly implementations across machine
+ * shapes, plus assertions about the statistics the paper tabulates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/apps.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+namespace
+{
+
+TEST(Lcs, SmallInstanceAcrossShapes)
+{
+    for (unsigned nodes : {1u, 2u, 8u}) {
+        LcsConfig c;
+        c.nodes = nodes;
+        c.lenA = 64;
+        c.lenB = 128;
+        const AppResult r = runLcs(c);
+        EXPECT_GT(r.answer, 0);
+        EXPECT_GT(r.runCycles, 0u);
+    }
+}
+
+TEST(Lcs, OneHandlerInvocationPerCharacterPerNode)
+{
+    LcsConfig c;
+    c.nodes = 4;
+    c.lenA = 64;
+    c.lenB = 128;
+    const AppResult r = runLcs(c);
+    for (const auto &t : r.threadClasses) {
+        if (t.name == "nxtchar") {
+            EXPECT_EQ(t.threads, 4u * 128u);
+            EXPECT_NEAR(t.avgMessageLength(), 3.0, 0.01);
+        }
+    }
+}
+
+TEST(Radix, SortsAcrossShapes)
+{
+    for (unsigned nodes : {1u, 4u, 16u}) {
+        RadixConfig c;
+        c.nodes = nodes;
+        c.keys = 1024;
+        const AppResult r = runRadixSort(c);
+        EXPECT_EQ(r.answer, 1024);
+    }
+}
+
+TEST(Radix, OneWriteDataPerKeyPerPass)
+{
+    RadixConfig c;
+    c.nodes = 8;
+    c.keys = 2048;
+    const AppResult r = runRadixSort(c);
+    std::uint64_t writes = 0;
+    for (const auto &t : r.threadClasses) {
+        if (t.name.rfind("writedata", 0) == 0) {
+            writes += t.threads;
+            EXPECT_NEAR(t.avgMessageLength(), 3.0, 0.01);
+        }
+    }
+    EXPECT_EQ(writes, 7ull * 2048u);  // 7 passes of 4-bit digits
+}
+
+TEST(NQueens, CountsMatchReferenceAcrossShapes)
+{
+    for (unsigned nodes : {1u, 4u, 16u}) {
+        NQueensConfig c;
+        c.nodes = nodes;
+        c.queens = 8;
+        const AppResult r = runNQueens(c);
+        EXPECT_EQ(r.answer, 92);
+    }
+}
+
+TEST(NQueens, BoardsTravelAsEightWordMessages)
+{
+    NQueensConfig c;
+    c.nodes = 8;
+    c.queens = 9;
+    const AppResult r = runNQueens(c);
+    for (const auto &t : r.threadClasses) {
+        if (t.name == "nqueens")
+            EXPECT_NEAR(t.avgMessageLength(), 8.0, 0.01);
+        if (t.name == "nqdone")
+            EXPECT_NEAR(t.avgMessageLength(), 3.0, 0.01);
+    }
+}
+
+TEST(Tsp, OptimalAcrossShapes)
+{
+    for (unsigned nodes : {1u, 4u, 8u}) {
+        TspConfig c;
+        c.nodes = nodes;
+        c.cities = 8;
+        const AppResult r = runTsp(c);
+        EXPECT_GT(r.answer, 0);
+    }
+}
+
+TEST(Tsp, UsesTheNamingMechanisms)
+{
+    TspConfig c;
+    c.nodes = 8;
+    c.cities = 9;
+    const AppResult r = runTsp(c);
+    // Every distance-matrix access translates a name (Table 5).
+    EXPECT_GT(r.xlates, r.dispatches);
+    EXPECT_GT(r.xlateFaults, 0u);   // lazy cold misses
+    EXPECT_LT(r.xlateFaults, r.xlates / 10);
+    // Null-call suspensions create many small continuation threads.
+    std::uint64_t conts = 0, tasksn = 0;
+    for (const auto &t : r.threadClasses) {
+        if (t.name == "tsp_cont")
+            conts = t.threads;
+        if (t.name == "tsp_task")
+            tasksn = t.threads;
+    }
+    EXPECT_GT(conts, tasksn);
+}
+
+TEST(Tsp, DeterministicAcrossRuns)
+{
+    TspConfig c;
+    c.nodes = 4;
+    c.cities = 7;
+    const AppResult a = runTsp(c);
+    const AppResult b = runTsp(c);
+    EXPECT_EQ(a.runCycles, b.runCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.answer, b.answer);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace jmsim

@@ -1,0 +1,203 @@
+/** @file Unit tests for the jasm assembler. */
+
+#include <gtest/gtest.h>
+
+#include "jasm/assembler.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+TEST(Assembler, LabelsAndSymbols)
+{
+    const Program p = assembleString(R"(
+.equ BASE, 100
+start:
+    NOP
+    NOP
+    NOP
+after:
+    HALT
+)");
+    EXPECT_EQ(p.symbol("BASE"), 100);
+    EXPECT_EQ(p.symbol("start"), 0);
+    // Three NOPs fill one and a half words; 'after' aligns to word 2.
+    EXPECT_EQ(p.symbol("after"), 2);
+    EXPECT_TRUE(p.validIaddr(p.entry("after")));
+    EXPECT_EQ(p.fetch(p.entry("after")).op, Opcode::Halt);
+}
+
+TEST(Assembler, ForwardReferencesResolve)
+{
+    const Program p = assembleString(R"(
+boot:
+    BR later
+    NOP
+later:
+    HALT
+)");
+    const Instruction &br = p.fetch(p.entry("boot"));
+    EXPECT_EQ(br.op, Opcode::Br);
+    EXPECT_EQ(br.imm, static_cast<std::int32_t>(p.symbol("later")));
+}
+
+TEST(Assembler, WideLiteralsCarryTags)
+{
+    const Program p = assembleString(R"(
+.equ T, 200
+boot:
+    LDL R0, #42
+    LDL R1, seg(T, 16)
+    LDL R2, hdr(boot, 3)
+    LDL R3, ip(boot)
+    LDL A0, ptr(7)
+    HALT
+)");
+    EXPECT_EQ(p.fetch(p.entry("boot")).literal, Word::makeInt(42));
+    const Word seg = p.fetch(p.entry("boot") + 4).literal;
+    EXPECT_EQ(seg.tag, Tag::Addr);
+    EXPECT_EQ(SegDesc::decode(seg).base, 200u);
+    const Word hdr = p.fetch(p.entry("boot") + 8).literal;
+    EXPECT_EQ(hdr.tag, Tag::Msg);
+    EXPECT_EQ(MsgHeader::decode(hdr).length, 3u);
+    EXPECT_EQ(p.fetch(p.entry("boot") + 12).literal.tag, Tag::Ip);
+    EXPECT_EQ(p.fetch(p.entry("boot") + 16).literal.tag, Tag::Ptr);
+}
+
+TEST(Assembler, DataWordsAndExpressions)
+{
+    const Program p = assembleString(R"(
+.equ N, 6
+.org 64
+table:
+.word 1, 2+3, N*N, nil, cfut, ip(table)
+)");
+    const auto &data = p.data();
+    ASSERT_EQ(data.size(), 6u);
+    EXPECT_EQ(data[0].first, 64u);
+    EXPECT_EQ(data[0].second.asInt(), 1);
+    EXPECT_EQ(data[1].second.asInt(), 5);
+    EXPECT_EQ(data[2].second.asInt(), 36);
+    EXPECT_EQ(data[3].second.tag, Tag::Nil);
+    EXPECT_EQ(data[4].second.tag, Tag::Cfut);
+    EXPECT_EQ(data[5].second.tag, Tag::Ip);
+}
+
+TEST(Assembler, MemoryOperandShapeSelectsOpcode)
+{
+    const Program p = assembleString(R"(
+boot:
+    LD R0, [A1+5]
+    LD R1, [A2+R3]
+    ST [A0+2], R2
+    ST [A0+R1], R2
+    HALT
+)");
+    EXPECT_EQ(p.fetch(0).op, Opcode::Ld);
+    EXPECT_EQ(p.fetch(1).op, Opcode::Ldx);
+    EXPECT_EQ(p.fetch(2).op, Opcode::St);
+    EXPECT_EQ(p.fetch(3).op, Opcode::Stx);
+}
+
+TEST(Assembler, RegionsSetAccountingClass)
+{
+    const Program p = assembleString(R"(
+boot:
+    NOP
+.region nnr
+    NOP
+    NOP
+.region comp
+    HALT
+)");
+    EXPECT_EQ(p.klassAt(0), StatClass::Compute);
+    EXPECT_EQ(p.klassAt(1), StatClass::Nnr);
+    EXPECT_EQ(p.klassAt(2), StatClass::Nnr);
+    EXPECT_EQ(p.klassAt(3), StatClass::Compute);
+}
+
+TEST(Assembler, ErrorsCarryFileAndLine)
+{
+    try {
+        assemble({SourceFile{"prog.jasm", "boot:\n    FROBNICATE R0\n"}});
+        FAIL() << "expected a fatal error";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("prog.jasm:2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, RejectsDuplicateLabels)
+{
+    EXPECT_THROW(assembleString("a:\n NOP\na:\n NOP\n"), FatalError);
+}
+
+TEST(Assembler, RejectsOverlappingCode)
+{
+    EXPECT_THROW(assembleString(".org 10\n NOP\n NOP\n.org 10\n NOP\n"),
+                 FatalError);
+}
+
+TEST(Assembler, RejectsOutOfRangeImmediates)
+{
+    EXPECT_THROW(assembleString("boot:\n ADDI R0, R0, #99\n"), FatalError);
+    EXPECT_THROW(assembleString("boot:\n LD R0, [A0+200]\n"), FatalError);
+}
+
+TEST(Assembler, NearestLabelForDiagnostics)
+{
+    const Program p = assembleString(R"(
+first:
+    NOP
+    NOP
+    NOP
+second:
+    NOP
+)");
+    EXPECT_EQ(p.nearestLabel(p.entry("first")), "first");
+    EXPECT_EQ(p.nearestLabel(p.entry("second") + 1), "second");
+}
+
+TEST(Assembler, EmemSectionPlacesDataHigh)
+{
+    const Program p = assembleString(R"(
+.emem
+big:
+.word 9
+.imem
+boot:
+    HALT
+)");
+    ASSERT_EQ(p.data().size(), 1u);
+    EXPECT_GE(p.data()[0].first, 0x10000u);
+    EXPECT_EQ(p.symbol("boot"), 0);
+}
+
+/** Property: instruction count matches the source across sweeps. */
+class NopSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NopSweep, CountAndPacking)
+{
+    std::string src = "boot:\n";
+    for (int i = 0; i < GetParam(); ++i)
+        src += "    NOP\n";
+    src += "    HALT\n";
+    const Program p = assembleString(src);
+    // NOPs + HALT, plus a possible alignment filler never executed.
+    EXPECT_GE(p.instructionCount(),
+              static_cast<std::uint64_t>(GetParam()) + 1);
+    EXPECT_LE(p.instructionCount(),
+              static_cast<std::uint64_t>(GetParam()) + 2);
+    EXPECT_EQ(p.codeEndWord(),
+              static_cast<Addr>((GetParam() + 1 + 1) / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NopSweep, ::testing::Values(0, 1, 2, 3, 7,
+                                                            8, 63, 64));
+
+} // namespace
+} // namespace jmsim

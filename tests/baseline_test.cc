@@ -1,0 +1,48 @@
+/** @file Tests of the sequential jasm baselines used as Figure 5's
+ * speedup bases: they validate internally and must cost less per
+ * element than the fine-grained parallel codes on one node. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/apps.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+namespace
+{
+
+TEST(Baseline, SequentialLcsValidatesAndScalesQuadratically)
+{
+    const Cycle small = runLcsSequential(32, 64);
+    const Cycle big = runLcsSequential(64, 128);
+    EXPECT_GT(small, 0u);
+    // 4x the cells: between 3x and 5x the cycles.
+    EXPECT_GT(big, 3 * small);
+    EXPECT_LT(big, 5 * small);
+}
+
+TEST(Baseline, SequentialRadixBeatsFineGrainedOnOneNode)
+{
+    const unsigned keys = 1024;
+    const Cycle seq = runRadixSequential(keys);
+    RadixConfig c;
+    c.nodes = 1;
+    c.keys = keys;
+    const Cycle par = runRadixSort(c).runCycles;
+    // The paper: a remote write costs over 3x a local write, so the
+    // message-per-key style loses on one node.
+    EXPECT_LT(seq, par);
+}
+
+TEST(Baseline, SequentialQueensValidates)
+{
+    const Cycle q6 = runNQueensSequential(6);
+    const Cycle q8 = runNQueensSequential(8);
+    EXPECT_GT(q8, q6);   // bigger tree, more cycles
+}
+
+} // namespace
+} // namespace workloads
+} // namespace jmsim

@@ -1,0 +1,206 @@
+/** @file Encode/decode tests for the 18-bit instruction slots. */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+Instruction
+make(Opcode op, std::uint8_t rd = 0, std::uint8_t ra = 0,
+     std::uint8_t rb = 0, std::int32_t imm = 0, std::uint8_t abase = 0)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.ra = ra;
+    inst.rb = rb;
+    inst.imm = imm;
+    inst.abase = abase;
+    return inst;
+}
+
+TEST(Instruction, RoundTripEveryFormat)
+{
+    const Instruction cases[] = {
+        make(Opcode::Nop),
+        make(Opcode::Jmp, reg::A2),
+        make(Opcode::Move, reg::R1, reg::A3),
+        make(Opcode::Add, reg::R0, reg::R1, reg::R2),
+        make(Opcode::Addi, reg::R3, reg::R0, 0, -16),
+        make(Opcode::Movei, reg::R2, 0, 0, 127),
+        make(Opcode::Wtag, reg::R0, reg::R1, 0,
+             static_cast<std::int32_t>(Tag::Cfut)),
+        make(Opcode::Ld, reg::R2, 0, 0, 63, 1),
+        make(Opcode::Ldx, reg::R2, 0, reg::R3, 0, 2),
+        make(Opcode::St, reg::R1, 0, 0, 5, 3),
+        make(Opcode::Addm, reg::R0, 0, 0, 7, 0),
+        make(Opcode::Br, 0, 0, 0, -1024),
+        make(Opcode::Bt, reg::R2, 0, 0, 127),
+        make(Opcode::Send20e, reg::R1, reg::R2),
+        make(Opcode::Getsp, reg::R0, 0, 0,
+             static_cast<std::int32_t>(SpecialReg::Nnr)),
+    };
+    for (const Instruction &inst : cases) {
+        const std::uint32_t bits = inst.encode();
+        EXPECT_LT(bits, 1u << encoding::kSlotBits);
+        const Instruction back = Instruction::decode(bits);
+        EXPECT_EQ(back, inst) << inst.toString();
+    }
+}
+
+TEST(Instruction, RejectsOutOfRangeFields)
+{
+    EXPECT_THROW(make(Opcode::Addi, 0, 0, 0, 16).encode(), FatalError);
+    EXPECT_THROW(make(Opcode::Addi, 0, 0, 0, -17).encode(), FatalError);
+    EXPECT_THROW(make(Opcode::Movei, 0, 0, 0, 128).encode(), FatalError);
+    EXPECT_THROW(make(Opcode::Br, 0, 0, 0, 1024).encode(), FatalError);
+    EXPECT_THROW(make(Opcode::Ld, 0, 0, 0, 64).encode(), FatalError);
+}
+
+TEST(Instruction, TwoSlotsPerWord)
+{
+    const std::uint32_t lo = make(Opcode::Add, 1, 2, 3).encode();
+    const std::uint32_t hi = make(Opcode::Movei, 2, 0, 0, -5).encode();
+    const std::uint64_t word = packInstrWord(lo, hi);
+    EXPECT_LT(word, 1ull << 36);  // 36-bit instruction word
+    EXPECT_EQ(unpackInstrSlot(word, 0), lo);
+    EXPECT_EQ(unpackInstrSlot(word, 1), hi);
+}
+
+TEST(Instruction, DisassemblyMentionsOperands)
+{
+    const Instruction inst = make(Opcode::Add, reg::R0, reg::R1, reg::A3);
+    EXPECT_EQ(inst.toString(), "ADD R0, R1, A3");
+    EXPECT_EQ(make(Opcode::Ld, reg::R2, 0, 0, 7, 1).toString(),
+              "LD R2, [A1+7]");
+}
+
+/** Property sweep: random-ish field combinations round-trip. */
+class SlotSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SlotSweep, RandomizedRoundTrip)
+{
+    std::uint64_t x = 0x9e3779b9u + GetParam() * 2654435761ull;
+    for (int i = 0; i < 200; ++i) {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        Instruction inst;
+        inst.op = Opcode::Add;  // RRR: all register fields live
+        inst.rd = static_cast<std::uint8_t>(x & 7);
+        inst.ra = static_cast<std::uint8_t>((x >> 3) & 7);
+        inst.rb = static_cast<std::uint8_t>((x >> 6) & 7);
+        const Instruction back = Instruction::decode(inst.encode());
+        ASSERT_EQ(back, inst);
+        Instruction imm;
+        imm.op = Opcode::Lti;
+        imm.rd = static_cast<std::uint8_t>((x >> 9) & 7);
+        imm.ra = static_cast<std::uint8_t>((x >> 12) & 7);
+        imm.imm = static_cast<std::int32_t>((x >> 15) & 31) - 16;
+        ASSERT_EQ(Instruction::decode(imm.encode()), imm);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlotSweep, ::testing::Range(0, 8));
+
+/** Exhaustive property: every opcode round-trips with every legal
+ *  combination of its format's field extremes. */
+TEST(Instruction, EveryOpcodeRoundTripsAtFieldExtremes)
+{
+    using encoding::kOff11Max;
+    using encoding::kOff11Min;
+    using encoding::kOffset6Max;
+    using encoding::kSimm5Max;
+    using encoding::kSimm5Min;
+    using encoding::kSimm8Max;
+    using encoding::kSimm8Min;
+
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NumOpcodes);
+         ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const Format fmt = opcodeInfo(op).format;
+        std::vector<Instruction> variants;
+        const auto add = [&](std::uint8_t rd, std::uint8_t ra,
+                             std::uint8_t rb, std::int32_t imm,
+                             std::uint8_t abase = 0) {
+            Instruction inst;
+            inst.op = op;
+            inst.rd = rd;
+            inst.ra = ra;
+            inst.rb = rb;
+            inst.imm = imm;
+            inst.abase = abase;
+            variants.push_back(inst);
+        };
+        switch (fmt) {
+          case Format::None:
+            add(0, 0, 0, 0);
+            break;
+          case Format::R:
+          case Format::Wide:
+            add(0, 0, 0, 0);
+            add(7, 0, 0, 0);
+            break;
+          case Format::RR:
+            add(0, 7, 0, 0);
+            add(7, 0, 0, 0);
+            break;
+          case Format::RRR:
+            add(0, 3, 7, 0);
+            add(7, 7, 7, 0);
+            break;
+          case Format::RRI:
+            add(0, 7, 0, kSimm5Min);
+            add(7, 0, 0, kSimm5Max);
+            break;
+          case Format::RI:
+            add(0, 0, 0, kSimm8Min);
+            add(7, 0, 0, kSimm8Max);
+            break;
+          case Format::RIT:
+            add(0, 7, 0, 0);
+            add(7, 0, 0, 15);
+            break;
+          case Format::MemLoad:
+          case Format::MemStore:
+          case Format::MemOp:
+            add(0, 0, 0, 0, 3);
+            add(7, 0, 0, kOffset6Max, 0);
+            break;
+          case Format::MemLoadX:
+          case Format::MemStoreX:
+            add(0, 0, 3, 0, 2);
+            add(7, 0, 7, 0, 1);
+            break;
+          case Format::Branch:
+            add(0, 0, 0, kOff11Min);
+            add(0, 0, 0, kOff11Max);
+            break;
+          case Format::CondBranch:
+          case Format::CallF:
+            add(0, 0, 0, kSimm8Min);
+            add(7, 0, 0, kSimm8Max);
+            break;
+        }
+        for (const Instruction &inst : variants) {
+            const std::uint32_t bits = inst.encode();
+            Instruction back = Instruction::decode(bits);
+            back.literal = inst.literal;
+            EXPECT_EQ(back, inst)
+                << opcodeInfo(op).mnemonic << ": " << inst.toString();
+            // Disassembly never crashes and names the mnemonic.
+            EXPECT_NE(inst.toString().find(opcodeInfo(op).mnemonic),
+                      std::string::npos);
+        }
+    }
+}
+
+} // namespace
+} // namespace jmsim

@@ -1,0 +1,242 @@
+/** @file Tests of the JOS runtime kernel routines. */
+
+#include <gtest/gtest.h>
+
+#include "jasm/assembler.hh"
+#include "sim/logging.hh"
+#include "machine/jmachine.hh"
+#include "runtime/jos.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+std::unique_ptr<JMachine>
+makeMachine(unsigned nodes, const std::string &app, bool barrier = false)
+{
+    Program prog = assemble(jos::withKernel("app.jasm", app, barrier));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(nodes);
+    return std::make_unique<JMachine>(cfg, std::move(prog));
+}
+
+TEST(Jos, NnrMatchesMeshGeometry)
+{
+    // Every node converts every linear id and reports the packed
+    // address; compare against the C++ geometry.
+    for (unsigned nodes : {2u, 8u, 64u, 512u}) {
+        auto m = makeMachine(nodes, R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, off
+    MOVEI R3, 0
+lp:
+    MOVE R0, R3
+    CALL A2, jos_nnr
+    OUT R0
+    ADDI R3, R3, #1
+    GETSP R1, NODES
+    LT R1, R3, R1
+    BT R1, lp
+off:
+    HALT
+)");
+        m->run(1'000'000);
+        const auto &out = m->node(0).processor().hostOut();
+        const MeshDims dims = MeshDims::forNodeCount(nodes);
+        ASSERT_EQ(out.size(), nodes);
+        for (NodeId id = 0; id < nodes; ++id) {
+            EXPECT_EQ(static_cast<std::uint32_t>(out[id].asInt()),
+                      dims.toCoord(id).pack())
+                << "node count " << nodes << " id " << id;
+        }
+    }
+}
+
+TEST(Jos, XlateMissRefillsFromDirectory)
+{
+    // Bind without priming the hardware table; the first XLATE takes
+    // a miss handled by jos_fault_xlate, the second hits.
+    auto m = makeMachine(1, R"(
+boot:
+    CALL A2, jos_init
+    LDL R0, ptr(77)
+    LDL R1, #1234
+    CALL A2, jos_dir_bind
+    LDL R0, ptr(77)
+    XLATE R2, R0
+    OUT R2
+    XLATE R3, R0
+    OUT R3
+    HALT
+)");
+    m->run(100000);
+    const auto &out = m->node(0).processor().hostOut();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].asInt(), 1234);
+    EXPECT_EQ(out[1].asInt(), 1234);
+    const auto &st = m->node(0).processor().stats();
+    EXPECT_EQ(st.faults[static_cast<unsigned>(FaultKind::XlateMiss)], 1u);
+}
+
+TEST(Jos, UnboundNameDiesAtJosDie)
+{
+    auto m = makeMachine(1, R"(
+boot:
+    CALL A2, jos_init
+    LDL R0, ptr(99)
+    XLATE R2, R0
+    HALT
+)");
+    EXPECT_THROW(m->run(100000), FatalError);
+}
+
+TEST(Jos, SendFaultRetriesUntilDrained)
+{
+    // Blast far more words than the send buffer holds; the JOS retry
+    // handler absorbs the overflow and everything is delivered.
+    auto m = makeMachine(2, R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, park
+    MOVEI R0, 1
+    CALL A2, jos_nnr
+    MOVE R3, R0              ; dest address lives in R3's shadow: keep
+    LDL A0, seg(APP_SCRATCH, 64)
+    ST [A0+12], R0
+    MOVEI R3, 0
+    MOVEI R2, 0
+lp:
+    LD R0, [A0+12]
+    SEND0 R0
+    LDL R1, hdr(sink, 9)
+    SEND0 R1
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND20E R2, R2
+    ADDI R3, R3, #1
+    LTI R1, R3, #12
+    BT R1, lp
+    HALT
+park:
+    CALL A2, jos_park
+sink:
+    SUSPEND
+)");
+    m->pokeInt(0, jos::kAppScratchBase, 0);
+    m->run(1'000'000);
+    const auto &st = m->node(0).processor().stats();
+    EXPECT_GT(st.faults[static_cast<unsigned>(FaultKind::SendFault)], 0u);
+    const auto &hs = m->node(1).processor().handlerStats();
+    const Program &prog = m->program();
+    auto it = hs.find(prog.entry("sink"));
+    ASSERT_NE(it, hs.end());
+    EXPECT_EQ(it->second.dispatches, 12u);
+}
+
+TEST(Jos, ContextPoolRecyclesAcrossSuspensions)
+{
+    // More cfut suspensions than the pool holds at once, serialized so
+    // each context is freed before the next is needed.
+    auto m = makeMachine(2, R"(
+.equ SLOT, 4032
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, producer_node
+    LDL A1, seg(APP_SCRATCH, 64)
+    MOVEI R3, 0
+consume:
+    LDL A0, seg(SLOT, 16)
+    LD R0, [A0+0]           ; faults + suspends each round
+    ADDM R3, [A1+20]
+    OUT R0
+    ; reset the slot to cfut for the next round
+    MOVEI R1, 0
+    WTAG R1, R1, #cfut
+    ST [A0+0], R1
+    LD R3, [A1+20]
+    LTI R1, R3, #0          ; never true; counter only
+    ADDI R3, R3, #0
+    LD R3, [A1+21]
+    ADDI R3, R3, #1
+    ST [A1+21], R3
+    LTI R1, R3, #12
+    BT R1, consume
+    HALT
+
+producer_node:
+    LDL A1, seg(APP_SCRATCH, 64)
+    MOVEI R3, 0
+prod_loop:
+    ; delay, then poke one value
+    LDL R0, #300
+d:
+    ADDI R0, R0, #-1
+    GTI R1, R0, #0
+    BT R1, d
+    MOVEI R0, 0
+    CALL A2, jos_nnr
+    SEND0 R0
+    LDL R1, hdr(producer, 1)
+    SEND0E R1
+    ADDI R3, R3, #1
+    LTI R1, R3, #12
+    BT R1, prod_loop
+    HALT
+
+producer:
+    LDL A0, seg(SLOT, 16)
+    MOVEI R0, 0
+    LDL R1, #555
+    CALL A2, jos_put
+    SUSPEND
+)");
+    m->poke(0, 4032, Word::makeCfut());
+    for (Addr a = jos::kAppScratchBase + 20; a < jos::kAppScratchBase + 24;
+         ++a)
+        m->pokeInt(0, a, 0);
+    const RunResult r = m->run(3'000'000);
+    EXPECT_EQ(r.reason, StopReason::AllHalted);
+    const auto &st = m->node(0).processor().stats();
+    EXPECT_EQ(st.faults[static_cast<unsigned>(FaultKind::CfutRead)], 12u);
+    // The free list survived 12 suspend/restart rounds with 8 blocks.
+    EXPECT_EQ(m->peekInt(0, jos::kGlobalsBase + 4),
+              static_cast<std::int32_t>(jos::kCtxPoolBase));
+}
+
+TEST(Jos, BarrierIsReusableManyTimes)
+{
+    auto m = makeMachine(4, R"(
+boot:
+    CALL A2, jos_init
+    LDL A3, seg(APP_SCRATCH, 64)
+    MOVEI R3, 0
+    ST [A3+16], R3
+lp:
+    CALL A2, bar_barrier
+    LDL A3, seg(APP_SCRATCH, 64)
+    LD R3, [A3+16]
+    ADDI R3, R3, #1
+    ST [A3+16], R3
+    LDL R1, #50
+    LT R1, R3, R1
+    BT R1, lp
+    OUT R3
+    HALT
+)", true);
+    const RunResult r = m->run(3'000'000);
+    EXPECT_EQ(r.reason, StopReason::AllHalted);
+    for (NodeId id = 0; id < 4; ++id)
+        EXPECT_EQ(m->node(id).processor().hostOut()[0].asInt(), 50);
+}
+
+} // namespace
+} // namespace jmsim

@@ -1,0 +1,86 @@
+/** @file Unit tests for the jasm lexer. */
+
+#include <gtest/gtest.h>
+
+#include "jasm/lexer.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+std::vector<Token>
+lex(const std::string &text)
+{
+    return tokenize(SourceFile{"test.jasm", text});
+}
+
+TEST(Lexer, RegistersAreRecognized)
+{
+    const auto toks = lex("R0 r3 A0 a3 R4 B2");
+    ASSERT_GE(toks.size(), 6u);
+    EXPECT_EQ(toks[0].kind, TokKind::Reg);
+    EXPECT_EQ(toks[0].value, 0);
+    EXPECT_EQ(toks[1].kind, TokKind::Reg);
+    EXPECT_EQ(toks[1].value, 3);
+    EXPECT_EQ(toks[2].kind, TokKind::Reg);
+    EXPECT_EQ(toks[2].value, 4);
+    EXPECT_EQ(toks[3].kind, TokKind::Reg);
+    EXPECT_EQ(toks[3].value, 7);
+    EXPECT_EQ(toks[4].kind, TokKind::Ident);  // R4 is not a register
+    EXPECT_EQ(toks[5].kind, TokKind::Ident);
+}
+
+TEST(Lexer, NumberFormats)
+{
+    const auto toks = lex("123 0x1f 'a'");
+    EXPECT_EQ(toks[0].value, 123);
+    EXPECT_EQ(toks[1].value, 31);
+    EXPECT_EQ(toks[2].value, 'a');
+}
+
+TEST(Lexer, CommentsAndLines)
+{
+    const auto toks = lex("NOP ; a comment, with punctuation []()\nHALT");
+    ASSERT_EQ(toks.size(), 4u);  // NOP EOL HALT EOL
+    EXPECT_EQ(toks[0].text, "NOP");
+    EXPECT_EQ(toks[1].kind, TokKind::Eol);
+    EXPECT_EQ(toks[2].text, "HALT");
+    EXPECT_EQ(toks[2].line, 2);
+}
+
+TEST(Lexer, DirectivesKeepTheirName)
+{
+    const auto toks = lex(".equ X, 5");
+    EXPECT_EQ(toks[0].kind, TokKind::Directive);
+    EXPECT_EQ(toks[0].text, "equ");
+}
+
+TEST(Lexer, PunctuationKinds)
+{
+    const auto toks = lex(", : # [ ] ( ) + - *");
+    const TokKind expect[] = {TokKind::Comma,    TokKind::Colon,
+                              TokKind::Hash,     TokKind::LBracket,
+                              TokKind::RBracket, TokKind::LParen,
+                              TokKind::RParen,   TokKind::Plus,
+                              TokKind::Minus,    TokKind::Star};
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(toks[i].kind, expect[i]) << i;
+}
+
+TEST(Lexer, RejectsStrayCharacters)
+{
+    EXPECT_THROW(lex("NOP @"), FatalError);
+    EXPECT_THROW(lex("'ab'"), FatalError);
+    EXPECT_THROW(lex("0x"), FatalError);
+}
+
+TEST(Lexer, AlwaysEndsWithEol)
+{
+    EXPECT_EQ(lex("").back().kind, TokKind::Eol);
+    EXPECT_EQ(lex("NOP").back().kind, TokKind::Eol);
+}
+
+} // namespace
+} // namespace jmsim

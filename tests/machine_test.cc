@@ -1,0 +1,215 @@
+/** @file Integration tests: assemble, load, run whole machines. */
+
+#include <gtest/gtest.h>
+
+#include "jasm/assembler.hh"
+#include "machine/jmachine.hh"
+#include "runtime/jos.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+MachineConfig
+smallConfig(unsigned nodes)
+{
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(nodes);
+    return cfg;
+}
+
+JMachine
+makeMachine(unsigned nodes, const std::string &app, bool barrier = false)
+{
+    Program prog = assemble(jos::withKernel("app.jasm", app, barrier));
+    return JMachine(smallConfig(nodes), std::move(prog));
+}
+
+TEST(Machine, SingleNodeArithmetic)
+{
+    // 2 + 3*4 = 14, written to the host buffer.
+    JMachine m = makeMachine(1, R"(
+boot:
+    MOVEI R0, 2
+    MOVEI R1, 3
+    MOVEI R2, 4
+    MUL R1, R1, R2
+    ADD R0, R0, R1
+    OUT R0
+    HALT
+)");
+    const RunResult r = m.run(1000);
+    EXPECT_EQ(r.reason, StopReason::AllHalted);
+    ASSERT_EQ(m.node(0).processor().hostOut().size(), 1u);
+    EXPECT_EQ(m.node(0).processor().hostOut()[0].asInt(), 14);
+}
+
+TEST(Machine, MemoryAndLiterals)
+{
+    JMachine m = makeMachine(1, R"(
+.equ TBL, 256
+boot:
+    LDL A0, seg(TBL, 16)
+    MOVEI R0, 7
+    ST [A0+3], R0
+    LD R1, [A0+3]
+    ADDI R1, R1, #1
+    ST [A0+4], R1
+    LDX R2, [A0+R1]       ; TBL[8] is uninitialized -> do not read; use R1
+    HALT
+.org TBL
+.word 0,0,0,0,0,0,0,0,42
+)");
+    // Pre-run poke then run.
+    const RunResult r = m.run(1000);
+    EXPECT_EQ(r.reason, StopReason::AllHalted);
+    EXPECT_EQ(m.peekInt(0, 256 + 3), 7);
+    EXPECT_EQ(m.peekInt(0, 256 + 4), 8);
+    EXPECT_EQ(m.peekInt(0, 256 + 8), 42);
+}
+
+TEST(Machine, SelfMessageDispatch)
+{
+    // boot sends a message to itself; the handler stores the payload.
+    JMachine m = makeMachine(1, R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, NNR
+    SEND0 R0
+    LDL R1, hdr(handler, 2)
+    LDL R2, #99
+    SEND20E R1, R2
+    CALL A2, jos_park
+handler:
+    LD R0, [A3+1]
+    OUT R0
+    SUSPEND
+)");
+    const RunResult r = m.run(2000);
+    EXPECT_EQ(r.reason, StopReason::Quiescent);
+    ASSERT_EQ(m.node(0).processor().hostOut().size(), 1u);
+    EXPECT_EQ(m.node(0).processor().hostOut()[0].asInt(), 99);
+}
+
+TEST(Machine, TwoNodePing)
+{
+    // Node 0 pings node 1; node 1's handler acks back; node 0's ack
+    // handler records the round trip.
+    JMachine m = makeMachine(2, R"(
+.equ FLAG, 4032
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, worker
+    ; node 0: send ping to node 1
+    MOVEI R0, 1
+    CALL A2, jos_nnr
+    SEND0 R0
+    LDL R1, hdr(ping_handler, 2)
+    GETSP R2, NNR          ; my address, for the reply
+    SEND20E R1, R2
+worker:
+    CALL A2, jos_park
+
+ping_handler:
+    LD R0, [A3+1]          ; requester address
+    SEND0 R0
+    LDL R1, hdr(ack_handler, 2)
+    LDL R2, #1
+    SEND20E R1, R2
+    SUSPEND
+
+ack_handler:
+    LD R0, [A3+1]
+    OUT R0
+    SUSPEND
+)");
+    const RunResult r = m.run(5000);
+    EXPECT_EQ(r.reason, StopReason::Quiescent);
+    ASSERT_EQ(m.node(0).processor().hostOut().size(), 1u);
+    EXPECT_EQ(m.node(0).processor().hostOut()[0].asInt(), 1);
+    // The handler ran on node 1.
+    EXPECT_GT(m.node(1).processor().stats().dispatches, 0u);
+}
+
+TEST(Machine, BarrierAcrossNodes)
+{
+    // All nodes meet at a barrier 3 times; each then reports its id.
+    JMachine m = makeMachine(8, R"(
+boot:
+    CALL A2, jos_init
+    CALL A2, bar_barrier
+    CALL A2, bar_barrier
+    CALL A2, bar_barrier
+    GETSP R0, NODEID
+    OUT R0
+    HALT
+)", true);
+    const RunResult r = m.run(100000);
+    EXPECT_EQ(r.reason, StopReason::AllHalted);
+    for (NodeId id = 0; id < 8; ++id) {
+        ASSERT_EQ(m.node(id).processor().hostOut().size(), 1u) << id;
+        EXPECT_EQ(m.node(id).processor().hostOut()[0].asInt(),
+                  static_cast<std::int32_t>(id));
+    }
+}
+
+TEST(Machine, CfutSuspendAndRestart)
+{
+    // Node 0's background thread reads a cfut slot and suspends; node 1
+    // delays (so the fault deterministically happens first) and then
+    // sends a producer message whose handler delivers the value via
+    // jos_put, restarting the suspended thread.
+    JMachine m = makeMachine(2, R"(
+.equ SLOT, 4032
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, producer_node
+    ; node 0: consume. The load faults and suspends this thread.
+    LDL A0, seg(SLOT, 16)
+    LD R0, [A0+0]
+    OUT R0
+    HALT
+
+producer_node:
+    ; node 1: delay ~500 cycles, then poke node 0.
+    LDL R0, #200
+delay:
+    ADDI R0, R0, #-1
+    GTI R1, R0, #0
+    BT R1, delay
+    MOVEI R0, 0
+    CALL A2, jos_nnr
+    SEND0 R0
+    LDL R1, hdr(producer, 1)
+    SEND0E R1
+    HALT
+
+producer:
+    LDL A0, seg(SLOT, 16)
+    MOVEI R0, 0
+    LDL R1, #777
+    CALL A2, jos_put
+    SUSPEND
+
+.org SLOT
+.word cfut
+)");
+    const RunResult r = m.run(10000);
+    EXPECT_EQ(r.reason, StopReason::AllHalted);
+    ASSERT_EQ(m.node(0).processor().hostOut().size(), 1u);
+    EXPECT_EQ(m.node(0).processor().hostOut()[0].asInt(), 777);
+    EXPECT_EQ(m.node(0).processor().stats()
+                  .faults[static_cast<unsigned>(FaultKind::CfutRead)],
+              1u);
+    // The context block was recycled onto the free list.
+    EXPECT_EQ(m.peekInt(0, jos::kGlobalsBase + 4),
+              static_cast<std::int32_t>(jos::kCtxPoolBase));
+}
+
+} // namespace
+} // namespace jmsim

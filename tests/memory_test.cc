@@ -1,0 +1,81 @@
+/** @file Unit tests for node memory and segment allocation. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+#include "mem/segment.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+TEST(NodeMemory, InternalAndExternalRanges)
+{
+    NodeMemory mem;
+    EXPECT_TRUE(mem.isInternal(0));
+    EXPECT_TRUE(mem.isInternal(4095));
+    EXPECT_FALSE(mem.isInternal(4096));
+    EXPECT_FALSE(mem.isValid(4096));         // the gap
+    EXPECT_TRUE(mem.isExternal(kEmemBase));
+    EXPECT_TRUE(mem.isExternal(mem.ememEnd() - 1));
+    EXPECT_FALSE(mem.isValid(mem.ememEnd()));
+}
+
+TEST(NodeMemory, AccessPenaltiesMatchThePaper)
+{
+    // Internal operand: 2-cycle instruction; external access: 6 total.
+    NodeMemory mem;
+    EXPECT_EQ(mem.accessPenalty(100), 1u);
+    EXPECT_EQ(mem.accessPenalty(kEmemBase + 5), 5u);
+}
+
+TEST(NodeMemory, ReadWriteRoundTrip)
+{
+    NodeMemory mem;
+    mem.write(17, Word::makeInt(-5));
+    EXPECT_EQ(mem.read(17).asInt(), -5);
+    mem.write(kEmemBase + 1000, Word::makeCfut());
+    EXPECT_EQ(mem.read(kEmemBase + 1000).tag, Tag::Cfut);
+}
+
+TEST(NodeMemory, UninitializedIsBadTagged)
+{
+    NodeMemory mem;
+    EXPECT_EQ(mem.read(50).tag, Tag::Bad);
+    EXPECT_EQ(mem.read(kEmemBase + 9).tag, Tag::Bad);
+}
+
+TEST(NodeMemory, LazyExternalBacking)
+{
+    NodeMemory mem;
+    EXPECT_FALSE(mem.ememTouched());
+    (void)mem.read(kEmemBase);   // reads do not allocate
+    EXPECT_FALSE(mem.ememTouched());
+    mem.write(kEmemBase, Word::makeInt(1));
+    EXPECT_TRUE(mem.ememTouched());
+}
+
+TEST(SegmentAllocator, AlignsAndBumps)
+{
+    NodeMemory mem;
+    SegmentAllocator alloc = SegmentAllocator::forExternal(mem);
+    const SegDesc a = alloc.allocate(100);
+    const SegDesc b = alloc.allocate(10);
+    EXPECT_EQ(a.base % SegDesc::kBaseAlign, 0u);
+    EXPECT_EQ(b.base % SegDesc::kBaseAlign, 0u);
+    EXPECT_GE(b.base, a.base + a.length);
+    const SegDesc copy{a.base, a.length};
+    EXPECT_TRUE(copy.encodable());
+}
+
+TEST(SegmentAllocator, ExhaustionIsFatal)
+{
+    SegmentAllocator alloc(kEmemBase, 128);
+    alloc.allocate(100);
+    EXPECT_THROW(alloc.allocate(100), FatalError);
+}
+
+} // namespace
+} // namespace jmsim

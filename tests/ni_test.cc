@@ -1,0 +1,282 @@
+/** @file Tests of the network interface: send channels, atomicity,
+ * message format checking, and delivery back-pressure. */
+
+#include <gtest/gtest.h>
+
+#include "jasm/assembler.hh"
+#include "sim/logging.hh"
+#include "machine/jmachine.hh"
+#include "runtime/jos.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+std::unique_ptr<JMachine>
+makeMachine(unsigned nodes, const std::string &app)
+{
+    Program prog = assemble(jos::withKernel("app.jasm", app, false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(nodes);
+    return std::make_unique<JMachine>(cfg, std::move(prog));
+}
+
+TEST(Ni, HeaderLengthMismatchFaults)
+{
+    // Declared length 3, actual 2: SEND0E must raise send-format.
+    auto m = makeMachine(1, R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, NNR
+    SEND0 R0
+    LDL R1, hdr(h, 3)
+    MOVEI R2, 0
+    SEND20E R1, R2
+    HALT
+h:
+    SUSPEND
+)");
+    EXPECT_THROW(m->run(10000), FatalError);
+}
+
+TEST(Ni, NonMsgHeaderFaults)
+{
+    auto m = makeMachine(1, R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, NNR
+    SEND0 R0
+    MOVEI R1, 5
+    SEND0E R1
+    HALT
+)");
+    EXPECT_THROW(m->run(10000), FatalError);
+}
+
+TEST(Ni, BadDestinationFaults)
+{
+    auto m = makeMachine(2, R"(
+boot:
+    CALL A2, jos_init
+    LDL R0, #0x7fff
+    SEND0 R0
+    HALT
+)");
+    EXPECT_THROW(m->run(10000), FatalError);
+}
+
+TEST(Ni, SendSequenceIsAtomicAgainstDispatch)
+{
+    // A handler must never interleave its words into the background
+    // thread's open message: the BG thread sends 6-word messages to a
+    // sink on node 1 while node 1 floods node 0 with handler-triggering
+    // messages whose handler also sends. If atomicity failed, some
+    // message's declared length would not match and the NI would raise
+    // send-format; completion with all sinks dispatched proves it held.
+    auto m = makeMachine(2, R"(
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, node1
+    ; node 0 background: 40 six-word messages, word by word
+    MOVEI R3, 0
+lp0:
+    MOVEI R0, 1
+    CALL A2, jos_nnr
+    SEND0 R0
+    LDL R1, hdr(sink, 6)
+    SEND0 R1
+    SEND0 R2
+    SEND0 R2
+    SEND0 R2
+    SEND0 R2
+    SEND0E R2
+    ADDI R3, R3, #1
+    LDL R1, #40
+    LT R1, R3, R1
+    BT R1, lp0
+    HALT
+node1:
+    ; node 1 floods node 0 with poke messages
+    MOVEI R3, 0
+lp1:
+    MOVEI R0, 0
+    CALL A2, jos_nnr
+    SEND0 R0
+    LDL R1, hdr(poke, 1)
+    SEND0E R1
+    ADDI R3, R3, #1
+    LDL R1, #60
+    LT R1, R3, R1
+    BT R1, lp1
+    CALL A2, jos_park
+poke:
+    ; handler on node 0 that itself sends (to node 1's sink2)
+    MOVEI R0, 1
+    CALL A2, jos_nnr
+    SEND0 R0
+    LDL R1, hdr(sink2, 2)
+    MOVEI R2, 7
+    SEND20E R1, R2
+    SUSPEND
+sink:
+    SUSPEND
+sink2:
+    SUSPEND
+)");
+    const RunResult r = m->run(2'000'000);
+    EXPECT_EQ(r.reason, StopReason::Quiescent);
+    const Program &prog = m->program();
+    const auto &hs1 = m->node(1).processor().handlerStats();
+    auto sink = hs1.find(prog.entry("sink"));
+    ASSERT_NE(sink, hs1.end());
+    EXPECT_EQ(sink->second.dispatches, 40u);
+    auto sink2 = hs1.find(prog.entry("sink2"));
+    ASSERT_NE(sink2, hs1.end());
+    EXPECT_EQ(sink2->second.dispatches, 60u);
+}
+
+TEST(Ni, PriorityOneMessagesPreemptPriorityZero)
+{
+    // A long-running P0 handler is interrupted by a P1 message; the
+    // P1 handler's stamp must land before the P0 handler finishes.
+    auto m = makeMachine(1, R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, NNR
+    SEND0 R0
+    LDL R1, hdr(slow, 1)
+    SEND0E R1
+    CALL A2, jos_park
+slow:
+    ; trigger the priority-1 interrupt, then grind
+    GETSP R0, NNR
+    SEND1 R0
+    LDL R1, hdr(fast, 1)
+    SEND1E R1
+    LDL R3, #200
+w:
+    ADDI R3, R3, #-1
+    GTI R1, R3, #0
+    BT R1, w
+    GETSP R0, CYCLELO
+    OUT R0                  ; [0 or 1] slow finish stamp
+    SUSPEND
+fast:
+    GETSP R0, CYCLELO
+    OUT R0                  ; stamp at P1 dispatch
+    SUSPEND
+)");
+    const RunResult r = m->run(100000);
+    EXPECT_EQ(r.reason, StopReason::Quiescent);
+    const auto &out = m->node(0).processor().hostOut();
+    ASSERT_EQ(out.size(), 2u);
+    // The first stamp emitted must be the P1 handler's.
+    EXPECT_LT(out[0].asInt(), out[1].asInt());
+    // And it preempted, i.e. P0's long loop finished after P1 ran.
+    EXPECT_GT(out[1].asInt() - out[0].asInt(), 300);
+}
+
+TEST(Ni, QueueBackPressureStallsDeliveryWithoutLoss)
+{
+    // Node 0 fires 300 three-word messages at node 1 whose handler is
+    // slow; the 512-word queue cannot hold them all, so the network
+    // stalls deliveries, but every message is eventually handled.
+    auto m = makeMachine(2, R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, park
+    MOVEI R3, 0
+lp:
+    MOVEI R0, 1
+    CALL A2, jos_nnr
+    SEND0 R0
+    LDL R1, hdr(slow, 3)
+    SEND20 R1, R3
+    SEND0E R2
+    ADDI R3, R3, #1
+    LDL R1, #300
+    LT R1, R3, R1
+    BT R1, lp
+    HALT
+park:
+    CALL A2, jos_park
+slow:
+    LDL R3, #40
+w:
+    ADDI R3, R3, #-1
+    GTI R1, R3, #0
+    BT R1, w
+    SUSPEND
+)");
+    const RunResult r = m->run(5'000'000);
+    EXPECT_NE(r.reason, StopReason::CycleLimit);
+    const auto &hs = m->node(1).processor().handlerStats();
+    auto it = hs.find(m->program().entry("slow"));
+    ASSERT_NE(it, hs.end());
+    EXPECT_EQ(it->second.dispatches, 300u);
+    EXPECT_GT(m->node(1).ni().stats().deliveryStallCycles, 0u);
+}
+
+TEST(Ni, ReturnToSenderBouncesAndRetransmits)
+{
+    // Same overload scenario as the back-pressure test, but with the
+    // paper's return-to-sender flow control: refused messages bounce
+    // back, jos_bounce retransmits them, and all 120 still arrive.
+    Program prog = assemble(jos::withKernel("app.jasm", R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, park
+    MOVEI R3, 0
+lp:
+    MOVEI R0, 1
+    CALL A2, jos_nnr
+    SEND0 R0
+    LDL R1, hdr(slow, 3)
+    SEND20 R1, R3
+    SEND0E R2
+    ADDI R3, R3, #1
+    LDL R1, #120
+    LT R1, R3, R1
+    BT R1, lp
+    ; the sender must stay live to retransmit bounced messages
+    CALL A2, jos_park
+park:
+    CALL A2, jos_park
+slow:
+    LDL R3, #60
+w:
+    ADDI R3, R3, #-1
+    GTI R1, R3, #0
+    BT R1, w
+    SUSPEND
+)",
+                                            false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(2);
+    cfg.ni.returnToSender = true;
+    cfg.ni.queueWords0 = 64;  // tiny queue to force refusals
+    JMachine m(cfg, std::move(prog));
+    const RunResult r = m.run(10'000'000);
+    EXPECT_NE(r.reason, StopReason::CycleLimit);
+    const auto &hs = m.node(1).processor().handlerStats();
+    auto it = hs.find(m.program().entry("slow"));
+    ASSERT_NE(it, hs.end());
+    EXPECT_EQ(it->second.dispatches, 120u);
+    EXPECT_GT(m.node(1).ni().stats().messagesBounced, 0u);
+    // The sender's bounce handler ran.
+    const auto &hs0 = m.node(0).processor().handlerStats();
+    auto bounce = hs0.find(m.program().entry("jos_bounce"));
+    ASSERT_NE(bounce, hs0.end());
+    EXPECT_GT(bounce->second.dispatches, 0u);
+}
+
+} // namespace
+} // namespace jmsim

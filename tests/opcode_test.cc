@@ -1,0 +1,81 @@
+/** @file Unit tests for the opcode metadata table. */
+
+#include <gtest/gtest.h>
+
+#include "isa/opcode.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+TEST(Opcode, MnemonicRoundTrip)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NumOpcodes);
+         ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const auto back = opcodeFromMnemonic(opcodeInfo(op).mnemonic);
+        ASSERT_TRUE(back.has_value()) << opcodeInfo(op).mnemonic;
+        EXPECT_EQ(*back, op);
+    }
+}
+
+TEST(Opcode, MnemonicLookupIsCaseInsensitive)
+{
+    EXPECT_EQ(opcodeFromMnemonic("add"), Opcode::Add);
+    EXPECT_EQ(opcodeFromMnemonic("Send20e"), Opcode::Send20e);
+    EXPECT_FALSE(opcodeFromMnemonic("FROB").has_value());
+}
+
+TEST(Opcode, SendFamilyClassification)
+{
+    unsigned sends = 0, ends = 0, p1 = 0, doubles = 0;
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NumOpcodes);
+         ++i) {
+        const auto op = static_cast<Opcode>(i);
+        if (!isSend(op))
+            continue;
+        ++sends;
+        if (isSendEnd(op))
+            ++ends;
+        if (sendPriority(op) == 1)
+            ++p1;
+        if (sendWords(op) == 2)
+            ++doubles;
+    }
+    EXPECT_EQ(sends, 8u);
+    EXPECT_EQ(ends, 4u);
+    EXPECT_EQ(p1, 4u);
+    EXPECT_EQ(doubles, 4u);
+    EXPECT_FALSE(isSend(Opcode::Move));
+}
+
+TEST(Opcode, CommunicationDefaultsToCommClass)
+{
+    EXPECT_EQ(opcodeInfo(Opcode::Send0).defaultClass, StatClass::Comm);
+    EXPECT_EQ(opcodeInfo(Opcode::Xlate).defaultClass, StatClass::Xlate);
+    EXPECT_EQ(opcodeInfo(Opcode::Add).defaultClass, StatClass::Compute);
+    EXPECT_EQ(opcodeInfo(Opcode::Suspend).defaultClass, StatClass::Sync);
+}
+
+TEST(Opcode, XlateCostsThreeCycles)
+{
+    // The paper: "A successful xlate takes three cycles."
+    EXPECT_EQ(opcodeInfo(Opcode::Xlate).baseCycles, 3u);
+    EXPECT_EQ(opcodeInfo(Opcode::Enter).baseCycles, 3u);
+}
+
+TEST(Opcode, StatClassNamesDistinct)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(StatClass::NumClasses);
+         ++i) {
+        for (unsigned j = i + 1;
+             j < static_cast<unsigned>(StatClass::NumClasses); ++j) {
+            EXPECT_STRNE(statClassName(static_cast<StatClass>(i)),
+                         statClassName(static_cast<StatClass>(j)));
+        }
+    }
+}
+
+} // namespace
+} // namespace jmsim

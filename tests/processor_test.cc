@@ -1,0 +1,266 @@
+/** @file Processor-level tests: semantics, faults, timing. */
+
+#include <gtest/gtest.h>
+
+#include "jasm/assembler.hh"
+#include "sim/logging.hh"
+#include "machine/jmachine.hh"
+#include "runtime/jos.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+/** Run a single-node program and return node 0's host output. */
+std::vector<std::int32_t>
+run1(const std::string &body, Cycle limit = 100000)
+{
+    Program prog = assemble(jos::withKernel("t.jasm", body, false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(1);
+    JMachine m(cfg, std::move(prog));
+    const RunResult r = m.run(limit);
+    EXPECT_NE(r.reason, StopReason::CycleLimit);
+    std::vector<std::int32_t> out;
+    for (const Word &w : m.node(0).processor().hostOut())
+        out.push_back(w.asInt());
+    return out;
+}
+
+TEST(Processor, ArithmeticAndShifts)
+{
+    const auto out = run1(R"(
+boot:
+    MOVEI R0, 100
+    MOVEI R1, 7
+    SUB R2, R0, R1
+    OUT R2                  ; 93
+    MUL R2, R0, R1
+    OUT R2                  ; 700
+    ASHI R2, R1, #3
+    OUT R2                  ; 56
+    LDL R2, #-64
+    ASHI R2, R2, #-3
+    OUT R2                  ; -8 (arithmetic)
+    LDL R2, #-64
+    LSHI R2, R2, #-3
+    OUT R2                  ; logical shift of -64
+    NOT R2, R1
+    OUT R2                  ; -8
+    HALT
+)");
+    ASSERT_EQ(out.size(), 6u);
+    EXPECT_EQ(out[0], 93);
+    EXPECT_EQ(out[1], 700);
+    EXPECT_EQ(out[2], 56);
+    EXPECT_EQ(out[3], -8);
+    EXPECT_EQ(out[4], static_cast<std::int32_t>(0x1ffffff8u));
+    EXPECT_EQ(out[5], -8);
+}
+
+TEST(Processor, ComparisonsProduceBools)
+{
+    const auto out = run1(R"(
+boot:
+    MOVEI R0, 3
+    MOVEI R1, 5
+    LT R2, R0, R1
+    OUT R2
+    GE R2, R0, R1
+    OUT R2
+    EQI R2, R0, #3
+    OUT R2
+    HALT
+)");
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[1], 0);
+    EXPECT_EQ(out[2], 1);
+}
+
+TEST(Processor, CallAndReturn)
+{
+    const auto out = run1(R"(
+boot:
+    MOVEI R0, 5
+    CALL A2, double
+    OUT R0
+    HALT
+double:
+    ADD R0, R0, R0
+    JMP A2
+)");
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 10);
+}
+
+TEST(Processor, TagInstructions)
+{
+    const auto out = run1(R"(
+boot:
+    MOVEI R0, 7
+    WTAG R1, R0, #cfut
+    RTAG R2, R1
+    OUT R2                  ; 8 = Tag::Cfut
+    WTAG R1, R1, #int
+    OUT R1                  ; bits preserved
+    HALT
+)");
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], static_cast<std::int32_t>(Tag::Cfut));
+    EXPECT_EQ(out[1], 7);
+}
+
+TEST(Processor, SegmentBoundsFaultIsFatalWithoutHandler)
+{
+    const std::string src = R"(
+boot:
+    LDL A0, seg(100, 4)
+    LD R0, [A0+4]
+    HALT
+)";
+    EXPECT_THROW(run1(src), FatalError);
+}
+
+TEST(Processor, FutUseFaultsOnArithmetic)
+{
+    const std::string src = R"(
+boot:
+    MOVEI R0, 1
+    WTAG R1, R0, #fut
+    ADD R2, R1, R0
+    HALT
+)";
+    EXPECT_THROW(run1(src), FatalError);
+}
+
+TEST(Processor, FutureCanBeMovedAndStored)
+{
+    // Futures are first-class: transport does not fault.
+    const auto out = run1(R"(
+boot:
+    MOVEI R0, 9
+    WTAG R1, R0, #fut
+    MOVE R2, R1
+    LDL A0, seg(200, 16)
+    ST [A0+0], R2
+    LDRAW R3, [A0+0]
+    RTAG R3, R3
+    OUT R3
+    HALT
+)");
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], static_cast<std::int32_t>(Tag::Fut));
+}
+
+TEST(Processor, ExternalMemoryCostsMoreThanInternal)
+{
+    const char *body = R"(
+.equ LOC, %s
+boot:
+    LDL A0, seg(LOC, 64)
+    MOVEI R0, 0
+    ST [A0+0], R0
+    GETSP R1, CYCLELO
+    LD R0, [A0+0]
+    LD R0, [A0+0]
+    LD R0, [A0+0]
+    LD R0, [A0+0]
+    GETSP R2, CYCLELO
+    SUB R2, R2, R1
+    OUT R2
+    HALT
+)";
+    char internal[512], external[512];
+    std::snprintf(internal, sizeof(internal), body, "256");
+    std::snprintf(external, sizeof(external), body, "73728");
+    const auto in_cost = run1(internal)[0];
+    const auto ex_cost = run1(external)[0];
+    EXPECT_EQ(in_cost, 4 * 2 + 1);   // 2-cycle loads + closing GETSP
+    EXPECT_EQ(ex_cost, 4 * 6 + 1);   // 6-cycle DRAM accesses
+}
+
+TEST(Processor, MkhdrBuildsDispatchableHeaders)
+{
+    const auto out = run1(R"(
+boot:
+    CALL A2, jos_init
+    LDL R0, ip(handler)
+    MOVEI R1, 2
+    MKHDR R2, R0, R1
+    GETSP R3, NNR
+    SEND0 R3
+    LDL R1, #321
+    SEND20E R2, R1
+    CALL A2, jos_park
+handler:
+    LD R0, [A3+1]
+    OUT R0
+    SUSPEND
+)");
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 321);
+}
+
+TEST(Processor, CheckPassesAndFails)
+{
+    const auto out = run1(R"(
+boot:
+    MOVEI R0, 1
+    CHECK R0, #int
+    OUT R0
+    HALT
+)");
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_THROW(run1("boot:\n MOVEI R0, 1\n CHECK R0, #nil\n HALT\n"),
+                 FatalError);
+}
+
+TEST(Processor, ProbeReturnsNilOnMiss)
+{
+    const auto out = run1(R"(
+boot:
+    LDL R0, ptr(5)
+    MOVEI R1, 77
+    ENTER R0, R1
+    PROBE R2, R0
+    OUT R2
+    LDL R0, ptr(6)
+    PROBE R2, R0
+    RTAG R2, R2
+    OUT R2
+    HALT
+)");
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 77);
+    EXPECT_EQ(out[1], static_cast<std::int32_t>(Tag::Nil));
+}
+
+TEST(Processor, DispatchCostsFourCycles)
+{
+    // Compare the arrival-to-first-instruction time against config.
+    Program prog = assemble(jos::withKernel("t.jasm", R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, NNR
+    SEND0 R0
+    LDL R1, hdr(h, 1)
+    SEND0E R1
+    CALL A2, jos_park
+h:
+    SUSPEND
+)",
+                                            false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(1);
+    JMachine m(cfg, std::move(prog));
+    m.run(10000);
+    const auto &st = m.node(0).processor().stats();
+    EXPECT_EQ(st.dispatches, 1u);
+    EXPECT_GE(st.cyclesByClass[static_cast<std::size_t>(StatClass::Comm)],
+              cfg.proc.dispatchCycles);
+}
+
+} // namespace
+} // namespace jmsim

@@ -1,0 +1,156 @@
+/** @file Unit tests for the Program container and the loader. */
+
+#include <gtest/gtest.h>
+
+#include "jasm/assembler.hh"
+#include "machine/jmachine.hh"
+#include "runtime/jos.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+TEST(Program, FetchOutsideCodeIsInvalid)
+{
+    const Program p = assembleString("boot:\n NOP\n");
+    EXPECT_TRUE(p.validIaddr(0));
+    EXPECT_TRUE(p.validIaddr(1));  // alignment filler
+    EXPECT_FALSE(p.validIaddr(2));
+    EXPECT_FALSE(p.validIaddr(100000));
+}
+
+TEST(Program, UndefinedSymbolIsFatal)
+{
+    const Program p = assembleString("boot:\n NOP\n");
+    EXPECT_THROW(p.symbol("nope"), FatalError);
+    EXPECT_FALSE(p.hasSymbol("nope"));
+    EXPECT_TRUE(p.hasSymbol("boot"));
+}
+
+TEST(Program, InstructionCountTracksEmission)
+{
+    const Program p = assembleString(R"(
+boot:
+    NOP
+    NOP
+    HALT
+)");
+    EXPECT_GE(p.instructionCount(), 3u);
+}
+
+TEST(Loader, RejectsImagesOverlappingQueues)
+{
+    // Data placed inside the priority-0 queue region must be refused.
+    Program prog = assemble(jos::withKernel("bad.jasm", R"(
+boot:
+    HALT
+.org 3100
+.word 1
+)",
+                                            false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(1);
+    EXPECT_THROW(JMachine(cfg, std::move(prog)), FatalError);
+}
+
+TEST(Loader, RequiresABootSymbol)
+{
+    Program prog = assemble(jos::withKernel("nob.jasm", R"(
+start:
+    HALT
+)",
+                                            false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(1);
+    EXPECT_THROW(JMachine(cfg, std::move(prog)), FatalError);
+}
+
+TEST(Loader, DataImageReachesEveryNode)
+{
+    Program prog = assemble(jos::withKernel("img.jasm", R"(
+boot:
+    HALT
+.org 512
+.word 111, 222
+.emem
+.org 73728
+.word 333
+)",
+                                            false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(4);
+    JMachine m(cfg, std::move(prog));
+    for (NodeId id = 0; id < 4; ++id) {
+        EXPECT_EQ(m.peekInt(id, 512), 111);
+        EXPECT_EQ(m.peekInt(id, 513), 222);
+        EXPECT_EQ(m.peekInt(id, 73728), 333);
+    }
+}
+
+TEST(Machine, RunForIsIncremental)
+{
+    Program prog = assemble(jos::withKernel("spin.jasm", R"(
+boot:
+    LDL R0, #1000000
+l:
+    ADDI R0, R0, #-1
+    GTI R1, R0, #0
+    BT R1, l
+    HALT
+)",
+                                            false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(1);
+    JMachine m(cfg, std::move(prog));
+    m.runFor(100);
+    EXPECT_EQ(m.now(), 100u);
+    m.runFor(50);
+    EXPECT_EQ(m.now(), 150u);
+}
+
+TEST(Machine, AggregateAndResetStats)
+{
+    Program prog = assemble(jos::withKernel("agg.jasm", R"(
+boot:
+    MOVEI R0, 1
+    MOVEI R1, 2
+    ADD R0, R0, R1
+    HALT
+)",
+                                            false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(2);
+    JMachine m(cfg, std::move(prog));
+    m.run(1000);
+    const ProcessorStats before = m.aggregateStats();
+    EXPECT_GT(before.instructions, 0u);
+    m.resetStats();
+    EXPECT_EQ(m.aggregateStats().instructions, 0u);
+}
+
+TEST(Machine, QuiescenceVsHalt)
+{
+    // A parked machine is quiescent; a halted machine reports all-halt.
+    Program parked = assemble(jos::withKernel("p.jasm", R"(
+boot:
+    CALL A2, jos_park
+)",
+                                              false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(1);
+    JMachine m1(cfg, std::move(parked));
+    EXPECT_EQ(m1.run(10000).reason, StopReason::Quiescent);
+
+    Program halted = assemble(jos::withKernel("h.jasm", R"(
+boot:
+    HALT
+)",
+                                              false));
+    JMachine m2(cfg, std::move(halted));
+    EXPECT_EQ(m2.run(10000).reason, StopReason::AllHalted);
+}
+
+} // namespace
+} // namespace jmsim

@@ -1,0 +1,129 @@
+/** @file Unit tests for the hardware message queue's ring allocator. */
+
+#include <gtest/gtest.h>
+
+#include "mdp/message_queue.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+MessageQueue
+makeQueue(Addr base = 3072, std::uint32_t size = 16)
+{
+    MessageQueue q;
+    q.configure(base, size);
+    return q;
+}
+
+void
+deliver(MessageQueue &q, std::uint32_t len)
+{
+    q.begin(len, 0, 0);
+    for (std::uint32_t i = 0; i < len; ++i)
+        q.wordArrived();
+}
+
+TEST(MessageQueue, BasicFifo)
+{
+    MessageQueue q = makeQueue();
+    deliver(q, 3);
+    deliver(q, 4);
+    EXPECT_EQ(q.messageCount(), 2u);
+    EXPECT_EQ(q.head().length, 3u);
+    EXPECT_TRUE(q.headDispatchable());
+    q.pop();
+    EXPECT_EQ(q.head().length, 4u);
+}
+
+TEST(MessageQueue, ContiguousAddressing)
+{
+    MessageQueue q = makeQueue(100, 16);
+    const Addr a = q.begin(3, 0, 0);
+    EXPECT_EQ(a, 100u);
+    for (int i = 0; i < 3; ++i)
+        q.wordArrived();
+    const Addr b = q.begin(4, 0, 0);
+    EXPECT_EQ(b, 103u);
+}
+
+TEST(MessageQueue, WrapSkipsTail)
+{
+    MessageQueue q = makeQueue(100, 10);
+    deliver(q, 6);
+    deliver(q, 3);        // at offset 6..8; 1 word left at the end
+    q.pop();              // free the 6-word message
+    ASSERT_TRUE(q.canBegin(4));
+    const Addr c = q.begin(4, 0, 0);
+    EXPECT_EQ(c, 100u);   // wrapped to the start, padding the last word
+}
+
+TEST(MessageQueue, RefusesWhenFull)
+{
+    MessageQueue q = makeQueue(0, 8);
+    deliver(q, 5);
+    EXPECT_FALSE(q.canBegin(4));
+    EXPECT_TRUE(q.canBegin(3));
+}
+
+TEST(MessageQueue, HeadDispatchableNeedsHeader)
+{
+    MessageQueue q = makeQueue();
+    q.begin(3, 0, 0);
+    EXPECT_FALSE(q.headDispatchable());
+    q.wordArrived();      // the header word
+    EXPECT_TRUE(q.headDispatchable());
+    EXPECT_FALSE(q.head().complete());
+}
+
+TEST(MessageQueue, PopRequiresCompleteDelivery)
+{
+    MessageQueue q = makeQueue();
+    q.begin(2, 0, 0);
+    q.wordArrived();
+    EXPECT_THROW(q.pop(), PanicError);
+}
+
+TEST(MessageQueue, HighWaterMarkTracksUse)
+{
+    MessageQueue q = makeQueue(0, 32);
+    deliver(q, 10);
+    deliver(q, 10);
+    q.pop();
+    q.pop();
+    EXPECT_EQ(q.stats().maxWordsUsed, 20u);
+    EXPECT_EQ(q.wordsUsed(), 0u);
+}
+
+/** Property: any sequence of accepted begin/pop keeps usage bounded. */
+class QueueChurn : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(QueueChurn, NeverExceedsCapacity)
+{
+    MessageQueue q = makeQueue(0, 64);
+    std::uint64_t x = GetParam() * 2654435761ull + 1;
+    unsigned pending = 0;
+    for (int step = 0; step < 2000; ++step) {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        const std::uint32_t len = 1 + (x % 9);
+        if ((x & 1) && q.canBegin(len)) {
+            deliver(q, len);
+            ++pending;
+        } else if (pending > 0) {
+            q.pop();
+            --pending;
+        }
+        ASSERT_LE(q.wordsUsed(), 64u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueChurn, ::testing::Range(1u, 9u));
+
+} // namespace
+} // namespace jmsim

@@ -1,0 +1,69 @@
+/** @file Unit tests for mesh coordinates and geometry. */
+
+#include <gtest/gtest.h>
+
+#include "net/router_address.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+TEST(RouterAddr, PackUnpackRoundTrip)
+{
+    for (std::uint8_t x : {0, 5, 31}) {
+        for (std::uint8_t y : {0, 7, 31}) {
+            for (std::uint8_t z : {0, 1, 31}) {
+                const RouterAddr a{x, y, z};
+                EXPECT_EQ(RouterAddr::unpack(a.pack()), a);
+            }
+        }
+    }
+}
+
+TEST(RouterAddr, ManhattanDistance)
+{
+    EXPECT_EQ((RouterAddr{0, 0, 0}).hopsTo({7, 7, 7}), 21u);
+    EXPECT_EQ((RouterAddr{3, 2, 1}).hopsTo({3, 2, 1}), 0u);
+    EXPECT_EQ((RouterAddr{5, 0, 0}).hopsTo({2, 0, 0}), 3u);
+}
+
+TEST(MeshDims, PaperGeometry)
+{
+    const MeshDims dims = MeshDims::forNodeCount(512);
+    EXPECT_EQ(dims.x, 8u);
+    EXPECT_EQ(dims.y, 8u);
+    EXPECT_EQ(dims.z, 8u);
+}
+
+TEST(MeshDims, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(MeshDims::forNodeCount(48), FatalError);
+    EXPECT_THROW(MeshDims::forNodeCount(0), FatalError);
+}
+
+/** Property: linear <-> coordinate conversion is a bijection. */
+class MeshSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MeshSweep, LinearCoordinateBijection)
+{
+    const MeshDims dims = MeshDims::forNodeCount(GetParam());
+    EXPECT_EQ(dims.nodes(), GetParam());
+    for (NodeId id = 0; id < dims.nodes(); ++id) {
+        const RouterAddr a = dims.toCoord(id);
+        EXPECT_LT(a.x, dims.x);
+        EXPECT_LT(a.y, dims.y);
+        EXPECT_LT(a.z, dims.z);
+        EXPECT_EQ(dims.toLinear(a), id);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 64u, 128u,
+                                           512u));
+
+} // namespace
+} // namespace jmsim

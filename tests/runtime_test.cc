@@ -1,0 +1,104 @@
+/** @file Tests of the JOS runtime and micro-benchmark workloads. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/micro.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+namespace
+{
+
+TEST(Micro, SelfPingHasBaseLatency)
+{
+    const PingResult r = measurePing(8, 0, PingKind::Ping, false);
+    EXPECT_EQ(r.hops, 0u);
+    // The paper's base round trip is 43 cycles; ours should be the
+    // same order of magnitude.
+    EXPECT_GT(r.roundTripCycles, 20);
+    EXPECT_LT(r.roundTripCycles, 120);
+}
+
+TEST(Micro, PingLatencySlopeIsTwo)
+{
+    // One extra hop each way adds ~2 cycles to the round trip.
+    const PingResult near = measurePing(8, 1, PingKind::Ping, false);
+    const PingResult far = measurePing(8, 1 + 2 + 4, PingKind::Ping, false);
+    ASSERT_EQ(near.hops, 1u);
+    ASSERT_EQ(far.hops, 3u);
+    const double slope =
+        (far.roundTripCycles - near.roundTripCycles) / (far.hops - near.hops);
+    EXPECT_NEAR(slope, 2.0, 0.8);
+}
+
+TEST(Micro, RemoteReadCostsOrdering)
+{
+    const double ping =
+        measurePing(8, 1, PingKind::Ping, false).roundTripCycles;
+    const double r1i =
+        measurePing(8, 1, PingKind::Read1, false).roundTripCycles;
+    const double r6i =
+        measurePing(8, 1, PingKind::Read6, false).roundTripCycles;
+    const double r6e =
+        measurePing(8, 1, PingKind::Read6, true).roundTripCycles;
+    EXPECT_LT(ping, r1i);
+    EXPECT_LT(r1i, r6i);
+    EXPECT_LT(r6i, r6e);  // external memory is slower
+}
+
+TEST(Micro, BlastOrderingAndPeak)
+{
+    const double discard = measureBlast(16, BlastMode::Discard, 32);
+    const double imem = measureBlast(16, BlastMode::CopyToImem, 32);
+    const double emem = measureBlast(16, BlastMode::CopyToEmem, 32);
+    EXPECT_GT(discard, imem);
+    EXPECT_GT(imem, emem);
+    // Peak channel rate is 200 Mbits/s (0.5 words/cycle at 12.5 MHz).
+    EXPECT_LT(discard, 205.0);
+    EXPECT_GT(discard, 120.0);
+}
+
+TEST(Micro, SyncCostsMatchPaperShape)
+{
+    const SyncCosts c = measureSyncCosts();
+    // Paper Table 2: success 2 vs 5, failure 6 vs 7, write 4 vs 6,
+    // save 30-50, restore 20-50.
+    EXPECT_EQ(c.tagSuccess, 2);
+    EXPECT_GT(c.noTagSuccess, c.tagSuccess);
+    EXPECT_EQ(c.tagFailure, 6);
+    EXPECT_LT(c.tagWrite, c.noTagWrite + 6);  // same order
+    EXPECT_GE(c.tagSave, 25);
+    EXPECT_LE(c.tagSave, 70);
+    EXPECT_GE(c.tagRestore, 15);
+    EXPECT_LE(c.tagRestore, 70);
+}
+
+TEST(Micro, BarrierScalesLogarithmically)
+{
+    const double us2 = measureBarrierUs(2, 4);
+    const double us8 = measureBarrierUs(8, 4);
+    const double us64 = measureBarrierUs(64, 4);
+    EXPECT_GT(us2, 1.0);
+    EXPECT_LT(us2, 20.0);
+    EXPECT_GT(us8, us2);
+    EXPECT_GT(us64, us8);
+    // Tripling the wave count should not triple the cost by much more.
+    EXPECT_LT(us64, 6.0 * us2);
+}
+
+TEST(Micro, LoadPointLatencyGrowsWithLoad)
+{
+    // 16-word messages at zero idle congest a 64-node mesh enough for
+    // the contention component of latency to show.
+    const LoadPoint light = measureLoadPoint(64, 16, 600, 30000);
+    const LoadPoint heavy = measureLoadPoint(64, 16, 0, 30000);
+    EXPECT_GT(light.oneWayLatency, 5);
+    EXPECT_GT(heavy.bisectionMbits, light.bisectionMbits);
+    EXPECT_GT(heavy.oneWayLatency, light.oneWayLatency);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace jmsim

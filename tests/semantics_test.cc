@@ -1,0 +1,203 @@
+/** @file Table-driven semantics tests covering the whole instruction
+ * set: each case runs a tiny program and checks its OUT results. */
+
+#include <gtest/gtest.h>
+
+#include "jasm/assembler.hh"
+#include "machine/jmachine.hh"
+#include "runtime/jos.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+struct Case
+{
+    const char *name;
+    const char *body;    ///< placed between boot: and HALT
+    std::vector<std::int32_t> expect;
+};
+
+std::vector<std::int32_t>
+run(const std::string &body)
+{
+    Program prog = assemble(jos::withKernel(
+        "t.jasm", "boot:\n" + body + "\n    HALT\n", false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(1);
+    JMachine m(cfg, std::move(prog));
+    const RunResult r = m.run(100000);
+    EXPECT_EQ(r.reason, StopReason::AllHalted);
+    std::vector<std::int32_t> out;
+    for (const Word &w : m.node(0).processor().hostOut())
+        out.push_back(w.asInt());
+    return out;
+}
+
+class Semantics : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(Semantics, Matches)
+{
+    const Case &c = GetParam();
+    EXPECT_EQ(run(c.body), c.expect) << c.name;
+}
+
+const Case kAlu[] = {
+    {"add", "MOVEI R0,3\n MOVEI R1,4\n ADD R2,R0,R1\n OUT R2", {7}},
+    {"sub", "MOVEI R0,3\n MOVEI R1,4\n SUB R2,R0,R1\n OUT R2", {-1}},
+    {"mul_negative", "MOVEI R0,-3\n MOVEI R1,4\n MUL R2,R0,R1\n OUT R2",
+     {-12}},
+    {"and", "MOVEI R0,12\n MOVEI R1,10\n AND R2,R0,R1\n OUT R2", {8}},
+    {"or", "MOVEI R0,12\n MOVEI R1,10\n OR R2,R0,R1\n OUT R2", {14}},
+    {"xor", "MOVEI R0,12\n MOVEI R1,10\n XOR R2,R0,R1\n OUT R2", {6}},
+    {"not", "MOVEI R0,0\n NOT R1,R0\n OUT R1", {-1}},
+    {"neg", "MOVEI R0,5\n NEG R1,R0\n OUT R1", {-5}},
+    {"ash_left", "MOVEI R0,3\n MOVEI R1,4\n ASH R2,R0,R1\n OUT R2", {48}},
+    {"ash_right_arith",
+     "MOVEI R0,-32\n MOVEI R1,-2\n ASH R2,R0,R1\n OUT R2", {-8}},
+    {"lsh_right_logical",
+     "MOVEI R0,-1\n LDL R1,#-28\n LSH R2,R0,R1\n OUT R2", {15}},
+    {"shift_overwide", "MOVEI R0,5\n LDL R1,#40\n LSH R2,R0,R1\n OUT R2",
+     {0}},
+    {"addi_range", "MOVEI R0,0\n ADDI R0,R0,#15\n ADDI R0,R0,#-16\n OUT R0",
+     {-1}},
+    {"andi", "MOVEI R0,13\n ANDI R1,R0,#7\n OUT R1", {5}},
+    {"ori_xori", "MOVEI R0,8\n ORI R1,R0,#1\n XORI R1,R1,#15\n OUT R1",
+     {6}},
+    {"ashi_lshi", "MOVEI R0,1\n ASHI R0,R0,#4\n LSHI R0,R0,#-2\n OUT R0",
+     {4}},
+};
+
+const Case kCompare[] = {
+    {"lt_le", "MOVEI R0,2\n MOVEI R1,2\n LT R2,R0,R1\n OUT R2\n"
+              " LE R2,R0,R1\n OUT R2", {0, 1}},
+    {"gt_ge", "MOVEI R0,3\n MOVEI R1,2\n GT R2,R0,R1\n OUT R2\n"
+              " GE R2,R1,R0\n OUT R2", {1, 0}},
+    {"eq_ne_tags",
+     "MOVEI R0,0\n LDL R1,nil\n EQ R2,R0,R1\n OUT R2\n NE R2,R0,R1\n"
+     " OUT R2", {0, 1}},  // same bits, different tag
+    {"immediate_compares",
+     "MOVEI R0,-4\n LTI R1,R0,#0\n OUT R1\n GEI R1,R0,#-4\n OUT R1\n"
+     " NEI R1,R0,#-4\n OUT R1", {1, 1, 0}},
+};
+
+const Case kMemory[] = {
+    {"ld_st_offsets",
+     "LDL A0, seg(256,64)\n MOVEI R0,9\n ST [A0+63],R0\n LD R1,[A0+63]\n"
+     " OUT R1", {9}},
+    {"ldx_stx",
+     "LDL A0, seg(256,64)\n MOVEI R0,5\n MOVEI R1,11\n STX [A0+R0],R1\n"
+     " LDX R2,[A0+R0]\n OUT R2", {11}},
+    {"mem_ops",
+     "LDL A0, seg(256,16)\n MOVEI R0,10\n ST [A0+0],R0\n MOVEI R1,4\n"
+     " ADDM R1,[A0+0]\n OUT R1\n SUBM R1,[A0+0]\n OUT R1\n"
+     " MOVEI R1,6\n ANDM R1,[A0+0]\n OUT R1\n ORM R1,[A0+0]\n OUT R1\n"
+     " XORM R1,[A0+0]\n OUT R1",
+     {14, 4, 2, 10, 0}},
+    {"store_any_tag",
+     "LDL A0, seg(256,16)\n LDL R0, ptr(7)\n ST [A0+1],R0\n"
+     " LDRAW R1,[A0+1]\n RTAG R1,R1\n OUT R1",
+     {static_cast<std::int32_t>(Tag::Ptr)}},
+};
+
+const Case kControl[] = {
+    {"br_skips", "MOVEI R0,1\n BR over\n OUT R0\nover:\n MOVEI R0,2\n"
+                 " OUT R0", {2}},
+    {"bt_bf",
+     "MOVEI R0,1\n EQI R1,R0,#1\n BT R1,yes\n OUT R0\nyes:\n"
+     " EQI R1,R0,#2\n BF R1,no\n OUT R0\nno:\n MOVEI R0,3\n OUT R0",
+     {3}},
+    {"nested_calls",
+     "MOVEI R0,1\n CALL A2, f\n OUT R0\n BR end\n"
+     "f:\n ADDI R0,R0,#1\n MOVE A1,A2\n CALL A2, g\n MOVE A2,A1\n"
+     " JMP A2\n"
+     "g:\n ADDI R0,R0,#10\n JMP A2\n"
+     "end:", {12}},
+    {"getsp_nodes", "GETSP R0, NODES\n OUT R0", {1}},
+    {"getsp_dims", "GETSP R0, DIMS\n OUT R0", {1 | (1 << 5) | (1 << 10)}},
+};
+
+const Case kTags[] = {
+    {"wtag_rtag_every_tag",
+     "MOVEI R0,3\n WTAG R1,R0,#sym\n RTAG R2,R1\n OUT R2\n"
+     " WTAG R1,R0,#ctx\n RTAG R2,R1\n OUT R2\n"
+     " WTAG R1,R0,#user2\n RTAG R2,R1\n OUT R2",
+     {static_cast<std::int32_t>(Tag::Sym),
+      static_cast<std::int32_t>(Tag::Ctx),
+      static_cast<std::int32_t>(Tag::User2)}},
+    {"setseg_mkhdr",
+     "LDL R0,#256\n MOVEI R1,16\n SETSEG A0,R0,R1\n MOVEI R2,7\n"
+     " ST [A0+15],R2\n LD R3,[A0+15]\n OUT R3\n"
+     " LDL R0, ip(boot)\n MOVEI R1,5\n MKHDR R2,R0,R1\n RTAG R3,R2\n"
+     " OUT R3",
+     {7, static_cast<std::int32_t>(Tag::Msg)}},
+    {"enter_xlate_probe",
+     "LDL R0, ptr(1)\n MOVEI R1,42\n ENTER R0,R1\n XLATE R2,R0\n OUT R2\n"
+     " LDL R0, sym(9)\n MOVEI R1,43\n ENTER R0,R1\n XLATE R2,R0\n OUT R2",
+     {42, 43}},
+};
+
+INSTANTIATE_TEST_SUITE_P(Alu, Semantics, ::testing::ValuesIn(kAlu),
+                         [](const auto &info) { return info.param.name; });
+INSTANTIATE_TEST_SUITE_P(Compare, Semantics,
+                         ::testing::ValuesIn(kCompare),
+                         [](const auto &info) { return info.param.name; });
+INSTANTIATE_TEST_SUITE_P(Memory, Semantics, ::testing::ValuesIn(kMemory),
+                         [](const auto &info) { return info.param.name; });
+INSTANTIATE_TEST_SUITE_P(Control, Semantics,
+                         ::testing::ValuesIn(kControl),
+                         [](const auto &info) { return info.param.name; });
+INSTANTIATE_TEST_SUITE_P(Tags, Semantics, ::testing::ValuesIn(kTags),
+                         [](const auto &info) { return info.param.name; });
+
+// ---- fault-raising behaviours, table-driven ----
+
+struct FaultCase
+{
+    const char *name;
+    const char *body;
+};
+
+class Faulting : public ::testing::TestWithParam<FaultCase>
+{
+};
+
+TEST_P(Faulting, DiesWithoutAHandler)
+{
+    const std::string src =
+        std::string("boot:\n") + GetParam().body + "\n    HALT\n";
+    Program prog = assemble(jos::withKernel("t.jasm", src, false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(1);
+    JMachine m(cfg, std::move(prog));
+    EXPECT_THROW(m.run(100000), FatalError) << GetParam().name;
+}
+
+const FaultCase kFaults[] = {
+    {"alu_on_addr_tag", "LDL A0, seg(256,16)\n ADD R0, A0, A0"},
+    {"alu_on_nil", "LDL R0, nil\n ADDI R0, R0, #1"},
+    {"jmp_to_data", "MOVEI R0, 3\n WTAG R0, R0, #sym\n JMP R0"},
+    {"ld_through_int", "MOVEI R0, 5\n MOVE A0, R0\n LD R1, [A0+0]"},
+    {"bounds_indexed",
+     "LDL A0, seg(256,4)\n MOVEI R0,4\n LDX R1,[A0+R0]"},
+    {"negative_index",
+     "LDL A0, seg(256,4)\n MOVEI R0,-1\n LDX R1,[A0+R0]"},
+    {"unmapped_gap",
+     "LDL A0, seg(4032,8192)\n LDL R0,#4096\n LDX R1,[A0+R0]"},
+    {"mkhdr_bad_length",
+     "LDL R0, ip(boot)\n LDL R1,#8192\n MKHDR R2,R0,R1"},
+    {"setseg_unencodable",
+     "LDL R0,#73729\n LDL R1,#200000\n SETSEG A0,R0,R1"},
+    {"cfut_load",
+     "LDL A0, seg(256,4)\n LDL R0, cfut\n ST [A0+0],R0\n LD R1,[A0+0]"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Kinds, Faulting, ::testing::ValuesIn(kFaults),
+                         [](const auto &info) { return info.param.name; });
+
+} // namespace
+} // namespace jmsim

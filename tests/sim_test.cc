@@ -1,0 +1,87 @@
+/** @file Unit tests for the simulation kernel utilities. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+TEST(Types, ClockConversions)
+{
+    EXPECT_DOUBLE_EQ(cyclesToUs(125), 10.0);      // 12.5 MHz
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(12500000), 1.0);
+}
+
+TEST(Random, DeterministicAndSeedSensitive)
+{
+    Xorshift64 a(1), b(1), c(2);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        EXPECT_NE(va, c.next());
+    }
+}
+
+TEST(Random, BoundsRespected)
+{
+    Xorshift64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBelow(10), 10u);
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+    EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(SampleStat, Moments)
+{
+    SampleStat s;
+    for (double v : {1.0, 2.0, 3.0, 10.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    SampleStat t;
+    t.add(0.0);
+    t.merge(s);
+    EXPECT_EQ(t.count(), 5u);
+    EXPECT_DOUBLE_EQ(t.min(), 0.0);
+}
+
+TEST(Histogram, BucketsAndPercentiles)
+{
+    Histogram h(10, 5);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.buckets()[0], 10u);    // 0..9
+    EXPECT_EQ(h.buckets()[4], 10u);    // 40..49
+    EXPECT_EQ(h.buckets()[5], 50u);    // overflow bucket
+    EXPECT_LE(h.percentile(0.10), 19u);
+    EXPECT_EQ(h.max(), 99u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Logging, PanicAndFatalThrowTypedErrors)
+{
+    EXPECT_THROW(panic("x"), PanicError);
+    EXPECT_THROW(fatal("y"), FatalError);
+    try {
+        fatal("specific message");
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("specific message"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace jmsim

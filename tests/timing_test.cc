@@ -1,0 +1,208 @@
+/** @file Cost-model anchor tests: every timing constant the paper
+ * states is verified against measured cycle stamps. */
+
+#include <gtest/gtest.h>
+
+#include "jasm/assembler.hh"
+#include "machine/jmachine.hh"
+#include "runtime/jos.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+/** Run a timed region and return its cycle count (harness-corrected). */
+std::int32_t
+timeRegion(const std::string &setup, const std::string &region)
+{
+    const std::string src = "boot:\n" + setup + R"(
+    GETSP R2, CYCLELO
+)" + region + R"(
+    GETSP R3, CYCLELO
+    SUB R3, R3, R2
+    OUT R3
+    HALT
+sink:
+    SUSPEND
+)";
+    Program prog = assemble(jos::withKernel("t.jasm", src, false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(1);
+    JMachine m(cfg, std::move(prog));
+    m.run(100000);
+    const auto &out = m.node(0).processor().hostOut();
+    EXPECT_EQ(out.size(), 1u);
+    // Subtract the closing GETSP (1 cycle).
+    return out.empty() ? -1 : out[0].asInt() - 1;
+}
+
+TEST(Timing, RegisterRegisterIsOneCycle)
+{
+    // "Most instructions can operate in one cycle if both operands are
+    // in registers" -- peak 12.5 MIPS at 12.5 MHz.
+    EXPECT_EQ(timeRegion("    MOVEI R0, 1\n    MOVEI R1, 2\n",
+                         "    ADD R0, R0, R1\n    ADD R0, R0, R1\n"
+                         "    ADD R0, R0, R1\n    ADD R0, R0, R1\n"),
+              4);
+}
+
+TEST(Timing, InternalMemoryOperandIsTwoCycles)
+{
+    // "...two cycles if one operand is in internal memory."
+    EXPECT_EQ(timeRegion("    LDL A0, seg(256,16)\n    MOVEI R0, 5\n"
+                         "    ST [A0+0], R0\n",
+                         "    LD R1, [A0+0]\n    LD R1, [A0+0]\n"),
+              4);
+    EXPECT_EQ(timeRegion("    LDL A0, seg(256,16)\n    MOVEI R0, 5\n"
+                         "    ST [A0+0], R0\n    MOVEI R1, 1\n",
+                         "    ADDM R1, [A0+0]\n"),
+              2);
+}
+
+TEST(Timing, ExternalMemoryIsSixCycles)
+{
+    // "External memory latency (6 cycles)..."
+    EXPECT_EQ(timeRegion("    LDL A0, seg(73728,16)\n    MOVEI R0, 5\n"
+                         "    ST [A0+0], R0\n",
+                         "    LD R1, [A0+0]\n"),
+              6);
+}
+
+TEST(Timing, TakenBranchAddsOneCycle)
+{
+    // An unconditional branch to the next word costs 1 + the taken
+    // penalty; an untaken conditional costs 1.
+    EXPECT_EQ(timeRegion("", "    BR skip\nskip:\n"), 2);
+    // The untaken conditional still pays 1 cycle for the alignment
+    // filler before the word-aligned label.
+    EXPECT_EQ(timeRegion("    MOVEI R0, 0\n", "    BT R0, skip\nskip:\n"),
+              2);
+}
+
+TEST(Timing, XlateHitIsThreeCycles)
+{
+    // "A successful xlate takes three cycles."
+    EXPECT_EQ(timeRegion("    LDL R0, ptr(4)\n    MOVEI R1, 9\n"
+                         "    ENTER R0, R1\n",
+                         "    XLATE R1, R0\n"),
+              3);
+}
+
+TEST(Timing, SendInjectsTwoWordsPerCycle)
+{
+    // "...inject messages at a rate of up to 2 words per cycle":
+    // 1 destination + 6 payload words in 4 instruction cycles. The
+    // receiver is a remote node so its dispatch cannot preempt the
+    // measuring thread.
+    Program prog = assemble(jos::withKernel("t.jasm", R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, park
+    MOVEI R0, 1
+    CALL A2, jos_nnr
+    LDL R1, hdr(sink, 6)
+    MOVEI A0, 0
+    GETSP R2, CYCLELO
+    SEND0 R0
+    SEND20 R1, A0
+    SEND20 A0, A0
+    SEND20E A0, A0
+    GETSP R3, CYCLELO
+    SUB R3, R3, R2
+    OUT R3
+    HALT
+park:
+    CALL A2, jos_park
+sink:
+    SUSPEND
+)",
+                                            false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(2);
+    JMachine m(cfg, std::move(prog));
+    m.run(100000);
+    const auto &out = m.node(0).processor().hostOut();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].asInt() - 1, 4);
+}
+
+TEST(Timing, DispatchIsFourCycles)
+{
+    // Arrival-to-handler-stamp, with the send/network path measured
+    // separately: total = net + dispatch + GETSP. We verify by
+    // sweeping the configured dispatch cost and observing a 1:1 shift.
+    const auto run_with = [](unsigned dispatch) {
+        Program prog = assemble(jos::withKernel("t.jasm", R"(
+boot:
+    CALL A2, jos_init
+    GETSP R0, CYCLELO
+    OUT R0
+    GETSP R0, NNR
+    SEND0 R0
+    LDL R1, hdr(h, 1)
+    SEND0E R1
+    CALL A2, jos_park
+h:
+    GETSP R0, CYCLELO
+    OUT R0
+    SUSPEND
+)",
+                                                false));
+        MachineConfig cfg;
+        cfg.dims = MeshDims::forNodeCount(1);
+        cfg.proc.dispatchCycles = dispatch;
+        JMachine m(cfg, std::move(prog));
+        m.run(10000);
+        const auto &out = m.node(0).processor().hostOut();
+        return out[1].asInt() - out[0].asInt();
+    };
+    EXPECT_EQ(run_with(8) - run_with(4), 4);
+    EXPECT_EQ(run_with(4) - run_with(2), 2);
+}
+
+TEST(Timing, WideInstructionsCostTwoCycles)
+{
+    // 2 cycles for the wide LDL plus 1 for the pair-alignment filler
+    // that precedes it -- the paper's "instruction alignment issues"
+    // are part of the model.
+    EXPECT_EQ(timeRegion("", "    LDL R0, #123\n"), 3);
+}
+
+// The sink handler used by the injection test.
+// (Assembled into every program above; unused elsewhere.)
+TEST(Timing, PeakRateMatchesPaperPeakMips)
+{
+    // A pure reg-reg loop body (unrolled) executes 1 instruction per
+    // cycle: the paper's 12.5 MIPS peak at 12.5 MHz.
+    Program prog = assemble(jos::withKernel("t.jasm", R"(
+boot:
+    MOVEI R0, 0
+    MOVEI R1, 1
+    GETSP R2, CYCLELO
+    ADD R0, R0, R1
+    ADD R0, R0, R1
+    ADD R0, R0, R1
+    ADD R0, R0, R1
+    ADD R0, R0, R1
+    ADD R0, R0, R1
+    ADD R0, R0, R1
+    ADD R0, R0, R1
+    GETSP R3, CYCLELO
+    SUB R3, R3, R2
+    OUT R3
+    HALT
+)",
+                                            false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(1);
+    JMachine m(cfg, std::move(prog));
+    m.run(10000);
+    EXPECT_EQ(m.node(0).processor().hostOut()[0].asInt(), 9);
+}
+
+} // namespace
+} // namespace jmsim

@@ -1,0 +1,120 @@
+/** @file Unit tests for tagged words, headers, and descriptors. */
+
+#include <gtest/gtest.h>
+
+#include "isa/word.hh"
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+TEST(Word, IntRoundTrip)
+{
+    const Word w = Word::makeInt(-123456);
+    EXPECT_EQ(w.tag, Tag::Int);
+    EXPECT_EQ(w.asInt(), -123456);
+}
+
+TEST(Word, TagPredicates)
+{
+    EXPECT_TRUE(Word::makeCfut().isFuture());
+    EXPECT_TRUE((Word{0, Tag::Fut}).isFuture());
+    EXPECT_FALSE(Word::makeInt(0).isFuture());
+    EXPECT_FALSE(Word::makeNil().isFuture());
+}
+
+TEST(Word, TagNamesAreDistinct)
+{
+    for (unsigned i = 0; i < kNumTags; ++i) {
+        for (unsigned j = i + 1; j < kNumTags; ++j) {
+            EXPECT_STRNE(tagName(static_cast<Tag>(i)),
+                         tagName(static_cast<Tag>(j)));
+        }
+    }
+}
+
+TEST(MsgHeader, RoundTrip)
+{
+    MsgHeader hdr;
+    hdr.handlerIp = 1234;
+    hdr.length = 17;
+    const Word w = hdr.encode();
+    EXPECT_EQ(w.tag, Tag::Msg);
+    const MsgHeader back = MsgHeader::decode(w);
+    EXPECT_EQ(back.handlerIp, 1234u);
+    EXPECT_EQ(back.length, 17u);
+}
+
+TEST(MsgHeader, RejectsOverflow)
+{
+    MsgHeader hdr;
+    hdr.handlerIp = MsgHeader::kMaxIp + 1;
+    hdr.length = 1;
+    EXPECT_THROW(hdr.encode(), FatalError);
+    hdr.handlerIp = 0;
+    hdr.length = MsgHeader::kMaxLength + 1;
+    EXPECT_THROW(hdr.encode(), FatalError);
+}
+
+TEST(SegDesc, SmallFormatExactBase)
+{
+    // Message segments have arbitrary SRAM bases.
+    SegDesc d{3077, 9};
+    ASSERT_TRUE(d.encodable());
+    const SegDesc back = SegDesc::decode(d.encode());
+    EXPECT_EQ(back.base, 3077u);
+    EXPECT_EQ(back.length, 9u);
+}
+
+TEST(SegDesc, LargeFormatAlignedBase)
+{
+    SegDesc d{0x10000, 65536};
+    ASSERT_TRUE(d.encodable());
+    const SegDesc back = SegDesc::decode(d.encode());
+    EXPECT_EQ(back.base, 0x10000u);
+    EXPECT_EQ(back.length, 65536u);
+}
+
+TEST(SegDesc, RejectsUnalignedLarge)
+{
+    SegDesc d{0x10001, 65536};  // > small max, base not 64-aligned
+    EXPECT_FALSE(d.encodable());
+    EXPECT_THROW(d.encode(), FatalError);
+}
+
+TEST(SegDesc, Contains)
+{
+    SegDesc d{100, 5};
+    EXPECT_TRUE(d.contains(0));
+    EXPECT_TRUE(d.contains(4));
+    EXPECT_FALSE(d.contains(5));
+}
+
+/** Property sweep: every in-range (base, length) pair round-trips. */
+class SegDescSweep : public ::testing::TestWithParam<std::pair<Addr, std::uint32_t>>
+{
+};
+
+TEST_P(SegDescSweep, RoundTrip)
+{
+    const auto [base, length] = GetParam();
+    SegDesc d{base, length};
+    ASSERT_TRUE(d.encodable());
+    const SegDesc back = SegDesc::decode(d.encode());
+    EXPECT_EQ(back.base, base);
+    EXPECT_EQ(back.length, length);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, SegDescSweep,
+    ::testing::Values(std::pair<Addr, std::uint32_t>{0, 0},
+                      std::pair<Addr, std::uint32_t>{4095, 4095},
+                      std::pair<Addr, std::uint32_t>{64, 262144 - 64},
+                      std::pair<Addr, std::uint32_t>{SegDesc::kMaxBase, 1},
+                      std::pair<Addr, std::uint32_t>{3072, 512},
+                      std::pair<Addr, std::uint32_t>{0x10000, 100000}));
+
+} // namespace
+} // namespace jmsim

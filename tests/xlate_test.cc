@@ -1,0 +1,92 @@
+/** @file Unit tests for the hardware name-translation table. */
+
+#include <gtest/gtest.h>
+
+#include "mem/xlate_table.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+TEST(XlateTable, EnterThenLookupHits)
+{
+    XlateTable table;
+    table.enter(Word::makePtr(42), Word::makeInt(1000));
+    const auto hit = table.lookup(Word::makePtr(42));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->asInt(), 1000);
+    EXPECT_EQ(table.stats().hits, 1u);
+}
+
+TEST(XlateTable, MissIsCounted)
+{
+    XlateTable table;
+    EXPECT_FALSE(table.lookup(Word::makePtr(7)).has_value());
+    EXPECT_EQ(table.stats().misses, 1u);
+}
+
+TEST(XlateTable, KeysCompareByTagAndBits)
+{
+    XlateTable table;
+    table.enter(Word::makePtr(5), Word::makeInt(1));
+    EXPECT_FALSE(table.lookup(Word::makeInt(5)).has_value());
+    EXPECT_TRUE(table.lookup(Word::makePtr(5)).has_value());
+}
+
+TEST(XlateTable, ReEnterUpdatesInPlace)
+{
+    XlateTable table;
+    table.enter(Word::makePtr(5), Word::makeInt(1));
+    table.enter(Word::makePtr(5), Word::makeInt(2));
+    EXPECT_EQ(table.lookup(Word::makePtr(5))->asInt(), 2);
+    EXPECT_EQ(table.stats().evictions, 0u);
+}
+
+TEST(XlateTable, EvictsWithinASet)
+{
+    XlateTable table(1, 2);  // one set, two ways
+    table.enter(Word::makePtr(1), Word::makeInt(1));
+    table.enter(Word::makePtr(2), Word::makeInt(2));
+    table.enter(Word::makePtr(3), Word::makeInt(3));
+    EXPECT_EQ(table.stats().evictions, 1u);
+    // Exactly two of the three remain.
+    unsigned present = 0;
+    for (std::uint32_t k = 1; k <= 3; ++k)
+        present += table.lookup(Word::makePtr(k)).has_value() ? 1 : 0;
+    EXPECT_EQ(present, 2u);
+}
+
+TEST(XlateTable, InvalidateRemoves)
+{
+    XlateTable table;
+    table.enter(Word::makePtr(9), Word::makeInt(9));
+    table.invalidate(Word::makePtr(9));
+    EXPECT_FALSE(table.lookup(Word::makePtr(9)).has_value());
+}
+
+/** Property: with enough capacity, every inserted binding survives. */
+class XlateSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(XlateSweep, AllBindingsSurviveUnderCapacity)
+{
+    XlateTable table(64, 4);
+    const unsigned n = GetParam();
+    for (std::uint32_t k = 0; k < n; ++k)
+        table.enter(Word::makePtr(k * 977 + 13), Word::makeInt(k));
+    if (table.stats().evictions == 0) {
+        for (std::uint32_t k = 0; k < n; ++k) {
+            auto hit = table.lookup(Word::makePtr(k * 977 + 13));
+            ASSERT_TRUE(hit.has_value());
+            EXPECT_EQ(hit->asInt(), static_cast<std::int32_t>(k));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, XlateSweep,
+                         ::testing::Values(4u, 16u, 64u, 128u));
+
+} // namespace
+} // namespace jmsim
