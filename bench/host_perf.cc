@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Host-side performance harness for the simulation kernel itself: runs
+ * a fixed workload mix (fig3 random traffic + radix sort) at several
+ * machine sizes for worker-thread counts {1, 2, 4, hw}, and reports
+ * simulated-instructions-per-host-second plus the wall-clock speedup
+ * of each threaded kernel over the serial one. Emits
+ * `BENCH_host_perf.json` next to the working directory for tooling.
+ *
+ * Threaded runs are bit-identical to serial runs (see
+ * tests/determinism_test.cc), so every row of a workload/size group
+ * simulates exactly the same cycles and instructions — only the host
+ * time changes. Speedups > 1 require real cores; on a single-CPU host
+ * the harness still runs and honestly reports the barrier overhead.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "workloads/driver.hh"
+#include "workloads/micro.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+namespace
+{
+
+struct Sample
+{
+    std::string workload;
+    unsigned nodes = 0;
+    unsigned threads = 0;
+    double hostSeconds = 0;
+    Cycle simCycles = 0;
+    std::uint64_t simInstructions = 0;
+    double speedup = 1.0;
+
+    double
+    instrPerHostSec() const
+    {
+        return hostSeconds > 0 ? simInstructions / hostSeconds : 0;
+    }
+};
+
+Sample
+sampleTraffic(unsigned nodes, unsigned threads, Cycle window)
+{
+    setSimThreads(static_cast<int>(threads));
+    const TrafficProbe p = runFig3Traffic(nodes, 8, 80, window);
+    setSimThreads(-1);
+    Sample s;
+    s.workload = "fig3_traffic";
+    s.nodes = nodes;
+    s.threads = threads;
+    s.hostSeconds = p.hostSeconds;
+    s.simCycles = p.run.cycles;
+    s.simInstructions = p.instructions;
+    return s;
+}
+
+Sample
+sampleRadix(unsigned nodes, unsigned threads, unsigned keys)
+{
+    RadixConfig c;
+    c.nodes = nodes;
+    c.keys = keys;
+    setSimThreads(static_cast<int>(threads));
+    const auto t0 = std::chrono::steady_clock::now();
+    const AppResult r = runRadixSort(c);
+    const auto t1 = std::chrono::steady_clock::now();
+    setSimThreads(-1);
+    Sample s;
+    s.workload = "radix_sort";
+    s.nodes = nodes;
+    s.threads = threads;
+    s.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    s.simCycles = r.runCycles;
+    s.simInstructions = r.instructions;
+    return s;
+}
+
+void
+writeJson(const std::vector<Sample> &samples, unsigned hw)
+{
+    std::FILE *f = std::fopen("BENCH_host_perf.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_host_perf.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n  \"samples\": [\n",
+                 hw);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        std::fprintf(
+            f,
+            "    {\"workload\": \"%s\", \"nodes\": %u, \"threads\": %u, "
+            "\"host_seconds\": %.6f, \"sim_cycles\": %llu, "
+            "\"sim_instructions\": %llu, \"instr_per_host_sec\": %.1f, "
+            "\"speedup_vs_serial\": %.3f}%s\n",
+            s.workload.c_str(), s.nodes, s.threads, s.hostSeconds,
+            static_cast<unsigned long long>(s.simCycles),
+            static_cast<unsigned long long>(s.simInstructions),
+            s.instrPerHostSec(), s.speedup,
+            i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    std::vector<unsigned> sizes = {64, 256, 512};
+    Cycle window = 8000;
+    unsigned radix_keys = 8192;
+    if (scale == bench::Scale::Quick) {
+        sizes = {64, 256};
+        window = 2500;
+        radix_keys = 2048;
+    } else if (scale == bench::Scale::Full) {
+        window = 20000;
+        radix_keys = 32768;
+    }
+
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    std::vector<unsigned> thread_counts = {1, 2, 4, hw};
+    std::sort(thread_counts.begin(), thread_counts.end());
+    thread_counts.erase(
+        std::unique(thread_counts.begin(), thread_counts.end()),
+        thread_counts.end());
+
+    bench::header("Host performance: simulated instructions per host "
+                  "second (hw concurrency " + std::to_string(hw) + ")");
+    std::printf("%-14s %6s %8s %10s %14s %16s %9s\n", "workload", "nodes",
+                "threads", "host sec", "sim cycles", "instr/host-sec",
+                "speedup");
+
+    std::vector<Sample> samples;
+    for (const unsigned nodes : sizes) {
+        for (const char *workload : {"fig3_traffic", "radix_sort"}) {
+            double serial_seconds = 0;
+            for (const unsigned threads : thread_counts) {
+                Sample s = workload == std::string("fig3_traffic")
+                               ? sampleTraffic(nodes, threads, window)
+                               : sampleRadix(nodes, threads, radix_keys);
+                if (threads == 1)
+                    serial_seconds = s.hostSeconds;
+                s.speedup = s.hostSeconds > 0 && serial_seconds > 0
+                                ? serial_seconds / s.hostSeconds
+                                : 1.0;
+                std::printf("%-14s %6u %8u %10.3f %14llu %16.0f %8.2fx\n",
+                            s.workload.c_str(), s.nodes, s.threads,
+                            s.hostSeconds,
+                            static_cast<unsigned long long>(s.simCycles),
+                            s.instrPerHostSec(), s.speedup);
+                samples.push_back(std::move(s));
+            }
+        }
+    }
+
+    writeJson(samples, hw);
+    std::printf("\nwrote BENCH_host_perf.json (%zu samples)\n",
+                samples.size());
+    return 0;
+}

@@ -1,7 +1,11 @@
 #include "machine/jmachine.hh"
 
+#include <algorithm>
+#include <thread>
+
 #include "machine/loader.hh"
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace jmsim
 {
@@ -15,31 +19,80 @@ JMachine::JMachine(const MachineConfig &config, Program prog,
       haltedFlag_(config.dims.nodes(), 0)
 {
     const unsigned n = config_.dims.nodes();
-    nodes_.reserve(n);
+    nodes_ = std::make_unique<Node[]>(n);
     net_.setRoundRobin(config_.roundRobinArbitration);
     for (NodeId id = 0; id < n; ++id) {
-        nodes_.push_back(std::make_unique<Node>());
-        nodes_[id]->init(id, config_.dims, config_.memory, config_.ni,
-                         config_.proc, &net_, &prog_,
-                         [this, id] { activateNode(id); });
+        nodes_[id].init(id, config_.dims, config_.memory, config_.ni,
+                        config_.proc, &net_, &prog_,
+                        [this, id] { activateNode(id); });
     }
     loadProgram(*this, boot_label);
     for (NodeId id = 0; id < n; ++id)
         activateNode(id);
 }
 
+JMachine::~JMachine() = default;
+
+unsigned
+JMachine::resolvedThreads() const
+{
+    const unsigned n = nodeCount();
+    unsigned t = config_.threads;
+    if (t == 0) {
+        // Auto: a shard per hardware thread, but parallelism only pays
+        // once each shard has a few dozen nodes to step per cycle.
+        unsigned hw = std::thread::hardware_concurrency();
+        if (hw == 0)
+            hw = 1;
+        const unsigned cap = n / 32;
+        t = std::min(hw, cap ? cap : 1);
+    }
+    return std::max(1u, std::min(t, n));
+}
+
 void
 JMachine::activateNode(NodeId id)
 {
+    if (inParallel_) {
+        // Cross-shard wake during the parallel node phase: buffer it
+        // per shard and merge in node-id order at the cycle barrier
+        // instead of mutating the shared active list.
+        pendingWakes_[ThreadPool::currentShard()].push_back(id);
+        return;
+    }
     if (!activeFlag_[id]) {
         activeFlag_[id] = 1;
         activeNodes_.push_back(id);
-        nodes_[id]->processor().noteWake(now_);
+        nodes_[id].processor().noteWake(now_);
     }
+}
+
+void
+JMachine::mergePendingWakes()
+{
+    wakeScratch_.clear();
+    for (auto &shard : pendingWakes_) {
+        wakeScratch_.insert(wakeScratch_.end(), shard.begin(), shard.end());
+        shard.clear();
+    }
+    if (wakeScratch_.empty())
+        return;
+    std::sort(wakeScratch_.begin(), wakeScratch_.end());
+    for (const NodeId id : wakeScratch_)
+        activateNode(id);
 }
 
 RunResult
 JMachine::run(Cycle max_cycles)
+{
+    const unsigned shards = resolvedThreads();
+    if (shards <= 1)
+        return runSerial(max_cycles);
+    return runThreaded(max_cycles, shards);
+}
+
+RunResult
+JMachine::runSerial(Cycle max_cycles)
 {
     RunResult result;
     while (now_ < max_cycles) {
@@ -48,7 +101,7 @@ JMachine::run(Cycle max_cycles)
         const std::size_t n = activeNodes_.size();
         for (std::size_t i = 0; i < n; ++i) {
             const NodeId id = activeNodes_[i];
-            Node &node = *nodes_[id];
+            Node &node = nodes_[id];
             if (node.step(now_)) {
                 activeNodes_[keep++] = id;
             } else {
@@ -86,15 +139,92 @@ JMachine::run(Cycle max_cycles)
 }
 
 void
+JMachine::stepShard(unsigned shard, unsigned shards, std::size_t n)
+{
+    const std::size_t begin = n * shard / shards;
+    const std::size_t end = n * (shard + 1) / shards;
+    unsigned newly_halted = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const NodeId id = activeNodes_[i];
+        Node &node = nodes_[id];
+        if (node.step(now_)) {
+            stillActive_[i] = 1;
+            continue;
+        }
+        stillActive_[i] = 0;
+        activeFlag_[id] = 0;
+        node.processor().noteSleep(now_);
+        if (node.processor().halted() && !haltedFlag_[id]) {
+            haltedFlag_[id] = 1;
+            ++newly_halted;
+        }
+    }
+    shardHalted_[shard] = newly_halted;
+}
+
+RunResult
+JMachine::runThreaded(Cycle max_cycles, unsigned shards)
+{
+    if (!pool_ || pool_->shards() != shards)
+        pool_ = std::make_unique<ThreadPool>(shards);
+    shardHalted_.assign(shards, 0);
+    pendingWakes_.resize(shards);
+    net_.beginStaging(shards);
+
+    RunResult result;
+    result.reason = StopReason::CycleLimit;
+    bool stopped = false;
+    while (!stopped && now_ < max_cycles) {
+        const std::size_t n = activeNodes_.size();
+        stillActive_.resize(n);
+        inParallel_ = true;
+        pool_->run(
+            [this, n, shards](unsigned shard) { stepShard(shard, shards, n); });
+        inParallel_ = false;
+        for (unsigned s = 0; s < shards; ++s) {
+            haltedCount_ += shardHalted_[s];
+            shardHalted_[s] = 0;
+        }
+        // Barrier bookkeeping, all on the main thread: apply buffered
+        // wakes (appended past n, like the serial loop), compact the
+        // survivors, then commit staged injections in node-id order.
+        mergePendingWakes();
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (stillActive_[i])
+                activeNodes_[keep++] = activeNodes_[i];
+        }
+        for (std::size_t i = n; i < activeNodes_.size(); ++i)
+            activeNodes_[keep++] = activeNodes_[i];
+        activeNodes_.resize(keep);
+
+        net_.commitStaged();
+        net_.step(now_);
+        now_ += 1;
+
+        if (haltedCount_ == nodeCount()) {
+            result.reason = StopReason::AllHalted;
+            stopped = true;
+        } else if (activeNodes_.empty() && !net_.anyActive()) {
+            result.reason = StopReason::Quiescent;
+            stopped = true;
+        }
+    }
+    result.cycles = now_;
+    net_.endStaging();
+    return result;
+}
+
+void
 JMachine::poke(NodeId id, Addr addr, Word value)
 {
-    nodes_[id]->memory().write(addr, value);
+    nodes_[id].memory().write(addr, value);
 }
 
 Word
 JMachine::peek(NodeId id, Addr addr) const
 {
-    return nodes_[id]->memory().read(addr);
+    return nodes_[id].memory().read(addr);
 }
 
 void
@@ -113,8 +243,8 @@ ProcessorStats
 JMachine::aggregateStats() const
 {
     ProcessorStats total;
-    for (const auto &node : nodes_) {
-        const ProcessorStats &s = node->processor().stats();
+    for (NodeId id = 0; id < nodeCount(); ++id) {
+        const ProcessorStats &s = nodes_[id].processor().stats();
         for (std::size_t c = 0; c < total.cyclesByClass.size(); ++c)
             total.cyclesByClass[c] += s.cyclesByClass[c];
         total.instructions += s.instructions;
@@ -133,11 +263,12 @@ JMachine::aggregateStats() const
 void
 JMachine::resetStats()
 {
-    for (auto &node : nodes_) {
-        node->processor().resetStats();
-        node->ni().resetStats();
-        node->ni().queue(0).resetStats();
-        node->ni().queue(1).resetStats();
+    for (NodeId id = 0; id < nodeCount(); ++id) {
+        Node &node = nodes_[id];
+        node.processor().resetStats();
+        node.ni().resetStats();
+        node.ni().queue(0).resetStats();
+        node.ni().queue(1).resetStats();
     }
     net_.resetStats();
 }

@@ -7,6 +7,15 @@
  * NI has drained, and reactivate when a message header arrives. A run
  * ends at a cycle limit, when every node has executed HALT, or when
  * the whole machine is quiescent (nothing running, nothing in flight).
+ *
+ * With `MachineConfig::threads` > 1 the active-node list is sharded
+ * across a persistent worker pool each cycle. Node state is strictly
+ * per-node during the node phase — the only cross-node channel is the
+ * network — so workers step their shards independently, buffer their
+ * injections into per-shard staging queues, and the main thread commits
+ * those queues in node-id order at the cycle barrier before stepping
+ * the fabric serially. A threaded run is therefore bit-identical to a
+ * serial one: same cycle counts, same statistics.
  */
 
 #ifndef JMSIM_MACHINE_JMACHINE_HH
@@ -22,6 +31,8 @@
 namespace jmsim
 {
 
+class ThreadPool;
+
 /** Everything configurable about a machine. */
 struct MachineConfig
 {
@@ -30,6 +41,10 @@ struct MachineConfig
     NetworkInterface::Config ni;
     ProcessorConfig proc;
     bool roundRobinArbitration = false;
+    /** Worker shards for the run loop: 1 = the serial kernel, N > 1 =
+     *  exactly N shards (clamped to the node count), 0 = auto (host
+     *  hardware concurrency, capped so small machines stay serial). */
+    unsigned threads = 0;
 };
 
 /** Why a run() returned. */
@@ -57,6 +72,7 @@ class JMachine
      */
     JMachine(const MachineConfig &config, Program prog,
              const std::string &boot_label = "boot");
+    ~JMachine();
 
     JMachine(const JMachine &) = delete;
     JMachine &operator=(const JMachine &) = delete;
@@ -67,13 +83,16 @@ class JMachine
     /** Run for @p cycles more cycles. */
     RunResult runFor(Cycle cycles) { return run(now_ + cycles); }
 
-    Node &node(NodeId id) { return *nodes_[id]; }
-    const Node &node(NodeId id) const { return *nodes_[id]; }
+    Node &node(NodeId id) { return nodes_[id]; }
+    const Node &node(NodeId id) const { return nodes_[id]; }
     MeshNetwork &network() { return net_; }
     const Program &program() const { return prog_; }
     const MachineConfig &config() const { return config_; }
     Cycle now() const { return now_; }
     unsigned nodeCount() const { return config_.dims.nodes(); }
+
+    /** Worker shards a run() will actually use (resolves auto mode). */
+    unsigned resolvedThreads() const;
 
     /** Mark a node as needing stepping (message arrival etc.). */
     void activateNode(NodeId id);
@@ -91,15 +110,33 @@ class JMachine
     void resetStats();
 
   private:
+    RunResult runSerial(Cycle max_cycles);
+    RunResult runThreaded(Cycle max_cycles, unsigned shards);
+
+    /** Step one shard's slice of the active-node snapshot. */
+    void stepShard(unsigned shard, unsigned shards, std::size_t n);
+
+    /** Apply wakes buffered during the parallel phase, in id order. */
+    void mergePendingWakes();
+
     MachineConfig config_;
     Program prog_;
     MeshNetwork net_;
-    std::vector<std::unique_ptr<Node>> nodes_;
+    /** Contiguous node arena (cache-friendly sequential stepping). */
+    std::unique_ptr<Node[]> nodes_;
     std::vector<NodeId> activeNodes_;
     std::vector<std::uint8_t> activeFlag_;
     Cycle now_ = 0;
     unsigned haltedCount_ = 0;
     std::vector<std::uint8_t> haltedFlag_;
+
+    // ---- threaded-kernel state ----
+    std::unique_ptr<ThreadPool> pool_;
+    bool inParallel_ = false;                ///< inside the node phase
+    std::vector<std::uint8_t> stillActive_;  ///< per active-list index
+    std::vector<unsigned> shardHalted_;      ///< newly halted, per shard
+    std::vector<std::vector<NodeId>> pendingWakes_;  ///< per shard
+    std::vector<NodeId> wakeScratch_;
 };
 
 } // namespace jmsim

@@ -1,6 +1,9 @@
 #include "net/mesh_network.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace jmsim
 {
@@ -46,7 +49,7 @@ MeshNetwork::MeshNetwork(const MeshDims &dims)
 {
     for (NodeId id = 0; id < dims.nodes(); ++id) {
         const RouterAddr addr = dims.toCoord(id);
-        routers_[id].init(id, addr, nullptr);
+        routers_[id].init(id, addr);
         for (unsigned dir = 0; dir < kNumDirs; ++dir) {
             RouterAddr to;
             if (!neighbour(dims, addr, dir, to))
@@ -66,7 +69,7 @@ MeshNetwork::MeshNetwork(const MeshDims &dims)
 void
 MeshNetwork::setDeliverSink(NodeId id, DeliverSink *sink)
 {
-    routers_[id].init(id, dims_.toCoord(id), sink);
+    routers_[id].setDeliverSink(sink);
 }
 
 void
@@ -88,8 +91,59 @@ MeshNetwork::activate(NodeId id)
 void
 MeshNetwork::injectFlit(NodeId id, Flit flit)
 {
+    if (staging_) {
+        // Parallel node phase: only node id's own shard injects into
+        // router id, so the per-(node, vn) counter needs no locking.
+        stagedInject_[id * kNumVns + flit.vn] += 1;
+        staged_[ThreadPool::currentShard()].push_back({id, std::move(flit)});
+        return;
+    }
     routers_[id].inject(std::move(flit));
     activate(id);
+}
+
+void
+MeshNetwork::beginStaging(unsigned shards)
+{
+    staging_ = true;
+    staged_.resize(shards);
+    stagedInject_.assign(static_cast<std::size_t>(dims_.nodes()) * kNumVns,
+                         0);
+}
+
+void
+MeshNetwork::commitStaged()
+{
+    commitScratch_.clear();
+    for (auto &queue : staged_) {
+        for (auto &entry : queue)
+            commitScratch_.push_back(std::move(entry));
+        queue.clear();
+    }
+    if (commitScratch_.empty())
+        return;
+    // Each node's flits sit in one shard's queue in injection order, so
+    // a stable sort by node id reproduces the serial commit order.
+    std::stable_sort(commitScratch_.begin(), commitScratch_.end(),
+                     [](const StagedFlit &a, const StagedFlit &b) {
+                         return a.id < b.id;
+                     });
+    for (auto &entry : commitScratch_) {
+        stagedInject_[entry.id * kNumVns + entry.flit.vn] = 0;
+        routers_[entry.id].inject(std::move(entry.flit));
+        activate(entry.id);
+    }
+    commitScratch_.clear();
+}
+
+void
+MeshNetwork::endStaging()
+{
+    for (const auto &queue : staged_) {
+        if (!queue.empty())
+            panic("MeshNetwork::endStaging with uncommitted flits");
+    }
+    staging_ = false;
 }
 
 void
@@ -105,26 +159,24 @@ MeshNetwork::step(Cycle now)
     for (std::size_t i = 0; i < n; ++i)
         routers_[active_[i]].pullPhase();
 
+    touched_.clear();
     for (std::size_t i = 0; i < n; ++i)
-        routers_[active_[i]].movePhase(now);
+        routers_[active_[i]].movePhase(now, touched_);
 
-    // Commit channel pipeline registers written by this cycle's moves,
-    // waking the downstream routers and counting bisection crossings.
+    // Commit only the channel pipeline registers written by this
+    // cycle's moves, waking the downstream routers and counting
+    // bisection crossings.
     const unsigned mid = dims_.x / 2;
-    for (std::size_t i = 0; i < n; ++i) {
-        const NodeId id = active_[i];
-        for (unsigned dir = 0; dir < kNumDirs; ++dir) {
-            Channel &ch = channels_[id * kNumDirs + dir];
-            if (!ch.commit())
-                continue;
-            activate(ch.to());
-            if (dims_.x > 1 && ch.axis() == 0 && !ch.peek().isHead()) {
-                const RouterAddr from = dims_.toCoord(ch.from());
-                if (ch.positive() && from.x == mid - 1)
-                    stats_.bisectionFlitsPos += 1;
-                else if (!ch.positive() && from.x == mid)
-                    stats_.bisectionFlitsNeg += 1;
-            }
+    for (Channel *chp : touched_) {
+        Channel &ch = *chp;
+        ch.commit();
+        activate(ch.to());
+        if (dims_.x > 1 && ch.axis() == 0 && !ch.peek().isHead()) {
+            const RouterAddr from = dims_.toCoord(ch.from());
+            if (ch.positive() && from.x == mid - 1)
+                stats_.bisectionFlitsPos += 1;
+            else if (!ch.positive() && from.x == mid)
+                stats_.bisectionFlitsNeg += 1;
         }
     }
 

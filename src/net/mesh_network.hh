@@ -60,15 +60,37 @@ class MeshNetwork
     /** Advance the fabric by one cycle. */
     void step(Cycle now);
 
-    /** NI-side: may node @p id inject a flit at priority @p vn? */
+    /** NI-side: may node @p id inject a flit at priority @p vn?
+     *  While staging is enabled, flits staged this cycle count against
+     *  the inject-FIFO capacity. */
     bool
     canInject(NodeId id, unsigned vn) const
     {
-        return routers_[id].canInject(vn);
+        const unsigned free = routers_[id].injectFree(vn);
+        if (!staging_)
+            return free > 0;
+        return free > stagedInject_[id * kNumVns + vn];
     }
 
     /** NI-side: push one flit into node @p id's inject port. */
     void injectFlit(NodeId id, Flit flit);
+
+    // ---- staged injection (threaded kernel) ----
+    //
+    // During a threaded run the machine steps nodes in parallel, so
+    // injectFlit buffers into a per-shard staging queue instead of
+    // mutating the shared active list. commitStaged() replays the
+    // buffered flits in node-id order at the cycle barrier, which makes
+    // a threaded run bit-identical to the serial kernel.
+
+    /** Enter staged-injection mode with @p shards worker shards. */
+    void beginStaging(unsigned shards);
+
+    /** Replay this cycle's staged flits in node-id order. */
+    void commitStaged();
+
+    /** Leave staged-injection mode (staging queues must be empty). */
+    void endStaging();
 
     /** Called by sinks when a whole message has been delivered. */
     void
@@ -95,6 +117,13 @@ class MeshNetwork
   private:
     void activate(NodeId id);
 
+    /** One buffered injection awaiting the cycle barrier. */
+    struct StagedFlit
+    {
+        NodeId id;
+        Flit flit;
+    };
+
     MeshDims dims_;
     std::vector<Router> routers_;
     /** Channels indexed [node * kNumDirs + dir] = outgoing channel. */
@@ -102,6 +131,11 @@ class MeshNetwork
     std::vector<Channel *> touched_;      ///< channels written this cycle
     std::vector<NodeId> active_;          ///< routers to step this cycle
     std::vector<std::uint8_t> activeFlag_;
+    bool staging_ = false;
+    std::vector<std::vector<StagedFlit>> staged_;  ///< per worker shard
+    /** Flits staged this cycle per (node, vn), for canInject. */
+    std::vector<std::uint8_t> stagedInject_;
+    std::vector<StagedFlit> commitScratch_;
     NetworkStats stats_;
 };
 

@@ -6,11 +6,13 @@ namespace jmsim
 {
 
 void
-Router::init(NodeId id, RouterAddr addr, DeliverSink *sink)
+Router::init(NodeId id, RouterAddr addr)
 {
+    if (initialized_)
+        panic("Router::init called twice (use setDeliverSink to rewire)");
+    initialized_ = true;
     id_ = id;
     addr_ = addr;
-    sink_ = sink;
     for (auto &per_out : owner_)
         per_out.fill(-1);
 }
@@ -43,7 +45,8 @@ Router::route(const RouterAddr &dest) const
 }
 
 bool
-Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now)
+Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
+                std::vector<Channel *> &touched)
 {
     FlitFifo &fifo = fifos_[in][vn];
     if (out == kDeliverPort) {
@@ -65,6 +68,7 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now)
     const bool tail = flit.isTail();
     stats_.flitsRouted += 1;
     ch->send(std::move(flit));
+    touched.push_back(ch);
     owner_[out][vn] = tail ? -1 : static_cast<std::int8_t>(in);
     sentThisCycle_ = true;
     if (in == kInjectPort)
@@ -73,7 +77,7 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now)
 }
 
 bool
-Router::movePhase(Cycle now)
+Router::movePhase(Cycle now, std::vector<Channel *> &touched)
 {
     sentThisCycle_ = false;
     injectMoved_.fill(false);
@@ -90,7 +94,7 @@ Router::movePhase(Cycle now)
                 // Continuing worm: only its body flits may use the port.
                 FlitFifo &fifo = fifos_[own][vn];
                 if (!fifo.empty())
-                    moved = tryMove(out, vn, own, now);
+                    moved = tryMove(out, vn, own, now, touched);
                 continue;
             }
             // Allocate the output to a new worm: scan head flits.
@@ -102,7 +106,7 @@ Router::movePhase(Cycle now)
                     continue;
                 if (route(fifo.front().msg->destAddr) != out)
                     continue;
-                if (tryMove(out, vn, in, now)) {
+                if (tryMove(out, vn, in, now, touched)) {
                     moved = true;
                     if (roundRobin_)
                         rrNext_[out] =

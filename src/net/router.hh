@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "net/channel.hh"
 #include "net/message.hh"
@@ -103,8 +104,12 @@ class Router
   public:
     Router() = default;
 
-    /** Wire the router into the mesh (called once at construction). */
-    void init(NodeId id, RouterAddr addr, DeliverSink *sink);
+    /** Wire the router into the mesh. One-shot: re-initialising a live
+     *  router would silently discard worm-allocation state. */
+    void init(NodeId id, RouterAddr addr);
+
+    /** Attach (or replace) the local delivery sink (the node's NI). */
+    void setDeliverSink(DeliverSink *sink) { sink_ = sink; }
 
     /** Attach the outgoing channel in direction @p dir (may be null). */
     void setOutChannel(Direction dir, Channel *ch) { out_[dir] = ch; }
@@ -119,14 +124,24 @@ class Router
     void pullPhase();
 
     /** Phase 2: arbitrate outputs and move at most 1 flit per output.
+     *  Channels written this cycle are appended to @p touched so the
+     *  mesh commits only those pipeline registers.
      *  @return true if any output channel was written. */
-    bool movePhase(Cycle now);
+    bool movePhase(Cycle now, std::vector<Channel *> &touched);
 
     /** May the NI enqueue a flit on the inject port? */
     bool
     canInject(unsigned vn) const
     {
         return !fifos_[kInjectPort][vn].full();
+    }
+
+    /** Free inject-FIFO slots at priority @p vn (staged-injection
+     *  accounting for the threaded kernel). */
+    unsigned
+    injectFree(unsigned vn) const
+    {
+        return FlitFifo::kCapacity - fifos_[kInjectPort][vn].size();
     }
 
     /** NI pushes one flit onto the inject port. */
@@ -149,9 +164,11 @@ class Router
     unsigned route(const RouterAddr &dest) const;
 
     /** Move one flit from input @p in to output @p out if possible. */
-    bool tryMove(unsigned out, unsigned vn, unsigned in, Cycle now);
+    bool tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
+                 std::vector<Channel *> &touched);
 
     NodeId id_ = 0;
+    bool initialized_ = false;
     RouterAddr addr_;
     DeliverSink *sink_ = nullptr;
     std::array<Channel *, kNumDirs> in_{};

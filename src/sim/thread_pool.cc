@@ -1,0 +1,110 @@
+#include "sim/thread_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+namespace
+{
+
+thread_local unsigned tShard = 0;
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+} // namespace
+
+unsigned
+ThreadPool::currentShard()
+{
+    return tShard;
+}
+
+ThreadPool::ThreadPool(unsigned shards)
+    : shards_(shards < 1 ? 1 : shards)
+{
+    // Spinning only pays when every shard can hold a core through the
+    // serial phase; on an oversubscribed host, park immediately so the
+    // main thread gets the CPU back.
+    const unsigned hw = std::thread::hardware_concurrency();
+    spinLimit_ = (hw >= shards_ && hw > 1) ? 4096 : 0;
+    workers_.reserve(shards_ - 1);
+    for (unsigned s = 1; s < shards_; ++s)
+        workers_.emplace_back([this, s] { workerMain(s); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    stop_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::run(const std::function<void(unsigned)> &fn)
+{
+    if (shards_ == 1) {
+        fn(0);
+        return;
+    }
+    job_ = &fn;
+    done_.store(0, std::memory_order_relaxed);
+    // The epoch bump publishes job_ (release) and releases the workers.
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    fn(0);
+    // Arrive: wait for every worker, spinning first (they are usually
+    // a few node-steps from done), then parking.
+    const std::uint32_t target = shards_ - 1;
+    unsigned spins = 0;
+    for (;;) {
+        const std::uint32_t d = done_.load(std::memory_order_acquire);
+        if (d == target)
+            break;
+        if (spins++ < spinLimit_) {
+            cpuRelax();
+            continue;
+        }
+        done_.wait(d, std::memory_order_acquire);
+    }
+    job_ = nullptr;
+}
+
+void
+ThreadPool::workerMain(unsigned shard)
+{
+    tShard = shard;
+    std::uint32_t seen = 0;
+    for (;;) {
+        // Release gate: wait for the epoch to advance past what we ran.
+        std::uint32_t e;
+        unsigned spins = 0;
+        while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
+            if (spins++ < spinLimit_) {
+                cpuRelax();
+                continue;
+            }
+            epoch_.wait(seen, std::memory_order_acquire);
+            spins = 0;
+        }
+        seen = e;
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        if (job_)
+            (*job_)(shard);
+        done_.fetch_add(1, std::memory_order_release);
+        done_.notify_all();
+    }
+}
+
+} // namespace jmsim

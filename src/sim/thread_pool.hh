@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A persistent worker pool with a per-cycle barrier, built for the
+ * simulation kernel's sharded node stepping.
+ *
+ * The pool owns `shards - 1` worker threads; the calling thread
+ * participates as shard 0, so `run(fn)` executes `fn(shard)` exactly
+ * once per shard and returns only when every shard has finished — one
+ * release/arrive barrier pair per call. Workers spin briefly between
+ * cycles (the serial network phase is short) and park on a futex-backed
+ * atomic wait when the gap is long or the host is oversubscribed, so an
+ * idle pool costs nothing.
+ */
+
+#ifndef JMSIM_SIM_THREAD_POOL_HH
+#define JMSIM_SIM_THREAD_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace jmsim
+{
+
+/** Fork-join pool: one shard per thread, caller included. */
+class ThreadPool
+{
+  public:
+    /** Spawn a pool of @p shards shards (@p shards - 1 threads). */
+    explicit ThreadPool(unsigned shards);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total shards, including the calling thread's shard 0. */
+    unsigned shards() const { return shards_; }
+
+    /**
+     * Execute @p fn(shard) on every shard and barrier until all done.
+     * The caller runs shard 0; @p fn must not call run() reentrantly.
+     */
+    void run(const std::function<void(unsigned)> &fn);
+
+    /**
+     * Shard index of the calling thread: the worker's own shard inside
+     * run(), 0 anywhere else (the main thread is always shard 0).
+     */
+    static unsigned currentShard();
+
+  private:
+    void workerMain(unsigned shard);
+
+    unsigned shards_ = 1;
+    unsigned spinLimit_ = 0;  ///< spins before parking (0 on small hosts)
+    std::vector<std::thread> workers_;
+    const std::function<void(unsigned)> *job_ = nullptr;
+    std::atomic<std::uint32_t> epoch_{0};  ///< bumped to release a cycle
+    std::atomic<std::uint32_t> done_{0};   ///< workers finished this cycle
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_SIM_THREAD_POOL_HH

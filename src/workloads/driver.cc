@@ -11,12 +11,19 @@ namespace workloads
 namespace
 {
 unsigned dispatchOverride = 0;
+int threadsOverride = -1;
 } // namespace
 
 void
 setDispatchCyclesForTesting(unsigned cycles)
 {
     dispatchOverride = cycles;
+}
+
+void
+setSimThreads(int threads)
+{
+    threadsOverride = threads;
 }
 
 MachineConfig
@@ -26,6 +33,8 @@ standardConfig(unsigned nodes)
     cfg.dims = MeshDims::forNodeCount(nodes);
     if (dispatchOverride)
         cfg.proc.dispatchCycles = dispatchOverride;
+    if (threadsOverride >= 0)
+        cfg.threads = static_cast<unsigned>(threadsOverride);
     return cfg;
 }
 

@@ -28,6 +28,12 @@ MachineConfig standardConfig(unsigned nodes);
  *  (0 restores the architectural default of 4 cycles). */
 void setDispatchCyclesForTesting(unsigned cycles);
 
+/** Override the simulation-kernel worker count used by standardConfig:
+ *  1 = serial kernel, N > 1 = that many shards, 0 = auto,
+ *  -1 restores the default (auto). Threaded runs are bit-identical to
+ *  serial ones, so this only changes host-side wall-clock time. */
+void setSimThreads(int threads);
+
 /** Assemble kernel(+barrier)+app and build a machine. */
 std::unique_ptr<JMachine> buildMachine(unsigned nodes,
                                        const std::string &app_name,

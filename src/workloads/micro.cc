@@ -1,5 +1,7 @@
 #include "workloads/micro.hh"
 
+#include <chrono>
+
 #include "sim/logging.hh"
 #include "workloads/driver.hh"
 
@@ -803,6 +805,41 @@ measureLoadPoint(unsigned nodes, unsigned msg_words, unsigned idle_iters,
                            ? base.cyclesPerIter / loaded.cyclesPerIter
                            : 0;
     return point;
+}
+
+TrafficProbe
+runFig3Traffic(unsigned nodes, unsigned msg_words, unsigned idle_iters,
+               Cycle window, std::uint32_t seed)
+{
+    if (msg_words < 2)
+        fatal("load messages need at least 2 words");
+    auto m = buildMachine(nodes, "load.jasm", kLoadSource);
+    pokeParamAll(*m, 0, static_cast<std::int32_t>(msg_words));
+    pokeParamAll(*m, 1, static_cast<std::int32_t>(idle_iters));
+    pokeParamAll(*m, 2, 1);
+    for (NodeId id = 0; id < m->nodeCount(); ++id) {
+        const std::uint32_t s = (id + seed) * 2654435761u ^ 0x9e3779b9u;
+        m->pokeInt(id, jos::kAppScratchBase + 10,
+                   static_cast<std::int32_t>(s | 1));
+    }
+
+    TrafficProbe probe;
+    const auto t0 = std::chrono::steady_clock::now();
+    probe.run = m->run(window);
+    const auto t1 = std::chrono::steady_clock::now();
+    probe.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    probe.procStats = m->aggregateStats();
+    probe.instructions = probe.procStats.instructions;
+    probe.netStats = m->network().stats();
+    for (NodeId id = 0; id < m->nodeCount(); ++id) {
+        const NiStats &s = m->node(id).ni().stats();
+        probe.niStats.messagesSent += s.messagesSent;
+        probe.niStats.wordsSent += s.wordsSent;
+        probe.niStats.sendFullEvents += s.sendFullEvents;
+        probe.niStats.deliveryStallCycles += s.deliveryStallCycles;
+        probe.niStats.messagesBounced += s.messagesBounced;
+    }
+    return probe;
 }
 
 double

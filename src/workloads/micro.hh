@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "machine/jmachine.hh"
 #include "sim/types.hh"
 
 namespace jmsim
@@ -78,6 +79,25 @@ struct LoadPoint
 LoadPoint measureLoadPoint(unsigned nodes, unsigned msg_words,
                            unsigned idle_iters, Cycle window,
                            std::uint32_t seed = 1);
+
+/** Simulator host-performance / determinism probe over the Figure 3
+ *  traffic program: one fixed-window run, with the wall-clock time of
+ *  the run() call and the machine's complete statistics signature. */
+struct TrafficProbe
+{
+    RunResult run;                   ///< stop state after the window
+    std::uint64_t instructions = 0;  ///< simulated instructions executed
+    double hostSeconds = 0;          ///< wall-clock time inside run()
+    ProcessorStats procStats;        ///< aggregate over every node
+    NetworkStats netStats;           ///< fabric statistics
+    NiStats niStats;                 ///< aggregate NI statistics
+};
+
+/** Run fig3-style random traffic for @p window cycles; the machine
+ *  honours the driver's setSimThreads() override. */
+TrafficProbe runFig3Traffic(unsigned nodes, unsigned msg_words,
+                            unsigned idle_iters, Cycle window,
+                            std::uint32_t seed = 1);
 
 /** Delivery handling for Figure 4. */
 enum class BlastMode : std::uint8_t

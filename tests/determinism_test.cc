@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Determinism regression for the threaded simulation kernel: a run with
+ * N worker shards must be bit-identical to the serial kernel — same
+ * cycle counts, same aggregate processor statistics, same network and
+ * NI statistics — on both an open traffic workload (fig3 random
+ * traffic) and a halting application (radix sort).
+ *
+ * Registered twice in ctest: the DeterminismSerial suite pins the
+ * serial kernel (repeat-run reproducibility), the DeterminismThreaded
+ * suite compares serial against a 4-shard run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/driver.hh"
+#include "workloads/micro.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+using workloads::TrafficProbe;
+
+/** Pin the thread override for a scope, restoring auto on exit. */
+struct ThreadsGuard
+{
+    explicit ThreadsGuard(int threads) { workloads::setSimThreads(threads); }
+    ~ThreadsGuard() { workloads::setSimThreads(-1); }
+};
+
+void
+expectEqualProcStats(const ProcessorStats &a, const ProcessorStats &b)
+{
+    for (std::size_t c = 0; c < a.cyclesByClass.size(); ++c)
+        EXPECT_EQ(a.cyclesByClass[c], b.cyclesByClass[c]) << "class " << c;
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.instructionsOs, b.instructionsOs);
+    EXPECT_EQ(a.dispatches, b.dispatches);
+    EXPECT_EQ(a.suspends, b.suspends);
+    for (std::size_t f = 0; f < kNumFaults; ++f)
+        EXPECT_EQ(a.faults[f], b.faults[f]) << "fault " << f;
+    EXPECT_EQ(a.queueStallCycles, b.queueStallCycles);
+    EXPECT_EQ(a.runCycles, b.runCycles);
+    EXPECT_EQ(a.idleCycles, b.idleCycles);
+}
+
+void
+expectEqualProbes(const TrafficProbe &a, const TrafficProbe &b)
+{
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+    EXPECT_EQ(a.run.reason, b.run.reason);
+    EXPECT_EQ(a.instructions, b.instructions);
+    expectEqualProcStats(a.procStats, b.procStats);
+    EXPECT_EQ(a.netStats.messagesDelivered, b.netStats.messagesDelivered);
+    EXPECT_EQ(a.netStats.wordsDelivered, b.netStats.wordsDelivered);
+    EXPECT_EQ(a.netStats.bisectionFlitsPos, b.netStats.bisectionFlitsPos);
+    EXPECT_EQ(a.netStats.bisectionFlitsNeg, b.netStats.bisectionFlitsNeg);
+    EXPECT_EQ(a.niStats.messagesSent, b.niStats.messagesSent);
+    EXPECT_EQ(a.niStats.wordsSent, b.niStats.wordsSent);
+    EXPECT_EQ(a.niStats.sendFullEvents, b.niStats.sendFullEvents);
+    EXPECT_EQ(a.niStats.deliveryStallCycles, b.niStats.deliveryStallCycles);
+    EXPECT_EQ(a.niStats.messagesBounced, b.niStats.messagesBounced);
+}
+
+void
+expectEqualAppResults(const workloads::AppResult &a,
+                      const workloads::AppResult &b)
+{
+    EXPECT_EQ(a.runCycles, b.runCycles);
+    EXPECT_EQ(a.answer, b.answer);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.instructionsOs, b.instructionsOs);
+    EXPECT_EQ(a.dispatches, b.dispatches);
+    EXPECT_EQ(a.xlates, b.xlates);
+    EXPECT_EQ(a.xlateFaults, b.xlateFaults);
+    EXPECT_EQ(a.idleCycles, b.idleCycles);
+    for (std::size_t c = 0; c < a.cyclesByClass.size(); ++c)
+        EXPECT_EQ(a.cyclesByClass[c], b.cyclesByClass[c]) << "class " << c;
+    ASSERT_EQ(a.threadClasses.size(), b.threadClasses.size());
+    for (std::size_t i = 0; i < a.threadClasses.size(); ++i) {
+        EXPECT_EQ(a.threadClasses[i].name, b.threadClasses[i].name);
+        EXPECT_EQ(a.threadClasses[i].threads, b.threadClasses[i].threads);
+        EXPECT_EQ(a.threadClasses[i].instructions,
+                  b.threadClasses[i].instructions);
+        EXPECT_EQ(a.threadClasses[i].messageWords,
+                  b.threadClasses[i].messageWords);
+    }
+}
+
+TrafficProbe
+trafficAt(unsigned nodes, int threads, Cycle window)
+{
+    ThreadsGuard guard(threads);
+    return workloads::runFig3Traffic(nodes, 6, 40, window);
+}
+
+TEST(DeterminismSerial, RepeatRunsIdentical)
+{
+    const TrafficProbe first = trafficAt(64, 1, 2000);
+    const TrafficProbe second = trafficAt(64, 1, 2000);
+    EXPECT_GT(first.instructions, 0u);
+    EXPECT_GT(first.netStats.messagesDelivered, 0u);
+    expectEqualProbes(first, second);
+}
+
+TEST(DeterminismSerial, RadixRepeatRunsIdentical)
+{
+    workloads::RadixConfig c;
+    c.nodes = 16;
+    c.keys = 1024;
+    ThreadsGuard guard(1);
+    const auto first = workloads::runRadixSort(c);
+    const auto second = workloads::runRadixSort(c);
+    EXPECT_EQ(first.answer, 1024);
+    expectEqualAppResults(first, second);
+}
+
+TEST(DeterminismThreaded, TrafficMatchesSerialAt256Nodes)
+{
+    const TrafficProbe serial = trafficAt(256, 1, 1500);
+    const TrafficProbe threaded = trafficAt(256, 4, 1500);
+    EXPECT_GT(serial.instructions, 0u);
+    EXPECT_GT(serial.netStats.messagesDelivered, 0u);
+    expectEqualProbes(serial, threaded);
+}
+
+TEST(DeterminismThreaded, RadixMatchesSerialAt256Nodes)
+{
+    workloads::RadixConfig c;
+    c.nodes = 256;
+    c.keys = 4096;
+    workloads::AppResult serial, threaded;
+    {
+        ThreadsGuard guard(1);
+        serial = workloads::runRadixSort(c);
+    }
+    {
+        ThreadsGuard guard(4);
+        threaded = workloads::runRadixSort(c);
+    }
+    EXPECT_EQ(serial.answer, 4096);
+    // A halting workload: the threaded kernel must stop on the same
+    // cycle with the same statistics.
+    expectEqualAppResults(serial, threaded);
+}
+
+TEST(DeterminismThreaded, ShardCountDoesNotMatter)
+{
+    const TrafficProbe two = trafficAt(64, 2, 1200);
+    const TrafficProbe seven = trafficAt(64, 7, 1200);
+    expectEqualProbes(two, seven);
+}
+
+} // namespace
+} // namespace jmsim

@@ -1,13 +1,19 @@
 /**
  * @file
  * jasm command-line tool: assemble .jasm files and print a listing,
- * the symbol table, or image statistics. Useful when developing
- * workloads outside the C++ drivers.
+ * the symbol table, or image statistics — or run them on a simulated
+ * machine. Useful when developing workloads outside the C++ drivers.
  *
  *   jasm_tool [--no-kernel] [--symbols] [--listing] file.jasm...
+ *   jasm_tool --run [--nodes N] [--threads T] [--max-cycles C] file.jasm
+ *
+ * `--threads` selects the simulation kernel's worker count: 1 forces
+ * the serial kernel, N > 1 runs N shards (bit-identical results), and
+ * the default (0) picks from the host's hardware concurrency.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -17,6 +23,7 @@
 #include "jasm/assembler.hh"
 #include "sim/logging.hh"
 #include "runtime/jos.hh"
+#include "workloads/driver.hh"
 
 using namespace jmsim;
 
@@ -52,6 +59,42 @@ printListing(const Program &prog)
     }
 }
 
+/** Assemble + run one program on a machine; print the outcome. */
+int
+runProgram(const std::string &path, unsigned nodes, int threads,
+           Cycle max_cycles)
+{
+    workloads::setSimThreads(threads);
+    auto m = workloads::buildMachine(nodes, path, readFile(path));
+    std::printf("running %s on %u nodes (%u worker shard%s)\n",
+                path.c_str(), m->nodeCount(), m->resolvedThreads(),
+                m->resolvedThreads() == 1 ? "" : "s");
+    const RunResult r = m->run(max_cycles);
+    workloads::setSimThreads(-1);
+
+    const char *reason = r.reason == StopReason::AllHalted ? "all-halted"
+                         : r.reason == StopReason::Quiescent ? "quiescent"
+                                                             : "cycle-limit";
+    const ProcessorStats stats = m->aggregateStats();
+    std::printf("stopped after %llu cycles (%s); %llu instructions, "
+                "%llu dispatches, %llu messages delivered\n",
+                static_cast<unsigned long long>(r.cycles), reason,
+                static_cast<unsigned long long>(stats.instructions),
+                static_cast<unsigned long long>(stats.dispatches),
+                static_cast<unsigned long long>(
+                    m->network().stats().messagesDelivered));
+    for (NodeId id = 0; id < m->nodeCount(); ++id) {
+        const auto &out = m->node(id).processor().hostOut();
+        if (out.empty())
+            continue;
+        std::printf("node %u OUT:", id);
+        for (const Word &w : out)
+            std::printf(" %d", w.asInt());
+        std::printf("\n");
+    }
+    return r.reason == StopReason::CycleLimit ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -60,6 +103,10 @@ main(int argc, char **argv)
     bool with_kernel = true;
     bool symbols = false;
     bool listing = false;
+    bool run = false;
+    unsigned nodes = 64;
+    int threads = -1;       // -1 = driver default (auto)
+    Cycle max_cycles = 50'000'000;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--no-kernel"))
@@ -68,14 +115,32 @@ main(int argc, char **argv)
             symbols = true;
         else if (!std::strcmp(argv[i], "--listing"))
             listing = true;
+        else if (!std::strcmp(argv[i], "--run"))
+            run = true;
+        else if (!std::strcmp(argv[i], "--nodes") && i + 1 < argc)
+            nodes = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--max-cycles") && i + 1 < argc)
+            max_cycles = static_cast<Cycle>(std::atoll(argv[++i]));
         else
             files.push_back(argv[i]);
     }
-    if (files.empty()) {
+    if (files.empty() || (run && files.size() != 1)) {
         std::fprintf(stderr,
                      "usage: jasm_tool [--no-kernel] [--symbols] "
-                     "[--listing] file.jasm...\n");
+                     "[--listing] file.jasm...\n"
+                     "       jasm_tool --run [--nodes N] [--threads T] "
+                     "[--max-cycles C] file.jasm\n");
         return 2;
+    }
+    if (run) {
+        try {
+            return runProgram(files[0], nodes, threads, max_cycles);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
     }
 
     try {
