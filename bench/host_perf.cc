@@ -12,6 +12,12 @@
  * simulates exactly the same cycles and instructions — only the host
  * time changes. Speedups > 1 require real cores; on a single-CPU host
  * the harness still runs and honestly reports the barrier overhead.
+ *
+ * `--check <baseline.json>` runs a small perf-smoke instead: the
+ * 64-node serial workloads, best of three, compared against the
+ * committed BENCH_host_perf.json. A drop of more than 20% in
+ * sim-instructions/host-second against the baseline fails the run
+ * (registered in ctest as `perf_smoke`).
  */
 
 #include <algorithm>
@@ -113,11 +119,115 @@ writeJson(const std::vector<Sample> &samples, unsigned hw)
     std::fclose(f);
 }
 
+/** One baseline sample parsed back out of BENCH_host_perf.json. */
+struct BaselineEntry
+{
+    char workload[32] = {};
+    unsigned nodes = 0;
+    unsigned threads = 0;
+    double rate = 0;
+};
+
+/**
+ * Parse the samples of a BENCH_host_perf.json written by writeJson().
+ * Deliberately rigid: one sample per line, fields in the writer's
+ * order — this reads our own artifact, not arbitrary JSON.
+ */
+std::vector<BaselineEntry>
+readBaseline(const char *path)
+{
+    std::vector<BaselineEntry> entries;
+    std::FILE *f = std::fopen(path, "r");
+    if (!f)
+        return entries;
+    char line[512];
+    while (std::fgets(line, sizeof line, f)) {
+        BaselineEntry e;
+        double secs = 0;
+        unsigned long long cycles = 0, instr = 0;
+        if (std::sscanf(line,
+                        " {\"workload\": \"%31[^\"]\", \"nodes\": %u, "
+                        "\"threads\": %u, \"host_seconds\": %lf, "
+                        "\"sim_cycles\": %llu, \"sim_instructions\": %llu, "
+                        "\"instr_per_host_sec\": %lf",
+                        e.workload, &e.nodes, &e.threads, &secs, &cycles,
+                        &instr, &e.rate) == 7)
+            entries.push_back(e);
+    }
+    std::fclose(f);
+    return entries;
+}
+
+/**
+ * Perf smoke: rerun the 64-node serial workloads at the default scale
+ * (same parameters the committed baseline was generated with), best of
+ * three to ride out host noise, and fail on a >20% drop in
+ * sim-instructions/host-second against the baseline.
+ */
+int
+runCheck(const char *baseline_path)
+{
+    const std::vector<BaselineEntry> base = readBaseline(baseline_path);
+    if (base.empty()) {
+        std::fprintf(stderr, "perf-check: cannot read baseline %s\n",
+                     baseline_path);
+        return 2;
+    }
+    constexpr unsigned kNodes = 64;
+    constexpr Cycle kWindow = 8000;
+    constexpr unsigned kKeys = 8192;
+    constexpr unsigned kReps = 3;
+    constexpr double kFloor = 0.8;
+
+    bench::header("Host performance smoke vs " + std::string(baseline_path));
+    std::printf("%-14s %6s %16s %16s %7s\n", "workload", "nodes",
+                "base instr/sec", "best instr/sec", "ratio");
+    bool ok = true;
+    for (const char *workload : {"fig3_traffic", "radix_sort"}) {
+        const BaselineEntry *ref = nullptr;
+        for (const BaselineEntry &e : base) {
+            if (workload == std::string(e.workload) && e.nodes == kNodes &&
+                e.threads == 1)
+                ref = &e;
+        }
+        if (!ref || ref->rate <= 0) {
+            std::fprintf(stderr,
+                         "perf-check: no %s nodes=%u threads=1 sample in "
+                         "baseline\n",
+                         workload, kNodes);
+            return 2;
+        }
+        double best = 0;
+        for (unsigned rep = 0; rep < kReps; ++rep) {
+            const Sample s = workload == std::string("fig3_traffic")
+                                 ? sampleTraffic(kNodes, 1, kWindow)
+                                 : sampleRadix(kNodes, 1, kKeys);
+            best = std::max(best, s.instrPerHostSec());
+        }
+        const double ratio = best / ref->rate;
+        std::printf("%-14s %6u %16.0f %16.0f %6.2fx\n", workload, kNodes,
+                    ref->rate, best, ratio);
+        if (ratio < kFloor) {
+            std::fprintf(stderr,
+                         "perf-check: %s regressed to %.2fx of baseline "
+                         "(floor %.2fx)\n",
+                         workload, ratio, kFloor);
+            ok = false;
+        }
+    }
+    std::printf("%s\n", ok ? "perf-check OK" : "perf-check FAILED");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (!std::strcmp(argv[i], "--check"))
+            return runCheck(argv[i + 1]);
+    }
     const auto scale = bench::parseScale(argc, argv);
     std::vector<unsigned> sizes = {64, 256, 512};
     Cycle window = 8000;

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The predecoded execution form of an MDP instruction.
+ *
+ * The interpreter does not walk `Instruction` + `OpcodeInfo` at run
+ * time: at program load every instruction slot is translated once into
+ * a flat `DecodedOp` array indexed by instruction address (see
+ * `Program::predecode`). A DecodedOp carries everything `step()` needs
+ * with no further table walks:
+ *
+ *  - a handler index into the processor's per-opcode dispatch table,
+ *  - the register fields and immediate, already widened,
+ *  - the statically-known successor (`nextIp`) and, for direct
+ *    branches and calls, the resolved target instruction address,
+ *  - the pre-resolved accounting class (region/default-class merge)
+ *    and the base cycle cost,
+ *  - fetch geometry: the instruction's word address and whether that
+ *    word lives in external memory (DRAM fetch cost).
+ *
+ * Predecoding is a pure host-side optimization: it must not change any
+ * architectural behaviour (cycle counts, fault values, statistics) —
+ * tests/determinism_test.cc pins golden cycle counts from the
+ * fetch/switch interpreter to enforce this.
+ */
+
+#ifndef JMSIM_ISA_DECODED_OP_HH
+#define JMSIM_ISA_DECODED_OP_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+#include "isa/word.hh"
+
+namespace jmsim
+{
+
+/** One predecoded instruction slot. */
+struct DecodedOp
+{
+    std::uint8_t handler = 0;  ///< dispatch-table index (= opcode value)
+    std::uint8_t rd = 0;       ///< destination / first register
+    std::uint8_t ra = 0;       ///< second register
+    std::uint8_t rb = 0;       ///< third register
+    std::uint8_t abase = 0;    ///< address-register index (0-3) for memory ops
+    std::uint8_t baseCycles = 1;
+    bool valid = false;        ///< a real instruction lives at this iaddr
+    bool ememWord = false;     ///< instruction word fetched from DRAM
+    bool countsOs = false;     ///< assembled under `.region os`
+    StatClass effClass = StatClass::Compute;  ///< pre-resolved accounting
+    /** Immediate / branch offset / tag / special#. For CALL this is
+     *  repurposed as the precomputed link address (iaddr + 4). */
+    std::int32_t imm = 0;
+    Addr wordAddr = 0;         ///< iaddr >> 1 (fetch-group id)
+    IAddr nextIp = 0;          ///< fall-through successor iaddr
+    IAddr target = 0;          ///< resolved BR/BT/BF/CALL target iaddr
+    Word literal;              ///< 36-bit literal for the Wide format
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_ISA_DECODED_OP_HH

@@ -43,6 +43,57 @@ Program::nearestLabel(IAddr iaddr) const
 }
 
 void
+Program::predecode(Addr emem_base)
+{
+    if (decoded_.size() == code_.size() && !code_.empty())
+        return;
+    decoded_.assign(code_.size(), DecodedOp{});
+    for (IAddr i = 0; i < code_.size(); ++i) {
+        if (!present_[i])
+            continue;
+        const Instruction &inst = code_[i];
+        const OpcodeInfo &info = opcodeInfo(inst.op);
+        DecodedOp &d = decoded_[i];
+        d.valid = true;
+        d.handler = static_cast<std::uint8_t>(inst.op);
+        d.rd = inst.rd;
+        d.ra = inst.ra;
+        d.rb = inst.rb;
+        d.abase = inst.abase;
+        d.imm = inst.imm;
+        d.literal = inst.literal;
+        d.baseCycles = info.baseCycles;
+        d.wordAddr = i >> 1;
+        d.ememWord = d.wordAddr >= emem_base;
+        const StatClass region = klass_[i];
+        d.countsOs = region == StatClass::Os;
+        d.effClass = d.countsOs ? StatClass::Os
+                     : info.defaultClass != StatClass::Compute
+                         ? info.defaultClass
+                         : region;
+        d.nextIp = i + 1;
+        switch (inst.op) {
+          case Opcode::Ldl:
+            d.nextIp = i + 4;  // skip the filler slot and the literal word
+            break;
+          case Opcode::Call:
+            d.imm = static_cast<std::int32_t>(i + 4);  // link address
+            d.target = inst.literal.bits;
+            break;
+          case Opcode::Br:
+          case Opcode::Bt:
+          case Opcode::Bf:
+            d.target = static_cast<IAddr>(
+                           static_cast<std::int64_t>(d.wordAddr) + inst.imm) *
+                       2;
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+void
 Program::setInstruction(IAddr iaddr, const Instruction &inst, StatClass cls)
 {
     if (iaddr >= code_.size()) {

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "isa/decoded_op.hh"
 #include "isa/instruction.hh"
 #include "isa/word.hh"
 #include "sim/types.hh"
@@ -71,6 +72,18 @@ class Program
     /** Highest code word address + 1. */
     Addr codeEndWord() const { return static_cast<Addr>(code_.size() / 2); }
 
+    /**
+     * Translate the instruction store into the flat DecodedOp array the
+     * interpreter executes from (see isa/decoded_op.hh). Idempotent;
+     * called once at machine build. @p emem_base is the first external
+     * memory address (instruction words at or above it pay the DRAM
+     * fetch cost).
+     */
+    void predecode(Addr emem_base);
+
+    /** Predecoded ops indexed by iaddr (empty before predecode()). */
+    const std::vector<DecodedOp> &decodedOps() const { return decoded_; }
+
     // ---- assembler-side construction interface ----
 
     /** Record an instruction at @p iaddr. */
@@ -89,6 +102,7 @@ class Program
     std::vector<Instruction> code_;
     std::vector<std::uint8_t> present_;
     std::vector<StatClass> klass_;
+    std::vector<DecodedOp> decoded_;
     std::vector<std::pair<Addr, Word>> data_;
     std::map<std::string, std::int32_t> symbols_;
     std::vector<std::pair<IAddr, std::string>> labels_;  ///< sorted by iaddr

@@ -19,6 +19,9 @@ JMachine::JMachine(const MachineConfig &config, Program prog,
       haltedFlag_(config.dims.nodes(), 0)
 {
     const unsigned n = config_.dims.nodes();
+    // Translate the instruction store into the interpreter's flat
+    // DecodedOp array before any node captures a pointer to it.
+    prog_.predecode(kEmemBase);
     nodes_ = std::make_unique<Node[]>(n);
     net_.setRoundRobin(config_.roundRobinArbitration);
     for (NodeId id = 0; id < n; ++id) {
@@ -82,6 +85,36 @@ JMachine::mergePendingWakes()
         activateNode(id);
 }
 
+void
+JMachine::maybeIdleSkip(Cycle max_cycles)
+{
+    // Skippable state: no flit anywhere in the fabric (blocked worms
+    // keep their routers on the active list, so anyActive() covers
+    // them), every active node's NI drained, and every active core
+    // inside a multi-cycle instruction or dispatch. Until the earliest
+    // busyUntil_, each tick would step nothing and change nothing, so
+    // jumping the clock there is exact — serial and threaded kernels
+    // run the identical check at the same point in the cycle.
+    if (net_.anyActive() || activeNodes_.empty())
+        return;
+    Cycle target = ~Cycle{0};
+    for (const NodeId id : activeNodes_) {
+        const Node &node = nodes_[id];
+        if (!node.ni().quiescent())
+            return;
+        const Cycle ready = node.processor().nextEventCycle();
+        if (ready <= now_ + 1)
+            return;  // issues this cycle or the next: nothing to save
+        target = std::min(target, ready);
+    }
+    if (target > max_cycles)
+        target = max_cycles;
+    if (target <= now_)
+        return;
+    idleSkipped_ += target - now_;
+    now_ = target;
+}
+
 RunResult
 JMachine::run(Cycle max_cycles)
 {
@@ -96,6 +129,11 @@ JMachine::runSerial(Cycle max_cycles)
 {
     RunResult result;
     while (now_ < max_cycles) {
+        if (config_.idleSkip) {
+            maybeIdleSkip(max_cycles);
+            if (now_ >= max_cycles)
+                break;
+        }
         // Step active nodes; compact the list as nodes go idle.
         std::size_t keep = 0;
         const std::size_t n = activeNodes_.size();
@@ -175,6 +213,11 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
     result.reason = StopReason::CycleLimit;
     bool stopped = false;
     while (!stopped && now_ < max_cycles) {
+        if (config_.idleSkip) {
+            maybeIdleSkip(max_cycles);
+            if (now_ >= max_cycles)
+                break;
+        }
         const std::size_t n = activeNodes_.size();
         stillActive_.resize(n);
         inParallel_ = true;
@@ -256,6 +299,10 @@ JMachine::aggregateStats() const
         total.queueStallCycles += s.queueStallCycles;
         total.runCycles += s.runCycles;
         total.idleCycles += s.idleCycles;
+        total.segCacheHits += s.segCacheHits;
+        total.segCacheMisses += s.segCacheMisses;
+        total.xlateCacheHits += s.xlateCacheHits;
+        total.xlateCacheMisses += s.xlateCacheMisses;
     }
     return total;
 }

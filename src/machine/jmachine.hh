@@ -45,6 +45,11 @@ struct MachineConfig
      *  exactly N shards (clamped to the node count), 0 = auto (host
      *  hardware concurrency, capped so small machines stay serial). */
     unsigned threads = 0;
+    /** Jump the clock straight to the next processor event when the
+     *  network is empty, every NI is drained, and every active core is
+     *  burning a multi-cycle instruction — a pure host-side
+     *  optimization with no architectural effect (off for A/B tests). */
+    bool idleSkip = true;
 };
 
 /** Why a run() returned. */
@@ -106,12 +111,18 @@ class JMachine
     /** Aggregate processor statistics over every node. */
     ProcessorStats aggregateStats() const;
 
+    /** Cycles the run loop never ticked thanks to idle-skip. */
+    Cycle idleSkippedCycles() const { return idleSkipped_; }
+
     /** Reset all statistics (nodes, NIs, network) for a fresh window. */
     void resetStats();
 
   private:
     RunResult runSerial(Cycle max_cycles);
     RunResult runThreaded(Cycle max_cycles, unsigned shards);
+
+    /** Advance now_ over provably dead cycles (see MachineConfig::idleSkip). */
+    void maybeIdleSkip(Cycle max_cycles);
 
     /** Step one shard's slice of the active-node snapshot. */
     void stepShard(unsigned shard, unsigned shards, std::size_t n);
@@ -127,6 +138,7 @@ class JMachine
     std::vector<NodeId> activeNodes_;
     std::vector<std::uint8_t> activeFlag_;
     Cycle now_ = 0;
+    Cycle idleSkipped_ = 0;
     unsigned haltedCount_ = 0;
     std::vector<std::uint8_t> haltedFlag_;
 

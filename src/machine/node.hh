@@ -39,6 +39,10 @@ class Node
     step(Cycle now)
     {
         const bool proc_active = proc_.step(now);
+        // A quiescent NI's step is a no-op (nothing queued to inject,
+        // no bounce in flight) and sendBusy() is false by definition.
+        if (ni_.quiescent())
+            return proc_active;
         ni_.step(now);
         return proc_active || ni_.sendBusy();
     }

@@ -136,12 +136,6 @@ NetworkInterface::step(Cycle now)
 }
 
 bool
-NetworkInterface::sendBusy() const
-{
-    return !send_[0].pending.empty() || !send_[1].pending.empty();
-}
-
-bool
 NetworkInterface::canAcceptFlit(const Flit &flit)
 {
     const std::int32_t word = flit.completesWord();

@@ -101,7 +101,24 @@ class NetworkInterface : public DeliverSink
     void step(Cycle now);
 
     /** True while unsent flits remain buffered. */
-    bool sendBusy() const;
+    bool
+    sendBusy() const
+    {
+        return !send_[0].pending.empty() || !send_[1].pending.empty();
+    }
+
+    /**
+     * True when a step() is guaranteed to be a no-op: nothing buffered
+     * to inject, no captured bounce mid-flight, and no returned message
+     * waiting to be queued behind the send channel. Used by the
+     * machine's idle-skip to prove skipped cycles are dead.
+     */
+    bool
+    quiescent() const
+    {
+        return !sendBusy() && !bounce_[0].active && !bounce_[1].active &&
+               bounceReady_[0].empty() && bounceReady_[1].empty();
+    }
 
     // ---- DeliverSink ----
     bool canAcceptFlit(const Flit &flit) override;

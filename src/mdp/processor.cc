@@ -1,17 +1,11 @@
 #include "mdp/processor.hh"
 
+#include <cstdio>
+
 #include "sim/logging.hh"
 
 namespace jmsim
 {
-
-namespace
-{
-
-/** Sentinel forcing an instruction-word refetch. */
-constexpr Addr kNoFetchWord = 0xffffffffu;
-
-} // namespace
 
 void
 Processor::init(NodeId id, const MeshDims &dims, const ProcessorConfig &config,
@@ -23,18 +17,24 @@ Processor::init(NodeId id, const MeshDims &dims, const ProcessorConfig &config,
     mem_ = mem;
     ni_ = ni;
     prog_ = prog;
-    lastFetchWord_.fill(kNoFetchWord);
+    decoded_ = prog->decodedOps().data();
+    decodedCount_ = prog->decodedOps().size();
+    fetchKnown_.fill(false);
+    handlerSlot_.fill(nullptr);
 }
 
 void
 Processor::boot(IAddr entry)
 {
-    RegisterSet &bg = sets_[static_cast<unsigned>(Level::Background)];
+    const unsigned lvl = static_cast<unsigned>(Level::Background);
+    RegisterSet &bg = sets_[lvl];
     bg.live = true;
     bg.parked = false;
     bg.ip = entry;
-    handlerEntry_[static_cast<unsigned>(Level::Background)] = entry;
-    handlerStats_[entry].dispatches += 1;
+    handlerEntry_[lvl] = entry;
+    HandlerStats &hs = handlerStats_[entry];
+    hs.dispatches += 1;
+    handlerSlot_[lvl] = &hs;
 }
 
 void
@@ -42,7 +42,27 @@ Processor::resetStats()
 {
     stats_ = ProcessorStats{};
     handlerStats_.clear();
+    handlerSlot_.fill(nullptr);
     xlate_.resetStats();
+    // Re-seed the dispatch that brought in each still-live handler so a
+    // post-reset read sees the running threads accounted the same way
+    // boot() seeds the background handler.
+    for (unsigned l = 0; l < kNumLevels; ++l) {
+        if (sets_[l].live) {
+            HandlerStats &hs = handlerStats_[handlerEntry_[l]];
+            hs.dispatches += 1;
+            handlerSlot_[l] = &hs;
+        }
+    }
+}
+
+void
+Processor::invalidateSegCache()
+{
+    for (auto &level : segCache_) {
+        for (auto &e : level)
+            e.valid = false;
+    }
 }
 
 bool
@@ -124,7 +144,8 @@ Processor::selectLevel(Cycle now)
 
     for (int prio = 1; prio >= 0; --prio) {
         const Level level = prio ? Level::P1 : Level::P0;
-        RegisterSet &rs = sets_[static_cast<unsigned>(level)];
+        const unsigned lvl = static_cast<unsigned>(level);
+        RegisterSet &rs = sets_[lvl];
         if (rs.live) {
             current_ = level;
             currentValid_ = true;
@@ -139,16 +160,18 @@ Processor::selectLevel(Cycle now)
             rs.live = true;
             rs.ip = hdr.handlerIp;
             rs[reg::A3] = SegDesc{m.start, m.length}.encode();
-            lastFetchWord_[static_cast<unsigned>(level)] = kNoFetchWord;
+            segCache_[lvl][reg::A3 & 3u].valid = false;
+            invalidateFetch(lvl);
             current_ = level;
             currentValid_ = true;
             busyUntil_ = now + config_.dispatchCycles;
             attribute(StatClass::Comm, config_.dispatchCycles);
             stats_.dispatches += 1;
-            handlerEntry_[static_cast<unsigned>(level)] = hdr.handlerIp;
+            handlerEntry_[lvl] = hdr.handlerIp;
             HandlerStats &hs = handlerStats_[hdr.handlerIp];
             hs.dispatches += 1;
             hs.messageWords += m.length;
+            handlerSlot_[lvl] = &hs;
             return;
         }
     }
@@ -216,33 +239,62 @@ Processor::boolOperand(std::uint8_t r, bool &out)
 }
 
 bool
-Processor::memAddress(const Instruction &inst, bool indexed, Addr &addr,
+Processor::memAddress(const DecodedOp &op, bool indexed, Addr &addr,
                       unsigned &penalty)
 {
-    const Word &aw = cur()[4 + inst.abase];
-    if (aw.tag != Tag::Addr) {
-        faultPending_ = true;
-        faultKind_ = FaultKind::TagMismatch;
-        faultVal0_ = aw;
-        faultVal1_ = Word::makeInt(4 + inst.abase);
-        return false;
+    const unsigned lvl = static_cast<unsigned>(current_);
+    SegCacheEntry &e = segCache_[lvl][op.abase & 3u];
+    const Word &aw = cur()[4 + op.abase];
+    if (!e.valid) {
+        // Miss: decode the descriptor and classify the segment. The tag
+        // check only needs to run here — any write to the address
+        // register invalidates this entry, so a valid entry proves the
+        // register still holds the decoded Addr word.
+        if (aw.tag != Tag::Addr) {
+            faultPending_ = true;
+            faultKind_ = FaultKind::TagMismatch;
+            faultVal0_ = aw;
+            faultVal1_ = Word::makeInt(4 + op.abase);
+            return false;
+        }
+        stats_.segCacheMisses += 1;
+        e.desc = SegDesc::decode(aw);
+        e.uniform = false;
+        e.penalty = 0;
+        if (e.desc.length > 0) {
+            const Addr first = e.desc.base;
+            const Addr last = e.desc.base + (e.desc.length - 1);
+            if (last >= first && mem_->isValid(first) && mem_->isValid(last) &&
+                mem_->isInternal(first) == mem_->isInternal(last)) {
+                // Whole segment inside one region: hits can skip the
+                // per-access validity and penalty checks.
+                e.uniform = true;
+                e.penalty = mem_->accessPenalty(first);
+            }
+        }
+        e.valid = true;
+    } else {
+        stats_.segCacheHits += 1;
     }
-    const SegDesc desc = SegDesc::decode(aw);
     std::int32_t off;
     if (indexed) {
-        if (!aluOperand(inst.rb, off))
+        if (!aluOperand(op.rb, off))
             return false;
     } else {
-        off = inst.imm;
+        off = op.imm;
     }
-    if (off < 0 || !desc.contains(static_cast<std::uint32_t>(off))) {
+    if (off < 0 || !e.desc.contains(static_cast<std::uint32_t>(off))) {
         faultPending_ = true;
         faultKind_ = FaultKind::BoundsError;
         faultVal0_ = Word::makeInt(off);
         faultVal1_ = aw;
         return false;
     }
-    addr = desc.base + static_cast<Addr>(off);
+    addr = e.desc.base + static_cast<Addr>(off);
+    if (e.uniform) {
+        penalty = e.penalty;
+        return true;
+    }
     if (!mem_->isValid(addr)) {
         faultPending_ = true;
         faultKind_ = FaultKind::BadAddress;
@@ -278,460 +330,530 @@ Processor::raiseFault(FaultKind kind, Word fval0, Word fval1)
     faultVal1_ = fval1;
 }
 
-void
-Processor::executeOne(Cycle now)
+bool
+Processor::xlateCached(Word key, Word &out)
 {
-    RegisterSet &rs = cur();
-    const unsigned lvl = static_cast<unsigned>(current_);
-    const IAddr ip = rs.ip;
-    if (!prog_->validIaddr(ip))
-        die("execution reached a non-code address", ip);
-    const Instruction &inst = prog_->fetch(ip);
-    const OpcodeInfo &info = opcodeInfo(inst.op);
-    if (trace_) {
-        std::fprintf(stderr,
-                     "[n%u c%llu L%u i%u %s] %-28s R0=%s R1=%s R2=%s R3=%s\n",
-                     id_, static_cast<unsigned long long>(now),
-                     static_cast<unsigned>(current_), ip,
-                     prog_->nearestLabel(ip).c_str(),
-                     inst.toString().c_str(),
-                     rs[0].toString().c_str(), rs[1].toString().c_str(),
-                     rs[2].toString().c_str(), rs[3].toString().c_str());
+    if (xlateCacheVersion_ != xlate_.version()) {
+        // The table changed (ENTER / invalidate / clear): every cached
+        // translation is suspect, including ones evicted from the
+        // set-associative table itself.
+        for (auto &e : xlateCache_)
+            e.valid = false;
+        xlateCacheVersion_ = xlate_.version();
     }
-    unsigned cost = info.baseCycles;
+    XlateCacheEntry &e =
+        xlateCache_[(key.bits ^ (static_cast<std::uint64_t>(key.tag) << 3)) &
+                    (kXlateCacheSize - 1)];
+    if (e.valid && e.key == key) {
+        stats_.xlateCacheHits += 1;
+        // A front hit is architecturally a table hit: keep XlateStats
+        // identical to the uncached path.
+        xlate_.noteFrontHit();
+        out = e.value;
+        return true;
+    }
+    stats_.xlateCacheMisses += 1;
+    return false;
+}
 
-    // Instruction fetch: internal fetches overlap execution; a new
-    // external code word costs a DRAM access.
-    const Addr word_addr = ip >> 1;
-    if (lastFetchWord_[lvl] != word_addr) {
-        lastFetchWord_[lvl] = word_addr;
-        if (word_addr >= kEmemBase)
-            cost += config_.ememFetchCycles;
+void
+Processor::xlateFill(Word key, Word value)
+{
+    XlateCacheEntry &e =
+        xlateCache_[(key.bits ^ (static_cast<std::uint64_t>(key.tag) << 3)) &
+                    (kXlateCacheSize - 1)];
+    e.valid = true;
+    e.key = key;
+    e.value = value;
+}
+
+HandlerStats &
+Processor::handlerSlot(unsigned lvl)
+{
+    // unordered_map element references are stable, so the pointer stays
+    // good until the map is cleared (resetStats nulls the slots).
+    if (!handlerSlot_[lvl])
+        handlerSlot_[lvl] = &handlerStats_[handlerEntry_[lvl]];
+    return *handlerSlot_[lvl];
+}
+
+/**
+ * The per-opcode handlers. Each runs with the per-instruction state
+ * already primed by executeOne(): xNext_ = fall-through successor,
+ * xCost_ = base + fetch cost, xStall_ = false, faultPending_ = false.
+ * A handler either completes (possibly redirecting xNext_ / adding to
+ * xCost_), sets xStall_ to retry next cycle, or records a fault.
+ */
+struct Processor::Exec
+{
+    using Fn = void (*)(Processor &, const DecodedOp &);
+
+    static const std::array<Fn, static_cast<std::size_t>(
+                                    Opcode::NumOpcodes) + 1> table;
+
+    // ---- scalar op kernels (match the original switch bit-for-bit) ----
+    static std::int32_t fnAdd(std::int32_t a, std::int32_t b) { return a + b; }
+    static std::int32_t fnSub(std::int32_t a, std::int32_t b) { return a - b; }
+    static std::int32_t fnMul(std::int32_t a, std::int32_t b) { return a * b; }
+    static std::int32_t fnAnd(std::int32_t a, std::int32_t b) { return a & b; }
+    static std::int32_t fnOr(std::int32_t a, std::int32_t b) { return a | b; }
+    static std::int32_t fnXor(std::int32_t a, std::int32_t b) { return a ^ b; }
+
+    static std::int32_t
+    fnAsh(std::int32_t a, std::int32_t b)
+    {
+        return b >= 0 ? (b > 31 ? 0 : a << b)
+                      : (-b > 31 ? (a < 0 ? -1 : 0) : a >> -b);
     }
 
-    IAddr next = ip + 1;
-    faultPending_ = false;
-    bool stall = false;
-    unsigned penalty = 0;
-    Addr addr = 0;
-    std::int32_t a = 0, b = 0;
+    static std::int32_t
+    fnLsh(std::int32_t a, std::int32_t b)
+    {
+        return b >= 0 ? (b > 31 ? 0 : a << b)
+                      : (-b > 31 ? 0
+                                 : static_cast<std::int32_t>(
+                                       static_cast<std::uint32_t>(a) >> -b));
+    }
 
-    const auto takeBranch = [&](std::int32_t word_off) {
-        next = (static_cast<IAddr>(
-                    static_cast<std::int64_t>(word_addr) + word_off)) *
-               2;
-        cost += config_.takenBranchPenalty;
-    };
+    static bool fnLt(std::int32_t a, std::int32_t b) { return a < b; }
+    static bool fnLe(std::int32_t a, std::int32_t b) { return a <= b; }
+    static bool fnGt(std::int32_t a, std::int32_t b) { return a > b; }
+    static bool fnGe(std::int32_t a, std::int32_t b) { return a >= b; }
+    static bool fnEq(std::int32_t a, std::int32_t b) { return a == b; }
+    static bool fnNe(std::int32_t a, std::int32_t b) { return a != b; }
 
-    switch (inst.op) {
-      case Opcode::Nop:
-        break;
-      case Opcode::Halt:
-        halted_ = true;
-        break;
+    // ---- control ----
 
-      case Opcode::Suspend:
-        stats_.suspends += 1;
-        if (current_ == Level::Background) {
+    static void
+    nop(Processor &, const DecodedOp &)
+    {
+    }
+
+    static void
+    halt(Processor &p, const DecodedOp &)
+    {
+        p.halted_ = true;
+    }
+
+    static void
+    suspend(Processor &p, const DecodedOp &)
+    {
+        RegisterSet &rs = p.cur();
+        p.stats_.suspends += 1;
+        if (p.current_ == Level::Background) {
             rs.parked = true;
             rs.inFault = false;
         } else {
-            MessageQueue &q = ni_->queue(current_ == Level::P1 ? 1 : 0);
+            MessageQueue &q = p.ni_->queue(p.current_ == Level::P1 ? 1 : 0);
             if (!q.head().complete()) {
-                stall = true;  // wait for the worm's tail before freeing
-                stats_.suspends -= 1;
+                p.xStall_ = true;  // wait for the worm's tail before freeing
+                p.stats_.suspends -= 1;
             } else {
                 q.pop();
                 rs.live = false;
                 rs.inFault = false;  // cfut handlers suspend to end a fault
             }
         }
-        break;
+    }
 
-      case Opcode::Rfe:
+    static void
+    rfe(Processor &p, const DecodedOp &)
+    {
+        RegisterSet &rs = p.cur();
         if (!rs.inFault)
-            die("RFE outside a fault handler", ip);
-        next = rs.faultIp;
+            p.die("RFE outside a fault handler", rs.ip);
+        p.xNext_ = rs.faultIp;
         rs.inFault = false;
-        lastFetchWord_[lvl] = kNoFetchWord;
-        break;
+        p.invalidateFetch(static_cast<unsigned>(p.current_));
+    }
 
-      case Opcode::Br:
-        takeBranch(inst.imm);
-        break;
-      case Opcode::Bt:
-      case Opcode::Bf: {
+    static void
+    br(Processor &p, const DecodedOp &op)
+    {
+        p.xNext_ = op.target;
+        p.xCost_ += p.config_.takenBranchPenalty;
+    }
+
+    template <bool OnTrue>
+    static void
+    condBranch(Processor &p, const DecodedOp &op)
+    {
         bool cond;
-        if (!boolOperand(inst.rd, cond))
-            break;
-        if (cond == (inst.op == Opcode::Bt))
-            takeBranch(inst.imm);
-        break;
-      }
-      case Opcode::Call:
-        // Wide format: the return point skips the literal word.
-        rs[inst.rd] = Word::makeIp(ip + 4);
-        next = inst.literal.bits;
-        cost += config_.takenBranchPenalty;
-        break;
-      case Opcode::Jmp: {
-        const Word &t = rs[inst.rd];
+        if (!p.boolOperand(op.rd, cond))
+            return;
+        if (cond == OnTrue) {
+            p.xNext_ = op.target;
+            p.xCost_ += p.config_.takenBranchPenalty;
+        }
+    }
+
+    static void
+    call(Processor &p, const DecodedOp &op)
+    {
+        // Wide format: op.imm is the precomputed return point past the
+        // literal word; op.target is the resolved entry.
+        p.setReg(p.cur(), op.rd, Word::makeIp(static_cast<IAddr>(op.imm)));
+        p.xNext_ = op.target;
+        p.xCost_ += p.config_.takenBranchPenalty;
+    }
+
+    static void
+    jmp(Processor &p, const DecodedOp &op)
+    {
+        const Word &t = p.cur()[op.rd];
         if (t.tag != Tag::Ip && t.tag != Tag::Int) {
-            raiseFault(FaultKind::TagMismatch, t, Word::makeInt(inst.rd));
-            break;
+            p.raiseFault(FaultKind::TagMismatch, t, Word::makeInt(op.rd));
+            return;
         }
-        next = t.bits;
-        cost += config_.takenBranchPenalty;
-        break;
-      }
+        p.xNext_ = static_cast<IAddr>(t.bits);
+        p.xCost_ += p.config_.takenBranchPenalty;
+    }
 
-      case Opcode::Move:
-        rs[inst.rd] = rs[inst.ra];
-        break;
-      case Opcode::Movei:
-        rs[inst.rd] = Word::makeInt(inst.imm);
-        break;
-      case Opcode::Ldl:
-        rs[inst.rd] = inst.literal;
-        next = ip + 4;  // skip the filler slot and the literal word
-        break;
+    // ---- moves ----
 
-      case Opcode::Ld:
-      case Opcode::Ldx:
-      case Opcode::Ldraw:
-      case Opcode::Ldrawx: {
-        const bool indexed =
-            inst.op == Opcode::Ldx || inst.op == Opcode::Ldrawx;
-        const bool no_trap =
-            inst.op == Opcode::Ldraw || inst.op == Opcode::Ldrawx;
-        if (!memAddress(inst, indexed, addr, penalty))
-            break;
-        if (!queueWordReady(addr)) {
-            stall = true;
-            break;
+    static void
+    move(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
+        p.setReg(rs, op.rd, rs[op.ra]);
+    }
+
+    static void
+    movei(Processor &p, const DecodedOp &op)
+    {
+        p.setReg(p.cur(), op.rd, Word::makeInt(op.imm));
+    }
+
+    static void
+    ldl(Processor &p, const DecodedOp &op)
+    {
+        // xNext_ already skips the filler slot and the literal word.
+        p.setReg(p.cur(), op.rd, op.literal);
+    }
+
+    // ---- memory ----
+
+    template <bool Indexed, bool NoTrap>
+    static void
+    load(Processor &p, const DecodedOp &op)
+    {
+        Addr addr = 0;
+        unsigned penalty = 0;
+        if (!p.memAddress(op, Indexed, addr, penalty))
+            return;
+        if (!p.queueWordReady(addr)) {
+            p.xStall_ = true;
+            return;
         }
-        cost += penalty;
-        const Word v = mem_->read(addr);
-        if (!no_trap && v.tag == Tag::Cfut) {
-            raiseFault(FaultKind::CfutRead,
-                       Word::makeInt(static_cast<std::int32_t>(addr)), v);
-            break;
+        p.xCost_ += penalty;
+        const Word v = p.mem_->read(addr);
+        if (!NoTrap && v.tag == Tag::Cfut) {
+            p.raiseFault(FaultKind::CfutRead,
+                         Word::makeInt(static_cast<std::int32_t>(addr)), v);
+            return;
         }
-        rs[inst.rd] = v;
-        break;
-      }
+        p.setReg(p.cur(), op.rd, v);
+    }
 
-      case Opcode::St:
-      case Opcode::Stx:
-        if (!memAddress(inst, inst.op == Opcode::Stx, addr, penalty))
-            break;
-        cost += penalty;
-        mem_->write(addr, rs[inst.rd]);
-        break;
+    template <bool Indexed>
+    static void
+    store(Processor &p, const DecodedOp &op)
+    {
+        Addr addr = 0;
+        unsigned penalty = 0;
+        if (!p.memAddress(op, Indexed, addr, penalty))
+            return;
+        p.xCost_ += penalty;
+        p.mem_->write(addr, p.cur()[op.rd]);
+    }
 
-      case Opcode::Addm:
-      case Opcode::Subm:
-      case Opcode::Andm:
-      case Opcode::Orm:
-      case Opcode::Xorm: {
-        if (!memAddress(inst, false, addr, penalty))
-            break;
-        if (!queueWordReady(addr)) {
-            stall = true;
-            break;
+    template <std::int32_t (*F)(std::int32_t, std::int32_t)>
+    static void
+    aluMem(Processor &p, const DecodedOp &op)
+    {
+        Addr addr = 0;
+        unsigned penalty = 0;
+        if (!p.memAddress(op, false, addr, penalty))
+            return;
+        if (!p.queueWordReady(addr)) {
+            p.xStall_ = true;
+            return;
         }
-        cost += penalty;
-        const Word m = mem_->read(addr);
+        p.xCost_ += penalty;
+        const Word m = p.mem_->read(addr);
         if (m.tag == Tag::Cfut) {
-            raiseFault(FaultKind::CfutRead,
-                       Word::makeInt(static_cast<std::int32_t>(addr)), m);
-            break;
+            p.raiseFault(FaultKind::CfutRead,
+                         Word::makeInt(static_cast<std::int32_t>(addr)), m);
+            return;
         }
         if (m.tag == Tag::Fut) {
-            raiseFault(FaultKind::FutUse, m, Word::makeInt(inst.rd));
-            break;
+            p.raiseFault(FaultKind::FutUse, m, Word::makeInt(op.rd));
+            return;
         }
         if (m.tag != Tag::Int && m.tag != Tag::Bool) {
-            raiseFault(FaultKind::TagMismatch, m, Word::makeInt(inst.rd));
-            break;
+            p.raiseFault(FaultKind::TagMismatch, m, Word::makeInt(op.rd));
+            return;
         }
-        if (!aluOperand(inst.rd, a))
-            break;
-        const std::int32_t mv = m.asInt();
-        std::int32_t r = 0;
-        switch (inst.op) {
-          case Opcode::Addm: r = a + mv; break;
-          case Opcode::Subm: r = a - mv; break;
-          case Opcode::Andm: r = a & mv; break;
-          case Opcode::Orm:  r = a | mv; break;
-          case Opcode::Xorm: r = a ^ mv; break;
-          default: break;
-        }
-        rs[inst.rd] = Word::makeInt(r);
-        break;
-      }
+        std::int32_t a;
+        if (!p.aluOperand(op.rd, a))
+            return;
+        p.setReg(p.cur(), op.rd, Word::makeInt(F(a, m.asInt())));
+    }
 
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::Mul:
-      case Opcode::Ash:
-      case Opcode::Lsh:
-      case Opcode::And:
-      case Opcode::Or:
-      case Opcode::Xor: {
-        if (!aluOperand(inst.ra, a) || !aluOperand(inst.rb, b))
-            break;
-        std::int32_t r = 0;
-        switch (inst.op) {
-          case Opcode::Add: r = a + b; break;
-          case Opcode::Sub: r = a - b; break;
-          case Opcode::Mul: r = a * b; break;
-          case Opcode::Ash:
-            r = b >= 0 ? (b > 31 ? 0 : a << b) : (-b > 31 ? (a < 0 ? -1 : 0)
-                                                          : a >> -b);
-            break;
-          case Opcode::Lsh:
-            r = b >= 0
-                    ? (b > 31 ? 0 : a << b)
-                    : (-b > 31 ? 0
-                               : static_cast<std::int32_t>(
-                                     static_cast<std::uint32_t>(a) >> -b));
-            break;
-          case Opcode::And: r = a & b; break;
-          case Opcode::Or:  r = a | b; break;
-          case Opcode::Xor: r = a ^ b; break;
-          default: break;
-        }
-        rs[inst.rd] = Word::makeInt(r);
-        break;
-      }
+    // ---- arithmetic / logic ----
 
-      case Opcode::Not:
-        if (!aluOperand(inst.ra, a))
-            break;
-        rs[inst.rd] = Word::makeInt(~a);
-        break;
-      case Opcode::Neg:
-        if (!aluOperand(inst.ra, a))
-            break;
-        rs[inst.rd] = Word::makeInt(-a);
-        break;
+    template <std::int32_t (*F)(std::int32_t, std::int32_t)>
+    static void
+    aluRR(Processor &p, const DecodedOp &op)
+    {
+        std::int32_t a, b;
+        if (!p.aluOperand(op.ra, a) || !p.aluOperand(op.rb, b))
+            return;
+        p.setReg(p.cur(), op.rd, Word::makeInt(F(a, b)));
+    }
 
-      case Opcode::Addi:
-      case Opcode::Ashi:
-      case Opcode::Lshi:
-      case Opcode::Andi:
-      case Opcode::Ori:
-      case Opcode::Xori: {
-        if (!aluOperand(inst.ra, a))
-            break;
-        const std::int32_t k = inst.imm;
-        std::int32_t r = 0;
-        switch (inst.op) {
-          case Opcode::Addi: r = a + k; break;
-          case Opcode::Ashi:
-            r = k >= 0 ? (k > 31 ? 0 : a << k) : (-k > 31 ? (a < 0 ? -1 : 0)
-                                                          : a >> -k);
-            break;
-          case Opcode::Lshi:
-            r = k >= 0
-                    ? (k > 31 ? 0 : a << k)
-                    : (-k > 31 ? 0
-                               : static_cast<std::int32_t>(
-                                     static_cast<std::uint32_t>(a) >> -k));
-            break;
-          case Opcode::Andi: r = a & k; break;
-          case Opcode::Ori:  r = a | k; break;
-          case Opcode::Xori: r = a ^ k; break;
-          default: break;
-        }
-        rs[inst.rd] = Word::makeInt(r);
-        break;
-      }
+    template <std::int32_t (*F)(std::int32_t, std::int32_t)>
+    static void
+    aluRI(Processor &p, const DecodedOp &op)
+    {
+        std::int32_t a;
+        if (!p.aluOperand(op.ra, a))
+            return;
+        p.setReg(p.cur(), op.rd, Word::makeInt(F(a, op.imm)));
+    }
 
-      case Opcode::Eq:
-      case Opcode::Ne: {
-        const Word &wa = rs[inst.ra];
-        const Word &wb = rs[inst.rb];
+    static void
+    notOp(Processor &p, const DecodedOp &op)
+    {
+        std::int32_t a;
+        if (!p.aluOperand(op.ra, a))
+            return;
+        p.setReg(p.cur(), op.rd, Word::makeInt(~a));
+    }
+
+    static void
+    negOp(Processor &p, const DecodedOp &op)
+    {
+        std::int32_t a;
+        if (!p.aluOperand(op.ra, a))
+            return;
+        p.setReg(p.cur(), op.rd, Word::makeInt(-a));
+    }
+
+    // ---- comparisons ----
+
+    template <bool WantEq>
+    static void
+    eqNe(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
+        const Word &wa = rs[op.ra];
+        const Word &wb = rs[op.rb];
         if (wa.isFuture() || wb.isFuture()) {
-            raiseFault(FaultKind::FutUse, wa.isFuture() ? wa : wb,
-                       Word::makeInt(inst.rd));
-            break;
+            p.raiseFault(FaultKind::FutUse, wa.isFuture() ? wa : wb,
+                         Word::makeInt(op.rd));
+            return;
         }
         const bool equal = wa == wb;
-        rs[inst.rd] = Word::makeBool(inst.op == Opcode::Eq ? equal : !equal);
-        break;
-      }
-      case Opcode::Lt:
-      case Opcode::Le:
-      case Opcode::Gt:
-      case Opcode::Ge: {
-        if (!aluOperand(inst.ra, a) || !aluOperand(inst.rb, b))
-            break;
-        bool r = false;
-        switch (inst.op) {
-          case Opcode::Lt: r = a < b; break;
-          case Opcode::Le: r = a <= b; break;
-          case Opcode::Gt: r = a > b; break;
-          case Opcode::Ge: r = a >= b; break;
-          default: break;
-        }
-        rs[inst.rd] = Word::makeBool(r);
-        break;
-      }
-      case Opcode::Eqi:
-      case Opcode::Nei:
-      case Opcode::Lti:
-      case Opcode::Lei:
-      case Opcode::Gti:
-      case Opcode::Gei: {
-        if (!aluOperand(inst.ra, a))
-            break;
-        const std::int32_t k = inst.imm;
-        bool r = false;
-        switch (inst.op) {
-          case Opcode::Eqi: r = a == k; break;
-          case Opcode::Nei: r = a != k; break;
-          case Opcode::Lti: r = a < k; break;
-          case Opcode::Lei: r = a <= k; break;
-          case Opcode::Gti: r = a > k; break;
-          case Opcode::Gei: r = a >= k; break;
-          default: break;
-        }
-        rs[inst.rd] = Word::makeBool(r);
-        break;
-      }
+        p.setReg(rs, op.rd, Word::makeBool(WantEq ? equal : !equal));
+    }
 
-      case Opcode::Send0:
-      case Opcode::Send0e:
-      case Opcode::Send20:
-      case Opcode::Send20e:
-      case Opcode::Send1:
-      case Opcode::Send1e:
-      case Opcode::Send21:
-      case Opcode::Send21e: {
-        const unsigned prio = sendPriority(inst.op);
-        const bool end = isSendEnd(inst.op);
+    template <bool (*F)(std::int32_t, std::int32_t)>
+    static void
+    cmpRR(Processor &p, const DecodedOp &op)
+    {
+        std::int32_t a, b;
+        if (!p.aluOperand(op.ra, a) || !p.aluOperand(op.rb, b))
+            return;
+        p.setReg(p.cur(), op.rd, Word::makeBool(F(a, b)));
+    }
+
+    template <bool (*F)(std::int32_t, std::int32_t)>
+    static void
+    cmpRI(Processor &p, const DecodedOp &op)
+    {
+        std::int32_t a;
+        if (!p.aluOperand(op.ra, a))
+            return;
+        p.setReg(p.cur(), op.rd, Word::makeBool(F(a, op.imm)));
+    }
+
+    // ---- network ----
+
+    template <unsigned Words, unsigned Prio, bool End>
+    static void
+    send(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
         SendResult res;
-        if (sendWords(inst.op) == 2)
-            res = ni_->sendWords2(prio, rs[inst.rd], rs[inst.ra], end);
+        if constexpr (Words == 2)
+            res = p.ni_->sendWords2(Prio, rs[op.rd], rs[op.ra], End);
         else
-            res = ni_->sendWord(prio, rs[inst.rd], end);
+            res = p.ni_->sendWord(Prio, rs[op.rd], End);
         switch (res) {
           case SendResult::Ok:
-            rs.sending = !end;
+            rs.sending = !End;
             break;
           case SendResult::Full:
-            raiseFault(FaultKind::SendFault,
-                       Word::makeInt(static_cast<std::int32_t>(prio)),
-                       Word::makeNil());
+            p.raiseFault(FaultKind::SendFault,
+                         Word::makeInt(static_cast<std::int32_t>(Prio)),
+                         Word::makeNil());
             break;
           case SendResult::BadDest:
-            raiseFault(FaultKind::BadAddress, rs[inst.rd], Word::makeNil());
+            p.raiseFault(FaultKind::BadAddress, rs[op.rd], Word::makeNil());
             break;
           case SendResult::BadFormat:
-            raiseFault(FaultKind::SendFormat, rs[inst.rd], Word::makeNil());
+            p.raiseFault(FaultKind::SendFormat, rs[op.rd], Word::makeNil());
             break;
         }
-        break;
-      }
+    }
 
-      case Opcode::Rtag:
-        rs[inst.rd] = Word::makeInt(
-            static_cast<std::int32_t>(rs[inst.ra].tag));
-        break;
-      case Opcode::Wtag:
-        rs[inst.rd] = Word{rs[inst.ra].bits,
-                           static_cast<Tag>(inst.imm & 0xf)};
-        break;
-      case Opcode::Check:
-        if (rs[inst.rd].tag != static_cast<Tag>(inst.imm & 0xf))
-            raiseFault(FaultKind::TagMismatch, rs[inst.rd],
-                       Word::makeInt(inst.imm));
-        break;
+    // ---- tags ----
 
-      case Opcode::Setseg: {
-        if (!aluOperand(inst.ra, a) || !aluOperand(inst.rb, b))
-            break;
+    static void
+    rtag(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
+        p.setReg(rs, op.rd,
+                 Word::makeInt(static_cast<std::int32_t>(rs[op.ra].tag)));
+    }
+
+    static void
+    wtag(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
+        p.setReg(rs, op.rd,
+                 Word{rs[op.ra].bits, static_cast<Tag>(op.imm & 0xf)});
+    }
+
+    static void
+    check(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
+        if (rs[op.rd].tag != static_cast<Tag>(op.imm & 0xf))
+            p.raiseFault(FaultKind::TagMismatch, rs[op.rd],
+                         Word::makeInt(op.imm));
+    }
+
+    // ---- segments / headers / translation ----
+
+    static void
+    setseg(Processor &p, const DecodedOp &op)
+    {
+        std::int32_t a, b;
+        if (!p.aluOperand(op.ra, a) || !p.aluOperand(op.rb, b))
+            return;
         SegDesc desc;
         desc.base = static_cast<Addr>(a);
         desc.length = static_cast<std::uint32_t>(b);
         if (a < 0 || b < 0 || !desc.encodable()) {
-            raiseFault(FaultKind::BoundsError, Word::makeInt(a),
-                       Word::makeInt(b));
-            break;
+            p.raiseFault(FaultKind::BoundsError, Word::makeInt(a),
+                         Word::makeInt(b));
+            return;
         }
-        rs[inst.rd] = desc.encode();
-        break;
-      }
+        p.setReg(p.cur(), op.rd, desc.encode());
+    }
 
-      case Opcode::Mkhdr: {
-        const Word &ipw = rs[inst.ra];
+    static void
+    mkhdr(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
+        const Word &ipw = rs[op.ra];
         if (ipw.tag != Tag::Ip && ipw.tag != Tag::Int) {
-            raiseFault(FaultKind::TagMismatch, ipw, Word::makeInt(inst.ra));
-            break;
+            p.raiseFault(FaultKind::TagMismatch, ipw, Word::makeInt(op.ra));
+            return;
         }
-        if (!aluOperand(inst.rb, b))
-            break;
+        std::int32_t b;
+        if (!p.aluOperand(op.rb, b))
+            return;
         MsgHeader hdr;
-        hdr.handlerIp = ipw.bits;
+        hdr.handlerIp = static_cast<IAddr>(ipw.bits);
         hdr.length = static_cast<std::uint32_t>(b);
         if (b < 0 || hdr.handlerIp > MsgHeader::kMaxIp ||
             hdr.length > MsgHeader::kMaxLength) {
-            raiseFault(FaultKind::BoundsError, ipw, Word::makeInt(b));
-            break;
+            p.raiseFault(FaultKind::BoundsError, ipw, Word::makeInt(b));
+            return;
         }
-        rs[inst.rd] = hdr.encode();
-        break;
-      }
+        p.setReg(rs, op.rd, hdr.encode());
+    }
 
-      case Opcode::Enter:
-        xlate_.enter(rs[inst.rd], rs[inst.ra]);
-        break;
-      case Opcode::Xlate: {
-        const auto hit = xlate_.lookup(rs[inst.ra]);
-        if (!hit) {
-            raiseFault(FaultKind::XlateMiss, rs[inst.ra], Word::makeNil());
-            break;
-        }
-        rs[inst.rd] = *hit;
-        break;
-      }
-      case Opcode::Probe: {
-        const auto hit = xlate_.lookup(rs[inst.ra]);
-        rs[inst.rd] = hit ? *hit : Word::makeNil();
-        break;
-      }
+    static void
+    enter(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
+        p.xlate_.enter(rs[op.rd], rs[op.ra]);
+    }
 
-      case Opcode::Getsp: {
+    static void
+    xlateOp(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
+        const Word key = rs[op.ra];
         Word v;
-        switch (static_cast<SpecialReg>(inst.imm)) {
+        if (p.xlateCached(key, v)) {
+            p.setReg(rs, op.rd, v);
+            return;
+        }
+        const auto hit = p.xlate_.lookup(key);
+        if (!hit) {
+            p.raiseFault(FaultKind::XlateMiss, key, Word::makeNil());
+            return;
+        }
+        p.xlateFill(key, *hit);
+        p.setReg(rs, op.rd, *hit);
+    }
+
+    static void
+    probe(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
+        const Word key = rs[op.ra];
+        Word v;
+        if (p.xlateCached(key, v)) {
+            p.setReg(rs, op.rd, v);
+            return;
+        }
+        const auto hit = p.xlate_.lookup(key);
+        if (hit)
+            p.xlateFill(key, *hit);
+        p.setReg(rs, op.rd, hit ? *hit : Word::makeNil());
+    }
+
+    // ---- special registers ----
+
+    static void
+    getsp(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
+        Word v;
+        switch (static_cast<SpecialReg>(op.imm)) {
           case SpecialReg::NodeId:
-            v = Word::makeInt(static_cast<std::int32_t>(id_));
+            v = Word::makeInt(static_cast<std::int32_t>(p.id_));
             break;
           case SpecialReg::Nnr:
             v = Word::makeInt(static_cast<std::int32_t>(
-                dims_.toCoord(id_).pack()));
+                p.dims_.toCoord(p.id_).pack()));
             break;
           case SpecialReg::Nodes:
-            v = Word::makeInt(static_cast<std::int32_t>(dims_.nodes()));
+            v = Word::makeInt(static_cast<std::int32_t>(p.dims_.nodes()));
             break;
           case SpecialReg::Dims:
-            v = Word::makeInt(static_cast<std::int32_t>(dims_.pack()));
+            v = Word::makeInt(static_cast<std::int32_t>(p.dims_.pack()));
             break;
           case SpecialReg::CycleLo:
-            v = Word::makeInt(static_cast<std::int32_t>(now & 0xffffffffu));
+            v = Word::makeInt(
+                static_cast<std::int32_t>(p.xNow_ & 0xffffffffu));
             break;
           case SpecialReg::CycleHi:
-            v = Word::makeInt(static_cast<std::int32_t>(now >> 32));
+            v = Word::makeInt(static_cast<std::int32_t>(p.xNow_ >> 32));
             break;
           case SpecialReg::QLen0:
             v = Word::makeInt(static_cast<std::int32_t>(
-                ni_->queue(0).wordsUsed()));
+                p.ni_->queue(0).wordsUsed()));
             break;
           case SpecialReg::QLen1:
             v = Word::makeInt(static_cast<std::int32_t>(
-                ni_->queue(1).wordsUsed()));
+                p.ni_->queue(1).wordsUsed()));
             break;
           case SpecialReg::Fval0:
             v = rs.fval0;
@@ -746,28 +868,31 @@ Processor::executeOne(Cycle now)
           case SpecialReg::Tmp1:
           case SpecialReg::Tmp2:
           case SpecialReg::Tmp3:
-            v = rs.tmp[inst.imm -
-                       static_cast<std::int32_t>(SpecialReg::Tmp0)];
+            v = rs.tmp[op.imm - static_cast<std::int32_t>(SpecialReg::Tmp0)];
             break;
           default:
-            die("GETSP of unknown special register", ip);
+            p.die("GETSP of unknown special register", rs.ip);
         }
-        rs[inst.rd] = v;
-        break;
-      }
+        p.setReg(rs, op.rd, v);
+    }
 
-      case Opcode::Setsp: {
-        const auto spec = static_cast<SpecialReg>(inst.imm);
+    static void
+    setsp(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
+        const auto spec = static_cast<SpecialReg>(op.imm);
         if (spec < SpecialReg::Tmp0 || spec > SpecialReg::Tmp3)
-            die("SETSP target must be a fault temporary", ip);
-        rs.tmp[inst.imm - static_cast<std::int32_t>(SpecialReg::Tmp0)] =
-            rs[inst.rd];
-        break;
-      }
+            p.die("SETSP target must be a fault temporary", rs.ip);
+        rs.tmp[op.imm - static_cast<std::int32_t>(SpecialReg::Tmp0)] =
+            rs[op.rd];
+    }
 
-      case Opcode::Jsp: {
+    static void
+    jsp(Processor &p, const DecodedOp &op)
+    {
+        RegisterSet &rs = p.cur();
         Word t;
-        switch (static_cast<SpecialReg>(inst.imm)) {
+        switch (static_cast<SpecialReg>(op.imm)) {
           case SpecialReg::Fip:
             t = Word::makeIp(rs.faultIp);
             break;
@@ -775,28 +900,155 @@ Processor::executeOne(Cycle now)
           case SpecialReg::Tmp1:
           case SpecialReg::Tmp2:
           case SpecialReg::Tmp3:
-            t = rs.tmp[inst.imm -
-                       static_cast<std::int32_t>(SpecialReg::Tmp0)];
+            t = rs.tmp[op.imm - static_cast<std::int32_t>(SpecialReg::Tmp0)];
             break;
           default:
-            die("JSP source must be FIP or a fault temporary", ip);
+            p.die("JSP source must be FIP or a fault temporary", rs.ip);
         }
         if (t.tag != Tag::Ip && t.tag != Tag::Int) {
-            raiseFault(FaultKind::TagMismatch, t, Word::makeInt(inst.imm));
-            break;
+            p.raiseFault(FaultKind::TagMismatch, t, Word::makeInt(op.imm));
+            return;
         }
-        next = t.bits;
-        cost += config_.takenBranchPenalty;
-        break;
-      }
-
-      case Opcode::Out:
-        hostOut_.push_back(rs[inst.rd]);
-        break;
-
-      case Opcode::NumOpcodes:
-        die("corrupt opcode", ip);
+        p.xNext_ = static_cast<IAddr>(t.bits);
+        p.xCost_ += p.config_.takenBranchPenalty;
     }
+
+    static void
+    out(Processor &p, const DecodedOp &op)
+    {
+        p.hostOut_.push_back(p.cur()[op.rd]);
+    }
+
+    static void
+    badOp(Processor &p, const DecodedOp &)
+    {
+        p.die("corrupt opcode", p.cur().ip);
+    }
+
+    static std::array<Fn, static_cast<std::size_t>(Opcode::NumOpcodes) + 1>
+    makeTable()
+    {
+        std::array<Fn, static_cast<std::size_t>(Opcode::NumOpcodes) + 1> t{};
+        t.fill(&badOp);
+        const auto set = [&t](Opcode op, Fn fn) {
+            t[static_cast<std::size_t>(op)] = fn;
+        };
+        set(Opcode::Nop, &nop);
+        set(Opcode::Halt, &halt);
+        set(Opcode::Suspend, &suspend);
+        set(Opcode::Rfe, &rfe);
+        set(Opcode::Br, &br);
+        set(Opcode::Bt, &condBranch<true>);
+        set(Opcode::Bf, &condBranch<false>);
+        set(Opcode::Call, &call);
+        set(Opcode::Jmp, &jmp);
+        set(Opcode::Move, &move);
+        set(Opcode::Movei, &movei);
+        set(Opcode::Ldl, &ldl);
+        set(Opcode::Ld, &load<false, false>);
+        set(Opcode::Ldx, &load<true, false>);
+        set(Opcode::Ldraw, &load<false, true>);
+        set(Opcode::Ldrawx, &load<true, true>);
+        set(Opcode::St, &store<false>);
+        set(Opcode::Stx, &store<true>);
+        set(Opcode::Addm, &aluMem<&fnAdd>);
+        set(Opcode::Subm, &aluMem<&fnSub>);
+        set(Opcode::Andm, &aluMem<&fnAnd>);
+        set(Opcode::Orm, &aluMem<&fnOr>);
+        set(Opcode::Xorm, &aluMem<&fnXor>);
+        set(Opcode::Add, &aluRR<&fnAdd>);
+        set(Opcode::Sub, &aluRR<&fnSub>);
+        set(Opcode::Mul, &aluRR<&fnMul>);
+        set(Opcode::Ash, &aluRR<&fnAsh>);
+        set(Opcode::Lsh, &aluRR<&fnLsh>);
+        set(Opcode::And, &aluRR<&fnAnd>);
+        set(Opcode::Or, &aluRR<&fnOr>);
+        set(Opcode::Xor, &aluRR<&fnXor>);
+        set(Opcode::Not, &notOp);
+        set(Opcode::Neg, &negOp);
+        set(Opcode::Addi, &aluRI<&fnAdd>);
+        set(Opcode::Ashi, &aluRI<&fnAsh>);
+        set(Opcode::Lshi, &aluRI<&fnLsh>);
+        set(Opcode::Andi, &aluRI<&fnAnd>);
+        set(Opcode::Ori, &aluRI<&fnOr>);
+        set(Opcode::Xori, &aluRI<&fnXor>);
+        set(Opcode::Eq, &eqNe<true>);
+        set(Opcode::Ne, &eqNe<false>);
+        set(Opcode::Lt, &cmpRR<&fnLt>);
+        set(Opcode::Le, &cmpRR<&fnLe>);
+        set(Opcode::Gt, &cmpRR<&fnGt>);
+        set(Opcode::Ge, &cmpRR<&fnGe>);
+        set(Opcode::Eqi, &cmpRI<&fnEq>);
+        set(Opcode::Nei, &cmpRI<&fnNe>);
+        set(Opcode::Lti, &cmpRI<&fnLt>);
+        set(Opcode::Lei, &cmpRI<&fnLe>);
+        set(Opcode::Gti, &cmpRI<&fnGt>);
+        set(Opcode::Gei, &cmpRI<&fnGe>);
+        set(Opcode::Send0, &send<1, 0, false>);
+        set(Opcode::Send0e, &send<1, 0, true>);
+        set(Opcode::Send20, &send<2, 0, false>);
+        set(Opcode::Send20e, &send<2, 0, true>);
+        set(Opcode::Send1, &send<1, 1, false>);
+        set(Opcode::Send1e, &send<1, 1, true>);
+        set(Opcode::Send21, &send<2, 1, false>);
+        set(Opcode::Send21e, &send<2, 1, true>);
+        set(Opcode::Rtag, &rtag);
+        set(Opcode::Wtag, &wtag);
+        set(Opcode::Check, &check);
+        set(Opcode::Setseg, &setseg);
+        set(Opcode::Mkhdr, &mkhdr);
+        set(Opcode::Enter, &enter);
+        set(Opcode::Xlate, &xlateOp);
+        set(Opcode::Probe, &probe);
+        set(Opcode::Getsp, &getsp);
+        set(Opcode::Setsp, &setsp);
+        set(Opcode::Jsp, &jsp);
+        set(Opcode::Out, &out);
+        return t;
+    }
+};
+
+const std::array<Processor::Exec::Fn,
+                 static_cast<std::size_t>(Opcode::NumOpcodes) + 1>
+    Processor::Exec::table = Processor::Exec::makeTable();
+
+void
+Processor::executeOne(Cycle now)
+{
+    RegisterSet &rs = cur();
+    const unsigned lvl = static_cast<unsigned>(current_);
+    const IAddr ip = rs.ip;
+    if (ip >= decodedCount_ || !decoded_[ip].valid)
+        die("execution reached a non-code address", ip);
+    const DecodedOp &op = decoded_[ip];
+    if (trace_) {
+        std::fprintf(stderr,
+                     "[n%u c%llu L%u i%u %s] %-28s R0=%s R1=%s R2=%s R3=%s\n",
+                     id_, static_cast<unsigned long long>(now),
+                     static_cast<unsigned>(current_), ip,
+                     prog_->nearestLabel(ip).c_str(),
+                     prog_->fetch(ip).toString().c_str(),
+                     rs[0].toString().c_str(), rs[1].toString().c_str(),
+                     rs[2].toString().c_str(), rs[3].toString().c_str());
+    }
+
+    xCost_ = op.baseCycles;
+
+    // Instruction fetch: internal fetches overlap execution; a new
+    // external code word costs a DRAM access.
+    if (!fetchKnown_[lvl] || lastFetchWord_[lvl] != op.wordAddr) {
+        fetchKnown_[lvl] = true;
+        lastFetchWord_[lvl] = op.wordAddr;
+        if (op.ememWord)
+            xCost_ += config_.ememFetchCycles;
+    }
+
+    xNext_ = op.nextIp;
+    xStall_ = false;
+    xNow_ = now;
+    faultPending_ = false;
+
+    Exec::table[op.handler](*this, op);
 
     if (faultPending_) {
         stats_.faults[static_cast<unsigned>(faultKind_)] += 1;
@@ -813,39 +1065,30 @@ Processor::executeOne(Cycle now)
         rs.fval0 = faultVal0_;
         rs.fval1 = faultVal1_;
         rs.ip = config_.vectors[static_cast<unsigned>(faultKind_)];
-        lastFetchWord_[lvl] = kNoFetchWord;
-        cost += config_.faultEntryCycles;
-        attribute(faultStatClass(faultKind_), cost);
-        busyUntil_ = now + cost;
+        invalidateFetch(lvl);
+        xCost_ += config_.faultEntryCycles;
+        attribute(faultStatClass(faultKind_), xCost_);
+        busyUntil_ = now + xCost_;
         return;
     }
 
-    if (stall) {
+    if (xStall_) {
         stats_.queueStallCycles += 1;
         attribute(StatClass::Comm, 1);
         busyUntil_ = now + 1;
         return;
     }
 
-    rs.ip = next;
-    busyUntil_ = now + cost;
+    rs.ip = xNext_;
+    busyUntil_ = now + xCost_;
     stats_.instructions += 1;
-
-    const StatClass region = prog_->klassAt(ip);
-    StatClass effective;
-    if (region == StatClass::Os) {
-        effective = StatClass::Os;
+    if (op.countsOs)
         stats_.instructionsOs += 1;
-    } else if (info.defaultClass != StatClass::Compute) {
-        effective = info.defaultClass;
-    } else {
-        effective = region;
-    }
-    attribute(effective, cost);
+    attribute(op.effClass, xCost_);
 
-    HandlerStats &hs = handlerStats_[handlerEntry_[lvl]];
+    HandlerStats &hs = handlerSlot(lvl);
     hs.instructions += 1;
-    hs.cycles += cost;
+    hs.cycles += xCost_;
 }
 
 } // namespace jmsim

@@ -15,6 +15,19 @@
  * preemption at instruction boundaries without spilling state;
  * presence tags (cfut/fut) and the fault machinery implement the
  * paper's synchronization mechanisms.
+ *
+ * Interpreter structure (host-side speed, no architectural effect):
+ * the core executes from the program's predecoded DecodedOp array
+ * (isa/decoded_op.hh) through a per-opcode handler table — `step()` is
+ * an indexed load plus one indirect call, with the operand fields,
+ * branch targets, and accounting class already resolved. Two
+ * translation caches sit in front of the architectural decode paths: a
+ * per-level segment-descriptor cache (invalidated whenever an address
+ * register is written) and a direct-mapped front cache over the XLATE
+ * table (invalidated by the table's version counter on ENTER /
+ * invalidate / clear). Both keep the architectural statistics
+ * bit-identical to the uncached paths and expose their own hit/miss
+ * counters in ProcessorStats.
  */
 
 #ifndef JMSIM_MDP_PROCESSOR_HH
@@ -25,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "isa/decoded_op.hh"
 #include "jasm/program.hh"
 #include "mdp/fault.hh"
 #include "mdp/network_interface.hh"
@@ -72,6 +86,12 @@ struct ProcessorStats
     Cycle runCycles = 0;                ///< busy (non-idle) cycles
     Cycle idleCycles = 0;
 
+    // Host-side translation-cache counters (no architectural effect).
+    std::uint64_t segCacheHits = 0;     ///< segment-descriptor cache hits
+    std::uint64_t segCacheMisses = 0;   ///< decode-and-fill events
+    std::uint64_t xlateCacheHits = 0;   ///< XLATE front-cache hits
+    std::uint64_t xlateCacheMisses = 0; ///< fell through to the table
+
     std::uint64_t
     totalCycles() const
     {
@@ -117,13 +137,31 @@ class Processor
     /** Is any level live (or dispatchable work pending)? */
     bool runnable() const;
 
+    /** First cycle at which the core can issue again: while the clock
+     *  is below this the core is burning a multi-cycle instruction (or
+     *  a dispatch) and step() is a guaranteed no-op. The machine's
+     *  idle-skip uses this to jump the clock over dead cycles. */
+    Cycle nextEventCycle() const { return busyUntil_; }
+
     /** Host output buffer written by the OUT instruction. */
     const std::vector<Word> &hostOut() const { return hostOut_; }
     std::vector<Word> &hostOut() { return hostOut_; }
 
-    RegisterSet &regs(Level level) { return sets_[static_cast<unsigned>(level)]; }
+    /** Direct register access (tests, drivers). The caller may write
+     *  address registers behind the interpreter's back, so this drops
+     *  the level's cached segment translations up front. */
+    RegisterSet &
+    regs(Level level)
+    {
+        for (auto &e : segCache_[static_cast<unsigned>(level)])
+            e.valid = false;
+        return sets_[static_cast<unsigned>(level)];
+    }
     XlateTable &xlate() { return xlate_; }
     const XlateTable &xlate() const { return xlate_; }
+
+    /** Drop every cached segment-descriptor translation. */
+    void invalidateSegCache();
 
     const ProcessorStats &stats() const { return stats_; }
     void resetStats();
@@ -147,6 +185,10 @@ class Processor
     void setTrace(bool on) { trace_ = on; }
 
   private:
+    /** Per-opcode handler implementations (defined in processor.cc). */
+    struct Exec;
+    friend struct Exec;
+
     RegisterSet &cur() { return sets_[static_cast<unsigned>(current_)]; }
 
     /** Pick the level to run; dispatch a queued message if possible. */
@@ -161,9 +203,37 @@ class Processor
     // ---- operand helpers (set fault state on error) ----
     bool aluOperand(std::uint8_t r, std::int32_t &out);
     bool boolOperand(std::uint8_t r, bool &out);
-    bool memAddress(const Instruction &inst, bool indexed, Addr &addr,
+    bool memAddress(const DecodedOp &op, bool indexed, Addr &addr,
                     unsigned &penalty);
     bool queueWordReady(Addr addr);
+
+    /** Write a register of the current level; invalidates the segment
+     *  cache when the target is an address register. */
+    void
+    setReg(RegisterSet &rs, std::uint8_t r, Word w)
+    {
+        rs[r] = w;
+        if (r & 4u)
+            segCache_[static_cast<unsigned>(current_)][r & 3u].valid = false;
+    }
+
+    /** Force an instruction-word refetch at @p lvl (dispatch, RFE,
+     *  fault entry). */
+    void
+    invalidateFetch(unsigned lvl)
+    {
+        fetchKnown_[lvl] = false;
+    }
+
+    /** XLATE front cache: true on hit (fills @p out, counts the table
+     *  hit architecturally). */
+    bool xlateCached(Word key, Word &out);
+
+    /** Fill the front cache after a successful table lookup. */
+    void xlateFill(Word key, Word value);
+
+    /** Per-handler stats slot for @p lvl (cached map lookup). */
+    HandlerStats &handlerSlot(unsigned lvl);
 
     void attribute(StatClass cls, unsigned cycles);
     void attributeIdle(Cycle cycles);
@@ -176,6 +246,8 @@ class Processor
     NodeMemory *mem_ = nullptr;
     NetworkInterface *ni_ = nullptr;
     const Program *prog_ = nullptr;
+    const DecodedOp *decoded_ = nullptr;   ///< flat predecoded image
+    std::size_t decodedCount_ = 0;
     XlateTable xlate_;
 
     std::array<RegisterSet, kNumLevels> sets_;
@@ -183,7 +255,11 @@ class Processor
     bool currentValid_ = false;
     bool halted_ = false;
     Cycle busyUntil_ = 0;
+
+    // Instruction-fetch tracking: the decoded word index last fetched
+    // per level, valid only while fetchKnown_ is set (no sentinel).
     std::array<Addr, kNumLevels> lastFetchWord_{};
+    std::array<bool, kNumLevels> fetchKnown_{};
 
     // Fault raised by the executing instruction (applied by executeOne).
     bool faultPending_ = false;
@@ -191,12 +267,45 @@ class Processor
     Word faultVal0_;
     Word faultVal1_;
 
+    // Per-instruction execution state shared with the handlers.
+    IAddr xNext_ = 0;       ///< successor ip (handlers may redirect)
+    unsigned xCost_ = 0;    ///< cycles accumulated by this instruction
+    bool xStall_ = false;   ///< retry next cycle (queue word not ready)
+    Cycle xNow_ = 0;        ///< cycle stamp visible to GETSP
+
+    // Segment-descriptor translation cache: one entry per (level,
+    // address register), filled on first use, invalidated on register
+    // writes. `uniform` marks segments that lie entirely inside one
+    // valid memory region, letting hits skip the per-access validity
+    // and penalty checks.
+    struct SegCacheEntry
+    {
+        bool valid = false;
+        bool uniform = false;
+        unsigned penalty = 0;
+        SegDesc desc;
+    };
+    std::array<std::array<SegCacheEntry, 4>, kNumLevels> segCache_{};
+
+    // Direct-mapped front cache over the XLATE table, guarded by the
+    // table's version counter (ENTER / invalidate / clear bump it).
+    static constexpr unsigned kXlateCacheSize = 64;
+    struct XlateCacheEntry
+    {
+        bool valid = false;
+        Word key;
+        Word value;
+    };
+    std::array<XlateCacheEntry, kXlateCacheSize> xlateCache_{};
+    std::uint64_t xlateCacheVersion_ = 0;
+
     // Idle bookkeeping.
     bool sleeping_ = false;
     Cycle sleepStart_ = 0;
 
-    // Per-level handler attribution.
+    // Per-level handler attribution (entry iaddr + cached stats slot).
     std::array<IAddr, kNumLevels> handlerEntry_{};
+    std::array<HandlerStats *, kNumLevels> handlerSlot_{};
 
     std::vector<Word> hostOut_;
     bool trace_ = false;

@@ -6,40 +6,32 @@ namespace jmsim
 {
 
 NodeMemory::NodeMemory(const MemoryConfig &config)
-    : config_(config), imem_(config.imemWords, Word::makeBad())
+    : config_(config), imem_(config.imemWords, Word::makeBad()),
+      emem_((config.ememWords + kEmemChunkWords - 1) / kEmemChunkWords)
 {
     if (config.imemWords > kEmemBase)
         fatal("internal memory overlaps external base");
     if (config.ememAccessCycles < 1)
         fatal("external access must cost at least one cycle");
+    static_assert(kEmemChunkWords == (1u << kEmemChunkShift));
 }
 
-Word
-NodeMemory::read(Addr addr) const
+void
+NodeMemory::fillChunk(std::vector<Word> &chunk)
 {
-    if (isInternal(addr))
-        return imem_[addr];
-    if (isExternal(addr)) {
-        if (emem_.empty())
-            return Word::makeBad();
-        return emem_[addr - kEmemBase];
-    }
+    chunk.assign(kEmemChunkWords, Word::makeBad());
+    ememTouched_ = true;
+}
+
+void
+NodeMemory::unmappedRead(Addr addr) const
+{
     panic("NodeMemory::read of unmapped address " + std::to_string(addr));
 }
 
 void
-NodeMemory::write(Addr addr, Word value)
+NodeMemory::unmappedWrite(Addr addr) const
 {
-    if (isInternal(addr)) {
-        imem_[addr] = value;
-        return;
-    }
-    if (isExternal(addr)) {
-        if (emem_.empty())
-            emem_.assign(config_.ememWords, Word::makeBad());
-        emem_[addr - kEmemBase] = value;
-        return;
-    }
     panic("NodeMemory::write of unmapped address " + std::to_string(addr));
 }
 

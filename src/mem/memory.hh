@@ -65,13 +65,42 @@ class NodeMemory
     }
 
     /** Read a word; panics on unmapped address (callers pre-check). */
-    Word read(Addr addr) const;
+    Word
+    read(Addr addr) const
+    {
+        if (isInternal(addr))
+            return imem_[addr];
+        if (isExternal(addr)) {
+            const Addr off = addr - kEmemBase;
+            const std::vector<Word> &chunk = emem_[off >> kEmemChunkShift];
+            if (chunk.empty())
+                return Word::makeBad();
+            return chunk[off & (kEmemChunkWords - 1)];
+        }
+        unmappedRead(addr);
+    }
 
     /** Has this node ever written external memory? (lazy backing) */
-    bool ememTouched() const { return !emem_.empty(); }
+    bool ememTouched() const { return ememTouched_; }
 
     /** Write a word; panics on unmapped address (callers pre-check). */
-    void write(Addr addr, Word value);
+    void
+    write(Addr addr, Word value)
+    {
+        if (isInternal(addr)) {
+            imem_[addr] = value;
+            return;
+        }
+        if (isExternal(addr)) {
+            const Addr off = addr - kEmemBase;
+            std::vector<Word> &chunk = emem_[off >> kEmemChunkShift];
+            if (chunk.empty())
+                fillChunk(chunk);
+            chunk[off & (kEmemChunkWords - 1)] = value;
+            return;
+        }
+        unmappedWrite(addr);
+    }
 
     const MemoryConfig &config() const { return config_; }
 
@@ -82,11 +111,24 @@ class NodeMemory
     Addr ememEnd() const { return kEmemBase + config_.ememWords; }
 
   private:
+    /** Words per external-memory chunk (must stay a power of two). */
+    static constexpr std::uint32_t kEmemChunkWords = 4096;
+    static constexpr std::uint32_t kEmemChunkShift = 12;
+
+    /** Back an external chunk on first write (cold path). */
+    void fillChunk(std::vector<Word> &chunk);
+
+    [[noreturn]] void unmappedRead(Addr addr) const;
+    [[noreturn]] void unmappedWrite(Addr addr) const;
+
     MemoryConfig config_;
     std::vector<Word> imem_;
-    /** Allocated on first external write (most nodes never touch DRAM
-     *  in small experiments; eager allocation would cost 2 MB/node). */
-    mutable std::vector<Word> emem_;
+    /** External DRAM, backed chunk by chunk on first write: most nodes
+     *  touch only a small window of their 1 MByte (or none at all), so
+     *  eager allocation would cost 2 MB/node and pattern-filling the
+     *  whole array on first touch dominated simulator run time. */
+    std::vector<std::vector<Word>> emem_;
+    bool ememTouched_ = false;
 };
 
 } // namespace jmsim

@@ -31,6 +31,7 @@ void
 XlateTable::enter(Word key, Word value)
 {
     stats_.inserts += 1;
+    version_ += 1;
     Entry *set = &entries_[setIndex(key) * ways_];
     // Update in place on re-ENTER of an existing key.
     for (unsigned w = 0; w < ways_; ++w) {
@@ -69,6 +70,7 @@ XlateTable::lookup(Word key)
 void
 XlateTable::invalidate(Word key)
 {
+    version_ += 1;
     Entry *set = &entries_[setIndex(key) * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
         if (set[w].valid && set[w].key == key)
@@ -79,6 +81,7 @@ XlateTable::invalidate(Word key)
 void
 XlateTable::clear()
 {
+    version_ += 1;
     for (auto &e : entries_)
         e.valid = false;
 }

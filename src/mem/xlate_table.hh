@@ -54,6 +54,26 @@ class XlateTable
     /** Drop every binding. */
     void clear();
 
+    /**
+     * Mutation counter: bumped by every enter/invalidate/clear. External
+     * translation caches (the processor's XLATE front cache) compare it
+     * to decide when their copies of bindings are stale.
+     */
+    std::uint64_t version() const { return version_; }
+
+    /**
+     * Account a hit served by an external front cache. A front cache may
+     * only hold bindings this table returned while version() was
+     * unchanged, so the hit is architecturally a table hit and must
+     * count as one.
+     */
+    void
+    noteFrontHit()
+    {
+        stats_.lookups += 1;
+        stats_.hits += 1;
+    }
+
     const XlateStats &stats() const { return stats_; }
     void resetStats() { stats_ = XlateStats{}; }
 
@@ -72,6 +92,7 @@ class XlateTable
 
     unsigned numSets_;
     unsigned ways_;
+    std::uint64_t version_ = 0;
     std::vector<Entry> entries_;   ///< numSets_ * ways_, set-major
     std::vector<std::uint8_t> victim_;  ///< round-robin pointer per set
     XlateStats stats_;

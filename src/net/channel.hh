@@ -32,12 +32,19 @@ class Channel
         to_ = to;
         axis_ = axis;
         positive_ = positive;
+        // Downstream input direction: the opposite of the direction the
+        // channel leaves the upstream router in (dir = axis*2 + sign).
+        inDir_ = static_cast<std::uint8_t>((axis * 2 + (positive ? 1 : 0)) ^
+                                           1u);
     }
 
     NodeId from() const { return from_; }
     NodeId to() const { return to_; }
     unsigned axis() const { return axis_; }
     bool positive() const { return positive_; }
+
+    /** Input direction this channel feeds on the downstream router. */
+    unsigned inDir() const { return inDir_; }
 
     /** Upstream: may a flit be written this cycle? */
     bool canSend() const { return !curValid_ && !nextValid_; }
@@ -89,6 +96,7 @@ class Channel
     NodeId to_ = 0;
     unsigned axis_ = 0;
     bool positive_ = true;
+    std::uint8_t inDir_ = 0;
 };
 
 } // namespace jmsim

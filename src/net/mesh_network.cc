@@ -170,6 +170,7 @@ MeshNetwork::step(Cycle now)
     for (Channel *chp : touched_) {
         Channel &ch = *chp;
         ch.commit();
+        routers_[ch.to()].notePendingIn(ch.inDir());
         activate(ch.to());
         if (dims_.x > 1 && ch.axis() == 0 && !ch.peek().isHead()) {
             const RouterAddr from = dims_.toCoord(ch.from());

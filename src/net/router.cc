@@ -1,5 +1,7 @@
 #include "net/router.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace jmsim
@@ -20,14 +22,20 @@ Router::init(NodeId id, RouterAddr addr)
 void
 Router::pullPhase()
 {
-    for (unsigned dir = 0; dir < kNumDirs; ++dir) {
+    // pendingIn_ tracks exactly the input channels holding a visible
+    // flit (set by the mesh when a channel commits, cleared when the
+    // flit is consumed), so only live directions are touched.
+    unsigned m = pendingIn_;
+    while (m) {
+        const unsigned dir = static_cast<unsigned>(std::countr_zero(m));
+        m &= m - 1;
         Channel *ch = in_[dir];
-        if (!ch || !ch->hasFlit())
-            continue;
         const unsigned vn = ch->peek().vn;
         if (fifos_[dir][vn].full())
-            continue;
+            continue;  // back-pressure: the flit stays visible
         fifos_[dir][vn].push(ch->take());
+        pendingIn_ &= ~(1u << dir);
+        occ_[vn] |= 1u << dir;
         ++resident_;
     }
 }
@@ -54,10 +62,12 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
             return false;
         Flit flit = fifo.pop();
         --resident_;
+        if (fifo.empty())
+            occ_[vn] &= ~(1u << in);
         const bool tail = flit.isTail();
         stats_.flitsDelivered += 1;
         sink_->acceptFlit(flit, now);
-        owner_[out][vn] = tail ? -1 : static_cast<std::int8_t>(in);
+        setOwner(out, vn, tail ? -1 : static_cast<std::int8_t>(in));
         return true;
     }
     Channel *ch = out_[out];
@@ -65,11 +75,13 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
         return false;
     Flit flit = fifo.pop();
     --resident_;
+    if (fifo.empty())
+        occ_[vn] &= ~(1u << in);
     const bool tail = flit.isTail();
     stats_.flitsRouted += 1;
     ch->send(std::move(flit));
     touched.push_back(ch);
-    owner_[out][vn] = tail ? -1 : static_cast<std::int8_t>(in);
+    setOwner(out, vn, tail ? -1 : static_cast<std::int8_t>(in));
     sentThisCycle_ = true;
     if (in == kInjectPort)
         injectMoved_[vn] = true;
@@ -84,7 +96,48 @@ Router::movePhase(Cycle now, std::vector<Channel *> &touched)
     if (resident_ == 0)
         return false;
 
-    for (unsigned out = 0; out < kNumOutPorts; ++out) {
+    // Snapshot the head flits once: which inputs front a head on each
+    // virtual network, and where each head routes. The output loop
+    // below then visits only ports that have a continuing worm or a
+    // head requesting them — routers typically carry one or two worms,
+    // so most of the 7x2 (port, vn) grid is dead on any given cycle.
+    // The snapshot is kept in sync as moves pop FIFOs; the occupancy
+    // masks make it touch only non-empty FIFOs.
+    std::array<std::array<std::uint8_t, kNumVns>, kNumInPorts> head_out;
+    std::array<unsigned, kNumVns> head_mask{};
+    std::array<unsigned, kNumVns> want{};
+    const auto refresh = [&](unsigned in, unsigned vn) {
+        const FlitFifo &fifo = fifos_[in][vn];
+        head_mask[vn] &= ~(1u << in);
+        if (!fifo.empty() && fifo.front().isHead()) {
+            const unsigned out = route(fifo.front().msg->destAddr);
+            head_out[in][vn] = static_cast<std::uint8_t>(out);
+            head_mask[vn] |= 1u << in;
+            want[vn] |= 1u << out;
+        }
+    };
+    for (unsigned vn = 0; vn < kNumVns; ++vn) {
+        unsigned m = occ_[vn];
+        while (m) {
+            const unsigned in = static_cast<unsigned>(std::countr_zero(m));
+            m &= m - 1;
+            refresh(in, vn);
+        }
+    }
+
+    // Outputs are arbitrated in ascending order exactly once, as in the
+    // straightforward 0..6 sweep: `passed` covers every index at or
+    // below the port being processed, so a head exposed mid-sweep (by a
+    // retiring worm) can still claim a later port but never an earlier
+    // one.
+    unsigned passed = 0;
+    while (true) {
+        const unsigned pending =
+            (want[0] | want[1] | ownerMask_[0] | ownerMask_[1]) & ~passed;
+        if (!pending)
+            break;
+        const unsigned out = static_cast<unsigned>(std::countr_zero(pending));
+        passed |= (2u << out) - 1;
         bool moved = false;
         // Priority-1 virtual network is preferred on every physical port.
         for (unsigned vn_i = 0; vn_i < kNumVns && !moved; ++vn_i) {
@@ -92,30 +145,36 @@ Router::movePhase(Cycle now, std::vector<Channel *> &touched)
             const std::int8_t own = owner_[out][vn];
             if (own >= 0) {
                 // Continuing worm: only its body flits may use the port.
-                FlitFifo &fifo = fifos_[own][vn];
-                if (!fifo.empty())
-                    moved = tryMove(out, vn, own, now, touched);
+                FlitFifo &fifo = fifos_[static_cast<unsigned>(own)][vn];
+                if (!fifo.empty()) {
+                    moved = tryMove(out, vn, static_cast<unsigned>(own), now,
+                                    touched);
+                    if (moved)
+                        refresh(static_cast<unsigned>(own), vn);
+                }
                 continue;
             }
-            // Allocate the output to a new worm: scan head flits.
+            if (!(want[vn] >> out & 1u))
+                continue;
+            // Allocate the output to a new worm: scan head flits in the
+            // arbitration order (fixed: ascending input index; round
+            // robin: rotated). The first head that wants this output
+            // settles it — a blocked head still holds its request, so
+            // no lower-priority input may claim the port either.
             const unsigned start = roundRobin_ ? rrNext_[out] : 0;
             for (unsigned k = 0; k < kNumInPorts; ++k) {
                 const unsigned in = (start + k) % kNumInPorts;
-                FlitFifo &fifo = fifos_[in][vn];
-                if (fifo.empty() || !fifo.front().isHead())
+                if (!(head_mask[vn] >> in & 1u))
                     continue;
-                if (route(fifo.front().msg->destAddr) != out)
+                if (head_out[in][vn] != out)
                     continue;
                 if (tryMove(out, vn, in, now, touched)) {
                     moved = true;
+                    refresh(in, vn);
                     if (roundRobin_)
                         rrNext_[out] =
                             static_cast<std::uint8_t>((in + 1) % kNumInPorts);
-                    break;
                 }
-                // Head flit blocked downstream: the output stays free
-                // this cycle, but no lower-priority input may claim it
-                // either (a blocked head still holds its request).
                 break;
             }
         }
@@ -138,17 +197,14 @@ Router::inject(Flit flit)
     if (fifos_[kInjectPort][vn].full())
         panic("Router::inject on full FIFO (call canInject first)");
     fifos_[kInjectPort][vn].push(std::move(flit));
+    occ_[vn] |= 1u << kInjectPort;
     ++resident_;
 }
 
 bool
 Router::hasPendingInput() const
 {
-    for (unsigned dir = 0; dir < kNumDirs; ++dir) {
-        if (in_[dir] && in_[dir]->hasFlit())
-            return true;
-    }
-    return false;
+    return pendingIn_ != 0;
 }
 
 } // namespace jmsim

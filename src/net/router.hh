@@ -147,6 +147,9 @@ class Router
     /** NI pushes one flit onto the inject port. */
     void inject(Flit flit);
 
+    /** Mesh: a committed channel made a flit visible on input @p dir. */
+    void notePendingIn(unsigned dir) { pendingIn_ |= 1u << dir; }
+
     /** Total flits buffered in this router. */
     unsigned residentFlits() const { return resident_; }
 
@@ -167,6 +170,17 @@ class Router
     bool tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
                  std::vector<Channel *> &touched);
 
+    /** Set the worm owning (output, vn), keeping ownerMask_ in sync. */
+    void
+    setOwner(unsigned out, unsigned vn, std::int8_t in)
+    {
+        owner_[out][vn] = in;
+        if (in >= 0)
+            ownerMask_[vn] |= 1u << out;
+        else
+            ownerMask_[vn] &= ~(1u << out);
+    }
+
     NodeId id_ = 0;
     bool initialized_ = false;
     RouterAddr addr_;
@@ -176,6 +190,12 @@ class Router
     std::array<std::array<FlitFifo, kNumVns>, kNumInPorts> fifos_;
     /** Input currently owning each (output, vn), or -1. */
     std::array<std::array<std::int8_t, kNumVns>, kNumOutPorts> owner_;
+    /** Per-vn bitmask over inputs: FIFO non-empty (movePhase skip). */
+    std::array<std::uint8_t, kNumVns> occ_{};
+    /** Bitmask over directions: in-channel holds a visible flit. */
+    std::uint8_t pendingIn_ = 0;
+    /** Per-vn bitmask over outputs: owner_ >= 0 (movePhase skip). */
+    std::array<std::uint8_t, kNumVns> ownerMask_{};
     /** Round-robin scan start per output (ablation mode only). */
     std::array<std::uint8_t, kNumOutPorts> rrNext_{};
     unsigned resident_ = 0;

@@ -44,6 +44,10 @@ expectEqualProcStats(const ProcessorStats &a, const ProcessorStats &b)
     EXPECT_EQ(a.queueStallCycles, b.queueStallCycles);
     EXPECT_EQ(a.runCycles, b.runCycles);
     EXPECT_EQ(a.idleCycles, b.idleCycles);
+    EXPECT_EQ(a.segCacheHits, b.segCacheHits);
+    EXPECT_EQ(a.segCacheMisses, b.segCacheMisses);
+    EXPECT_EQ(a.xlateCacheHits, b.xlateCacheHits);
+    EXPECT_EQ(a.xlateCacheMisses, b.xlateCacheMisses);
 }
 
 void
@@ -103,6 +107,33 @@ TEST(DeterminismSerial, RepeatRunsIdentical)
     EXPECT_GT(first.instructions, 0u);
     EXPECT_GT(first.netStats.messagesDelivered, 0u);
     expectEqualProbes(first, second);
+}
+
+// Golden architectural numbers captured from the fetch/switch
+// interpreter before the predecoded dispatch-table rewrite, the
+// translation caches, and the machine-wide idle skip. Those are pure
+// host-side optimizations: any drift in these values is an
+// architectural regression, not noise.
+TEST(DeterminismSerial, TrafficMatchesPreDecodeGolden)
+{
+    const TrafficProbe p = trafficAt(64, 1, 2000);
+    EXPECT_EQ(p.run.cycles, 2000u);
+    EXPECT_EQ(p.instructions, 93827u);
+    EXPECT_EQ(p.procStats.runCycles, 128012u);
+    EXPECT_EQ(p.netStats.messagesDelivered, 618u);
+}
+
+TEST(DeterminismSerial, RadixMatchesPreDecodeGolden)
+{
+    workloads::RadixConfig c;
+    c.nodes = 16;
+    c.keys = 1024;
+    ThreadsGuard guard(1);
+    const auto r = workloads::runRadixSort(c);
+    EXPECT_EQ(r.answer, 1024);
+    EXPECT_EQ(r.runCycles, 61436u);
+    EXPECT_EQ(r.instructions, 551751u);
+    EXPECT_EQ(r.dispatches, 7378u);
 }
 
 TEST(DeterminismSerial, RadixRepeatRunsIdentical)

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the predecoded interpreter and its caches: DecodedOp
+ * translation (branch targets, LDL successor), segment-descriptor
+ * cache invalidation on register rewrite, XLATE front-cache
+ * invalidation on re-ENTER, the post-resetStats handler re-seed, and
+ * the machine-wide idle skip (on/off A/B must be bit-identical).
+ */
+
+#include <gtest/gtest.h>
+
+#include "jasm/assembler.hh"
+#include "machine/jmachine.hh"
+#include "mem/memory.hh"
+#include "runtime/jos.hh"
+
+namespace jmsim
+{
+namespace
+{
+
+JMachine
+makeMachine(unsigned nodes, const std::string &app, bool idle_skip = true)
+{
+    Program prog = assemble(jos::withKernel("predecode.jasm", app, false));
+    MachineConfig cfg;
+    cfg.dims = MeshDims::forNodeCount(nodes);
+    cfg.idleSkip = idle_skip;
+    return JMachine(cfg, std::move(prog));
+}
+
+std::vector<std::int32_t>
+outInts(const JMachine &m, NodeId id = 0)
+{
+    std::vector<std::int32_t> out;
+    for (const Word &w : m.node(id).processor().hostOut())
+        out.push_back(w.asInt());
+    return out;
+}
+
+TEST(Predecode, ResolvesBranchTargetsAndLdlSuccessor)
+{
+    Program prog = assemble(jos::withKernel("predecode.jasm", R"(
+boot:
+    BR skip
+    NOP
+    NOP
+skip:
+    LDL R0, #123456
+    OUT R0
+    HALT
+)", false));
+    prog.predecode(kEmemBase);
+    const auto &ops = prog.decodedOps();
+
+    const IAddr br = prog.entry("boot");
+    ASSERT_LT(br, ops.size());
+    ASSERT_TRUE(ops[br].valid);
+    EXPECT_EQ(ops[br].handler, static_cast<std::uint8_t>(Opcode::Br));
+    EXPECT_EQ(ops[br].target, prog.entry("skip"));
+    EXPECT_EQ(ops[br].wordAddr, br >> 1);
+
+    const IAddr ldl = prog.entry("skip");
+    ASSERT_TRUE(ops[ldl].valid);
+    EXPECT_EQ(ops[ldl].handler, static_cast<std::uint8_t>(Opcode::Ldl));
+    // Wide format: the successor skips the filler slot and literal word.
+    EXPECT_EQ(ops[ldl].nextIp, ldl + 4);
+    EXPECT_EQ(ops[ldl].literal.asInt(), 123456);
+
+    // Internal code words carry no fetch surcharge.
+    EXPECT_FALSE(ops[br].ememWord);
+}
+
+TEST(Predecode, IsIdempotent)
+{
+    Program prog = assemble(jos::withKernel("predecode.jasm",
+                                            "boot:\n HALT\n", false));
+    prog.predecode(kEmemBase);
+    const DecodedOp *data = prog.decodedOps().data();
+    const std::size_t size = prog.decodedOps().size();
+    prog.predecode(kEmemBase);
+    EXPECT_EQ(prog.decodedOps().data(), data);
+    EXPECT_EQ(prog.decodedOps().size(), size);
+}
+
+TEST(SegCache, RewrittenDescriptorInvalidatesStaleTranslation)
+{
+    // A0 is rebound between accesses; a stale cached translation of the
+    // first descriptor would route the second store to T1 and make the
+    // final load read 9 instead of 7.
+    JMachine m = makeMachine(1, R"(
+.equ T1, 256
+.equ T2, 300
+boot:
+    LDL A0, seg(T1, 16)
+    MOVEI R0, 7
+    ST [A0+0], R0
+    LD R1, [A0+0]
+    OUT R1                  ; 7
+    LDL A0, seg(T2, 16)
+    MOVEI R0, 9
+    ST [A0+0], R0
+    LD R1, [A0+0]
+    OUT R1                  ; 9
+    LDL A0, seg(T1, 16)
+    LD R1, [A0+0]
+    OUT R1                  ; 7 (stale translation would read T2's 9)
+    HALT
+)");
+    const RunResult r = m.run(100000);
+    EXPECT_EQ(r.reason, StopReason::AllHalted);
+    const auto out = outInts(m);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 7);
+    EXPECT_EQ(out[1], 9);
+    EXPECT_EQ(out[2], 7);
+
+    // Each LDL rebind forces a fresh decode; the loads behind an
+    // unchanged register hit.
+    const ProcessorStats &st = m.node(0).processor().stats();
+    EXPECT_GE(st.segCacheMisses, 3u);
+    EXPECT_GT(st.segCacheHits, 0u);
+}
+
+TEST(XlateCache, ReEnterInvalidatesCachedBinding)
+{
+    JMachine m = makeMachine(1, R"(
+boot:
+    MOVEI R0, 42
+    MOVEI R1, 1
+    ENTER R0, R1
+    XLATE R2, R0
+    OUT R2                  ; 1 (cold: table lookup, fills front cache)
+    XLATE R2, R0
+    OUT R2                  ; 1 (front-cache hit)
+    MOVEI R1, 2
+    ENTER R0, R1
+    XLATE R2, R0
+    OUT R2                  ; 2 (re-ENTER must drop the cached 1)
+    HALT
+)");
+    const RunResult r = m.run(100000);
+    EXPECT_EQ(r.reason, StopReason::AllHalted);
+    const auto out = outInts(m);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[1], 1);
+    EXPECT_EQ(out[2], 2);
+
+    const ProcessorStats &st = m.node(0).processor().stats();
+    EXPECT_GE(st.xlateCacheHits, 1u);
+    EXPECT_GE(st.xlateCacheMisses, 2u);
+
+    // The front cache must not perturb the architectural XLATE stats:
+    // three XLATEs, all hits, front-cached or not.
+    const XlateStats &xs = m.node(0).processor().xlate().stats();
+    EXPECT_EQ(xs.lookups, 3u);
+    EXPECT_EQ(xs.hits, 3u);
+    EXPECT_EQ(xs.misses, 0u);
+}
+
+TEST(ResetStats, ReseedsLiveHandlerDispatch)
+{
+    JMachine m = makeMachine(1, R"(
+boot:
+    MOVEI R0, 5
+    SUSPEND
+)");
+    const RunResult r = m.run(10000);
+    EXPECT_EQ(r.reason, StopReason::Quiescent);
+    const IAddr boot_entry = m.program().entry("boot");
+    {
+        const auto &hs = m.node(0).processor().handlerStats();
+        const auto it = hs.find(boot_entry);
+        ASSERT_NE(it, hs.end());
+        EXPECT_EQ(it->second.dispatches, 1u);
+        EXPECT_GT(it->second.instructions, 0u);
+    }
+    m.resetStats();
+    // The background thread is still live (parked): its boot dispatch
+    // must be re-seeded so post-reset windows account it, exactly as
+    // boot() seeded it originally.
+    {
+        const auto &hs = m.node(0).processor().handlerStats();
+        const auto it = hs.find(boot_entry);
+        ASSERT_NE(it, hs.end());
+        EXPECT_EQ(it->second.dispatches, 1u);
+        EXPECT_EQ(it->second.instructions, 0u);
+    }
+    EXPECT_EQ(m.aggregateStats().instructions, 0u);
+}
+
+TEST(IdleSkip, BitIdenticalToTickedRunAndActuallySkips)
+{
+    // External-memory traffic: every ST/LD burns 6 cycles, so the core
+    // spends most cycles mid-instruction and the machine can jump the
+    // clock between issues.
+    const std::string app = R"(
+.equ EBUF, 65536
+boot:
+    LDL A0, seg(EBUF, 16)
+    MOVEI R0, 50
+    MOVEI R3, 0
+loop:
+    ST [A0+1], R0
+    LD R1, [A0+1]
+    ADD R3, R3, R1
+    ADDI R0, R0, #-1
+    GTI R2, R0, #0
+    BT R2, loop
+    OUT R3
+    HALT
+)";
+    JMachine skipping = makeMachine(1, app, true);
+    JMachine ticking = makeMachine(1, app, false);
+    const RunResult rs = skipping.run(100000);
+    const RunResult rt = ticking.run(100000);
+
+    EXPECT_EQ(rs.reason, StopReason::AllHalted);
+    EXPECT_EQ(rs.reason, rt.reason);
+    EXPECT_EQ(rs.cycles, rt.cycles);
+    EXPECT_EQ(outInts(skipping), outInts(ticking));
+
+    const ProcessorStats a = skipping.aggregateStats();
+    const ProcessorStats b = ticking.aggregateStats();
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.runCycles, b.runCycles);
+    EXPECT_EQ(a.dispatches, b.dispatches);
+    for (std::size_t c = 0; c < a.cyclesByClass.size(); ++c)
+        EXPECT_EQ(a.cyclesByClass[c], b.cyclesByClass[c]) << "class " << c;
+
+    EXPECT_GT(skipping.idleSkippedCycles(), 0u);
+    EXPECT_EQ(ticking.idleSkippedCycles(), 0u);
+}
+
+} // namespace
+} // namespace jmsim
