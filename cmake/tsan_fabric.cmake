@@ -1,0 +1,48 @@
+# Script mode (cmake -P): configure, build, and run the threaded-fabric
+# tests under ThreadSanitizer in a dedicated build tree (the same tree
+# the `tsan` preset uses). Registered as a ctest from the normal build
+# so the race-freedom argument of the sharded network stepping is
+# exercised on every full test run, not just when someone remembers the
+# preset.
+#
+# Expects -DSOURCE_DIR=... and -DBINARY_DIR=... on the command line.
+
+if(NOT SOURCE_DIR OR NOT BINARY_DIR)
+    message(FATAL_ERROR "tsan_fabric.cmake needs -DSOURCE_DIR and -DBINARY_DIR")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BINARY_DIR}
+            -DJMSIM_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "tsan configure failed")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} --parallel
+            --target determinism_test message_pool_test
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "tsan build failed")
+endif()
+
+# The threaded fig4 saturation point and the shard-count sweep give the
+# widest phase coverage per second: staged injection, sharded pull/move,
+# channel commit, and pool alloc/release from worker shards. The
+# 256-node golden is left to the plain build — under TSAN it costs
+# minutes without adding a new code path.
+execute_process(
+    COMMAND ${BINARY_DIR}/tests/determinism_test
+            --gtest_filter=DeterminismThreaded.Fig4LoadMatchesSerialAcrossThreadCounts:DeterminismThreaded.ShardCountDoesNotMatter
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "tsan determinism run failed")
+endif()
+
+execute_process(
+    COMMAND ${BINARY_DIR}/tests/message_pool_test
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "tsan message_pool run failed")
+endif()

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "machine/loader.hh"
+#include "sim/host_timer.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
 
@@ -128,12 +129,17 @@ RunResult
 JMachine::runSerial(Cycle max_cycles)
 {
     RunResult result;
-    while (now_ < max_cycles) {
+    result.reason = StopReason::CycleLimit;
+    std::uint64_t node_ticks = 0, net_ticks = 0, commit_ticks = 0;
+    std::uint64_t stepped = 0;
+    bool stopped = false;
+    while (!stopped && now_ < max_cycles) {
         if (config_.idleSkip) {
             maybeIdleSkip(max_cycles);
             if (now_ >= max_cycles)
                 break;
         }
+        const std::uint64_t t0 = hostTicks();
         // Step active nodes; compact the list as nodes go idle.
         std::size_t keep = 0;
         const std::size_t n = activeNodes_.size();
@@ -156,23 +162,37 @@ JMachine::runSerial(Cycle max_cycles)
         for (std::size_t i = n; i < activeNodes_.size(); ++i)
             activeNodes_[keep++] = activeNodes_[i];
         activeNodes_.resize(keep);
+        const std::uint64_t t1 = hostTicks();
 
-        net_.step(now_);
+        std::uint64_t t2 = t1, t3 = t1;
+        if (net_.anyActive()) {
+            net_.pullShard(0);
+            net_.moveShard(0, now_);
+            t2 = hostTicks();
+            net_.commitPhase(now_);
+            t3 = hostTicks();
+        }
+        net_.pool().sampleHighWater();
+        stepped += 1;
         now_ += 1;
+        node_ticks += t1 - t0;
+        net_ticks += t2 - t1;
+        commit_ticks += t3 - t2;
 
         if (haltedCount_ == nodeCount()) {
             result.reason = StopReason::AllHalted;
-            result.cycles = now_;
-            return result;
-        }
-        if (activeNodes_.empty() && !net_.anyActive()) {
+            stopped = true;
+        } else if (activeNodes_.empty() && !net_.anyActive()) {
             result.reason = StopReason::Quiescent;
-            result.cycles = now_;
-            return result;
+            stopped = true;
         }
     }
-    result.reason = StopReason::CycleLimit;
     result.cycles = now_;
+    result.profile.nodeSeconds = hostSeconds(node_ticks);
+    result.profile.netSeconds = hostSeconds(net_ticks);
+    result.profile.commitSeconds = hostSeconds(commit_ticks);
+    result.profile.steppedCycles = stepped;
+    result.pool = net_.pool().stats();
     return result;
 }
 
@@ -211,6 +231,8 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
 
     RunResult result;
     result.reason = StopReason::CycleLimit;
+    std::uint64_t node_ticks = 0, net_ticks = 0, commit_ticks = 0;
+    std::uint64_t stepped = 0;
     bool stopped = false;
     while (!stopped && now_ < max_cycles) {
         if (config_.idleSkip) {
@@ -220,10 +242,18 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
         }
         const std::size_t n = activeNodes_.size();
         stillActive_.resize(n);
+        const std::uint64_t t0 = hostTicks();
+        // Fork A: node stepping fused with the fabric's pull phase.
+        // The pull only reads channel outputs committed last cycle
+        // (each owned by a router in the pulling shard's slab), so it
+        // cannot interact with the concurrently stepping nodes.
         inParallel_ = true;
-        pool_->run(
-            [this, n, shards](unsigned shard) { stepShard(shard, shards, n); });
+        pool_->run([this, n, shards](unsigned shard) {
+            stepShard(shard, shards, n);
+            net_.pullShard(shard);
+        });
         inParallel_ = false;
+        const std::uint64_t t1 = hostTicks();
         for (unsigned s = 0; s < shards; ++s) {
             haltedCount_ += shardHalted_[s];
             shardHalted_[s] = 0;
@@ -242,8 +272,28 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
         activeNodes_.resize(keep);
 
         net_.commitStaged();
-        net_.step(now_);
+        const std::uint64_t t2 = hostTicks();
+
+        std::uint64_t t3 = t2, t4 = t2;
+        if (net_.anyActive()) {
+            // Fork B: the fabric's move phase per router slab. Writes
+            // go only to channel `next` registers (unique upstream
+            // owner) and the slab's own delivery sinks; delivery wakes
+            // are buffered per shard like node-phase wakes.
+            inParallel_ = true;
+            pool_->run([this](unsigned shard) { net_.moveShard(shard, now_); });
+            inParallel_ = false;
+            t3 = hostTicks();
+            mergePendingWakes();
+            net_.commitPhase(now_);
+            t4 = hostTicks();
+        }
+        net_.pool().sampleHighWater();
+        stepped += 1;
         now_ += 1;
+        node_ticks += t1 - t0;
+        commit_ticks += (t2 - t1) + (t4 - t3);
+        net_ticks += t3 - t2;
 
         if (haltedCount_ == nodeCount()) {
             result.reason = StopReason::AllHalted;
@@ -255,6 +305,11 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
     }
     result.cycles = now_;
     net_.endStaging();
+    result.profile.nodeSeconds = hostSeconds(node_ticks);
+    result.profile.netSeconds = hostSeconds(net_ticks);
+    result.profile.commitSeconds = hostSeconds(commit_ticks);
+    result.profile.steppedCycles = stepped;
+    result.pool = net_.pool().stats();
     return result;
 }
 

@@ -8,13 +8,16 @@
  * ends at a cycle limit, when every node has executed HALT, or when
  * the whole machine is quiescent (nothing running, nothing in flight).
  *
- * With `MachineConfig::threads` > 1 the active-node list is sharded
- * across a persistent worker pool each cycle. Node state is strictly
- * per-node during the node phase — the only cross-node channel is the
- * network — so workers step their shards independently, buffer their
- * injections into per-shard staging queues, and the main thread commits
- * those queues in node-id order at the cycle barrier before stepping
- * the fabric serially. A threaded run is therefore bit-identical to a
+ * With `MachineConfig::threads` > 1 each cycle runs as two fork-joins
+ * over a persistent worker pool. Fork A fuses the node phase with the
+ * fabric's pull phase: workers step their slice of the active-node
+ * list (buffering injections and wakes per shard) and drain committed
+ * channel flits into their router slab's input FIFOs. The barrier
+ * applies wakes and staged injections in node-id order. Fork B runs
+ * the fabric's move phase per router slab — writes go only to channel
+ * `next` registers (unique upstream owner) and the slab's own delivery
+ * sinks — and the main thread then commits the written channels in
+ * channel-index order. A threaded run is therefore bit-identical to a
  * serial one: same cycle counts, same statistics.
  */
 
@@ -60,11 +63,22 @@ enum class StopReason : std::uint8_t
     Quiescent,   ///< nothing running and nothing in flight
 };
 
+/** Host-time breakdown of a run, by kernel phase. */
+struct KernelProfile
+{
+    double nodeSeconds = 0.0;    ///< node stepping (+ fused pull phase)
+    double netSeconds = 0.0;     ///< fabric move phase
+    double commitSeconds = 0.0;  ///< barrier bookkeeping and channel commit
+    std::uint64_t steppedCycles = 0;  ///< cycles actually ticked (not skipped)
+};
+
 /** Result of a run() call. */
 struct RunResult
 {
     Cycle cycles = 0;        ///< absolute cycle count at stop
     StopReason reason = StopReason::CycleLimit;
+    KernelProfile profile;   ///< where the host time of this run went
+    PoolStats pool;          ///< message-pool counters at stop
 };
 
 /** One simulated J-Machine. */

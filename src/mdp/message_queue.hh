@@ -20,9 +20,9 @@
 #define JMSIM_MDP_MESSAGE_QUEUE_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "isa/word.hh"
+#include "sim/ring_queue.hh"
 #include "sim/types.hh"
 
 namespace jmsim
@@ -101,7 +101,7 @@ class MessageQueue
     std::uint32_t size_ = 0;
     std::uint32_t tail_ = 0;   ///< next free offset
     std::uint32_t used_ = 0;   ///< words allocated (incl. pads)
-    std::deque<QueuedMessage> messages_;
+    RingQueue<QueuedMessage> messages_;
     QueueStats stats_;
 };
 

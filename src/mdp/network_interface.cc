@@ -33,17 +33,18 @@ NetworkInterface::appendWord(unsigned prio, Word word, bool end)
         const MeshDims &dims = net_->dims();
         if (dest.x >= dims.x || dest.y >= dims.y || dest.z >= dims.z)
             return SendResult::BadDest;
-        auto msg = std::make_shared<Message>();
-        msg->src = id_;
-        msg->destAddr = dest;
-        msg->dest = dims.toLinear(dest);
-        msg->priority = static_cast<std::uint8_t>(prio);
-        ch.pending.push_back(std::move(msg));
+        const MsgHandle h = net_->pool().alloc();
+        Message &msg = net_->pool().get(h);
+        msg.src = id_;
+        msg.destAddr = dest;
+        msg.dest = dims.toLinear(dest);
+        msg.priority = static_cast<std::uint8_t>(prio);
+        ch.pending.push_back(h);
         ch.buildingStarted = true;
         return SendResult::Ok;
     }
 
-    Message &msg = *ch.pending.back();
+    Message &msg = net_->pool().get(ch.pending.back());
     msg.words.push_back(word);
     ch.bufferedWords += 1;
     if (end) {
@@ -98,9 +99,10 @@ NetworkInterface::step(Cycle now)
         // message under construction by the processor keeps the back
         // slot until its SEND*E).
         while (!bounceReady_[prio].empty() && !ch.buildingStarted) {
-            MessageRef &b = bounceReady_[prio].front();
-            ch.bufferedWords += static_cast<std::uint32_t>(b->words.size());
-            ch.pending.push_back(std::move(b));
+            const MsgHandle b = bounceReady_[prio].front();
+            ch.bufferedWords += static_cast<std::uint32_t>(
+                net_->pool().get(b).words.size());
+            ch.pending.push_back(b);
             bounceReady_[prio].pop_front();
         }
         // Offer up to two flits per cycle to keep the router's inject
@@ -108,24 +110,25 @@ NetworkInterface::step(Cycle now)
         for (unsigned burst = 0; burst < 2; ++burst) {
             if (ch.pending.empty())
                 break;
-            MessageRef &msg = ch.pending.front();
+            const MsgHandle h = ch.pending.front();
+            Message &msg = net_->pool().get(h);
             // Flits that exist so far: head + 2 per appended word.
-            const std::uint32_t available = msg->flitCount();
+            const std::uint32_t available = msg.flitCount();
             if (ch.flitsInjected >= available)
                 break;
             if (!net_->canInject(id_, prio))
                 break;
             Flit flit;
-            flit.msg = msg;
+            flit.msg = h;
             flit.index = ch.flitsInjected;
             flit.vn = static_cast<std::uint8_t>(prio);
             if (flit.index == 0)
-                msg->injectCycle = now;
-            const bool was_tail = flit.isTail();
+                msg.injectCycle = now;
+            const bool was_tail = msg.tailAt(flit.index);
             // A word leaves the buffer when its second flit goes out.
             if (flit.index > 0 && flit.index % kFlitsPerWord == 0)
                 ch.bufferedWords -= 1;
-            net_->injectFlit(id_, std::move(flit));
+            net_->injectFlit(id_, flit);
             ch.flitsInjected += 1;
             if (was_tail) {
                 ch.pending.pop_front();
@@ -143,7 +146,8 @@ NetworkInterface::canAcceptFlit(const Flit &flit)
         return true;  // head flits and non-allocating flits always fit
     if (bounce_[flit.vn].active)
         return true;  // mid-capture: keep absorbing the worm
-    const MsgHeader hdr = MsgHeader::decode(flit.msg->words[0]);
+    const Message &m = net_->pool().get(flit.msg);
+    const MsgHeader hdr = MsgHeader::decode(m.words[0]);
     MessageQueue &q = queues_[flit.vn];
     if (q.canBegin(hdr.length))
         return true;
@@ -156,9 +160,14 @@ NetworkInterface::canAcceptFlit(const Flit &flit)
 void
 NetworkInterface::acceptFlit(const Flit &flit, Cycle now)
 {
+    // The slab reference stays valid across the pool alloc in the
+    // bounce path below (slab storage never moves), and the router
+    // releases the message only after this callback returns.
+    Message &m = net_->pool().get(flit.msg);
     const std::int32_t word = flit.completesWord();
+    const bool tail = m.tailAt(flit.index);
     if (word < 0) {
-        if (flit.isTail())
+        if (tail)
             panic("tail flit should complete a word");
         return;
     }
@@ -167,28 +176,29 @@ NetworkInterface::acceptFlit(const Flit &flit, Cycle now)
     BounceCapture &cap = bounce_[flit.vn];
     if (cap.active || (word == 0 && config_.returnToSender &&
                        bounceHandler_ != 0 &&
-                       !q.canBegin(MsgHeader::decode(flit.msg->words[0])
-                                       .length))) {
+                       !q.canBegin(MsgHeader::decode(m.words[0]).length))) {
         if (!cap.active) {
             cap.active = true;
-            cap.msg = std::make_shared<Message>();
-            cap.msg->src = id_;
-            cap.msg->dest = flit.msg->src;
-            cap.msg->destAddr = net_->dims().toCoord(flit.msg->src);
-            cap.msg->priority = flit.vn;
-            const MsgHeader orig = MsgHeader::decode(flit.msg->words[0]);
+            cap.msg = net_->pool().alloc();
+            Message &bmsg = net_->pool().get(cap.msg);
+            bmsg.src = id_;
+            bmsg.dest = m.src;
+            bmsg.destAddr = net_->dims().toCoord(m.src);
+            bmsg.priority = flit.vn;
+            const MsgHeader orig = MsgHeader::decode(m.words[0]);
             MsgHeader hdr;
             hdr.handlerIp = bounceHandler_;
             hdr.length = orig.length + 2;
-            cap.msg->words.push_back(hdr.encode());
-            cap.msg->words.push_back(Word::makeInt(static_cast<std::int32_t>(
+            bmsg.words.push_back(hdr.encode());
+            bmsg.words.push_back(Word::makeInt(static_cast<std::int32_t>(
                 net_->dims().toCoord(id_).pack())));
         }
-        cap.msg->words.push_back(
-            flit.msg->words[static_cast<std::size_t>(word)]);
-        if (flit.isTail()) {
-            cap.msg->finalized = true;
-            bounceReady_[flit.vn].push_back(std::move(cap.msg));
+        Message &bmsg = net_->pool().get(cap.msg);
+        bmsg.words.push_back(m.words[static_cast<std::size_t>(word)]);
+        if (tail) {
+            bmsg.finalized = true;
+            bounceReady_[flit.vn].push_back(cap.msg);
+            cap.msg = kNullMsg;
             cap.active = false;
             stats_.messagesBounced += 1;
         }
@@ -196,8 +206,8 @@ NetworkInterface::acceptFlit(const Flit &flit, Cycle now)
     }
     Addr start;
     if (word == 0) {
-        const MsgHeader hdr = MsgHeader::decode(flit.msg->words[0]);
-        start = q.begin(hdr.length, flit.msg->src, now);
+        const MsgHeader hdr = MsgHeader::decode(m.words[0]);
+        start = q.begin(hdr.length, m.src, now);
     } else {
         QueuedMessage *in = q.incoming();
         if (!in)
@@ -205,11 +215,11 @@ NetworkInterface::acceptFlit(const Flit &flit, Cycle now)
         start = in->start;
     }
     mem_->write(start + static_cast<Addr>(word),
-                flit.msg->words[static_cast<std::size_t>(word)]);
+                m.words[static_cast<std::size_t>(word)]);
     q.wordArrived();
-    if (flit.isTail()) {
-        flit.msg->deliverCycle = now;
-        net_->noteMessageDelivered(*flit.msg);
+    if (tail) {
+        m.deliverCycle = now;
+        net_->noteMessageDelivered(m);
     }
     // Header arrival makes the message dispatchable; wake the node.
     if (word == 0 && wake_)

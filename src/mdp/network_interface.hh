@@ -21,13 +21,13 @@
 #define JMSIM_MDP_NETWORK_INTERFACE_HH
 
 #include <array>
-#include <deque>
 #include <functional>
 
 #include "isa/instruction.hh"
 #include "mdp/message_queue.hh"
 #include "mem/memory.hh"
 #include "net/mesh_network.hh"
+#include "sim/ring_queue.hh"
 
 namespace jmsim
 {
@@ -130,7 +130,8 @@ class NetworkInterface : public DeliverSink
   private:
     struct SendChannel
     {
-        std::deque<MessageRef> pending;  ///< front = injecting, back = building
+        /** front = injecting, back = building (pool handles). */
+        RingQueue<MsgHandle> pending;
         std::uint32_t flitsInjected = 0; ///< cursor into front message
         std::uint32_t bufferedWords = 0; ///< words not yet fully injected
         bool buildingStarted = false;    ///< back message got its dest word
@@ -141,7 +142,7 @@ class NetworkInterface : public DeliverSink
     /** Per-VN capture of a message being returned to its sender. */
     struct BounceCapture
     {
-        MessageRef msg;   ///< under construction, dest = original src
+        MsgHandle msg = kNullMsg;  ///< under construction, dest = orig src
         bool active = false;
     };
 
@@ -153,7 +154,7 @@ class NetworkInterface : public DeliverSink
     std::array<SendChannel, 2> send_;
     std::array<MessageQueue, 2> queues_;
     std::array<BounceCapture, 2> bounce_;
-    std::array<std::deque<MessageRef>, 2> bounceReady_;
+    std::array<RingQueue<MsgHandle>, 2> bounceReady_;
     IAddr bounceHandler_ = 0;
     NiStats stats_;
 };

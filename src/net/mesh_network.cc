@@ -45,11 +45,13 @@ MeshNetwork::MeshNetwork(const MeshDims &dims)
     : dims_(dims),
       routers_(dims.nodes()),
       channels_(static_cast<std::size_t>(dims.nodes()) * kNumDirs),
+      routerShard_(dims.nodes(), 0),
       activeFlag_(dims.nodes(), 0)
 {
     for (NodeId id = 0; id < dims.nodes(); ++id) {
         const RouterAddr addr = dims.toCoord(id);
         routers_[id].init(id, addr);
+        routers_[id].setPool(&pool_);
         for (unsigned dir = 0; dir < kNumDirs; ++dir) {
             RouterAddr to;
             if (!neighbour(dims, addr, dir, to))
@@ -62,8 +64,8 @@ MeshNetwork::MeshNetwork(const MeshDims &dims)
                 static_cast<Direction>(oppositeDir(dir)), &ch);
         }
     }
-    touched_.reserve(channels_.size());
-    active_.reserve(dims.nodes());
+    commitChannels_.reserve(channels_.size());
+    setShards(1);
 }
 
 void
@@ -80,11 +82,38 @@ MeshNetwork::setRoundRobin(bool rr)
 }
 
 void
+MeshNetwork::setShards(unsigned shards)
+{
+    if (shards < 1)
+        shards = 1;
+    // Gather the live active set before the bins move under it.
+    std::vector<NodeId> live;
+    live.reserve(activeCount_);
+    for (Shard &sh : shards_) {
+        live.insert(live.end(), sh.active.begin(), sh.active.end());
+        sh.active.clear();
+    }
+    const NodeId n = dims_.nodes();
+    shards_.resize(shards);
+    for (NodeId id = 0; id < n; ++id)
+        routerShard_[id] = static_cast<std::uint16_t>(
+            static_cast<std::uint64_t>(id) * shards / n);
+    for (Shard &sh : shards_) {
+        sh.active.reserve(n / shards + 1);
+        sh.touched.reserve(channels_.size() / shards + kNumDirs);
+    }
+    for (const NodeId id : live)
+        shards_[routerShard_[id]].active.push_back(id);
+    pool_.setShards(shards);
+}
+
+void
 MeshNetwork::activate(NodeId id)
 {
     if (!activeFlag_[id]) {
         activeFlag_[id] = 1;
-        active_.push_back(id);
+        shards_[routerShard_[id]].active.push_back(id);
+        ++activeCount_;
     }
 }
 
@@ -92,13 +121,14 @@ void
 MeshNetwork::injectFlit(NodeId id, Flit flit)
 {
     if (staging_) {
-        // Parallel node phase: only node id's own shard injects into
-        // router id, so the per-(node, vn) counter needs no locking.
+        // Parallel node phase: only the shard stepping node id injects
+        // into router id, so the per-(node, vn) counter needs no
+        // locking.
         stagedInject_[id * kNumVns + flit.vn] += 1;
-        staged_[ThreadPool::currentShard()].push_back({id, std::move(flit)});
+        staged_[ThreadPool::currentShard()].push_back({id, flit});
         return;
     }
-    routers_[id].inject(std::move(flit));
+    routers_[id].inject(flit);
     activate(id);
 }
 
@@ -109,6 +139,7 @@ MeshNetwork::beginStaging(unsigned shards)
     staged_.resize(shards);
     stagedInject_.assign(static_cast<std::size_t>(dims_.nodes()) * kNumVns,
                          0);
+    setShards(shards);
 }
 
 void
@@ -117,7 +148,7 @@ MeshNetwork::commitStaged()
     commitScratch_.clear();
     for (auto &queue : staged_) {
         for (auto &entry : queue)
-            commitScratch_.push_back(std::move(entry));
+            commitScratch_.push_back(entry);
         queue.clear();
     }
     if (commitScratch_.empty())
@@ -130,7 +161,7 @@ MeshNetwork::commitStaged()
                      });
     for (auto &entry : commitScratch_) {
         stagedInject_[entry.id * kNumVns + entry.flit.vn] = 0;
-        routers_[entry.id].inject(std::move(entry.flit));
+        routers_[entry.id].inject(entry.flit);
         activate(entry.id);
     }
     commitScratch_.clear();
@@ -144,30 +175,62 @@ MeshNetwork::endStaging()
             panic("MeshNetwork::endStaging with uncommitted flits");
     }
     staging_ = false;
+    setShards(1);
 }
 
 void
-MeshNetwork::step(Cycle now)
+MeshNetwork::pullShard(unsigned s)
 {
-    if (active_.empty())
-        return;
-
-    // activate() may append to active_ during the commit loop below, so
-    // phases iterate by index over the cycle-start snapshot length.
-    const std::size_t n = active_.size();
-
+    Shard &sh = shards_[s];
+    // Index-based with a snapshot length: in the serial kernel a
+    // delivery callback can inject (and so activate) mid-phase, which
+    // appends to the bin being walked.
+    const std::size_t n = sh.active.size();
     for (std::size_t i = 0; i < n; ++i)
-        routers_[active_[i]].pullPhase();
+        routers_[sh.active[i]].pullPhase();
+}
 
-    touched_.clear();
+void
+MeshNetwork::moveShard(unsigned s, Cycle now)
+{
+    Shard &sh = shards_[s];
+    const std::size_t n = sh.active.size();
     for (std::size_t i = 0; i < n; ++i)
-        routers_[active_[i]].movePhase(now, touched_);
+        routers_[sh.active[i]].movePhase(now, sh.touched);
+}
+
+void
+MeshNetwork::noteMessageDelivered(const Message &msg)
+{
+    Shard &sh = shards_[ThreadPool::currentShard()];
+    sh.messagesDelivered += 1;
+    sh.wordsDelivered += msg.words.size();
+}
+
+void
+MeshNetwork::commitPhase(Cycle now)
+{
+    (void)now;
+    commitChannels_.clear();
+    for (Shard &sh : shards_) {
+        commitChannels_.insert(commitChannels_.end(), sh.touched.begin(),
+                               sh.touched.end());
+        sh.touched.clear();
+        stats_.messagesDelivered += sh.messagesDelivered;
+        stats_.wordsDelivered += sh.wordsDelivered;
+        sh.messagesDelivered = 0;
+        sh.wordsDelivered = 0;
+    }
+    // channels_ is one contiguous array, so sorting the pointers is
+    // exactly channel-index order — the same commit order the serial
+    // kernel produces, independent of how routers were sharded.
+    std::sort(commitChannels_.begin(), commitChannels_.end());
 
     // Commit only the channel pipeline registers written by this
     // cycle's moves, waking the downstream routers and counting
     // bisection crossings.
     const unsigned mid = dims_.x / 2;
-    for (Channel *chp : touched_) {
+    for (Channel *chp : commitChannels_) {
         Channel &ch = *chp;
         ch.commit();
         routers_[ch.to()].notePendingIn(ch.inDir());
@@ -182,19 +245,37 @@ MeshNetwork::step(Cycle now)
     }
 
     // Keep only routers that still have (or are about to have) work;
-    // routers woken during commit carry a pending channel flit and so
-    // pass the hasPendingInput() test.
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < active_.size(); ++i) {
-        const NodeId id = active_[i];
-        const Router &r = routers_[id];
-        if (r.residentFlits() > 0 || r.hasPendingInput()) {
-            active_[keep++] = id;
-        } else {
-            activeFlag_[id] = 0;
+    // routers woken during the commit loop carry a pending channel flit
+    // and so pass the hasPendingInput() test.
+    std::size_t total = 0;
+    for (Shard &sh : shards_) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < sh.active.size(); ++i) {
+            const NodeId id = sh.active[i];
+            const Router &r = routers_[id];
+            if (r.residentFlits() > 0 || r.hasPendingInput()) {
+                sh.active[keep++] = id;
+            } else {
+                activeFlag_[id] = 0;
+            }
         }
+        sh.active.resize(keep);
+        total += keep;
     }
-    active_.resize(keep);
+    activeCount_ = total;
+}
+
+void
+MeshNetwork::step(Cycle now)
+{
+    if (!anyActive())
+        return;
+    const unsigned shards = shardCount();
+    for (unsigned s = 0; s < shards; ++s)
+        pullShard(s);
+    for (unsigned s = 0; s < shards; ++s)
+        moveShard(s, now);
+    commitPhase(now);
 }
 
 bool
@@ -217,6 +298,7 @@ MeshNetwork::resetStats()
     stats_ = NetworkStats{};
     for (auto &r : routers_)
         r.resetStats();
+    pool_.resetStats();
 }
 
 double

@@ -8,6 +8,28 @@
  * paper quotes it: payload flits crossing the X mid-plane in the
  * positive direction, at 36 bits per word, against a one-direction
  * capacity of width * 0.5 words/cycle.
+ *
+ * Execution is split into three phases so the threaded kernel can
+ * shard the fabric over contiguous node-id slabs (setShards):
+ *
+ *   pullShard(s)  — drain last cycle's committed channel outputs into
+ *                   the slab's router FIFOs. Only reads channel `cur`
+ *                   registers, each owned by its downstream router.
+ *   moveShard(s)  — arbitrate and move flits. Writes only channel
+ *                   `next` registers (each owned by its unique
+ *                   upstream router) and the slab's own delivery
+ *                   sinks; written channels are recorded per shard.
+ *   commitPhase() — main thread, at the barrier: advance the written
+ *                   pipeline registers in channel-index order, wake
+ *                   downstream routers, count bisection crossings,
+ *                   fold per-shard delivery counters, compact the
+ *                   active bins.
+ *
+ * The one-flit channel pipeline register is the synchronization
+ * boundary: within a phase no two shards touch the same field, and the
+ * phases are separated by the kernel's cycle barrier, so a sharded run
+ * is bit-identical to the serial one (step() runs the same three
+ * phases inline with a single shard).
  */
 
 #ifndef JMSIM_NET_MESH_NETWORK_HH
@@ -17,6 +39,7 @@
 #include <vector>
 
 #include "net/channel.hh"
+#include "net/message_pool.hh"
 #include "net/router.hh"
 #include "net/router_address.hh"
 #include "sim/types.hh"
@@ -51,14 +74,38 @@ class MeshNetwork
     MeshNetwork(const MeshNetwork &) = delete;
     MeshNetwork &operator=(const MeshNetwork &) = delete;
 
+    /** The arena every in-flight message of this fabric lives in. */
+    MessagePool &pool() { return pool_; }
+    const MessagePool &pool() const { return pool_; }
+
     /** Attach node @p id's delivery sink (must precede stepping). */
     void setDeliverSink(NodeId id, DeliverSink *sink);
 
     /** Select arbitration policy on every router (ablation hook). */
     void setRoundRobin(bool rr);
 
-    /** Advance the fabric by one cycle. */
+    /** Advance the fabric by one cycle (serial: all phases inline). */
     void step(Cycle now);
+
+    // ---- sharded stepping (threaded kernel) ----
+
+    /** Partition routers into @p shards contiguous node-id slabs and
+     *  size the pool's per-shard free lists (main thread only). */
+    void setShards(unsigned shards);
+
+    unsigned shardCount() const { return static_cast<unsigned>(shards_.size()); }
+
+    /** Phase 1 (parallel): pull committed channel flits into shard
+     *  @p s's active routers. */
+    void pullShard(unsigned s);
+
+    /** Phase 2 (parallel): arbitrate and move shard @p s's active
+     *  routers; deliveries land in the slab's own sinks. */
+    void moveShard(unsigned s, Cycle now);
+
+    /** Phase 3 (main thread): commit written channels in channel-index
+     *  order, fold per-shard counters, compact the active bins. */
+    void commitPhase(Cycle now);
 
     /** NI-side: may node @p id inject a flit at priority @p vn?
      *  While staging is enabled, flits staged this cycle count against
@@ -83,7 +130,8 @@ class MeshNetwork
     // buffered flits in node-id order at the cycle barrier, which makes
     // a threaded run bit-identical to the serial kernel.
 
-    /** Enter staged-injection mode with @p shards worker shards. */
+    /** Enter staged-injection mode with @p shards worker shards (also
+     *  partitions the fabric and pool: see setShards). */
     void beginStaging(unsigned shards);
 
     /** Replay this cycle's staged flits in node-id order. */
@@ -92,19 +140,15 @@ class MeshNetwork
     /** Leave staged-injection mode (staging queues must be empty). */
     void endStaging();
 
-    /** Called by sinks when a whole message has been delivered. */
-    void
-    noteMessageDelivered(const Message &msg)
-    {
-        stats_.messagesDelivered += 1;
-        stats_.wordsDelivered += msg.words.size();
-    }
+    /** Called by sinks when a whole message has been delivered. May run
+     *  inside a parallel move phase: counts per executing shard. */
+    void noteMessageDelivered(const Message &msg);
 
     /** True if any flit is in flight anywhere (exhaustive scan). */
     bool busy() const;
 
-    /** Cheap activity check: any router on the active list? */
-    bool anyActive() const { return !active_.empty(); }
+    /** Cheap activity check: any router on an active bin? */
+    bool anyActive() const { return activeCount_ != 0; }
 
     const MeshDims &dims() const { return dims_; }
     Router &router(NodeId id) { return routers_[id]; }
@@ -124,18 +168,30 @@ class MeshNetwork
         Flit flit;
     };
 
+    /** Per-slab state, cache-line separated for the parallel phases. */
+    struct alignas(64) Shard
+    {
+        std::vector<NodeId> active;       ///< routers to step this cycle
+        std::vector<Channel *> touched;   ///< channels written this cycle
+        std::uint64_t messagesDelivered = 0;  ///< folded at commitPhase
+        std::uint64_t wordsDelivered = 0;
+    };
+
     MeshDims dims_;
+    MessagePool pool_;
     std::vector<Router> routers_;
     /** Channels indexed [node * kNumDirs + dir] = outgoing channel. */
     std::vector<Channel> channels_;
-    std::vector<Channel *> touched_;      ///< channels written this cycle
-    std::vector<NodeId> active_;          ///< routers to step this cycle
+    std::vector<Shard> shards_;
+    std::vector<std::uint16_t> routerShard_;  ///< slab of each router
+    std::size_t activeCount_ = 0;
     std::vector<std::uint8_t> activeFlag_;
     bool staging_ = false;
     std::vector<std::vector<StagedFlit>> staged_;  ///< per worker shard
     /** Flits staged this cycle per (node, vn), for canInject. */
     std::vector<std::uint8_t> stagedInject_;
     std::vector<StagedFlit> commitScratch_;
+    std::vector<Channel *> commitChannels_;
     NetworkStats stats_;
 };
 

@@ -8,13 +8,17 @@
  * channel bandwidth). Payload word 0 is the Msg-tagged header holding
  * the dispatch IP and length; the destination word consumed by the
  * first SEND never appears in the payload, mirroring the MDP.
+ *
+ * Messages live in a recycling MessagePool (message_pool.hh) and are
+ * named by a 32-bit MsgHandle; a Flit is a plain {handle, index, vn}
+ * cursor, so moving flits through channels and FIFOs copies 12 bytes
+ * and touches no allocator and no reference count.
  */
 
 #ifndef JMSIM_NET_MESSAGE_HH
 #define JMSIM_NET_MESSAGE_HH
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "isa/word.hh"
@@ -29,6 +33,12 @@ inline constexpr unsigned kFlitsPerWord = 2;
 
 /** Bits per payload word for bandwidth accounting (36-bit words). */
 inline constexpr unsigned kBitsPerWord = 36;
+
+/** Name of a pool-resident message (see MessagePool). */
+using MsgHandle = std::uint32_t;
+
+/** "No message": the default of a freshly constructed Flit. */
+inline constexpr MsgHandle kNullMsg = 0xFFFFFFFFu;
 
 /** One message travelling through the mesh. */
 struct Message
@@ -50,24 +60,23 @@ struct Message
     {
         return 1 + kFlitsPerWord * static_cast<std::uint32_t>(words.size());
     }
+
+    /** Is flit @p index the tail of this message (as built so far)? */
+    bool
+    tailAt(std::uint32_t index) const
+    {
+        return finalized && index + 1 == flitCount();
+    }
 };
 
-using MessageRef = std::shared_ptr<Message>;
-
-/** One flit: a cursor into a message. */
+/** One flit: a POD cursor into a pooled message. */
 struct Flit
 {
-    MessageRef msg;
+    MsgHandle msg = kNullMsg;
     std::uint32_t index = 0;   ///< 0 = head flit
     std::uint8_t vn = 0;       ///< virtual network (= message priority)
 
     bool isHead() const { return index == 0; }
-
-    bool
-    isTail() const
-    {
-        return msg && msg->finalized && index + 1 == msg->flitCount();
-    }
 
     /**
      * Payload word this flit completes, or -1.

@@ -1,0 +1,119 @@
+#include "net/message_pool.hh"
+
+#include "sim/logging.hh"
+#include "sim/thread_pool.hh"
+
+namespace jmsim
+{
+
+void
+MessagePool::setShards(unsigned shards)
+{
+    if (shards < 1)
+        shards = 1;
+    if (shards < shards_.size()) {
+        // Fold the dropped shards' free lists and counters into shard 0
+        // so no carved slot is stranded.
+        Shard &keep = shards_[0];
+        for (std::size_t s = shards; s < shards_.size(); ++s) {
+            Shard &drop = shards_[s];
+            keep.freeList.insert(keep.freeList.end(), drop.freeList.begin(),
+                                 drop.freeList.end());
+            keep.allocs += drop.allocs;
+            keep.recycled += drop.recycled;
+            keep.released += drop.released;
+            keep.liveDelta += drop.liveDelta;
+        }
+    }
+    shards_.resize(shards);
+}
+
+MsgHandle
+MessagePool::alloc()
+{
+    Shard &shard = shards_[ThreadPool::currentShard()];
+    shard.allocs += 1;
+    shard.liveDelta += 1;
+    MsgHandle handle;
+    if (!shard.freeList.empty()) {
+        handle = shard.freeList.back();
+        shard.freeList.pop_back();
+        shard.recycled += 1;
+    } else {
+        handle = grow(shard);
+    }
+    Message &msg = get(handle);
+    msg.src = 0;
+    msg.dest = 0;
+    msg.destAddr = RouterAddr{};
+    msg.priority = 0;
+    msg.words.clear();  // capacity survives: the recycling payoff
+    msg.injectCycle = 0;
+    msg.deliverCycle = 0;
+    msg.finalized = false;
+    return handle;
+}
+
+void
+MessagePool::release(MsgHandle handle)
+{
+    Shard &shard = shards_[ThreadPool::currentShard()];
+    shard.released += 1;
+    shard.liveDelta -= 1;
+    shard.freeList.push_back(handle);
+}
+
+MsgHandle
+MessagePool::grow(Shard &shard)
+{
+    std::lock_guard<std::mutex> lock(growMutex_);
+    if (slabCount_ == kMaxSlabs)
+        panic("MessagePool exhausted");
+    const std::uint32_t slab = slabCount_;
+    slabs_[slab] = std::make_unique<Message[]>(kSlabSize);
+    slabCount_ += 1;
+    const MsgHandle base = static_cast<MsgHandle>(slab) << kSlabShift;
+    // Hand the first slot to the caller; stack the rest so the shard
+    // pops them in ascending handle order.
+    shard.freeList.reserve(shard.freeList.size() + kSlabSize - 1);
+    for (std::uint32_t i = kSlabSize; i-- > 1;)
+        shard.freeList.push_back(base + i);
+    return base;
+}
+
+std::uint64_t
+MessagePool::live() const
+{
+    std::int64_t live = 0;
+    for (const Shard &shard : shards_)
+        live += shard.liveDelta;
+    return live > 0 ? static_cast<std::uint64_t>(live) : 0;
+}
+
+PoolStats
+MessagePool::stats() const
+{
+    PoolStats s;
+    for (const Shard &shard : shards_) {
+        s.allocs += shard.allocs;
+        s.recycled += shard.recycled;
+        s.released += shard.released;
+    }
+    s.liveNow = live();
+    s.liveHighWater = liveHighWater_;
+    s.capacity = slabCount_ * kSlabSize;
+    return s;
+}
+
+void
+MessagePool::resetStats()
+{
+    for (Shard &shard : shards_) {
+        shard.allocs = 0;
+        shard.recycled = 0;
+        shard.released = 0;
+    }
+    liveHighWater_ = live();
+}
+
+} // namespace jmsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A recycling slab arena for in-flight messages.
+ *
+ * Messages are allocated in fixed-size slabs and named by a 32-bit
+ * MsgHandle (slab index · slot index), so a Flit can reference its
+ * message without owning it: no heap allocation and no atomic
+ * reference count anywhere on the per-cycle flit path. A released
+ * message keeps its payload vector's capacity, so the steady state of
+ * a traffic-bound run allocates nothing at all — the pool's recycle
+ * counters prove it (see tests/message_pool_test.cc).
+ *
+ * Threading: free lists and counters are per worker shard (indexed by
+ * ThreadPool::currentShard()), because allocation happens in the
+ * parallel node phase (NI send) and release in the parallel fabric
+ * move phase (tail delivery) of the sharded kernel. A shard only ever
+ * touches its own free list, and the two phases are separated by the
+ * cycle barrier, so no per-message operation takes a lock; only slab
+ * growth — which the recycling makes vanishingly rare — serializes.
+ * Slab pointers live in a fixed-capacity directory so get() never
+ * races a concurrent grow.
+ */
+
+#ifndef JMSIM_NET_MESSAGE_POOL_HH
+#define JMSIM_NET_MESSAGE_POOL_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/message.hh"
+
+namespace jmsim
+{
+
+/** Pool observability counters (host-side; reduced over shards). */
+struct PoolStats
+{
+    std::uint64_t allocs = 0;        ///< messages handed out
+    std::uint64_t recycled = 0;      ///< allocs served from a free list
+    std::uint64_t released = 0;      ///< messages returned to the pool
+    std::uint64_t liveNow = 0;       ///< currently outstanding handles
+    std::uint64_t liveHighWater = 0; ///< peak of end-of-cycle samples
+    std::uint32_t capacity = 0;      ///< slots carved out of slabs so far
+};
+
+/** Slab-allocated, handle-indexed message arena. */
+class MessagePool
+{
+  public:
+    static constexpr unsigned kSlabShift = 8;
+    static constexpr std::uint32_t kSlabSize = 1u << kSlabShift;
+    static constexpr std::uint32_t kMaxSlabs = 1u << 14;  ///< 4M messages
+
+    MessagePool() : shards_(1) {}
+
+    MessagePool(const MessagePool &) = delete;
+    MessagePool &operator=(const MessagePool &) = delete;
+
+    /** Size the per-shard free lists (main thread, between cycles).
+     *  Shrinking folds the dropped shards' lists into shard 0. */
+    void setShards(unsigned shards);
+
+    /** Take a message (recycled when possible). Fields are reset; the
+     *  payload vector keeps its capacity. */
+    MsgHandle alloc();
+
+    /** Return a message to the calling shard's free list. */
+    void release(MsgHandle handle);
+
+    Message &
+    get(MsgHandle handle)
+    {
+        return slabs_[handle >> kSlabShift][handle & (kSlabSize - 1)];
+    }
+
+    const Message &
+    get(MsgHandle handle) const
+    {
+        return slabs_[handle >> kSlabShift][handle & (kSlabSize - 1)];
+    }
+
+    /** Outstanding handles (call from the main thread at a barrier). */
+    std::uint64_t live() const;
+
+    /** Record an end-of-cycle high-water sample of live(). */
+    void
+    sampleHighWater()
+    {
+        const std::uint64_t l = live();
+        if (l > liveHighWater_)
+            liveHighWater_ = l;
+    }
+
+    /** Reduce the per-shard counters (main thread, workers idle). */
+    PoolStats stats() const;
+
+    /** Zero the counters; live accounting and free lists persist. */
+    void resetStats();
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::vector<MsgHandle> freeList;
+        std::uint64_t allocs = 0;
+        std::uint64_t recycled = 0;
+        std::uint64_t released = 0;
+        std::int64_t liveDelta = 0;  ///< +1 per alloc, -1 per release
+    };
+
+    /** Carve a fresh slab into @p shard's free list (takes the lock). */
+    MsgHandle grow(Shard &shard);
+
+    std::vector<Shard> shards_;
+    /** Fixed directory: entries are written once, under growMutex_,
+     *  before any handle into the slab escapes the allocating shard. */
+    std::array<std::unique_ptr<Message[]>, kMaxSlabs> slabs_;
+    std::uint32_t slabCount_ = 0;  ///< guarded by growMutex_
+    std::mutex growMutex_;
+    std::uint64_t liveHighWater_ = 0;  ///< main thread only
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_NET_MESSAGE_POOL_HH

@@ -60,26 +60,29 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
     if (out == kDeliverPort) {
         if (!sink_->canAcceptFlit(fifo.front()))
             return false;
-        Flit flit = fifo.pop();
+        const Flit flit = fifo.pop();
         --resident_;
         if (fifo.empty())
             occ_[vn] &= ~(1u << in);
-        const bool tail = flit.isTail();
+        const bool tail = pool_->get(flit.msg).tailAt(flit.index);
         stats_.flitsDelivered += 1;
         sink_->acceptFlit(flit, now);
+        // The tail was the last live reference: recycle the message.
+        if (tail)
+            pool_->release(flit.msg);
         setOwner(out, vn, tail ? -1 : static_cast<std::int8_t>(in));
         return true;
     }
     Channel *ch = out_[out];
     if (!ch || !ch->canSend())
         return false;
-    Flit flit = fifo.pop();
+    const Flit flit = fifo.pop();
     --resident_;
     if (fifo.empty())
         occ_[vn] &= ~(1u << in);
-    const bool tail = flit.isTail();
+    const bool tail = pool_->get(flit.msg).tailAt(flit.index);
     stats_.flitsRouted += 1;
-    ch->send(std::move(flit));
+    ch->send(flit);
     touched.push_back(ch);
     setOwner(out, vn, tail ? -1 : static_cast<std::int8_t>(in));
     sentThisCycle_ = true;
@@ -110,7 +113,7 @@ Router::movePhase(Cycle now, std::vector<Channel *> &touched)
         const FlitFifo &fifo = fifos_[in][vn];
         head_mask[vn] &= ~(1u << in);
         if (!fifo.empty() && fifo.front().isHead()) {
-            const unsigned out = route(fifo.front().msg->destAddr);
+            const unsigned out = route(pool_->get(fifo.front().msg).destAddr);
             head_out[in][vn] = static_cast<std::uint8_t>(out);
             head_mask[vn] |= 1u << in;
             want[vn] |= 1u << out;

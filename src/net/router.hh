@@ -20,6 +20,7 @@
 
 #include "net/channel.hh"
 #include "net/message.hh"
+#include "net/message_pool.hh"
 #include "net/router_address.hh"
 
 namespace jmsim
@@ -111,6 +112,11 @@ class Router
     /** Attach (or replace) the local delivery sink (the node's NI). */
     void setDeliverSink(DeliverSink *sink) { sink_ = sink; }
 
+    /** Attach the message pool flits resolve through (set by the mesh).
+     *  The router releases a message when it consumes its tail flit at
+     *  the delivery port and the sink's callback has returned. */
+    void setPool(MessagePool *pool) { pool_ = pool; }
+
     /** Attach the outgoing channel in direction @p dir (may be null). */
     void setOutChannel(Direction dir, Channel *ch) { out_[dir] = ch; }
 
@@ -185,6 +191,7 @@ class Router
     bool initialized_ = false;
     RouterAddr addr_;
     DeliverSink *sink_ = nullptr;
+    MessagePool *pool_ = nullptr;
     std::array<Channel *, kNumDirs> in_{};
     std::array<Channel *, kNumDirs> out_{};
     std::array<std::array<FlitFifo, kNumVns>, kNumInPorts> fifos_;

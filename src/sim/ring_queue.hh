@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A growable FIFO over a flat power-of-two array.
+ *
+ * Drop-in replacement for the std::deque-as-queue pattern on simulator
+ * hot paths: push_back/pop_front never allocate once the ring has grown
+ * to the workload's high-water mark, and the elements sit contiguously
+ * (modulo one wrap point) instead of in scattered deque blocks.
+ */
+
+#ifndef JMSIM_SIM_RING_QUEUE_HH
+#define JMSIM_SIM_RING_QUEUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace jmsim
+{
+
+/** FIFO ring buffer; capacity doubles on demand and is never returned. */
+template <typename T>
+class RingQueue
+{
+  public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    T &front() { return slots_[head_]; }
+    const T &front() const { return slots_[head_]; }
+
+    T &back() { return slots_[wrap(head_ + count_ - 1)]; }
+    const T &back() const { return slots_[wrap(head_ + count_ - 1)]; }
+
+    void
+    push_back(T value)
+    {
+        if (count_ == slots_.size())
+            grow();
+        slots_[wrap(head_ + count_)] = std::move(value);
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        slots_[head_] = T{};  // drop held resources eagerly
+        head_ = wrap(head_ + 1);
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        while (count_ > 0)
+            pop_front();
+        head_ = 0;
+    }
+
+  private:
+    std::size_t wrap(std::size_t i) const { return i & (slots_.size() - 1); }
+
+    void
+    grow()
+    {
+        const std::size_t cap = slots_.size() ? slots_.size() * 2 : 8;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < count_; ++i)
+            next[i] = std::move(slots_[wrap(head_ + i)]);
+        slots_ = std::move(next);
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_SIM_RING_QUEUE_HH

@@ -842,6 +842,12 @@ runFig3Traffic(unsigned nodes, unsigned msg_words, unsigned idle_iters,
     return probe;
 }
 
+TrafficProbe
+runFig4Load(unsigned nodes, Cycle window, std::uint32_t seed)
+{
+    return runFig3Traffic(nodes, 24, 0, window, seed);
+}
+
 double
 measureBlast(unsigned msg_words, BlastMode mode, unsigned messages)
 {

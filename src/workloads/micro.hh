@@ -99,6 +99,13 @@ TrafficProbe runFig3Traffic(unsigned nodes, unsigned msg_words,
                             unsigned idle_iters, Cycle window,
                             std::uint32_t seed = 1);
 
+/** Fig4-style saturation probe: maximum-length (24-word) random-target
+ *  messages with zero modelled computation, so every node offers load
+ *  as fast as its NI drains — the fabric-bound stress case for the
+ *  host-perf sweep and the high-load determinism golden. */
+TrafficProbe runFig4Load(unsigned nodes, Cycle window,
+                         std::uint32_t seed = 1);
+
 /** Delivery handling for Figure 4. */
 enum class BlastMode : std::uint8_t
 {

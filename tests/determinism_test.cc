@@ -66,6 +66,12 @@ expectEqualProbes(const TrafficProbe &a, const TrafficProbe &b)
     EXPECT_EQ(a.niStats.sendFullEvents, b.niStats.sendFullEvents);
     EXPECT_EQ(a.niStats.deliveryStallCycles, b.niStats.deliveryStallCycles);
     EXPECT_EQ(a.niStats.messagesBounced, b.niStats.messagesBounced);
+    // Message-pool alloc/release counts are architectural (one alloc
+    // per message created, one release per tail delivered) and so must
+    // match across kernels. Recycle counts and capacity are not: they
+    // depend on how the free lists were sharded.
+    EXPECT_EQ(a.run.pool.allocs, b.run.pool.allocs);
+    EXPECT_EQ(a.run.pool.released, b.run.pool.released);
 }
 
 void
@@ -98,6 +104,13 @@ trafficAt(unsigned nodes, int threads, Cycle window)
 {
     ThreadsGuard guard(threads);
     return workloads::runFig3Traffic(nodes, 6, 40, window);
+}
+
+TrafficProbe
+fig4At(unsigned nodes, int threads, Cycle window)
+{
+    ThreadsGuard guard(threads);
+    return workloads::runFig4Load(nodes, window);
 }
 
 TEST(DeterminismSerial, RepeatRunsIdentical)
@@ -146,6 +159,55 @@ TEST(DeterminismSerial, RadixRepeatRunsIdentical)
     const auto second = workloads::runRadixSort(c);
     EXPECT_EQ(first.answer, 1024);
     expectEqualAppResults(first, second);
+}
+
+// Golden numbers for the fig4 saturation workload, captured from the
+// shared_ptr-message / serial-fabric implementation immediately before
+// the arena-backed network fabric landed. The fabric rewrite is a pure
+// host-side optimization: any drift here is an architectural
+// regression.
+TEST(DeterminismSerial, Fig4LoadMatchesPreArenaGolden)
+{
+    const TrafficProbe p = fig4At(64, 1, 2500);
+    EXPECT_EQ(p.run.cycles, 2500u);
+    EXPECT_EQ(p.instructions, 100000u);
+    EXPECT_EQ(p.procStats.runCycles, 160030u);
+    EXPECT_EQ(p.netStats.messagesDelivered, 880u);
+    EXPECT_EQ(p.netStats.wordsDelivered, 21120u);
+    EXPECT_EQ(p.netStats.bisectionFlitsPos, 9980u);
+    EXPECT_EQ(p.netStats.bisectionFlitsNeg, 9797u);
+    EXPECT_EQ(p.niStats.messagesSent, 889u);
+    EXPECT_EQ(p.niStats.wordsSent, 21336u);
+    EXPECT_EQ(p.niStats.sendFullEvents, 1813u);
+    EXPECT_EQ(p.niStats.deliveryStallCycles, 0u);
+    // Steady-state zero allocation: under saturation the pool recycles
+    // instead of growing — 880 deliveries fed 913 sends from a single
+    // 256-slot slab, and the high water is exactly one in-flight
+    // message per node.
+    EXPECT_EQ(p.run.pool.allocs, 913u);
+    EXPECT_EQ(p.run.pool.released, 880u);
+    EXPECT_EQ(p.run.pool.capacity, 256u);
+    EXPECT_EQ(p.run.pool.liveHighWater, 64u);
+}
+
+TEST(DeterminismThreaded, Fig4LoadMatchesSerialAcrossThreadCounts)
+{
+    const TrafficProbe serial = fig4At(64, 1, 2500);
+    const TrafficProbe two = fig4At(64, 2, 2500);
+    const TrafficProbe four = fig4At(64, 4, 2500);
+    EXPECT_GT(serial.netStats.messagesDelivered, 0u);
+    expectEqualProbes(serial, two);
+    expectEqualProbes(serial, four);
+}
+
+TEST(DeterminismThreaded, Fig4LoadMatchesSerialAt256Nodes)
+{
+    const TrafficProbe serial = fig4At(256, 1, 2500);
+    const TrafficProbe four = fig4At(256, 4, 2500);
+    EXPECT_EQ(serial.run.cycles, 2500u);
+    EXPECT_EQ(serial.instructions, 356400u);
+    EXPECT_EQ(serial.netStats.messagesDelivered, 2284u);
+    expectEqualProbes(serial, four);
 }
 
 TEST(DeterminismThreaded, TrafficMatchesSerialAt256Nodes)
