@@ -9,18 +9,67 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_util.hh"
 #include "net/router_address.hh"
+#include "trace/tracer.hh"
+#include "workloads/driver.hh"
 #include "workloads/micro.hh"
 
 using namespace jmsim;
 using namespace jmsim::workloads;
 
+namespace
+{
+
+/**
+ * `--trace <file>` mode: one traced fig3 run instead of the sweep.
+ * Prints the fabric's own latency percentiles so
+ * `jtrace_tool summarize <file>` can be checked against them (the
+ * trace-reconstructed histogram must match within a cycle).
+ */
+int
+runTraced(const char *path, unsigned nodes, Cycle window)
+{
+    TraceConfig tc;
+    tc.enabled = true;
+    tc.outPath = path;
+    setTraceConfig(tc);
+    const TrafficProbe p = runFig3Traffic(nodes, 6, 40, window);
+    clearTraceConfig();
+    bench::header("Figure 3 traced run: " + std::to_string(nodes) +
+                  " nodes, " + std::to_string(window) + " cycles");
+    std::printf("%zu trace events (%llu dropped), %llu messages "
+                "delivered\n",
+                p.trace.size(),
+                static_cast<unsigned long long>(p.traceDropped),
+                static_cast<unsigned long long>(
+                    p.netStats.messagesDelivered));
+    const Histogram &lat = p.netLatency;
+    std::printf("latency cycles: count %llu mean %.1f p50 %llu p90 %llu "
+                "p99 %llu max %llu\n",
+                static_cast<unsigned long long>(lat.count()), lat.mean(),
+                static_cast<unsigned long long>(lat.percentile(0.50)),
+                static_cast<unsigned long long>(lat.percentile(0.90)),
+                static_cast<unsigned long long>(lat.percentile(0.99)),
+                static_cast<unsigned long long>(lat.max()));
+    std::printf("wrote %s (open in chrome://tracing, or run "
+                "jtrace_tool summarize)\n", path);
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    const char *trace_path = nullptr;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (!std::strcmp(argv[i], "--trace"))
+            trace_path = argv[i + 1];
+    }
     const auto scale = bench::parseScale(argc, argv);
     unsigned nodes = 512;
     Cycle window = 15000;
@@ -33,6 +82,8 @@ main(int argc, char **argv)
         window = 30000;
         idles = {0, 15, 30, 60, 120, 250, 500, 1000, 2000};
     }
+    if (trace_path)
+        return runTraced(trace_path, nodes, window);
 
     const MeshDims dims = MeshDims::forNodeCount(nodes);
     const double capacity =

@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "trace/counter_registry.hh"
+#include "trace/tracer.hh"
 #include "workloads/driver.hh"
 #include "workloads/micro.hh"
 
@@ -50,7 +52,11 @@ struct Sample
     std::uint64_t simInstructions = 0;
     double speedup = 1.0;
     KernelProfile profile;  ///< phase breakdown (traffic workloads)
-    PoolStats pool;         ///< message-pool counters (traffic workloads)
+    // Message-pool counters (traffic workloads), read back from the
+    // run's counter-registry snapshot.
+    std::uint64_t poolLiveHighWater = 0;
+    std::uint64_t poolAllocs = 0;
+    std::uint64_t poolRecycled = 0;
 
     double
     instrPerHostSec() const
@@ -71,7 +77,9 @@ fromProbe(const char *workload, unsigned nodes, unsigned threads,
     s.simCycles = p.run.cycles;
     s.simInstructions = p.instructions;
     s.profile = p.run.profile;
-    s.pool = p.run.pool;
+    s.poolLiveHighWater = counterValue(p.run.counters, "pool.live_high_water");
+    s.poolAllocs = counterValue(p.run.counters, "pool.allocs");
+    s.poolRecycled = counterValue(p.run.counters, "pool.recycled");
     return s;
 }
 
@@ -82,6 +90,19 @@ sampleTraffic(unsigned nodes, unsigned threads, Cycle window)
     const TrafficProbe p = runFig3Traffic(nodes, 8, 80, window);
     setSimThreads(-1);
     return fromProbe("fig3_traffic", nodes, threads, p);
+}
+
+Sample
+sampleTrafficTraced(unsigned nodes, Cycle window)
+{
+    TraceConfig tc;
+    tc.enabled = true;
+    setSimThreads(1);
+    setTraceConfig(tc);
+    const TrafficProbe p = runFig3Traffic(nodes, 8, 80, window);
+    clearTraceConfig();
+    setSimThreads(-1);
+    return fromProbe("fig3_traffic_traced", nodes, 1, p);
 }
 
 Sample
@@ -144,9 +165,9 @@ writeJson(const std::vector<Sample> &samples, unsigned hw)
             s.instrPerHostSec(), s.speedup,
             s.profile.nodeSeconds, s.profile.netSeconds,
             s.profile.commitSeconds,
-            static_cast<unsigned long long>(s.pool.liveHighWater),
-            static_cast<unsigned long long>(s.pool.allocs),
-            static_cast<unsigned long long>(s.pool.recycled),
+            static_cast<unsigned long long>(s.poolLiveHighWater),
+            static_cast<unsigned long long>(s.poolAllocs),
+            static_cast<unsigned long long>(s.poolRecycled),
             i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -322,6 +343,23 @@ main(int argc, char **argv)
                 samples.push_back(std::move(s));
             }
         }
+    }
+
+    // Tracing-on datapoint: the 64-node fig3 traffic again, serial,
+    // with every trace category recording (no file export). The gap
+    // between this row and the untraced one is the taps' cost.
+    {
+        Sample s;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            Sample r = sampleTrafficTraced(64, window);
+            if (rep == 0 || r.hostSeconds < s.hostSeconds)
+                s = std::move(r);
+        }
+        std::printf("%-14s %6u %8u %10.3f %14llu %16.0f %8.2fx\n",
+                    s.workload.c_str(), s.nodes, s.threads, s.hostSeconds,
+                    static_cast<unsigned long long>(s.simCycles),
+                    s.instrPerHostSec(), s.speedup);
+        samples.push_back(std::move(s));
     }
 
     writeJson(samples, hw);

@@ -7,6 +7,7 @@
 #include "sim/host_timer.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
+#include "trace/chrome_trace.hh"
 
 namespace jmsim
 {
@@ -31,11 +32,36 @@ JMachine::JMachine(const MachineConfig &config, Program prog,
                         [this, id] { activateNode(id); });
     }
     loadProgram(*this, boot_label);
+    if (kTraceCompiledIn && config_.trace.enabled) {
+        tracer_ = std::make_unique<Tracer>(config_.trace);
+        net_.setTracer(tracer_.get());
+        for (NodeId id = 0; id < n; ++id)
+            nodes_[id].setTracer(tracer_.get());
+    }
+    for (NodeId id = 0; id < n; ++id)
+        nodes_[id].registerCounters(counters_);
+    net_.registerCounters(counters_);
     for (NodeId id = 0; id < n; ++id)
         activateNode(id);
 }
 
-JMachine::~JMachine() = default;
+JMachine::~JMachine()
+{
+    // A machine that traced to a file but was torn down without an
+    // explicit export still writes its trace (the common driver path).
+    if (tracer_ && !traceExported_ && !config_.trace.outPath.empty())
+        exportTrace();
+}
+
+bool
+JMachine::exportTrace()
+{
+    if (!tracer_ || config_.trace.outPath.empty())
+        return false;
+    traceExported_ = true;
+    return writeChromeTrace(config_.trace.outPath, tracer_->collect(),
+                            tracer_->dropped());
+}
 
 unsigned
 JMachine::resolvedThreads() const
@@ -112,6 +138,17 @@ JMachine::maybeIdleSkip(Cycle max_cycles)
         target = max_cycles;
     if (target <= now_)
         return;
+    if (kTraceCompiledIn && tracer_ &&
+        tracer_->wants(TraceKind::IdleSkip)) {
+        // Always recorded on the main thread (ring 0): the idle-skip
+        // check runs between cycles, outside both fork-joins.
+        TraceEvent ev;
+        ev.cycle = now_;
+        ev.node = kMachineTrack;
+        ev.kind = TraceKind::IdleSkip;
+        ev.a0 = target;
+        tracer_->record(ev);
+    }
     idleSkipped_ += target - now_;
     now_ = target;
 }
@@ -192,7 +229,7 @@ JMachine::runSerial(Cycle max_cycles)
     result.profile.netSeconds = hostSeconds(net_ticks);
     result.profile.commitSeconds = hostSeconds(commit_ticks);
     result.profile.steppedCycles = stepped;
-    result.pool = net_.pool().stats();
+    result.counters = counters_.snapshot();
     return result;
 }
 
@@ -228,6 +265,8 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
     shardHalted_.assign(shards, 0);
     pendingWakes_.resize(shards);
     net_.beginStaging(shards);
+    if (tracer_)
+        tracer_->ensureShards(shards);
 
     RunResult result;
     result.reason = StopReason::CycleLimit;
@@ -309,7 +348,7 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
     result.profile.netSeconds = hostSeconds(net_ticks);
     result.profile.commitSeconds = hostSeconds(commit_ticks);
     result.profile.steppedCycles = stepped;
-    result.pool = net_.pool().stats();
+    result.counters = counters_.snapshot();
     return result;
 }
 
@@ -340,25 +379,29 @@ JMachine::peekInt(NodeId id, Addr addr) const
 ProcessorStats
 JMachine::aggregateStats() const
 {
+    // Every ProcessorStats field is registered per node under a shared
+    // name, so the registry's summed view is exactly the old hand-
+    // gathered aggregate.
     ProcessorStats total;
-    for (NodeId id = 0; id < nodeCount(); ++id) {
-        const ProcessorStats &s = nodes_[id].processor().stats();
-        for (std::size_t c = 0; c < total.cyclesByClass.size(); ++c)
-            total.cyclesByClass[c] += s.cyclesByClass[c];
-        total.instructions += s.instructions;
-        total.instructionsOs += s.instructionsOs;
-        total.dispatches += s.dispatches;
-        total.suspends += s.suspends;
-        for (std::size_t f = 0; f < kNumFaults; ++f)
-            total.faults[f] += s.faults[f];
-        total.queueStallCycles += s.queueStallCycles;
-        total.runCycles += s.runCycles;
-        total.idleCycles += s.idleCycles;
-        total.segCacheHits += s.segCacheHits;
-        total.segCacheMisses += s.segCacheMisses;
-        total.xlateCacheHits += s.xlateCacheHits;
-        total.xlateCacheMisses += s.xlateCacheMisses;
-    }
+    for (std::size_t c = 0; c < total.cyclesByClass.size(); ++c)
+        total.cyclesByClass[c] = counters_.value(
+            std::string("proc.cycles.") +
+            statClassName(static_cast<StatClass>(c)));
+    total.instructions = counters_.value("proc.instructions");
+    total.instructionsOs = counters_.value("proc.instructions_os");
+    total.dispatches = counters_.value("proc.dispatches");
+    total.suspends = counters_.value("proc.suspends");
+    for (std::size_t f = 0; f < kNumFaults; ++f)
+        total.faults[f] = counters_.value(
+            std::string("proc.faults.") +
+            faultName(static_cast<FaultKind>(f)));
+    total.queueStallCycles = counters_.value("proc.queue_stall_cycles");
+    total.runCycles = counters_.value("proc.run_cycles");
+    total.idleCycles = counters_.value("proc.idle_cycles");
+    total.segCacheHits = counters_.value("proc.seg_cache_hits");
+    total.segCacheMisses = counters_.value("proc.seg_cache_misses");
+    total.xlateCacheHits = counters_.value("proc.xlate_cache_hits");
+    total.xlateCacheMisses = counters_.value("proc.xlate_cache_misses");
     return total;
 }
 

@@ -30,6 +30,8 @@
 #include "jasm/program.hh"
 #include "machine/node.hh"
 #include "net/mesh_network.hh"
+#include "trace/counter_registry.hh"
+#include "trace/tracer.hh"
 
 namespace jmsim
 {
@@ -53,6 +55,8 @@ struct MachineConfig
      *  burning a multi-cycle instruction — a pure host-side
      *  optimization with no architectural effect (off for A/B tests). */
     bool idleSkip = true;
+    /** Event tracing (off by default: taps reduce to a null test). */
+    TraceConfig trace;
 };
 
 /** Why a run() returned. */
@@ -78,7 +82,8 @@ struct RunResult
     Cycle cycles = 0;        ///< absolute cycle count at stop
     StopReason reason = StopReason::CycleLimit;
     KernelProfile profile;   ///< where the host time of this run went
-    PoolStats pool;          ///< message-pool counters at stop
+    /** Name-sorted snapshot of every registered counter at stop. */
+    std::vector<CounterSample> counters;
 };
 
 /** One simulated J-Machine. */
@@ -122,8 +127,23 @@ class JMachine
     void pokeInt(NodeId id, Addr addr, std::int32_t v);
     std::int32_t peekInt(NodeId id, Addr addr) const;
 
-    /** Aggregate processor statistics over every node. */
+    /** Aggregate processor statistics over every node (reads the
+     *  counter registry: every field is a registered machine-wide sum). */
     ProcessorStats aggregateStats() const;
+
+    /** The machine-wide counter registry (every node and the fabric
+     *  register their stats here at construction). */
+    const CounterRegistry &counters() const { return counters_; }
+
+    /** The machine's tracer, or null when tracing is off. */
+    Tracer *tracer() { return tracer_.get(); }
+    const Tracer *tracer() const { return tracer_.get(); }
+
+    /** Write the collected trace to config().trace.outPath as Chrome
+     *  trace-event JSON. Returns false if tracing is off, the path is
+     *  empty, or the write failed. Runs automatically at destruction
+     *  for any machine that traced but never exported. */
+    bool exportTrace();
 
     /** Cycles the run loop never ticked thanks to idle-skip. */
     Cycle idleSkippedCycles() const { return idleSkipped_; }
@@ -147,6 +167,9 @@ class JMachine
     MachineConfig config_;
     Program prog_;
     MeshNetwork net_;
+    std::unique_ptr<Tracer> tracer_;
+    CounterRegistry counters_;
+    bool traceExported_ = false;
     /** Contiguous node arena (cache-friendly sequential stepping). */
     std::unique_ptr<Node[]> nodes_;
     std::vector<NodeId> activeNodes_;

@@ -47,6 +47,22 @@ class Node
         return proc_active || ni_.sendBusy();
     }
 
+    /** Attach the machine's tracer to the core and NI (null = off). */
+    void
+    setTracer(Tracer *tracer)
+    {
+        proc_.setTracer(tracer);
+        ni_.setTracer(tracer);
+    }
+
+    /** Register the node's processor and NI counters. */
+    void
+    registerCounters(CounterRegistry &reg)
+    {
+        proc_.registerCounters(reg);
+        ni_.registerCounters(reg);
+    }
+
     NodeMemory &memory() { return *mem_; }
     const NodeMemory &memory() const { return *mem_; }
     Processor &processor() { return proc_; }

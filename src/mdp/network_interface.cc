@@ -1,6 +1,8 @@
 #include "mdp/network_interface.hh"
 
 #include "sim/logging.hh"
+#include "trace/counter_registry.hh"
+#include "trace/tracer.hh"
 
 namespace jmsim
 {
@@ -19,8 +21,18 @@ NetworkInterface::init(NodeId id, const Config &config, MeshNetwork *net,
     net_->setDeliverSink(id, this);
 }
 
+void
+NetworkInterface::registerCounters(CounterRegistry &reg)
+{
+    reg.addCounter("ni.messages_sent", &stats_.messagesSent);
+    reg.addCounter("ni.words_sent", &stats_.wordsSent);
+    reg.addCounter("ni.send_full_events", &stats_.sendFullEvents);
+    reg.addCounter("ni.delivery_stall_cycles", &stats_.deliveryStallCycles);
+    reg.addCounter("ni.messages_bounced", &stats_.messagesBounced);
+}
+
 SendResult
-NetworkInterface::appendWord(unsigned prio, Word word, bool end)
+NetworkInterface::appendWord(unsigned prio, Word word, bool end, Cycle now)
 {
     SendChannel &ch = send_[prio];
     if (!ch.buildingStarted) {
@@ -55,14 +67,27 @@ NetworkInterface::appendWord(unsigned prio, Word word, bool end)
             return SendResult::BadFormat;
         msg.finalized = true;
         ch.buildingStarted = false;
+        msg.srcSeq = ++sendSeq_;
         stats_.messagesSent += 1;
         stats_.wordsSent += msg.words.size();
+        if (kTraceCompiledIn && trace_ &&
+            trace_->wants(TraceKind::MsgSend)) {
+            TraceEvent ev;
+            ev.cycle = now;
+            ev.node = id_;
+            ev.kind = TraceKind::MsgSend;
+            ev.arg8 = static_cast<std::uint8_t>(prio);
+            ev.a0 = msg.srcSeq;
+            ev.a1 = (static_cast<std::uint64_t>(msg.dest) << 32) |
+                    msg.words.size();
+            trace_->record(ev);
+        }
     }
     return SendResult::Ok;
 }
 
 SendResult
-NetworkInterface::sendWord(unsigned prio, Word word, bool end)
+NetworkInterface::sendWord(unsigned prio, Word word, bool end, Cycle now)
 {
     SendChannel &ch = send_[prio];
     // Capacity check: the destination word costs no buffer space (it
@@ -72,11 +97,12 @@ NetworkInterface::sendWord(unsigned prio, Word word, bool end)
         stats_.sendFullEvents += 1;
         return SendResult::Full;
     }
-    return appendWord(prio, word, end);
+    return appendWord(prio, word, end, now);
 }
 
 SendResult
-NetworkInterface::sendWords2(unsigned prio, Word w0, Word w1, bool end)
+NetworkInterface::sendWords2(unsigned prio, Word w0, Word w1, bool end,
+                             Cycle now)
 {
     SendChannel &ch = send_[prio];
     const unsigned payload = ch.buildingStarted ? 2 : 1;
@@ -84,10 +110,10 @@ NetworkInterface::sendWords2(unsigned prio, Word w0, Word w1, bool end)
         stats_.sendFullEvents += 1;
         return SendResult::Full;
     }
-    const SendResult first = appendWord(prio, w0, false);
+    const SendResult first = appendWord(prio, w0, false, now);
     if (first != SendResult::Ok)
         return first;
-    return appendWord(prio, w1, end);
+    return appendWord(prio, w1, end, now);
 }
 
 void
@@ -197,10 +223,23 @@ NetworkInterface::acceptFlit(const Flit &flit, Cycle now)
         bmsg.words.push_back(m.words[static_cast<std::size_t>(word)]);
         if (tail) {
             bmsg.finalized = true;
+            bmsg.srcSeq = ++sendSeq_;
             bounceReady_[flit.vn].push_back(cap.msg);
             cap.msg = kNullMsg;
             cap.active = false;
             stats_.messagesBounced += 1;
+            if (kTraceCompiledIn && trace_ &&
+                trace_->wants(TraceKind::MsgBounce)) {
+                TraceEvent ev;
+                ev.cycle = now;
+                ev.node = id_;
+                ev.kind = TraceKind::MsgBounce;
+                ev.arg8 = flit.vn;
+                ev.a0 = (static_cast<std::uint64_t>(m.src) << 32) |
+                        m.srcSeq;
+                ev.a1 = bmsg.srcSeq;
+                trace_->record(ev);
+            }
         }
         return;
     }
@@ -220,6 +259,29 @@ NetworkInterface::acceptFlit(const Flit &flit, Cycle now)
     if (tail) {
         m.deliverCycle = now;
         net_->noteMessageDelivered(m);
+        if (kTraceCompiledIn && trace_) {
+            if (trace_->wants(TraceKind::MsgRecv)) {
+                TraceEvent ev;
+                ev.cycle = now;
+                ev.node = id_;
+                ev.kind = TraceKind::MsgRecv;
+                ev.arg8 = flit.vn;
+                ev.a0 = (static_cast<std::uint64_t>(m.src) << 32) |
+                        m.srcSeq;
+                ev.a1 = now - m.injectCycle;
+                trace_->record(ev);
+            }
+            if (trace_->wants(TraceKind::QueueDepth)) {
+                TraceEvent ev;
+                ev.cycle = now;
+                ev.node = id_;
+                ev.kind = TraceKind::QueueDepth;
+                ev.arg8 = flit.vn;
+                ev.a0 = q.wordsUsed();
+                ev.a1 = q.messageCount();
+                trace_->record(ev);
+            }
+        }
     }
     // Header arrival makes the message dispatchable; wake the node.
     if (word == 0 && wake_)

@@ -81,11 +81,13 @@ class NetworkInterface : public DeliverSink
      * Append a word to the priority-@p prio message under construction
      * (the first word of a message is the destination).
      * @param end this word ends the message (SEND*E)
+     * @param now current cycle, for the msg.send trace event
      */
-    SendResult sendWord(unsigned prio, Word word, bool end);
+    SendResult sendWord(unsigned prio, Word word, bool end, Cycle now = 0);
 
     /** Two-word variant (SEND2x): both words or neither. */
-    SendResult sendWords2(unsigned prio, Word w0, Word w1, bool end);
+    SendResult sendWords2(unsigned prio, Word w0, Word w1, bool end,
+                          Cycle now = 0);
 
     /** Loader hook: handler dispatched at the sender for returned
      *  messages (return-to-sender mode). */
@@ -127,6 +129,12 @@ class NetworkInterface : public DeliverSink
     const NiStats &stats() const { return stats_; }
     void resetStats() { stats_ = NiStats{}; }
 
+    /** Attach the machine's tracer (null = tracing off). */
+    void setTracer(Tracer *tracer) { trace_ = tracer; }
+
+    /** Register this NI's counters under the shared "ni." names. */
+    void registerCounters(CounterRegistry &reg);
+
   private:
     struct SendChannel
     {
@@ -137,7 +145,7 @@ class NetworkInterface : public DeliverSink
         bool buildingStarted = false;    ///< back message got its dest word
     };
 
-    SendResult appendWord(unsigned prio, Word word, bool end);
+    SendResult appendWord(unsigned prio, Word word, bool end, Cycle now);
 
     /** Per-VN capture of a message being returned to its sender. */
     struct BounceCapture
@@ -157,6 +165,10 @@ class NetworkInterface : public DeliverSink
     std::array<RingQueue<MsgHandle>, 2> bounceReady_;
     IAddr bounceHandler_ = 0;
     NiStats stats_;
+    Tracer *trace_ = nullptr;
+    /** Sequence stamped into outgoing messages; (id_, sendSeq_) is the
+     *  deterministic message identity traces rely on. */
+    std::uint32_t sendSeq_ = 0;
 };
 
 } // namespace jmsim

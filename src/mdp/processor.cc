@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "sim/logging.hh"
+#include "trace/counter_registry.hh"
+#include "trace/tracer.hh"
 
 namespace jmsim
 {
@@ -53,6 +55,33 @@ Processor::resetStats()
             hs.dispatches += 1;
             handlerSlot_[l] = &hs;
         }
+    }
+}
+
+void
+Processor::registerCounters(CounterRegistry &reg)
+{
+    reg.addCounter("proc.instructions", &stats_.instructions);
+    reg.addCounter("proc.instructions_os", &stats_.instructionsOs);
+    reg.addCounter("proc.dispatches", &stats_.dispatches);
+    reg.addCounter("proc.suspends", &stats_.suspends);
+    reg.addCounter("proc.queue_stall_cycles", &stats_.queueStallCycles);
+    reg.addCounter("proc.run_cycles", &stats_.runCycles);
+    reg.addCounter("proc.idle_cycles", &stats_.idleCycles);
+    reg.addCounter("proc.seg_cache_hits", &stats_.segCacheHits);
+    reg.addCounter("proc.seg_cache_misses", &stats_.segCacheMisses);
+    reg.addCounter("proc.xlate_cache_hits", &stats_.xlateCacheHits);
+    reg.addCounter("proc.xlate_cache_misses", &stats_.xlateCacheMisses);
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(StatClass::NumClasses); ++c) {
+        reg.addCounter(std::string("proc.cycles.") +
+                           statClassName(static_cast<StatClass>(c)),
+                       &stats_.cyclesByClass[c]);
+    }
+    for (unsigned f = 0; f < kNumFaults; ++f) {
+        reg.addCounter(std::string("proc.faults.") +
+                           faultName(static_cast<FaultKind>(f)),
+                       &stats_.faults[f]);
     }
 }
 
@@ -167,6 +196,17 @@ Processor::selectLevel(Cycle now)
             busyUntil_ = now + config_.dispatchCycles;
             attribute(StatClass::Comm, config_.dispatchCycles);
             stats_.dispatches += 1;
+            if (kTraceCompiledIn && tracer_ &&
+                tracer_->wants(TraceKind::Dispatch)) {
+                TraceEvent ev;
+                ev.cycle = now;
+                ev.node = id_;
+                ev.kind = TraceKind::Dispatch;
+                ev.arg8 = static_cast<std::uint8_t>(prio);
+                ev.a0 = hdr.handlerIp;
+                ev.a1 = q.messageCount();
+                tracer_->record(ev);
+            }
             handlerEntry_[lvl] = hdr.handlerIp;
             HandlerStats &hs = handlerStats_[hdr.handlerIp];
             hs.dispatches += 1;
@@ -448,11 +488,20 @@ struct Processor::Exec
             if (!q.head().complete()) {
                 p.xStall_ = true;  // wait for the worm's tail before freeing
                 p.stats_.suspends -= 1;
-            } else {
-                q.pop();
-                rs.live = false;
-                rs.inFault = false;  // cfut handlers suspend to end a fault
+                return;
             }
+            q.pop();
+            rs.live = false;
+            rs.inFault = false;  // cfut handlers suspend to end a fault
+        }
+        if (kTraceCompiledIn && p.tracer_ &&
+            p.tracer_->wants(TraceKind::Suspend)) {
+            TraceEvent ev;
+            ev.cycle = p.xNow_;
+            ev.node = p.id_;
+            ev.kind = TraceKind::Suspend;
+            ev.arg8 = static_cast<std::uint8_t>(p.current_);
+            p.tracer_->record(ev);
         }
     }
 
@@ -687,9 +736,9 @@ struct Processor::Exec
         RegisterSet &rs = p.cur();
         SendResult res;
         if constexpr (Words == 2)
-            res = p.ni_->sendWords2(Prio, rs[op.rd], rs[op.ra], End);
+            res = p.ni_->sendWords2(Prio, rs[op.rd], rs[op.ra], End, p.xNow_);
         else
-            res = p.ni_->sendWord(Prio, rs[op.rd], End);
+            res = p.ni_->sendWord(Prio, rs[op.rd], End, p.xNow_);
         switch (res) {
           case SendResult::Ok:
             rs.sending = !End;
@@ -1052,6 +1101,16 @@ Processor::executeOne(Cycle now)
 
     if (faultPending_) {
         stats_.faults[static_cast<unsigned>(faultKind_)] += 1;
+        if (kTraceCompiledIn && tracer_ &&
+            tracer_->wants(TraceKind::Fault)) {
+            TraceEvent ev;
+            ev.cycle = now;
+            ev.node = id_;
+            ev.kind = TraceKind::Fault;
+            ev.arg8 = static_cast<std::uint8_t>(faultKind_);
+            ev.a0 = ip;
+            tracer_->record(ev);
+        }
         if (rs.inFault)
             die(std::string("fault '") + faultName(faultKind_) +
                     "' inside a fault handler",

@@ -184,6 +184,12 @@ class Processor
     /** Debug: stream every executed instruction to stderr. */
     void setTrace(bool on) { trace_ = on; }
 
+    /** Attach the machine's tracer (null = tracing off). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Register this core's counters under the shared "proc." names. */
+    void registerCounters(CounterRegistry &reg);
+
   private:
     /** Per-opcode handler implementations (defined in processor.cc). */
     struct Exec;
@@ -309,6 +315,7 @@ class Processor
 
     std::vector<Word> hostOut_;
     bool trace_ = false;
+    Tracer *tracer_ = nullptr;
     ProcessorStats stats_;
     std::unordered_map<IAddr, HandlerStats> handlerStats_;
 };

@@ -4,6 +4,8 @@
 
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
+#include "trace/counter_registry.hh"
+#include "trace/tracer.hh"
 
 namespace jmsim
 {
@@ -82,16 +84,65 @@ MeshNetwork::setRoundRobin(bool rr)
 }
 
 void
+MeshNetwork::setTracer(Tracer *tracer)
+{
+    for (auto &r : routers_)
+        r.setTracer(tracer);
+}
+
+void
+MeshNetwork::registerCounters(CounterRegistry &reg)
+{
+    reg.addCounter("net.messages_delivered", &stats_.messagesDelivered);
+    reg.addCounter("net.words_delivered", &stats_.wordsDelivered);
+    reg.addCounter("net.bisection_flits_pos", &stats_.bisectionFlitsPos);
+    reg.addCounter("net.bisection_flits_neg", &stats_.bisectionFlitsNeg);
+    for (const Router &r : routers_) {
+        reg.addCounter("net.flits_routed", &r.stats().flitsRouted);
+        reg.addCounter("net.flits_delivered", &r.stats().flitsDelivered);
+        reg.addCounter("net.inject_stalls", &r.stats().injectStalls);
+    }
+    // The pool's per-shard counters re-shard between runs, so they go
+    // through reader callbacks instead of pointers.
+    reg.addCounter("pool.allocs",
+                   [this] { return pool_.stats().allocs; });
+    reg.addCounter("pool.recycled",
+                   [this] { return pool_.stats().recycled; });
+    reg.addCounter("pool.released",
+                   [this] { return pool_.stats().released; });
+    reg.addCounter("pool.live_high_water",
+                   [this] { return pool_.stats().liveHighWater; });
+    reg.addCounter("pool.capacity",
+                   [this] { return pool_.stats().capacity; });
+    reg.addHistogram("net.latency_cycles",
+                     [this] { return latencyHistogram(); });
+}
+
+Histogram
+MeshNetwork::latencyHistogram() const
+{
+    Histogram merged{1, kLatencyHistBuckets};
+    for (const Shard &sh : shards_)
+        merged.merge(sh.latency);
+    return merged;
+}
+
+void
 MeshNetwork::setShards(unsigned shards)
 {
     if (shards < 1)
         shards = 1;
-    // Gather the live active set before the bins move under it.
+    // Gather the live active set before the bins move under it, and
+    // fold the latency samples of shards about to be dropped.
     std::vector<NodeId> live;
     live.reserve(activeCount_);
     for (Shard &sh : shards_) {
         live.insert(live.end(), sh.active.begin(), sh.active.end());
         sh.active.clear();
+    }
+    for (std::size_t s = shards; s < shards_.size(); ++s) {
+        shards_[0].latency.merge(shards_[s].latency);
+        shards_[s].latency.reset();
     }
     const NodeId n = dims_.nodes();
     shards_.resize(shards);
@@ -205,6 +256,7 @@ MeshNetwork::noteMessageDelivered(const Message &msg)
     Shard &sh = shards_[ThreadPool::currentShard()];
     sh.messagesDelivered += 1;
     sh.wordsDelivered += msg.words.size();
+    sh.latency.add(msg.deliverCycle - msg.injectCycle);
 }
 
 void
@@ -298,6 +350,8 @@ MeshNetwork::resetStats()
     stats_ = NetworkStats{};
     for (auto &r : routers_)
         r.resetStats();
+    for (auto &sh : shards_)
+        sh.latency.reset();
     pool_.resetStats();
 }
 

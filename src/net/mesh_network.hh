@@ -42,10 +42,15 @@
 #include "net/message_pool.hh"
 #include "net/router.hh"
 #include "net/router_address.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
+#include "trace/trace_event.hh"
 
 namespace jmsim
 {
+
+class CounterRegistry;
+class Tracer;
 
 /** Fabric-level statistics. */
 struct NetworkStats
@@ -83,6 +88,15 @@ class MeshNetwork
 
     /** Select arbitration policy on every router (ablation hook). */
     void setRoundRobin(bool rr);
+
+    /** Attach the machine's tracer to every router (null = off). */
+    void setTracer(Tracer *tracer);
+
+    /** Register fabric, router, pool, and latency stats by name. */
+    void registerCounters(CounterRegistry &reg);
+
+    /** Per-message inject->deliver latency, merged across shards. */
+    Histogram latencyHistogram() const;
 
     /** Advance the fabric by one cycle (serial: all phases inline). */
     void step(Cycle now);
@@ -141,7 +155,8 @@ class MeshNetwork
     void endStaging();
 
     /** Called by sinks when a whole message has been delivered. May run
-     *  inside a parallel move phase: counts per executing shard. */
+     *  inside a parallel move phase: counts (and samples the latency
+     *  histogram) per executing shard. */
     void noteMessageDelivered(const Message &msg);
 
     /** True if any flit is in flight anywhere (exhaustive scan). */
@@ -175,6 +190,11 @@ class MeshNetwork
         std::vector<Channel *> touched;   ///< channels written this cycle
         std::uint64_t messagesDelivered = 0;  ///< folded at commitPhase
         std::uint64_t wordsDelivered = 0;
+        /** Inject->deliver cycles of every delivery this shard saw.
+         *  Not folded per cycle (histogram merge is commutative, so
+         *  merging on demand stays deterministic); setShards folds
+         *  dropped shards into shard 0 when shrinking. */
+        Histogram latency{1, kLatencyHistBuckets};
     };
 
     MeshDims dims_;

@@ -50,6 +50,11 @@ struct Message
     std::vector<Word> words;             ///< payload, [0] = Msg header
     Cycle injectCycle = 0;               ///< first flit entered the router
     Cycle deliverCycle = 0;              ///< last word written to the queue
+    /** Per-sender sequence number stamped when the message finalizes.
+     *  (src, srcSeq) is the stable identity tracing matches send and
+     *  receive events on — pool handles recycle differently per shard
+     *  count, so they cannot name a message deterministically. */
+    std::uint32_t srcSeq = 0;
     /** Cut-through: words may still be appended until the sender's
      *  SEND*E executes; only then is the last flit a tail. */
     bool finalized = false;

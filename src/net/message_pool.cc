@@ -50,6 +50,7 @@ MessagePool::alloc()
     msg.words.clear();  // capacity survives: the recycling payoff
     msg.injectCycle = 0;
     msg.deliverCycle = 0;
+    msg.srcSeq = 0;
     msg.finalized = false;
     return handle;
 }

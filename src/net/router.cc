@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace jmsim
 {
@@ -66,6 +67,18 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
             occ_[vn] &= ~(1u << in);
         const bool tail = pool_->get(flit.msg).tailAt(flit.index);
         stats_.flitsDelivered += 1;
+        if (kTraceCompiledIn && trace_ && flit.isHead() &&
+            trace_->wants(TraceKind::FlitForward)) {
+            const Message &msg = pool_->get(flit.msg);
+            TraceEvent ev;
+            ev.cycle = now;
+            ev.node = id_;
+            ev.kind = TraceKind::FlitForward;
+            ev.arg8 = static_cast<std::uint8_t>(out);
+            ev.a0 = (static_cast<std::uint64_t>(msg.src) << 32) | msg.srcSeq;
+            ev.a1 = vn;
+            trace_->record(ev);
+        }
         sink_->acceptFlit(flit, now);
         // The tail was the last live reference: recycle the message.
         if (tail)
@@ -82,6 +95,18 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
         occ_[vn] &= ~(1u << in);
     const bool tail = pool_->get(flit.msg).tailAt(flit.index);
     stats_.flitsRouted += 1;
+    if (kTraceCompiledIn && trace_ && flit.isHead() &&
+        trace_->wants(TraceKind::FlitForward)) {
+        const Message &msg = pool_->get(flit.msg);
+        TraceEvent ev;
+        ev.cycle = now;
+        ev.node = id_;
+        ev.kind = TraceKind::FlitForward;
+        ev.arg8 = static_cast<std::uint8_t>(out);
+        ev.a0 = (static_cast<std::uint64_t>(msg.src) << 32) | msg.srcSeq;
+        ev.a1 = vn;
+        trace_->record(ev);
+    }
     ch->send(flit);
     touched.push_back(ch);
     setOwner(out, vn, tail ? -1 : static_cast<std::int8_t>(in));
@@ -189,6 +214,30 @@ Router::movePhase(Cycle now, std::vector<Channel *> &touched)
         const FlitFifo &inj = fifos_[kInjectPort][vn];
         if (!inj.empty() && !injectMoved_[vn])
             stats_.injectStalls += 1;
+    }
+
+    // Any head still in the snapshot fronts a FIFO and did not move:
+    // it lost arbitration or its output was unavailable.
+    if (kTraceCompiledIn && trace_ && trace_->wants(TraceKind::FlitBlock)) {
+        for (unsigned vn = 0; vn < kNumVns; ++vn) {
+            unsigned m = head_mask[vn];
+            while (m) {
+                const unsigned in =
+                    static_cast<unsigned>(std::countr_zero(m));
+                m &= m - 1;
+                const Message &msg =
+                    pool_->get(fifos_[in][vn].front().msg);
+                TraceEvent ev;
+                ev.cycle = now;
+                ev.node = id_;
+                ev.kind = TraceKind::FlitBlock;
+                ev.arg8 = head_out[in][vn];
+                ev.a0 = (static_cast<std::uint64_t>(msg.src) << 32) |
+                        msg.srcSeq;
+                ev.a1 = in;
+                trace_->record(ev);
+            }
+        }
     }
     return sentThisCycle_;
 }

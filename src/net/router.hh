@@ -26,6 +26,8 @@
 namespace jmsim
 {
 
+class Tracer;
+
 /** Input/output directions; Inject/Deliver are the local ports. */
 enum Direction : std::uint8_t
 {
@@ -126,6 +128,9 @@ class Router
     /** Select round-robin (true) or fixed-priority (false) arbitration. */
     void setRoundRobin(bool rr) { roundRobin_ = rr; }
 
+    /** Attach the machine's tracer (null = tracing off). */
+    void setTracer(Tracer *tracer) { trace_ = tracer; }
+
     /** Phase 1: drain visible flits from incoming channels. */
     void pullPhase();
 
@@ -192,6 +197,7 @@ class Router
     RouterAddr addr_;
     DeliverSink *sink_ = nullptr;
     MessagePool *pool_ = nullptr;
+    Tracer *trace_ = nullptr;
     std::array<Channel *, kNumDirs> in_{};
     std::array<Channel *, kNumDirs> out_{};
     std::array<std::array<FlitFifo, kNumVns>, kNumInPorts> fifos_;

@@ -5,9 +5,12 @@
  * The per-cycle phase buckets (node step, net step, commit/barrier)
  * are stamped twice per phase per simulated cycle, so the probe has to
  * cost nanoseconds, not a syscall: on x86 we read the TSC directly and
- * calibrate it against the steady clock once per process. The absolute
- * error of the calibration (~0.1%) is irrelevant — the buckets are
- * only ever compared against each other and against wall time.
+ * calibrate it against the steady clock once per process; on aarch64
+ * we read the generic-timer virtual counter, whose frequency the
+ * architecture publishes in cntfrq_el0 (both are userspace-readable).
+ * Everything else falls back to std::chrono::steady_clock. The
+ * absolute error of the TSC calibration (~0.1%) is irrelevant — the
+ * buckets are only ever compared against each other and wall time.
  */
 
 #ifndef JMSIM_SIM_HOST_TIMER_HH
@@ -29,6 +32,10 @@ hostTicks()
 {
 #if defined(__x86_64__) || defined(__i386__)
     return __rdtsc();
+#elif defined(__aarch64__)
+    std::uint64_t v;
+    asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+    return v;
 #else
     return static_cast<std::uint64_t>(
         std::chrono::steady_clock::now().time_since_epoch().count());
@@ -50,6 +57,13 @@ hostTicksPerSecond()
         const double dt = std::chrono::duration<double>(clock::now() - w0)
                               .count();
         return static_cast<double>(t1 - t0) / dt;
+    }();
+    return rate;
+#elif defined(__aarch64__)
+    static const double rate = [] {
+        std::uint64_t hz;
+        asm volatile("mrs %0, cntfrq_el0" : "=r"(hz));
+        return static_cast<double>(hz);
     }();
     return rate;
 #else

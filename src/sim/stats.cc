@@ -27,6 +27,17 @@ Histogram::add(std::uint64_t value)
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    if (other.bucketWidth_ != bucketWidth_ ||
+        other.buckets_.size() != buckets_.size())
+        fatal("Histogram::merge with mismatched geometry");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    stat_.merge(other.stat_);
+}
+
+void
 Histogram::reset()
 {
     for (auto &b : buckets_)

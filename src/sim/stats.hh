@@ -3,9 +3,10 @@
  * Lightweight statistics primitives used throughout the simulator.
  *
  * Components keep their statistics as plain member structs built from
- * these types; experiment harnesses read the fields directly and format
- * tables themselves. There is deliberately no global registry: every
- * stat is reachable from the component that owns it.
+ * these types; experiment harnesses may read the fields directly, and
+ * machine-wide consumers go through the CounterRegistry
+ * (src/trace/counter_registry.hh), which components feed by
+ * registering pointers or reader callbacks at machine build time.
  */
 
 #ifndef JMSIM_SIM_STATS_HH
@@ -75,6 +76,9 @@ class SampleStat
 class Histogram
 {
   public:
+    /** An empty single-bucket histogram (assign or merge into it). */
+    Histogram() : Histogram(1, 1) {}
+
     /**
      * @param bucket_width width of each bucket (>=1)
      * @param num_buckets  number of regular buckets before overflow
@@ -83,6 +87,9 @@ class Histogram
 
     /** Record one sample. */
     void add(std::uint64_t value);
+
+    /** Fold another histogram of identical geometry into this one. */
+    void merge(const Histogram &other);
 
     /** Discard all samples. */
     void reset();

@@ -1,0 +1,247 @@
+#include "trace/chrome_trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+
+namespace jmsim
+{
+
+namespace
+{
+
+/** Chrome thread id for a kind: 0 = processor, 1 = NI, 2 = router. */
+unsigned
+tidOf(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::MsgSend:
+      case TraceKind::MsgRecv:
+      case TraceKind::MsgBounce:
+      case TraceKind::QueueDepth:
+        return 1;
+      case TraceKind::FlitForward:
+      case TraceKind::FlitBlock:
+        return 2;
+      default:
+        return 0;
+    }
+}
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events, std::uint64_t dropped)
+{
+    std::string out;
+    out.reserve(events.size() * 96 + 4096);
+    appendf(out,
+            "{\"displayTimeUnit\":\"ms\",\"otherData\":"
+            "{\"droppedEvents\":\"%llu\",\"cyclesPerUs\":\"1\"},"
+            "\"traceEvents\":[\n",
+            static_cast<unsigned long long>(dropped));
+
+    // Metadata first: name each node process and its component threads
+    // so chrome://tracing shows "node 12 / router" instead of raw ids.
+    std::set<std::uint32_t> pids;
+    for (const TraceEvent &ev : events)
+        pids.insert(ev.node);
+    static const char *const tid_names[3] = {"proc", "ni", "router"};
+    bool first = true;
+    for (const std::uint32_t pid : pids) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        if (pid == kMachineTrack) {
+            appendf(out,
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                    "\"args\":{\"name\":\"machine\"}}",
+                    pid);
+            continue;
+        }
+        appendf(out,
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                "\"args\":{\"name\":\"node %u\"}}",
+                pid, pid);
+        for (unsigned tid = 0; tid < 3; ++tid)
+            appendf(out,
+                    ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                    "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                    pid, tid, tid_names[tid]);
+    }
+
+    for (const TraceEvent &ev : events) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        if (ev.kind == TraceKind::QueueDepth) {
+            appendf(out,
+                    "{\"name\":\"queue.p%u\",\"ph\":\"C\",\"ts\":%llu,"
+                    "\"pid\":%u,\"args\":{\"words\":%llu,\"msgs\":%llu}}",
+                    ev.arg8, static_cast<unsigned long long>(ev.cycle),
+                    ev.node, static_cast<unsigned long long>(ev.a0),
+                    static_cast<unsigned long long>(ev.a1));
+            continue;
+        }
+        const bool span = ev.kind == TraceKind::IdleSkip;
+        const std::uint64_t dur = span && ev.a0 > ev.cycle
+                                      ? ev.a0 - ev.cycle
+                                      : 0;
+        appendf(out,
+                "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%llu,\"dur\":%llu,"
+                "\"pid\":%u,\"tid\":%u,\"args\":{\"k\":%u,\"v\":%u,"
+                "\"a0\":%llu,\"a1\":%llu}}",
+                traceKindName(ev.kind), span ? "X" : "i",
+                static_cast<unsigned long long>(ev.cycle),
+                static_cast<unsigned long long>(dur), ev.node, tidOf(ev.kind),
+                static_cast<unsigned>(ev.kind), ev.arg8,
+                static_cast<unsigned long long>(ev.a0),
+                static_cast<unsigned long long>(ev.a1));
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<TraceEvent> &events, std::uint64_t dropped)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+        return false;
+    }
+    const std::string json = chromeTraceJson(events, dropped);
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                    json.size();
+    std::fclose(f);
+    if (!ok)
+        std::fprintf(stderr, "trace: short write to %s\n", path.c_str());
+    return ok;
+}
+
+bool
+parseChromeTrace(const std::string &path, ParsedTrace &out)
+{
+    out.events.clear();
+    out.dropped = 0;
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    bool header = false;
+    char line[512];
+    while (std::fgets(line, sizeof line, f)) {
+        unsigned long long dropped = 0;
+        if (!header &&
+            std::sscanf(line,
+                        "{\"displayTimeUnit\":\"ms\",\"otherData\":"
+                        "{\"droppedEvents\":\"%llu\"",
+                        &dropped) == 1) {
+            header = true;
+            out.dropped = dropped;
+            continue;
+        }
+        if (std::strstr(line, "\"ph\":\"M\""))
+            continue;  // metadata
+        TraceEvent ev;
+        unsigned vn = 0;
+        unsigned long long ts = 0, a0 = 0, a1 = 0, dur = 0;
+        unsigned pid = 0, tid = 0, k = 0, v = 0;
+        if (std::sscanf(line,
+                        "{\"name\":\"queue.p%u\",\"ph\":\"C\",\"ts\":%llu,"
+                        "\"pid\":%u,\"args\":{\"words\":%llu,\"msgs\":%llu",
+                        &vn, &ts, &pid, &a0, &a1) == 5 ||
+            std::sscanf(line,
+                        ",{\"name\":\"queue.p%u\",\"ph\":\"C\",\"ts\":%llu,"
+                        "\"pid\":%u,\"args\":{\"words\":%llu,\"msgs\":%llu",
+                        &vn, &ts, &pid, &a0, &a1) == 5) {
+            ev.kind = TraceKind::QueueDepth;
+            ev.cycle = ts;
+            ev.node = pid;
+            ev.arg8 = static_cast<std::uint8_t>(vn);
+            ev.a0 = a0;
+            ev.a1 = a1;
+            out.events.push_back(ev);
+            continue;
+        }
+        char name[24];
+        char ph[4];
+        if (std::sscanf(line,
+                        "{\"name\":\"%23[^\"]\",\"ph\":\"%1[iX]\","
+                        "\"ts\":%llu,\"dur\":%llu,\"pid\":%u,\"tid\":%u,"
+                        "\"args\":{\"k\":%u,\"v\":%u,\"a0\":%llu,"
+                        "\"a1\":%llu",
+                        name, ph, &ts, &dur, &pid, &tid, &k, &v, &a0,
+                        &a1) == 10 &&
+            k < kNumTraceKinds) {
+            ev.kind = static_cast<TraceKind>(k);
+            ev.cycle = ts;
+            ev.node = pid;
+            ev.arg8 = static_cast<std::uint8_t>(v);
+            ev.a0 = a0;
+            ev.a1 = a1;
+            out.events.push_back(ev);
+        }
+    }
+    std::fclose(f);
+    return header;
+}
+
+TraceSummary
+summarizeTrace(const std::vector<TraceEvent> &events)
+{
+    TraceSummary s;
+    std::map<std::uint64_t, std::uint64_t> sends;  // (src<<32)|seq -> count
+    bool any = false;
+    for (const TraceEvent &ev : events) {
+        s.countByKind[static_cast<unsigned>(ev.kind)] += 1;
+        if (!any || ev.cycle < s.firstCycle)
+            s.firstCycle = ev.cycle;
+        if (!any || ev.cycle > s.lastCycle)
+            s.lastCycle = ev.cycle;
+        any = true;
+        switch (ev.kind) {
+          case TraceKind::MsgSend:
+            sends[(static_cast<std::uint64_t>(ev.node) << 32) | ev.a0] += 1;
+            break;
+          case TraceKind::MsgRecv: {
+            s.latency.add(ev.a1);
+            const auto it = sends.find(ev.a0);
+            if (it != sends.end() && it->second > 0) {
+                it->second -= 1;
+                s.matchedMessages += 1;
+            } else {
+                s.unmatchedRecvs += 1;
+            }
+            break;
+          }
+          case TraceKind::QueueDepth:
+            s.queueWords[ev.arg8 & 1].add(ev.a0);
+            break;
+          case TraceKind::IdleSkip:
+            if (ev.a0 > ev.cycle)
+                s.idleSkippedCycles += ev.a0 - ev.cycle;
+            break;
+          default:
+            break;
+        }
+    }
+    for (const auto &[key, count] : sends)
+        s.unmatchedSends += count;
+    return s;
+}
+
+} // namespace jmsim

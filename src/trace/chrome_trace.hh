@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Chrome trace-event JSON export, parse, and summary.
+ *
+ * The writer emits the trace-event format that chrome://tracing and
+ * Perfetto's legacy importer read: one process (pid) per node plus a
+ * "machine" process for kernel-level events, one thread (tid) per
+ * component (0 = processor, 1 = NI, 2 = router), timestamps in
+ * microseconds with 1 simulated cycle mapped to 1 us. Instant events
+ * carry the raw record payload under args {k, v, a0, a1}; queue depth
+ * becomes a counter ("C") event plotting words/messages; idle-skip
+ * spans become duration ("X") events on the machine track.
+ *
+ * Every event is one rigidly formatted line, so parseChromeTrace()
+ * reads our own artifact back with sscanf — the same deliberate
+ * rigid-own-format pattern bench/host_perf.cc uses for its baseline.
+ * summarizeTrace() reconstructs per-message latency percentiles and
+ * queue-occupancy percentiles from the parsed stream (jtrace_tool's
+ * `summarize` verb, also asserted against the fabric's architectural
+ * histogram in tests/trace_test.cc).
+ */
+
+#ifndef JMSIM_TRACE_CHROME_TRACE_HH
+#define JMSIM_TRACE_CHROME_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "trace/trace_event.hh"
+
+namespace jmsim
+{
+
+/** Serialize a canonical event stream to trace-event JSON. */
+std::string chromeTraceJson(const std::vector<TraceEvent> &events,
+                            std::uint64_t dropped);
+
+/** Write chromeTraceJson() to @p path; false (with a stderr note) if
+ *  the file cannot be written. */
+bool writeChromeTrace(const std::string &path,
+                      const std::vector<TraceEvent> &events,
+                      std::uint64_t dropped);
+
+/** A trace read back from disk. */
+struct ParsedTrace
+{
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+};
+
+/** Parse a file written by writeChromeTrace(); false if the file is
+ *  missing or no header line matches. */
+bool parseChromeTrace(const std::string &path, ParsedTrace &out);
+
+/** What jtrace_tool's `summarize` verb reports. */
+struct TraceSummary
+{
+    std::uint64_t countByKind[kNumTraceKinds] = {};
+    Cycle firstCycle = 0;
+    Cycle lastCycle = 0;
+    /** Per-message network latency (inject -> deliver), rebuilt from
+     *  the msg.recv events; geometry matches the fabric's histogram. */
+    Histogram latency{1, kLatencyHistBuckets};
+    std::uint64_t matchedMessages = 0;   ///< recv paired with its send
+    std::uint64_t unmatchedSends = 0;    ///< sent, never delivered (in flight)
+    std::uint64_t unmatchedRecvs = 0;    ///< delivered, send event missing
+    /** Queue words in use at each delivery, per virtual network. */
+    Histogram queueWords[2] = {Histogram{1, 1024}, Histogram{1, 1024}};
+    Cycle idleSkippedCycles = 0;
+};
+
+TraceSummary summarizeTrace(const std::vector<TraceEvent> &events);
+
+} // namespace jmsim
+
+#endif // JMSIM_TRACE_CHROME_TRACE_HH

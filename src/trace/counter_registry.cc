@@ -1,0 +1,108 @@
+#include "trace/counter_registry.hh"
+
+#include "sim/logging.hh"
+
+namespace jmsim
+{
+
+void
+CounterRegistry::addCounter(const std::string &name,
+                            const std::uint64_t *source)
+{
+    counters_[name].pointers.push_back(source);
+}
+
+void
+CounterRegistry::addCounter(const std::string &name,
+                            std::function<std::uint64_t()> reader)
+{
+    counters_[name].readers.push_back(std::move(reader));
+}
+
+void
+CounterRegistry::addHistogram(const std::string &name,
+                              std::function<Histogram()> provider)
+{
+    histograms_[name].push_back(std::move(provider));
+}
+
+bool
+CounterRegistry::hasCounter(const std::string &name) const
+{
+    return counters_.find(name) != counters_.end();
+}
+
+std::uint64_t
+CounterRegistry::sum(const Entry &entry) const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t *p : entry.pointers)
+        total += *p;
+    for (const auto &reader : entry.readers)
+        total += reader();
+    return total;
+}
+
+std::uint64_t
+CounterRegistry::value(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    if (it == counters_.end())
+        fatal("CounterRegistry: unknown counter '" + name + "'");
+    return sum(it->second);
+}
+
+Histogram
+CounterRegistry::histogram(const std::string &name) const
+{
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end() || it->second.empty())
+        fatal("CounterRegistry: unknown histogram '" + name + "'");
+    Histogram merged = it->second.front()();
+    for (std::size_t i = 1; i < it->second.size(); ++i)
+        merged.merge(it->second[i]());
+    return merged;
+}
+
+std::vector<CounterSample>
+CounterRegistry::snapshot() const
+{
+    std::vector<CounterSample> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, entry] : counters_)
+        out.push_back({name, sum(entry)});
+    return out;
+}
+
+std::vector<std::string>
+CounterRegistry::counterNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, entry] : counters_)
+        out.push_back(name);
+    return out;
+}
+
+std::vector<std::string>
+CounterRegistry::histogramNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, providers] : histograms_)
+        out.push_back(name);
+    return out;
+}
+
+std::uint64_t
+counterValue(const std::vector<CounterSample> &snapshot,
+             const std::string &name)
+{
+    for (const CounterSample &s : snapshot) {
+        if (s.name == name)
+            return s.value;
+    }
+    return 0;
+}
+
+} // namespace jmsim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The event tracer: per-shard ring buffers of POD TraceEvents.
+ *
+ * Recording is lock-free: each worker shard writes only its own ring
+ * (indexed by ThreadPool::currentShard(), exactly the MessagePool
+ * sharding pattern), so taps add no synchronization to the parallel
+ * kernel. A ring that fills up overwrites its oldest records and
+ * counts the drops — tracing never stalls or aborts a run.
+ *
+ * collect() merges the rings into the canonical stream with a stable
+ * sort on (cycle, phase, node). Each such group of events lands
+ * contiguously in exactly one ring per run (see trace_event.hh), so
+ * the merged stream is identical for serial and sharded runs as long
+ * as no ring dropped events; with drops the stream is still valid but
+ * the determinism guarantee is waived (the drop counter says so).
+ *
+ * Compile-time off switch: building with -DJMSIM_TRACE_COMPILED_IN=0
+ * folds every tap away entirely. The default build keeps them as a
+ * null-pointer test on the component's tracer pointer, which is the
+ * tracing-disabled fast path.
+ */
+
+#ifndef JMSIM_TRACE_TRACER_HH
+#define JMSIM_TRACE_TRACER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace_event.hh"
+
+#ifndef JMSIM_TRACE_COMPILED_IN
+#define JMSIM_TRACE_COMPILED_IN 1
+#endif
+
+namespace jmsim
+{
+
+/** True when the tap sites are compiled in at all. */
+inline constexpr bool kTraceCompiledIn = JMSIM_TRACE_COMPILED_IN != 0;
+
+/** Everything configurable about tracing a machine. */
+struct TraceConfig
+{
+    bool enabled = false;
+    /** Bitmask of kTraceCat* category bits to record. */
+    std::uint32_t categories = kTraceCatAll;
+    /** Ring capacity in events, per worker shard. */
+    std::uint32_t shardCapacity = 1u << 20;
+    /** Chrome-trace JSON written here by JMachine::exportTrace() (and
+     *  automatically at machine destruction); empty = no file. */
+    std::string outPath;
+};
+
+/** Fixed-capacity overwrite-oldest ring of trace events. */
+class TraceRing
+{
+  public:
+    explicit TraceRing(std::uint32_t capacity);
+
+    void
+    push(const TraceEvent &ev)
+    {
+        if (count_ == capacity_) {
+            slots_[head_] = ev;
+            head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+            dropped_ += 1;
+            return;
+        }
+        std::uint32_t at = head_ + count_;
+        if (at >= capacity_)
+            at -= capacity_;
+        slots_[at] = ev;
+        count_ += 1;
+    }
+
+    std::uint32_t size() const { return count_; }
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Append the buffered events, oldest first. */
+    void appendTo(std::vector<TraceEvent> &out) const;
+
+    void clear();
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t head_ = 0;
+    std::uint32_t count_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::vector<TraceEvent> slots_;
+};
+
+/** One machine's tracer. Components hold a Tracer* (null = off). */
+class Tracer
+{
+  public:
+    explicit Tracer(const TraceConfig &config);
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    const TraceConfig &config() const { return config_; }
+
+    /** Is this kind's category enabled? Tap sites test this before
+     *  computing payloads. */
+    bool
+    wants(TraceKind kind) const
+    {
+        return (kindMask_ >> static_cast<unsigned>(kind)) & 1u;
+    }
+
+    /** Record one event into the calling shard's ring. */
+    void record(const TraceEvent &ev);
+
+    /** Grow to at least @p shards rings (main thread, between cycles). */
+    void ensureShards(unsigned shards);
+
+    /** Merge every ring into the canonical (cycle, phase, node) ordered
+     *  stream. Non-destructive: the rings keep their contents. */
+    std::vector<TraceEvent> collect() const;
+
+    /** Total events lost to ring overwrites, across all shards. */
+    std::uint64_t dropped() const;
+
+  private:
+    TraceConfig config_;
+    std::uint32_t kindMask_ = 0;  ///< bit per TraceKind
+    std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_TRACE_TRACER_HH

@@ -12,6 +12,7 @@ namespace
 {
 unsigned dispatchOverride = 0;
 int threadsOverride = -1;
+TraceConfig traceOverride;
 } // namespace
 
 void
@@ -26,6 +27,18 @@ setSimThreads(int threads)
     threadsOverride = threads;
 }
 
+void
+setTraceConfig(const TraceConfig &config)
+{
+    traceOverride = config;
+}
+
+void
+clearTraceConfig()
+{
+    traceOverride = TraceConfig{};
+}
+
 MachineConfig
 standardConfig(unsigned nodes)
 {
@@ -35,6 +48,7 @@ standardConfig(unsigned nodes)
         cfg.proc.dispatchCycles = dispatchOverride;
     if (threadsOverride >= 0)
         cfg.threads = static_cast<unsigned>(threadsOverride);
+    cfg.trace = traceOverride;
     return cfg;
 }
 

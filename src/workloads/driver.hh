@@ -34,6 +34,13 @@ void setDispatchCyclesForTesting(unsigned cycles);
  *  serial ones, so this only changes host-side wall-clock time. */
 void setSimThreads(int threads);
 
+/** Trace every machine built by standardConfig with @p config (tools
+ *  and benches route their --trace flags through this). */
+void setTraceConfig(const TraceConfig &config);
+
+/** Restore the default (tracing off). */
+void clearTraceConfig();
+
 /** Assemble kernel(+barrier)+app and build a machine. */
 std::unique_ptr<JMachine> buildMachine(unsigned nodes,
                                        const std::string &app_name,

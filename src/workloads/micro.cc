@@ -831,13 +831,18 @@ runFig3Traffic(unsigned nodes, unsigned msg_words, unsigned idle_iters,
     probe.procStats = m->aggregateStats();
     probe.instructions = probe.procStats.instructions;
     probe.netStats = m->network().stats();
-    for (NodeId id = 0; id < m->nodeCount(); ++id) {
-        const NiStats &s = m->node(id).ni().stats();
-        probe.niStats.messagesSent += s.messagesSent;
-        probe.niStats.wordsSent += s.wordsSent;
-        probe.niStats.sendFullEvents += s.sendFullEvents;
-        probe.niStats.deliveryStallCycles += s.deliveryStallCycles;
-        probe.niStats.messagesBounced += s.messagesBounced;
+    // The per-node NI stats are registered machine-wide, so the
+    // aggregate is a registry read instead of a hand-summed loop.
+    const CounterRegistry &reg = m->counters();
+    probe.niStats.messagesSent = reg.value("ni.messages_sent");
+    probe.niStats.wordsSent = reg.value("ni.words_sent");
+    probe.niStats.sendFullEvents = reg.value("ni.send_full_events");
+    probe.niStats.deliveryStallCycles = reg.value("ni.delivery_stall_cycles");
+    probe.niStats.messagesBounced = reg.value("ni.messages_bounced");
+    probe.netLatency = m->network().latencyHistogram();
+    if (const Tracer *tracer = m->tracer()) {
+        probe.trace = tracer->collect();
+        probe.traceDropped = tracer->dropped();
     }
     return probe;
 }

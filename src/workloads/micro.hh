@@ -91,6 +91,11 @@ struct TrafficProbe
     ProcessorStats procStats;        ///< aggregate over every node
     NetworkStats netStats;           ///< fabric statistics
     NiStats niStats;                 ///< aggregate NI statistics
+    /** Per-message inject->deliver latency (net.latency_cycles). */
+    Histogram netLatency{1, kLatencyHistBuckets};
+    /** Collected trace stream, when the driver's trace override is on. */
+    std::vector<TraceEvent> trace;
+    std::uint64_t traceDropped = 0;
 };
 
 /** Run fig3-style random traffic for @p window cycles; the machine

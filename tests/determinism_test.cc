@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "trace/counter_registry.hh"
 #include "workloads/driver.hh"
 #include "workloads/micro.hh"
 
@@ -70,8 +71,10 @@ expectEqualProbes(const TrafficProbe &a, const TrafficProbe &b)
     // per message created, one release per tail delivered) and so must
     // match across kernels. Recycle counts and capacity are not: they
     // depend on how the free lists were sharded.
-    EXPECT_EQ(a.run.pool.allocs, b.run.pool.allocs);
-    EXPECT_EQ(a.run.pool.released, b.run.pool.released);
+    EXPECT_EQ(counterValue(a.run.counters, "pool.allocs"),
+              counterValue(b.run.counters, "pool.allocs"));
+    EXPECT_EQ(counterValue(a.run.counters, "pool.released"),
+              counterValue(b.run.counters, "pool.released"));
 }
 
 void
@@ -184,10 +187,10 @@ TEST(DeterminismSerial, Fig4LoadMatchesPreArenaGolden)
     // instead of growing — 880 deliveries fed 913 sends from a single
     // 256-slot slab, and the high water is exactly one in-flight
     // message per node.
-    EXPECT_EQ(p.run.pool.allocs, 913u);
-    EXPECT_EQ(p.run.pool.released, 880u);
-    EXPECT_EQ(p.run.pool.capacity, 256u);
-    EXPECT_EQ(p.run.pool.liveHighWater, 64u);
+    EXPECT_EQ(counterValue(p.run.counters, "pool.allocs"), 913u);
+    EXPECT_EQ(counterValue(p.run.counters, "pool.released"), 880u);
+    EXPECT_EQ(counterValue(p.run.counters, "pool.capacity"), 256u);
+    EXPECT_EQ(counterValue(p.run.counters, "pool.live_high_water"), 64u);
 }
 
 TEST(DeterminismThreaded, Fig4LoadMatchesSerialAcrossThreadCounts)

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "sim/host_timer.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
@@ -69,6 +72,23 @@ TEST(Histogram, BucketsAndPercentiles)
     EXPECT_EQ(h.max(), 99u);
     h.reset();
     EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HostTimer, TicksAdvanceAndConvertSanely)
+{
+    using clock = std::chrono::steady_clock;
+    const std::uint64_t t0 = hostTicks();
+    const auto w0 = clock::now();
+    while (clock::now() - w0 < std::chrono::milliseconds(2)) {
+    }
+    const std::uint64_t t1 = hostTicks();
+    ASSERT_GT(t1, t0);
+    EXPECT_GT(hostTicksPerSecond(), 0.0);
+    // ~2ms busy wait measured through the tick clock: allow generous
+    // slack for scheduling noise, but the conversion must be in range.
+    const double secs = hostSeconds(t1 - t0);
+    EXPECT_GT(secs, 0.0005);
+    EXPECT_LT(secs, 1.0);
 }
 
 TEST(Logging, PanicAndFatalThrowTypedErrors)

@@ -5,11 +5,17 @@
  * machine. Useful when developing workloads outside the C++ drivers.
  *
  *   jasm_tool [--no-kernel] [--symbols] [--listing] file.jasm...
- *   jasm_tool --run [--nodes N] [--threads T] [--max-cycles C] file.jasm
+ *   jasm_tool --run [--nodes N] [--threads T] [--max-cycles C]
+ *             [--trace out.json] [--trace-filter cats] file.jasm
  *
  * `--threads` selects the simulation kernel's worker count: 1 forces
  * the serial kernel, N > 1 runs N shards (bit-identical results), and
  * the default (0) picks from the host's hardware concurrency.
+ *
+ * `--trace <file>` records a cycle-accurate event trace of the run and
+ * writes it as Chrome trace-event JSON (open in chrome://tracing or
+ * ui.perfetto.dev). `--trace-filter` narrows the recorded categories
+ * to a comma list of proc,ni,net,kernel (default all).
  */
 
 #include <cstdio>
@@ -23,6 +29,7 @@
 #include "jasm/assembler.hh"
 #include "sim/logging.hh"
 #include "runtime/jos.hh"
+#include "trace/tracer.hh"
 #include "workloads/driver.hh"
 
 using namespace jmsim;
@@ -62,15 +69,21 @@ printListing(const Program &prog)
 /** Assemble + run one program on a machine; print the outcome. */
 int
 runProgram(const std::string &path, unsigned nodes, int threads,
-           Cycle max_cycles)
+           Cycle max_cycles, const TraceConfig &trace)
 {
     workloads::setSimThreads(threads);
+    workloads::setTraceConfig(trace);
     auto m = workloads::buildMachine(nodes, path, readFile(path));
     std::printf("running %s on %u nodes (%u worker shard%s)\n",
                 path.c_str(), m->nodeCount(), m->resolvedThreads(),
                 m->resolvedThreads() == 1 ? "" : "s");
     const RunResult r = m->run(max_cycles);
+    workloads::clearTraceConfig();
     workloads::setSimThreads(-1);
+    if (trace.enabled && m->exportTrace())
+        std::printf("wrote %s (%zu events, %llu dropped)\n",
+                    trace.outPath.c_str(), m->tracer()->collect().size(),
+                    static_cast<unsigned long long>(m->tracer()->dropped()));
 
     const char *reason = r.reason == StopReason::AllHalted ? "all-halted"
                          : r.reason == StopReason::Quiescent ? "quiescent"
@@ -107,6 +120,7 @@ main(int argc, char **argv)
     unsigned nodes = 64;
     int threads = -1;       // -1 = driver default (auto)
     Cycle max_cycles = 50'000'000;
+    TraceConfig trace;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--no-kernel"))
@@ -123,7 +137,18 @@ main(int argc, char **argv)
             threads = std::atoi(argv[++i]);
         else if (!std::strcmp(argv[i], "--max-cycles") && i + 1 < argc)
             max_cycles = static_cast<Cycle>(std::atoll(argv[++i]));
-        else
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+            trace.enabled = true;
+            trace.outPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--trace-filter") && i + 1 < argc) {
+            if (!parseTraceCategories(argv[++i], trace.categories)) {
+                std::fprintf(stderr,
+                             "bad --trace-filter '%s' (want a comma list "
+                             "of all,proc,ni,net,kernel)\n",
+                             argv[i]);
+                return 2;
+            }
+        } else
             files.push_back(argv[i]);
     }
     if (files.empty() || (run && files.size() != 1)) {
@@ -131,12 +156,13 @@ main(int argc, char **argv)
                      "usage: jasm_tool [--no-kernel] [--symbols] "
                      "[--listing] file.jasm...\n"
                      "       jasm_tool --run [--nodes N] [--threads T] "
-                     "[--max-cycles C] file.jasm\n");
+                     "[--max-cycles C] [--trace out.json] "
+                     "[--trace-filter cats] file.jasm\n");
         return 2;
     }
     if (run) {
         try {
-            return runProgram(files[0], nodes, threads, max_cycles);
+            return runProgram(files[0], nodes, threads, max_cycles, trace);
         } catch (const std::exception &e) {
             std::fprintf(stderr, "%s\n", e.what());
             return 1;

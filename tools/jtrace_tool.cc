@@ -1,0 +1,232 @@
+/**
+ * @file
+ * jtrace command-line tool: inspect Chrome trace-event JSON written by
+ * the simulator (jasm_tool --trace, the workload drivers, or
+ * JMachine::exportTrace).
+ *
+ *   jtrace_tool summarize trace.json
+ *   jtrace_tool filter [--kinds k1,k2] [--cats proc,ni,net,kernel]
+ *               [--node N] [--from C] [--to C] in.json out.json
+ *   jtrace_tool export in.json out.json
+ *
+ * summarize reconstructs per-message latency from the matched
+ * msg.send / msg.recv pairs (identical geometry to the simulator's
+ * net.latency_cycles histogram, so the percentiles agree exactly),
+ * plus queue-occupancy percentiles and per-kind event counts.
+ *
+ * filter keeps only the selected events and writes a valid Chrome
+ * trace again; export round-trips a file unchanged (parse + rewrite),
+ * which canonicalizes anything the parser accepts.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/chrome_trace.hh"
+#include "trace/trace_event.hh"
+
+using namespace jmsim;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: jtrace_tool summarize trace.json\n"
+        "       jtrace_tool filter [--kinds k1,k2] [--cats c1,c2] "
+        "[--node N] [--from C] [--to C] in.json out.json\n"
+        "       jtrace_tool export in.json out.json\n"
+        "kinds: dispatch suspend fault msg.send msg.recv msg.bounce\n"
+        "       queue.depth flit.fwd flit.blk idle.skip\n"
+        "cats:  all proc ni net kernel\n");
+    return 2;
+}
+
+bool
+load(const char *path, ParsedTrace &out)
+{
+    if (!parseChromeTrace(path, out)) {
+        std::fprintf(stderr, "jtrace: cannot parse %s\n", path);
+        return false;
+    }
+    return true;
+}
+
+/** Comma list of kind names -> bitmask over TraceKind. */
+bool
+parseKinds(const char *list, std::uint32_t &mask)
+{
+    mask = 0;
+    std::string token;
+    for (const char *p = list;; ++p) {
+        if (*p && *p != ',') {
+            token.push_back(*p);
+            continue;
+        }
+        if (!token.empty()) {
+            TraceKind kind;
+            if (!traceKindFromName(token, kind))
+                return false;
+            mask |= 1u << static_cast<unsigned>(kind);
+            token.clear();
+        }
+        if (!*p)
+            break;
+    }
+    return mask != 0;
+}
+
+void
+printHistogram(const char *name, const Histogram &h)
+{
+    std::printf("  %-18s count %-8llu mean %8.1f  p50 %6llu  p90 %6llu  "
+                "p99 %6llu  max %6llu\n",
+                name, static_cast<unsigned long long>(h.count()), h.mean(),
+                static_cast<unsigned long long>(h.percentile(0.50)),
+                static_cast<unsigned long long>(h.percentile(0.90)),
+                static_cast<unsigned long long>(h.percentile(0.99)),
+                static_cast<unsigned long long>(h.max()));
+}
+
+int
+summarize(const char *path)
+{
+    ParsedTrace in;
+    if (!load(path, in))
+        return 1;
+    const TraceSummary s = summarizeTrace(in.events);
+    std::printf("%s: %zu events", path, in.events.size());
+    if (in.dropped)
+        std::printf(" (%llu dropped at capture)",
+                    static_cast<unsigned long long>(in.dropped));
+    std::printf("\n");
+    std::printf("  cycles %llu..%llu\n",
+                static_cast<unsigned long long>(s.firstCycle),
+                static_cast<unsigned long long>(s.lastCycle));
+    std::printf("  events by kind:\n");
+    for (unsigned k = 0; k < kNumTraceKinds; ++k) {
+        if (s.countByKind[k])
+            std::printf("    %-12s %llu\n",
+                        traceKindName(static_cast<TraceKind>(k)),
+                        static_cast<unsigned long long>(s.countByKind[k]));
+    }
+    if (s.latency.count()) {
+        std::printf("  message latency (inject->deliver cycles, "
+                    "%llu matched, %llu unmatched sends, "
+                    "%llu unmatched recvs):\n",
+                    static_cast<unsigned long long>(s.matchedMessages),
+                    static_cast<unsigned long long>(s.unmatchedSends),
+                    static_cast<unsigned long long>(s.unmatchedRecvs));
+        printHistogram("latency", s.latency);
+    }
+    for (unsigned prio = 0; prio < 2; ++prio) {
+        if (s.queueWords[prio].count()) {
+            const std::string name =
+                "queue.p" + std::to_string(prio) + " words";
+            printHistogram(name.c_str(), s.queueWords[prio]);
+        }
+    }
+    if (s.idleSkippedCycles)
+        std::printf("  idle-skipped cycles: %llu\n",
+                    static_cast<unsigned long long>(s.idleSkippedCycles));
+    return 0;
+}
+
+int
+filter(int argc, char **argv)
+{
+    std::uint32_t kind_mask = ~0u;
+    std::uint32_t node = ~0u;
+    bool node_set = false;
+    Cycle from = 0;
+    Cycle to = ~Cycle{0};
+    std::vector<const char *> paths;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--kinds") && i + 1 < argc) {
+            if (!parseKinds(argv[++i], kind_mask)) {
+                std::fprintf(stderr, "jtrace: bad --kinds '%s'\n", argv[i]);
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--cats") && i + 1 < argc) {
+            std::uint32_t cats;
+            if (!parseTraceCategories(argv[++i], cats)) {
+                std::fprintf(stderr, "jtrace: bad --cats '%s'\n", argv[i]);
+                return 2;
+            }
+            kind_mask = 0;
+            for (unsigned k = 0; k < kNumTraceKinds; ++k) {
+                if (categoryOf(static_cast<TraceKind>(k)) & cats)
+                    kind_mask |= 1u << k;
+            }
+        } else if (!std::strcmp(argv[i], "--node") && i + 1 < argc) {
+            node = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+            node_set = true;
+        } else if (!std::strcmp(argv[i], "--from") && i + 1 < argc) {
+            from = static_cast<Cycle>(std::atoll(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--to") && i + 1 < argc) {
+            to = static_cast<Cycle>(std::atoll(argv[++i]));
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+    if (paths.size() != 2)
+        return usage();
+    ParsedTrace in;
+    if (!load(paths[0], in))
+        return 1;
+    std::vector<TraceEvent> kept;
+    kept.reserve(in.events.size());
+    for (const TraceEvent &ev : in.events) {
+        if (!((kind_mask >> static_cast<unsigned>(ev.kind)) & 1u))
+            continue;
+        if (node_set && ev.node != node)
+            continue;
+        if (ev.cycle < from || ev.cycle > to)
+            continue;
+        kept.push_back(ev);
+    }
+    if (!writeChromeTrace(paths[1], kept, in.dropped)) {
+        std::fprintf(stderr, "jtrace: cannot write %s\n", paths[1]);
+        return 1;
+    }
+    std::printf("kept %zu of %zu events -> %s\n", kept.size(),
+                in.events.size(), paths[1]);
+    return 0;
+}
+
+int
+exportCopy(const char *in_path, const char *out_path)
+{
+    ParsedTrace in;
+    if (!load(in_path, in))
+        return 1;
+    if (!writeChromeTrace(out_path, in.events, in.dropped)) {
+        std::fprintf(stderr, "jtrace: cannot write %s\n", out_path);
+        return 1;
+    }
+    std::printf("wrote %zu events -> %s\n", in.events.size(), out_path);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string verb = argv[1];
+    if (verb == "summarize" && argc == 3)
+        return summarize(argv[2]);
+    if (verb == "filter")
+        return filter(argc - 2, argv + 2);
+    if (verb == "export" && argc == 4)
+        return exportCopy(argv[2], argv[3]);
+    return usage();
+}
