@@ -44,6 +44,7 @@ struct DecodedOp
     std::uint8_t rb = 0;       ///< third register
     std::uint8_t abase = 0;    ///< address-register index (0-3) for memory ops
     std::uint8_t baseCycles = 1;
+    std::uint8_t sbFlags = 0;  ///< superblock fusion flags (isa/superblock.hh)
     bool valid = false;        ///< a real instruction lives at this iaddr
     bool ememWord = false;     ///< instruction word fetched from DRAM
     bool countsOs = false;     ///< assembled under `.region os`

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Superblock IR: per-op fusion flags and block summaries.
+ *
+ * A superblock is a straight-line run of DecodedOps that the processor
+ * may execute back-to-back inside one kernel step ("span"), committing
+ * cycle accounting per op but paying the kernel-loop round trip and the
+ * level-selection scan only once per run. Discovery happens once, right
+ * after `Program::predecode`, and annotates every DecodedOp with a
+ * flags byte (`DecodedOp::sbFlags`); the executor in
+ * `Processor::executeSpan` treats those flags as authoritative and the
+ * per-iaddr run lengths as an advisory bound.
+ *
+ * The flags partition the ISA by what an op may observe or publish:
+ *
+ *  - kSbStopBefore: ops that must always execute on the architectural
+ *    clock edge, under the plain per-op interpreter. These either
+ *    publish state the rest of the machine sees the same cycle (SEND*
+ *    injects flits into the NI on the cycle it executes), change the
+ *    scheduling state machine (SUSPEND pops the message queue, HALT),
+ *    or read clock/queue state that arrivals mutate (GETSP of QLen).
+ *  - kSbStopOpt: ops that are only unsafe inside *optimistic* spans
+ *    (rollback-capable background/P0 spans): ENTER/XLATE/PROBE mutate
+ *    the translation table and its stats, OUT appends to the host
+ *    buffer — none of which the rollback path can undo. Safe and
+ *    exclusive spans execute them inline.
+ *  - kSbStopAfter: RFE. Executes inline but ends the span: it clears
+ *    `inFault` (changing the preemption tier) and redirects the ip.
+ *  - kSbMem: memory-class handlers (LD/ST and read-modify-write forms).
+ *    Non-exclusive spans snapshot the segment-cache entry and hit/miss
+ *    counters before these so a queue-guard abort or an optimistic
+ *    fault can unwind the lookup side effects exactly.
+ *  - kSbBranch: control transfers (BR/BT/BF/CALL/JMP/JSP). Spans
+ *    follow them trace-style; they terminate *block discovery* only.
+ *  - kSbSameWord: this op shares its fetch word with its fall-through
+ *    predecessor (odd slot of the same instruction word), so when the
+ *    predecessor executed immediately before it in the same span the
+ *    fetch-cost check is elided — the predecessor already recorded the
+ *    word in the fetch latch.
+ */
+
+#ifndef JMSIM_ISA_SUPERBLOCK_HH
+#define JMSIM_ISA_SUPERBLOCK_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace jmsim
+{
+namespace sb
+{
+
+constexpr std::uint8_t kStopBefore = 1u << 0;
+constexpr std::uint8_t kStopOpt = 1u << 1;
+constexpr std::uint8_t kStopAfter = 1u << 2;
+constexpr std::uint8_t kMem = 1u << 3;
+constexpr std::uint8_t kBranch = 1u << 4;
+constexpr std::uint8_t kSameWord = 1u << 5;
+
+} // namespace sb
+
+/**
+ * Summary of the superblock starting at one instruction address, as
+ * reported by `Program::superblockAt` (introspection and tests; the
+ * executor reads the packed run-length table directly).
+ */
+struct SuperBlockInfo
+{
+    IAddr start = 0;
+    /** Ops executable from `start` in a safe/exclusive span before the
+     *  first stop-flagged op (0 when the op at `start` itself stops). */
+    std::uint16_t safeLen = 0;
+    /** Same bound for optimistic (rollback-capable) spans, which also
+     *  stop at kStopOpt ops. Always <= safeLen. */
+    std::uint16_t optLen = 0;
+    /** The run ends by executing a control transfer (vs. stopping
+     *  before a flagged/invalid op). */
+    bool endsInBranch = false;
+};
+
+} // namespace jmsim
+
+#endif // JMSIM_ISA_SUPERBLOCK_HH

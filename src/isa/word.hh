@@ -136,6 +136,8 @@ struct SegDesc
     Addr base = 0;
     std::uint32_t length = 0;
 
+    constexpr bool operator==(const SegDesc &other) const = default;
+
     /** Base alignment granule of the large format, in words. */
     static constexpr Addr kBaseAlign = 64;
     /** Largest small-format base / length. */

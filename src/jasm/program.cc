@@ -42,6 +42,120 @@ Program::nearestLabel(IAddr iaddr) const
     return std::prev(it)->second;
 }
 
+namespace
+{
+
+/** Superblock fusion flags for one decoded op (see isa/superblock.hh). */
+std::uint8_t
+sbFlagsFor(const DecodedOp &d)
+{
+    switch (static_cast<Opcode>(d.handler)) {
+      case Opcode::Halt:
+      case Opcode::Suspend:
+      case Opcode::Send0:
+      case Opcode::Send0e:
+      case Opcode::Send20:
+      case Opcode::Send20e:
+      case Opcode::Send1:
+      case Opcode::Send1e:
+      case Opcode::Send21:
+      case Opcode::Send21e:
+        return sb::kStopBefore;
+      case Opcode::Getsp:
+        // Queue lengths mutate under message arrival; the clock
+        // specials are safe because spans track the logical cycle.
+        return (d.imm == static_cast<std::int32_t>(SpecialReg::QLen0) ||
+                d.imm == static_cast<std::int32_t>(SpecialReg::QLen1))
+                   ? sb::kStopBefore
+                   : 0;
+      case Opcode::Enter:
+      case Opcode::Xlate:
+      case Opcode::Probe:
+      case Opcode::Out:
+        return sb::kStopOpt;
+      case Opcode::Rfe:
+        return sb::kStopAfter;
+      case Opcode::Ld:
+      case Opcode::Ldx:
+      case Opcode::Ldraw:
+      case Opcode::Ldrawx:
+      case Opcode::St:
+      case Opcode::Stx:
+      case Opcode::Addm:
+      case Opcode::Subm:
+      case Opcode::Andm:
+      case Opcode::Orm:
+      case Opcode::Xorm:
+        return sb::kMem;
+      case Opcode::Br:
+      case Opcode::Bt:
+      case Opcode::Bf:
+      case Opcode::Call:
+      case Opcode::Jmp:
+      case Opcode::Jsp:
+        return sb::kBranch;
+      default:
+        return 0;
+    }
+}
+
+/**
+ * May this op sit inside a spin-loop body that the span executor
+ * fast-forwards? Requires: no memory or external-state writes, no
+ * clock or queue-length reads, and a cost that is a pure function of
+ * the (frozen) registers, segment cache, and memory — so that once one
+ * whole iteration reproduces the machine state exactly, every further
+ * iteration is provably identical.
+ */
+bool
+spinSafeOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Move:
+      case Opcode::Movei:
+      case Opcode::Ldl:
+      case Opcode::Ld:
+      case Opcode::Ldx:
+      case Opcode::Ldraw:
+      case Opcode::Ldrawx:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Ash:
+      case Opcode::Lsh:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Addi:
+      case Opcode::Ashi:
+      case Opcode::Lshi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Eq:
+      case Opcode::Ne:
+      case Opcode::Lt:
+      case Opcode::Le:
+      case Opcode::Gt:
+      case Opcode::Ge:
+      case Opcode::Eqi:
+      case Opcode::Nei:
+      case Opcode::Lti:
+      case Opcode::Lei:
+      case Opcode::Gti:
+      case Opcode::Gei:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Longest spin-loop body considered for fast-forwarding. */
+constexpr unsigned kSpinBodyMax = 16;
+
+} // namespace
+
 void
 Program::predecode(Addr emem_base)
 {
@@ -90,7 +204,92 @@ Program::predecode(Addr emem_base)
           default:
             break;
         }
+        d.sbFlags = sbFlagsFor(d);
     }
+
+    // ---- superblock discovery (see isa/superblock.hh) ----
+    hasP1Sends_ = false;
+    for (IAddr i = 0; i < code_.size(); ++i) {
+        DecodedOp &d = decoded_[i];
+        if (!d.valid)
+            continue;
+        // Odd slot reached by fall-through from the even slot of the
+        // same word: the fetch-cost check can be elided in a span.
+        if ((i & 1u) && decoded_[i - 1].valid &&
+            decoded_[i - 1].nextIp == i)
+            d.sbFlags |= sb::kSameWord;
+        switch (static_cast<Opcode>(d.handler)) {
+          case Opcode::Send1:
+          case Opcode::Send1e:
+          case Opcode::Send21:
+          case Opcode::Send21e:
+            hasP1Sends_ = true;
+            break;
+          default:
+            break;
+        }
+    }
+    // Run lengths by reverse walk: nextIp is always > i, so the
+    // successor's length is final when we visit i.
+    sbRunLen_.assign(code_.size(), 0);
+    for (IAddr i = code_.size(); i-- > 0;) {
+        const DecodedOp &d = decoded_[i];
+        if (!d.valid || (d.sbFlags & sb::kStopBefore))
+            continue;
+        std::uint32_t safe = 1;
+        std::uint32_t opt = 1;
+        if (!(d.sbFlags & (sb::kBranch | sb::kStopAfter))) {
+            const std::uint32_t next =
+                d.nextIp < sbRunLen_.size() ? sbRunLen_[d.nextIp] : 0;
+            safe = std::min<std::uint32_t>(1 + (next & 0xffffu), 0xffffu);
+            opt = std::min<std::uint32_t>(1 + (next >> 16), 0xffffu);
+        }
+        if (d.sbFlags & sb::kStopOpt)
+            opt = 0;
+        sbRunLen_[i] = safe | (opt << 16);
+    }
+
+    // ---- spin-loop discovery (see Processor::runSpanOps) ----
+    // A closing backward BT/BF whose body falls straight through from
+    // the branch target back to the branch, touching nothing but
+    // registers and (frozen-during-a-span) memory reads, marks a pure
+    // busy-wait the executor may fast-forward.
+    spinHead_.assign(code_.size(), kNoSpinHead);
+    for (IAddr i = 0; i < code_.size(); ++i) {
+        const DecodedOp &d = decoded_[i];
+        if (!d.valid)
+            continue;
+        const Opcode op = static_cast<Opcode>(d.handler);
+        if ((op != Opcode::Bt && op != Opcode::Bf) || d.target >= i)
+            continue;
+        IAddr ip = d.target;
+        unsigned n = 0;
+        while (ip < i && n < kSpinBodyMax &&
+               decoded_[ip].valid &&
+               spinSafeOp(static_cast<Opcode>(decoded_[ip].handler))) {
+            ip = decoded_[ip].nextIp;
+            n += 1;
+        }
+        if (ip == i)
+            spinHead_[i] = d.target;
+    }
+}
+
+SuperBlockInfo
+Program::superblockAt(IAddr iaddr) const
+{
+    SuperBlockInfo info;
+    info.start = iaddr;
+    if (iaddr >= sbRunLen_.size())
+        return info;
+    info.safeLen = static_cast<std::uint16_t>(sbRunLen_[iaddr] & 0xffffu);
+    info.optLen = static_cast<std::uint16_t>(sbRunLen_[iaddr] >> 16);
+    IAddr ip = iaddr;
+    for (std::uint16_t n = info.safeLen; n > 1; --n)
+        ip = decoded_[ip].nextIp;
+    info.endsInBranch =
+        info.safeLen > 0 && (decoded_[ip].sbFlags & sb::kBranch) != 0;
+    return info;
 }
 
 void

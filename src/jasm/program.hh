@@ -20,6 +20,7 @@
 
 #include "isa/decoded_op.hh"
 #include "isa/instruction.hh"
+#include "isa/superblock.hh"
 #include "isa/word.hh"
 #include "sim/types.hh"
 
@@ -84,6 +85,36 @@ class Program
     /** Predecoded ops indexed by iaddr (empty before predecode()). */
     const std::vector<DecodedOp> &decodedOps() const { return decoded_; }
 
+    /**
+     * Per-iaddr superblock run lengths, filled by predecode(): the low
+     * 16 bits bound a safe/exclusive span starting at that iaddr, the
+     * high 16 bits an optimistic span (see isa/superblock.hh). A zero
+     * half means the op at that address must run under the per-op
+     * interpreter in that span kind.
+     */
+    const std::vector<std::uint32_t> &sbRunLens() const { return sbRunLen_; }
+
+    /** No spin loop closes at this iaddr (spinHeads sentinel). */
+    static constexpr IAddr kNoSpinHead = ~IAddr{0};
+
+    /**
+     * Per-iaddr spin-loop table, filled by predecode(): for a backward
+     * BT/BF whose body is a pure busy-wait (only loads, register ALU,
+     * compares, moves, and NOPs falling straight through from the
+     * branch target back to the branch), the loop-head iaddr; the
+     * kNoSpinHead sentinel everywhere else. The span executor uses it
+     * to fast-forward steady spin loops in O(1) (see
+     * Processor::runSpanOps).
+     */
+    const std::vector<IAddr> &spinHeads() const { return spinHead_; }
+
+    /** Superblock summary starting at @p iaddr (for tests/tools). */
+    SuperBlockInfo superblockAt(IAddr iaddr) const;
+
+    /** Any SEND at priority 1 anywhere in the image? Decides whether a
+     *  priority-0 handler span can ever be preempted by P1 traffic. */
+    bool hasP1Sends() const { return hasP1Sends_; }
+
     // ---- assembler-side construction interface ----
 
     /** Record an instruction at @p iaddr. */
@@ -103,6 +134,9 @@ class Program
     std::vector<std::uint8_t> present_;
     std::vector<StatClass> klass_;
     std::vector<DecodedOp> decoded_;
+    std::vector<std::uint32_t> sbRunLen_;
+    std::vector<IAddr> spinHead_;
+    bool hasP1Sends_ = false;
     std::vector<std::pair<Addr, Word>> data_;
     std::map<std::string, std::int32_t> symbols_;
     std::vector<std::pair<IAddr, std::string>> labels_;  ///< sorted by iaddr

@@ -18,6 +18,7 @@ JMachine::JMachine(const MachineConfig &config, Program prog,
       prog_(std::move(prog)),
       net_(config.dims),
       activeFlag_(config.dims.nodes(), 0),
+      dozeUntil_(config.dims.nodes(), 0),
       haltedFlag_(config.dims.nodes(), 0)
 {
     const unsigned n = config_.dims.nodes();
@@ -90,6 +91,9 @@ JMachine::activateNode(NodeId id)
         pendingWakes_[ThreadPool::currentShard()].push_back(id);
         return;
     }
+    // A header arrival (or rollback) invalidates any doze horizon: the
+    // node may need stepping as early as the next cycle.
+    dozeUntil_[id] = 0;
     if (!activeFlag_[id]) {
         activeFlag_[id] = 1;
         activeNodes_.push_back(id);
@@ -177,13 +181,25 @@ JMachine::runSerial(Cycle max_cycles)
                 break;
         }
         const std::uint64_t t0 = hostTicks();
+        // With one active node and an empty fabric nothing can preempt
+        // that node: its core may fuse superblock spans unconditionally
+        // (bounded by the run horizon).
+        const bool exclusive =
+            activeNodes_.size() == 1 && !net_.anyActive();
         // Step active nodes; compact the list as nodes go idle.
         std::size_t keep = 0;
         const std::size_t n = activeNodes_.size();
         for (std::size_t i = 0; i < n; ++i) {
             const NodeId id = activeNodes_[i];
+            // Dozing node: the core is mid-span with a quiescent NI, so
+            // its step() would be a no-op (see dozeUntil_).
+            if (now_ < dozeUntil_[id]) {
+                activeNodes_[keep++] = id;
+                continue;
+            }
             Node &node = nodes_[id];
-            if (node.step(now_)) {
+            if (node.step(now_, max_cycles, exclusive)) {
+                dozeUntil_[id] = node.dozeHint(now_);
                 activeNodes_[keep++] = id;
             } else {
                 activeFlag_[id] = 0;
@@ -234,15 +250,24 @@ JMachine::runSerial(Cycle max_cycles)
 }
 
 void
-JMachine::stepShard(unsigned shard, unsigned shards, std::size_t n)
+JMachine::stepShard(unsigned shard, unsigned shards, std::size_t n,
+                    Cycle horizon, bool exclusive)
 {
     const std::size_t begin = n * shard / shards;
     const std::size_t end = n * (shard + 1) / shards;
     unsigned newly_halted = 0;
     for (std::size_t i = begin; i < end; ++i) {
         const NodeId id = activeNodes_[i];
+        // Doze entries are only written by the shard that owns the
+        // node's slot this cycle and only cleared at the barrier
+        // (mergePendingWakes), so the check is race-free.
+        if (now_ < dozeUntil_[id]) {
+            stillActive_[i] = 1;
+            continue;
+        }
         Node &node = nodes_[id];
-        if (node.step(now_)) {
+        if (node.step(now_, horizon, exclusive)) {
+            dozeUntil_[id] = node.dozeHint(now_);
             stillActive_[i] = 1;
             continue;
         }
@@ -282,13 +307,17 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
         const std::size_t n = activeNodes_.size();
         stillActive_.resize(n);
         const std::uint64_t t0 = hostTicks();
+        // Same exclusivity proof as the serial kernel; with one active
+        // node only one shard has work, so the flag is race-free.
+        const bool exclusive =
+            activeNodes_.size() == 1 && !net_.anyActive();
         // Fork A: node stepping fused with the fabric's pull phase.
         // The pull only reads channel outputs committed last cycle
         // (each owned by a router in the pulling shard's slab), so it
         // cannot interact with the concurrently stepping nodes.
         inParallel_ = true;
-        pool_->run([this, n, shards](unsigned shard) {
-            stepShard(shard, shards, n);
+        pool_->run([this, n, shards, max_cycles, exclusive](unsigned shard) {
+            stepShard(shard, shards, n, max_cycles, exclusive);
             net_.pullShard(shard);
         });
         inParallel_ = false;

@@ -159,7 +159,8 @@ class JMachine
     void maybeIdleSkip(Cycle max_cycles);
 
     /** Step one shard's slice of the active-node snapshot. */
-    void stepShard(unsigned shard, unsigned shards, std::size_t n);
+    void stepShard(unsigned shard, unsigned shards, std::size_t n,
+                   Cycle horizon, bool exclusive);
 
     /** Apply wakes buffered during the parallel phase, in id order. */
     void mergePendingWakes();
@@ -174,6 +175,12 @@ class JMachine
     std::unique_ptr<Node[]> nodes_;
     std::vector<NodeId> activeNodes_;
     std::vector<std::uint8_t> activeFlag_;
+    /** Per-node doze horizon: while `now_ < dozeUntil_[id]` the node's
+     *  step() is a provable no-op (core mid-instruction or mid-span,
+     *  NI quiescent), so the run loop skips the call entirely. Cleared
+     *  whenever a message header reaches the node (activateNode), which
+     *  also covers optimistic-span rollbacks shortening busyUntil. */
+    std::vector<Cycle> dozeUntil_;
     Cycle now_ = 0;
     Cycle idleSkipped_ = 0;
     unsigned haltedCount_ = 0;

@@ -13,6 +13,8 @@ Node::init(NodeId id, const MeshDims &dims, const MemoryConfig &mem_cfg,
     mem_ = std::make_unique<NodeMemory>(mem_cfg);
     ni_.init(id, ni_cfg, net, mem_.get(), std::move(wake));
     proc_.init(id, net->dims(), proc_cfg, mem_.get(), &ni_, prog);
+    ni_.setDispatchNotify(
+        [this](unsigned prio, Cycle now) { proc_.noteDispatchable(prio, now); });
     (void)dims;
 }
 

@@ -33,18 +33,47 @@ class Node
 
     /**
      * Advance one cycle.
+     * @param horizon cycle bound for superblock spans: the core may run
+     *        ahead of `now` as long as every fused op starts before
+     *        `horizon` (pass `now + 1` for exact per-op stepping).
+     * @param exclusive the kernel proved this is the only active node
+     *        and the network is empty, so no arrival can preempt.
      * @return true if the node still needs stepping next cycle.
      */
     bool
-    step(Cycle now)
+    step(Cycle now, Cycle horizon, bool exclusive)
     {
-        const bool proc_active = proc_.step(now);
+        // Quiescence for the exclusivity proof is sampled before the
+        // core runs; SENDs execute per-op, so a span never wakes the NI.
+        const bool proc_active =
+            proc_.step(now, horizon, exclusive && ni_.quiescent());
         // A quiescent NI's step is a no-op (nothing queued to inject,
         // no bounce in flight) and sendBusy() is false by definition.
+        // Re-checked after the core step: a SEND must inject this cycle.
         if (ni_.quiescent())
             return proc_active;
         ni_.step(now);
         return proc_active || ni_.sendBusy();
+    }
+
+    /** Exact single-cycle step (tests and tools). */
+    bool step(Cycle now) { return step(now, now + 1, false); }
+
+    /**
+     * Cycle before which step() is a provable no-op, or 0 when the node
+     * needs stepping next cycle. Valid only right after a step() that
+     * returned true: the core is mid-instruction (or mid-span) and the
+     * NI has nothing to inject, so nothing changes until the core
+     * resumes — unless a message header arrives, which the machine
+     * handles by clearing its doze entry (activateNode).
+     */
+    Cycle
+    dozeHint(Cycle now) const
+    {
+        if (!ni_.quiescent())
+            return 0;
+        const Cycle ready = proc_.nextEventCycle();
+        return ready > now + 1 ? ready : 0;
     }
 
     /** Attach the machine's tracer to the core and NI (null = off). */

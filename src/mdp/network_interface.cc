@@ -151,6 +151,7 @@ NetworkInterface::step(Cycle now)
             if (flit.index == 0)
                 msg.injectCycle = now;
             const bool was_tail = msg.tailAt(flit.index);
+            flit.tail = was_tail;
             // A word leaves the buffer when its second flit goes out.
             if (flit.index > 0 && flit.index % kFlitsPerWord == 0)
                 ch.bufferedWords -= 1;
@@ -191,7 +192,7 @@ NetworkInterface::acceptFlit(const Flit &flit, Cycle now)
     // releases the message only after this callback returns.
     Message &m = net_->pool().get(flit.msg);
     const std::int32_t word = flit.completesWord();
-    const bool tail = m.tailAt(flit.index);
+    const bool tail = flit.tail != 0;
     if (word < 0) {
         if (tail)
             panic("tail flit should complete a word");
@@ -203,6 +204,12 @@ NetworkInterface::acceptFlit(const Flit &flit, Cycle now)
     if (cap.active || (word == 0 && config_.returnToSender &&
                        bounceHandler_ != 0 &&
                        !q.canBegin(MsgHeader::decode(m.words[0]).length))) {
+        // Starting a capture makes this NI non-quiescent: wake the node
+        // so the machine clears any doze horizon and steps the NI (the
+        // bounce flits must start re-injecting even while the core is
+        // mid-span).
+        if (word == 0 && wake_)
+            wake_();
         if (!cap.active) {
             cap.active = true;
             cap.msg = net_->pool().alloc();
@@ -246,7 +253,13 @@ NetworkInterface::acceptFlit(const Flit &flit, Cycle now)
     Addr start;
     if (word == 0) {
         const MsgHeader hdr = MsgHeader::decode(m.words[0]);
+        // A message landing in an empty queue makes the head newly
+        // dispatchable this cycle: tell the processor, which may have
+        // run an optimistic span past this point.
+        const bool wasEmpty = q.empty();
         start = q.begin(hdr.length, m.src, now);
+        if (wasEmpty && dispatchNotify_)
+            dispatchNotify_(flit.vn, now);
     } else {
         QueuedMessage *in = q.incoming();
         if (!in)

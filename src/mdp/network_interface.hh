@@ -93,6 +93,19 @@ class NetworkInterface : public DeliverSink
      *  messages (return-to-sender mode). */
     void setBounceHandler(IAddr entry) { bounceHandler_ = entry; }
 
+    /**
+     * Called the instant a delivery makes a queue's head message newly
+     * dispatchable (the queue was empty and its first word landed),
+     * with the priority and the delivery cycle. The processor uses it
+     * to bound — and if necessary roll back — optimistic superblock
+     * spans that ran ahead of a preempting arrival.
+     */
+    void
+    setDispatchNotify(std::function<void(unsigned, Cycle)> notify)
+    {
+        dispatchNotify_ = std::move(notify);
+    }
+
     /** The message queue for a priority level. */
     MessageQueue &queue(unsigned prio) { return queues_[prio]; }
     const MessageQueue &queue(unsigned prio) const { return queues_[prio]; }
@@ -159,6 +172,7 @@ class NetworkInterface : public DeliverSink
     MeshNetwork *net_ = nullptr;
     NodeMemory *mem_ = nullptr;
     std::function<void()> wake_;
+    std::function<void(unsigned, Cycle)> dispatchNotify_;
     std::array<SendChannel, 2> send_;
     std::array<MessageQueue, 2> queues_;
     std::array<BounceCapture, 2> bounce_;

@@ -1,7 +1,9 @@
 #include "mdp/processor.hh"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "isa/superblock.hh"
 #include "sim/logging.hh"
 #include "trace/counter_registry.hh"
 #include "trace/tracer.hh"
@@ -46,6 +48,9 @@ Processor::resetStats()
     handlerStats_.clear();
     handlerSlot_.fill(nullptr);
     xlate_.resetStats();
+    // A finished optimistic span can no longer be invalidated: any
+    // later arrival lands after the span's last issue cycle.
+    spanActive_ = false;
     // Re-seed the dispatch that brought in each still-live handler so a
     // post-reset read sees the running threads accounted the same way
     // boot() seeds the background handler.
@@ -226,7 +231,7 @@ Processor::selectLevel(Cycle now)
 }
 
 bool
-Processor::step(Cycle now)
+Processor::step(Cycle now, Cycle horizon, bool exclusive)
 {
     if (halted_)
         return false;
@@ -237,7 +242,10 @@ Processor::step(Cycle now)
         return false;
     if (busyUntil_ > now)
         return true;  // this cycle went to a dispatch
-    executeOne(now);
+    if (config_.superblock && !trace_ && horizon > now + 1)
+        executeSpan(now, horizon, exclusive);
+    else
+        executeOne(now);
     return true;
 }
 
@@ -331,6 +339,20 @@ Processor::memAddress(const DecodedOp &op, bool indexed, Addr &addr,
         return false;
     }
     addr = e.desc.base + static_cast<Addr>(off);
+    if (eagerGuard_) {
+        // Superblock span: a queue-region access outside the frozen
+        // arrived-prefix allowance aborts the op side-effect-free; the
+        // span ends and the op re-executes per-op at its architectural
+        // cycle, observing the true queue state.
+        for (unsigned qi = 0; qi < 2; ++qi) {
+            const MessageQueue &q = ni_->queue(qi);
+            if (addr >= q.base() && addr < q.base() + q.capacity() &&
+                (addr < eagerQLo_ || addr >= eagerQHi_)) {
+                eagerAbort_ = true;
+                return false;
+            }
+        }
+    }
     if (e.uniform) {
         penalty = e.penalty;
         return true;
@@ -613,6 +635,8 @@ struct Processor::Exec
         if (!p.memAddress(op, Indexed, addr, penalty))
             return;
         p.xCost_ += penalty;
+        if (p.eagerUndo_)
+            p.undo_.emplace_back(addr, p.mem_->read(addr));
         p.mem_->write(addr, p.cur()[op.rd]);
     }
 
@@ -1148,6 +1172,483 @@ Processor::executeOne(Cycle now)
     HandlerStats &hs = handlerSlot(lvl);
     hs.instructions += 1;
     hs.cycles += xCost_;
+}
+
+/**
+ * Superblock execution. A span is a straight-line run of predecoded
+ * ops retired back-to-back inside one kernel step: the kernel-loop
+ * round trip, level selection, and fetch checks are paid once per run
+ * instead of once per op, while every architectural observable (cycle
+ * counts, stats, faults, memory, trace events) stays bit-identical to
+ * per-op stepping.
+ *
+ * Tier selection decides how far a span may run ahead of the machine:
+ *
+ *  - Exclusive: the kernel proved no message can arrive (single active
+ *    node, empty network, quiescent NI). Fuse with no guards; faults
+ *    and queue stalls are replicated inline at their logical cycle.
+ *  - Safe: the current level cannot be preempted no matter what
+ *    arrives — an open send sequence, a live fault handler, live P1,
+ *    or live P0 in an image with no P1 sends (selectLevel's priority
+ *    order keeps picking it). Queue-region reads are guarded against
+ *    words that had not arrived at span entry: such an access aborts
+ *    the op side-effect-free and the span falls back to per-op
+ *    execution at the op's architectural cycle.
+ *  - Optimistic: background (any arrival preempts) or P0 with P1
+ *    traffic possible. The span snapshots its level's state and logs
+ *    store undos; if the NI later reports an arrival that would have
+ *    preempted mid-span (noteDispatchable), the span rolls back and
+ *    deterministically replays only the prefix that architecturally
+ *    executed before the arrival became visible.
+ *
+ * Ops flagged kSbStopBefore (SEND/SUSPEND/HALT/GETSP-QLen) always run
+ * per-op; kSbStopOpt ops (ENTER/XLATE/PROBE/OUT) additionally end
+ * optimistic spans since rollback cannot undo them.
+ */
+Processor::SpanResult
+Processor::runSpanOps(Cycle start, Cycle stop, unsigned budget,
+                      SpanTier tier)
+{
+    const unsigned lvl = static_cast<unsigned>(current_);
+    RegisterSet &rs = sets_[lvl];
+    HandlerStats &hs = handlerSlot(lvl);
+    const std::vector<std::uint32_t> &runLens = prog_->sbRunLens();
+    const std::size_t runCount = runLens.size();
+    const bool optimistic = tier == SpanTier::Optimistic;
+    const bool guarded = tier != SpanTier::Exclusive;
+
+    SpanResult r;
+    r.lastStart = start;
+    Cycle c = start;
+    std::uint32_t run = 0;      ///< ops left in the current superblock
+    bool chainFetch = false;    ///< previous span op fell through here
+
+    // ---- spin fast-forward (see Program::spinHeads) ----
+    //
+    // A pure busy-wait loop reads only state that is frozen for the
+    // span's lifetime: its body has no stores or sends, writes from
+    // other levels cannot interleave with a span, and NI deliveries
+    // touch only the (guarded) queue region. So once one whole probe
+    // iteration reproduces the registers, fetch latch, and segment
+    // cache exactly, every further iteration is provably identical —
+    // the remaining iterations up to `stop` are retired in bulk by
+    // scaling the probe iteration's measured statistics deltas. The
+    // bulk count is a pure function of the entry state and `stop`, so
+    // a rollback replay with a shorter stop deterministically commits
+    // exactly the prefix the original span committed.
+    const std::vector<IAddr> &spinHeads = prog_->spinHeads();
+    const std::size_t spinCount = spinHeads.size();
+    IAddr spinIp = Program::kNoSpinHead;       ///< armed closing branch
+    IAddr spinBlocked = Program::kNoSpinHead;  ///< not steady: gave up
+    unsigned spinMiss = 0;
+    RegisterSet spinRegs;
+    std::array<SegCacheEntry, 4> spinSeg{};
+    bool spinFetchKnown = false;
+    Addr spinFetchWord = 0;
+    Cycle spinC = 0;
+    std::uint64_t spinInstr = 0;
+    std::uint64_t spinInstrOs = 0;
+    Cycle spinRunCycles = 0;
+    decltype(stats_.cyclesByClass) spinByClass{};
+    std::uint64_t spinHits = 0;
+    std::uint64_t spinMisses = 0;
+    std::uint64_t spinHsI = 0;
+    std::uint64_t spinHsC = 0;
+    std::uint64_t spinExec = 0;
+    const auto armSpin = [&](Cycle at) {
+        spinRegs = rs;
+        spinSeg = segCache_[lvl];
+        spinFetchKnown = fetchKnown_[lvl];
+        spinFetchWord = lastFetchWord_[lvl];
+        spinC = at;
+        spinInstr = stats_.instructions;
+        spinInstrOs = stats_.instructionsOs;
+        spinRunCycles = stats_.runCycles;
+        spinByClass = stats_.cyclesByClass;
+        spinHits = stats_.segCacheHits;
+        spinMisses = stats_.segCacheMisses;
+        spinHsI = hs.instructions;
+        spinHsC = hs.cycles;
+        spinExec = r.executed;
+    };
+    /** Don't bother probing unless the span has this much runway. */
+    constexpr Cycle kSpinArmRunway = 64;
+
+    while (r.executed < budget && c < stop) {
+        const IAddr ip = rs.ip;
+        if (run == 0) {
+            // Block lookup: how many ops are provably fusable from
+            // here along the fall-through path?
+            const std::uint32_t packed = ip < runCount ? runLens[ip] : 0;
+            run = optimistic ? packed >> 16 : (packed & 0xffffu);
+            if (run == 0)
+                break;  // stop-flagged or invalid head: per-op fallback
+        }
+        const DecodedOp &op = decoded_[ip];
+        const std::uint8_t f = op.sbFlags;
+
+        xCost_ = op.baseCycles;
+        // Fetch cost, elided when the predecessor in this span already
+        // latched the same instruction word.
+        if (!(chainFetch && (f & sb::kSameWord))) {
+            if (!fetchKnown_[lvl] || lastFetchWord_[lvl] != op.wordAddr) {
+                fetchKnown_[lvl] = true;
+                lastFetchWord_[lvl] = op.wordAddr;
+                if (op.ememWord)
+                    xCost_ += config_.ememFetchCycles;
+            }
+        }
+        xNext_ = op.nextIp;
+        xStall_ = false;
+        xNow_ = c;
+        faultPending_ = false;
+        eagerAbort_ = false;
+
+        const bool memSaved = guarded && (f & sb::kMem);
+        if (memSaved) {
+            memSaveEntry_ = segCache_[lvl][op.abase & 3u];
+            memSaveHits_ = stats_.segCacheHits;
+            memSaveMisses_ = stats_.segCacheMisses;
+        }
+
+        // Direct-threaded dispatch: the hot opcodes are distributed
+        // switch cases the compiler lowers to a jump table and inlines;
+        // everything else tail-dispatches through the handler table.
+        switch (static_cast<Opcode>(op.handler)) {
+          case Opcode::Nop: break;
+          case Opcode::Br: Exec::br(*this, op); break;
+          case Opcode::Bt: Exec::condBranch<true>(*this, op); break;
+          case Opcode::Bf: Exec::condBranch<false>(*this, op); break;
+          case Opcode::Call: Exec::call(*this, op); break;
+          case Opcode::Jmp: Exec::jmp(*this, op); break;
+          case Opcode::Move: Exec::move(*this, op); break;
+          case Opcode::Movei: Exec::movei(*this, op); break;
+          case Opcode::Ldl: Exec::ldl(*this, op); break;
+          case Opcode::Ld: Exec::load<false, false>(*this, op); break;
+          case Opcode::Ldx: Exec::load<true, false>(*this, op); break;
+          case Opcode::Ldraw: Exec::load<false, true>(*this, op); break;
+          case Opcode::Ldrawx: Exec::load<true, true>(*this, op); break;
+          case Opcode::St: Exec::store<false>(*this, op); break;
+          case Opcode::Stx: Exec::store<true>(*this, op); break;
+          case Opcode::Addm: Exec::aluMem<&Exec::fnAdd>(*this, op); break;
+          case Opcode::Subm: Exec::aluMem<&Exec::fnSub>(*this, op); break;
+          case Opcode::Andm: Exec::aluMem<&Exec::fnAnd>(*this, op); break;
+          case Opcode::Orm: Exec::aluMem<&Exec::fnOr>(*this, op); break;
+          case Opcode::Xorm: Exec::aluMem<&Exec::fnXor>(*this, op); break;
+          case Opcode::Add: Exec::aluRR<&Exec::fnAdd>(*this, op); break;
+          case Opcode::Sub: Exec::aluRR<&Exec::fnSub>(*this, op); break;
+          case Opcode::Mul: Exec::aluRR<&Exec::fnMul>(*this, op); break;
+          case Opcode::Ash: Exec::aluRR<&Exec::fnAsh>(*this, op); break;
+          case Opcode::Lsh: Exec::aluRR<&Exec::fnLsh>(*this, op); break;
+          case Opcode::And: Exec::aluRR<&Exec::fnAnd>(*this, op); break;
+          case Opcode::Or: Exec::aluRR<&Exec::fnOr>(*this, op); break;
+          case Opcode::Xor: Exec::aluRR<&Exec::fnXor>(*this, op); break;
+          case Opcode::Addi: Exec::aluRI<&Exec::fnAdd>(*this, op); break;
+          case Opcode::Ashi: Exec::aluRI<&Exec::fnAsh>(*this, op); break;
+          case Opcode::Lshi: Exec::aluRI<&Exec::fnLsh>(*this, op); break;
+          case Opcode::Andi: Exec::aluRI<&Exec::fnAnd>(*this, op); break;
+          case Opcode::Ori: Exec::aluRI<&Exec::fnOr>(*this, op); break;
+          case Opcode::Xori: Exec::aluRI<&Exec::fnXor>(*this, op); break;
+          case Opcode::Eq: Exec::eqNe<true>(*this, op); break;
+          case Opcode::Ne: Exec::eqNe<false>(*this, op); break;
+          case Opcode::Lt: Exec::cmpRR<&Exec::fnLt>(*this, op); break;
+          case Opcode::Le: Exec::cmpRR<&Exec::fnLe>(*this, op); break;
+          case Opcode::Gt: Exec::cmpRR<&Exec::fnGt>(*this, op); break;
+          case Opcode::Ge: Exec::cmpRR<&Exec::fnGe>(*this, op); break;
+          case Opcode::Eqi: Exec::cmpRI<&Exec::fnEq>(*this, op); break;
+          case Opcode::Nei: Exec::cmpRI<&Exec::fnNe>(*this, op); break;
+          case Opcode::Lti: Exec::cmpRI<&Exec::fnLt>(*this, op); break;
+          case Opcode::Lei: Exec::cmpRI<&Exec::fnLe>(*this, op); break;
+          case Opcode::Gti: Exec::cmpRI<&Exec::fnGt>(*this, op); break;
+          case Opcode::Gei: Exec::cmpRI<&Exec::fnGe>(*this, op); break;
+          default: Exec::table[op.handler](*this, op); break;
+        }
+
+        if (eagerAbort_) {
+            // Queue-guard abort: unwind the segment-cache lookup and
+            // end the span before this op.
+            segCache_[lvl][op.abase & 3u] = memSaveEntry_;
+            stats_.segCacheHits = memSaveHits_;
+            stats_.segCacheMisses = memSaveMisses_;
+            break;
+        }
+        if (faultPending_) {
+            if (optimistic) {
+                // End the span before the op; the per-op retry at the
+                // correct cycle re-faults with identical side effects.
+                if (memSaved) {
+                    segCache_[lvl][op.abase & 3u] = memSaveEntry_;
+                    stats_.segCacheHits = memSaveHits_;
+                    stats_.segCacheMisses = memSaveMisses_;
+                }
+                break;
+            }
+            // Safe/exclusive tiers take the fault inline, replicating
+            // executeOne's fault path at the op's logical cycle.
+            stats_.faults[static_cast<unsigned>(faultKind_)] += 1;
+            if (kTraceCompiledIn && tracer_ &&
+                tracer_->wants(TraceKind::Fault)) {
+                TraceEvent ev;
+                ev.cycle = c;
+                ev.node = id_;
+                ev.kind = TraceKind::Fault;
+                ev.arg8 = static_cast<std::uint8_t>(faultKind_);
+                ev.a0 = ip;
+                tracer_->record(ev);
+            }
+            if (rs.inFault)
+                die(std::string("fault '") + faultName(faultKind_) +
+                        "' inside a fault handler",
+                    ip);
+            if (!config_.hasVector[static_cast<unsigned>(faultKind_)])
+                die(std::string("unhandled fault '") +
+                        faultName(faultKind_) +
+                        "' (fval0=" + faultVal0_.toString() + ")",
+                    ip);
+            rs.inFault = true;
+            rs.faultIp = ip;
+            rs.fval0 = faultVal0_;
+            rs.fval1 = faultVal1_;
+            rs.ip = config_.vectors[static_cast<unsigned>(faultKind_)];
+            invalidateFetch(lvl);
+            xCost_ += config_.faultEntryCycles;
+            attribute(faultStatClass(faultKind_), xCost_);
+            busyUntil_ = c + xCost_;
+            r.end = c + xCost_;
+            r.endedInline = true;
+            return r;
+        }
+        if (xStall_) {
+            // Only reachable in exclusive spans (the guard pre-empts
+            // queue stalls elsewhere); replicate the per-op stall.
+            stats_.queueStallCycles += 1;
+            attribute(StatClass::Comm, 1);
+            busyUntil_ = c + 1;
+            r.end = c + 1;
+            r.endedInline = true;
+            return r;
+        }
+
+        // Commit, exactly as executeOne does.
+        rs.ip = xNext_;
+        stats_.instructions += 1;
+        if (op.countsOs)
+            stats_.instructionsOs += 1;
+        attribute(op.effClass, xCost_);
+        hs.instructions += 1;
+        hs.cycles += xCost_;
+        r.lastStart = c;
+        c += xCost_;
+        r.executed += 1;
+        run -= 1;
+        chainFetch = xNext_ == op.nextIp;
+        if (!chainFetch) {
+            run = 0;  // control transfer: re-enter block lookup
+            // Taken closing branch of a discovered spin loop: probe
+            // for a steady state, then retire iterations in bulk. The
+            // c < stop guard keeps the k computation from underflowing
+            // (and the loop is about to exit anyway).
+            if (c < stop && ip < spinCount &&
+                spinHeads[ip] != Program::kNoSpinHead &&
+                ip != spinBlocked) {
+                if (spinIp == ip) {
+                    const bool steady = spinRegs == rs &&
+                                        spinSeg == segCache_[lvl] &&
+                                        spinFetchKnown == fetchKnown_[lvl] &&
+                                        spinFetchWord == lastFetchWord_[lvl];
+                    if (steady) {
+                        // One iteration costs d cycles and ends with
+                        // the branch's xCost_; k more whole iterations
+                        // fit while the branch still starts before
+                        // `stop` (matching the per-op c < stop check).
+                        const Cycle d = c - spinC;
+                        const std::uint64_t k = (stop - c - 1 + xCost_) / d;
+                        if (k > 0) {
+                            const std::uint64_t dI = stats_.instructions - spinInstr;
+                            const std::uint64_t dIOs = stats_.instructionsOs - spinInstrOs;
+                            const Cycle dRun = stats_.runCycles - spinRunCycles;
+                            const std::uint64_t dHit = stats_.segCacheHits - spinHits;
+                            const std::uint64_t dMiss = stats_.segCacheMisses - spinMisses;
+                            const std::uint64_t dHsI = hs.instructions - spinHsI;
+                            const std::uint64_t dHsC = hs.cycles - spinHsC;
+                            const std::uint64_t dExec = r.executed - spinExec;
+                            stats_.instructions += k * dI;
+                            stats_.instructionsOs += k * dIOs;
+                            stats_.runCycles += k * dRun;
+                            for (std::size_t i = 0;
+                                 i < stats_.cyclesByClass.size(); ++i)
+                                stats_.cyclesByClass[i] +=
+                                    k * (stats_.cyclesByClass[i] -
+                                         spinByClass[i]);
+                            stats_.segCacheHits += k * dHit;
+                            stats_.segCacheMisses += k * dMiss;
+                            hs.instructions += k * dHsI;
+                            hs.cycles += k * dHsC;
+                            r.executed += k * dExec;
+                            c += k * d;
+                            r.lastStart = c - xCost_;
+                        }
+                        armSpin(c);  // re-baseline (k can be 0 near stop)
+                    } else if (++spinMiss >= 2) {
+                        spinBlocked = ip;  // a real loop, not a busy-wait
+                        spinIp = Program::kNoSpinHead;
+                    } else {
+                        armSpin(c);  // converging (e.g. cache warm-up)
+                    }
+                } else if (stop - c >= kSpinArmRunway) {
+                    spinIp = ip;
+                    spinMiss = 0;
+                    armSpin(c);
+                }
+            }
+        }
+        if (f & sb::kStopAfter)
+            break;    // RFE changed the preemption tier
+    }
+    r.end = c;
+    busyUntil_ = c;
+    return r;
+}
+
+void
+Processor::executeSpan(Cycle now, Cycle horizon, bool exclusive)
+{
+    const unsigned lvl = static_cast<unsigned>(current_);
+    RegisterSet &rs = sets_[lvl];
+    spanActive_ = false;
+
+    SpanTier tier;
+    unsigned violPrioMin = 0;
+    if (exclusive) {
+        tier = SpanTier::Exclusive;
+    } else if (rs.sending || rs.inFault || current_ == Level::P1 ||
+               (current_ == Level::P0 && !prog_->hasP1Sends())) {
+        // selectLevel keeps picking this level no matter what arrives:
+        // an arrival cannot create a sending, faulting, or
+        // higher-priority live candidate.
+        tier = SpanTier::Safe;
+    } else {
+        tier = SpanTier::Optimistic;
+        violPrioMin = current_ == Level::P0 ? 1 : 0;
+    }
+
+    // A stop-flagged (SEND/SUSPEND/HALT/GETSP-QLen) or invalid head
+    // cannot fuse at all: skip the allowance freeze and the optimistic
+    // snapshot and run the per-op interpreter directly.
+    {
+        const std::vector<std::uint32_t> &runLens = prog_->sbRunLens();
+        const IAddr headIp = rs.ip;
+        const std::uint32_t packed =
+            headIp < runLens.size() ? runLens[headIp] : 0;
+        const std::uint32_t len = tier == SpanTier::Optimistic
+                                      ? packed >> 16
+                                      : (packed & 0xffffu);
+        if (len == 0) {
+            executeOne(now);
+            return;
+        }
+    }
+
+    // Freeze the queue-region allowance: the arrived prefix of the
+    // current level's head message. NI deliveries only append past it,
+    // so reads inside the allowance are stable for the span's lifetime.
+    eagerQLo_ = 1;
+    eagerQHi_ = 0;
+    if (tier != SpanTier::Exclusive && current_ != Level::Background) {
+        const MessageQueue &q = ni_->queue(current_ == Level::P1 ? 1 : 0);
+        if (!q.empty()) {
+            eagerQLo_ = q.head().start;
+            eagerQHi_ = q.head().start + q.head().arrived;
+        }
+    }
+
+    const bool optimistic = tier == SpanTier::Optimistic;
+    if (optimistic) {
+        snap_.regs = rs;
+        snap_.seg = segCache_[lvl];
+        snap_.fetchKnown = fetchKnown_[lvl];
+        snap_.fetchWord = lastFetchWord_[lvl];
+        snap_.instructions = stats_.instructions;
+        snap_.instructionsOs = stats_.instructionsOs;
+        snap_.runCycles = stats_.runCycles;
+        snap_.cyclesByClass = stats_.cyclesByClass;
+        snap_.segCacheHits = stats_.segCacheHits;
+        snap_.segCacheMisses = stats_.segCacheMisses;
+        const HandlerStats &hs = handlerSlot(lvl);
+        snap_.hsInstructions = hs.instructions;
+        snap_.hsCycles = hs.cycles;
+        undo_.clear();
+    }
+
+    eagerGuard_ = tier != SpanTier::Exclusive;
+    eagerUndo_ = optimistic;
+    const SpanResult r = runSpanOps(now, horizon, spanBudget_, tier);
+    eagerGuard_ = false;
+    eagerUndo_ = false;
+
+    if (r.executed == 0 && !r.endedInline) {
+        // Span head is stop-flagged (SEND/SUSPEND/HALT/GETSP-QLen...),
+        // invalid, guard-aborted, or optimistically faulting: execute
+        // exactly one op through the per-op interpreter.
+        executeOne(now);
+        return;
+    }
+
+    if (optimistic && !r.endedInline) {
+        spanActive_ = true;
+        spanLvl_ = lvl;
+        spanViolPrioMin_ = violPrioMin;
+        spanEntryNow_ = now;
+        spanLastStart_ = r.lastStart;
+    }
+    // Budget adaptation: spans that fill their budget earn a longer
+    // one; rollbacks (noteDispatchable) halve it.
+    if (r.executed >= spanBudget_ && spanBudget_ < kSpanBudgetMax)
+        spanBudget_ *= 2;
+}
+
+void
+Processor::noteDispatchable(unsigned prio, Cycle now)
+{
+    if (!spanActive_)
+        return;
+    if (prio < spanViolPrioMin_)
+        return;  // cannot preempt the span's level
+    spanActive_ = false;
+    // The arrival becomes schedulable at now + 1; ops issued strictly
+    // before that were architecturally allowed to run.
+    if (now + 1 > spanLastStart_)
+        return;  // every span op already issued: the span stands
+
+    // Roll the span back to its entry state...
+    const unsigned lvl = spanLvl_;
+    sets_[lvl] = snap_.regs;
+    segCache_[lvl] = snap_.seg;
+    fetchKnown_[lvl] = snap_.fetchKnown;
+    lastFetchWord_[lvl] = snap_.fetchWord;
+    stats_.instructions = snap_.instructions;
+    stats_.instructionsOs = snap_.instructionsOs;
+    stats_.runCycles = snap_.runCycles;
+    stats_.cyclesByClass = snap_.cyclesByClass;
+    stats_.segCacheHits = snap_.segCacheHits;
+    stats_.segCacheMisses = snap_.segCacheMisses;
+    HandlerStats &hs = handlerSlot(lvl);
+    hs.instructions = snap_.hsInstructions;
+    hs.cycles = snap_.hsCycles;
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it)
+        mem_->write(it->first, it->second);
+    undo_.clear();
+
+    // ...and replay the prefix that issued before the arrival became
+    // visible. The replay is deterministic: the queue guard kept the
+    // span free of arrival-dependent reads, so identical inputs replay
+    // to identical state, and busyUntil_ lands at the preemption point.
+    current_ = static_cast<Level>(lvl);
+    eagerGuard_ = true;
+    eagerUndo_ = false;
+    runSpanOps(spanEntryNow_, now + 1, ~0u, SpanTier::Optimistic);
+    eagerGuard_ = false;
+    spanBudget_ = std::max(spanBudget_ / 2, kSpanBudgetMin);
 }
 
 } // namespace jmsim

@@ -58,6 +58,11 @@ struct ProcessorConfig
     unsigned takenBranchPenalty = 1; ///< pipeline flush on taken branch
     unsigned ememFetchCycles = 6;    ///< fetch of an external code word
 
+    /** Execute discovered superblocks as fused spans (host-side speed
+     *  only; cycle counts and statistics are bit-identical either
+     *  way). See Processor::executeSpan. */
+    bool superblock = true;
+
     /** Fault vectors: entry iaddr per FaultKind (valid if hasVector). */
     std::array<IAddr, kNumFaults> vectors{};
     std::array<bool, kNumFaults> hasVector{};
@@ -121,10 +126,33 @@ class Processor
     }
 
     /**
-     * Advance by one cycle.
+     * Advance by one cycle — and, when superblock execution is on,
+     * possibly further: the core may retire a whole straight-line span
+     * of instructions whose start cycles lie in [now, horizon), leaving
+     * `busyUntil_` at the span's architectural end. Every observable
+     * (cycle counts, statistics, fault behaviour, memory, trace events)
+     * is bit-identical to stepping per op.
+     *
+     * @param horizon exclusive bound on fused-op start cycles; pass
+     *        `now + 1` to force exact single-op stepping.
+     * @param exclusive the caller proved no message can arrive at this
+     *        node while it runs (single active node, empty network,
+     *        quiescent NI), removing every preemption guard.
      * @return true if the core is doing anything (false = idle/halted).
      */
-    bool step(Cycle now);
+    bool step(Cycle now, Cycle horizon, bool exclusive);
+
+    /** Exact single-cycle step (tests, tools). */
+    bool step(Cycle now) { return step(now, now + 1, false); }
+
+    /**
+     * Delivery callback from the NI: the priority-@p prio queue head
+     * became newly dispatchable at cycle @p now. If an optimistic
+     * superblock span ran past the point where that message would have
+     * preempted this core, roll the span back and replay only the
+     * prefix that architecturally executed (start cycles < now + 1).
+     */
+    void noteDispatchable(unsigned prio, Cycle now);
 
     /** A message header arrived (or other wake source) at @p now. */
     void noteWake(Cycle now);
@@ -202,6 +230,33 @@ class Processor
 
     /** Execute one instruction at the current level. */
     void executeOne(Cycle now);
+
+    // ---- superblock span execution (see executeSpan in processor.cc) ----
+
+    /** How far ahead of the machine a span may safely run. */
+    enum class SpanTier : std::uint8_t
+    {
+        Exclusive,   ///< no arrival possible: fuse without guards
+        Safe,        ///< current level is unpreemptable: guard queue reads
+        Optimistic,  ///< arrivals may preempt: snapshot + rollback
+    };
+
+    struct SpanResult
+    {
+        /** Committed instructions (64-bit: a fast-forwarded spin loop
+         *  can retire iterations up to a distant horizon in one call). */
+        std::uint64_t executed = 0;
+        Cycle end = 0;           ///< architectural cycle after the span
+        Cycle lastStart = 0;     ///< start cycle of the last committed op
+        bool endedInline = false;///< a fault/stall consumed the last op
+    };
+
+    /** Fuse a span at the current level; dispatch per-op on failure. */
+    void executeSpan(Cycle now, Cycle horizon, bool exclusive);
+
+    /** The fused-execution loop shared by spans and rollback replay. */
+    SpanResult runSpanOps(Cycle start, Cycle stop, unsigned budget,
+                          SpanTier tier);
 
     /** Raise a fault: redirect to the vector (or die loudly). */
     void raiseFault(FaultKind kind, Word fval0, Word fval1);
@@ -290,8 +345,58 @@ class Processor
         bool uniform = false;
         unsigned penalty = 0;
         SegDesc desc;
+
+        bool operator==(const SegCacheEntry &other) const = default;
     };
     std::array<std::array<SegCacheEntry, 4>, kNumLevels> segCache_{};
+
+    // ---- superblock span state ----
+    static constexpr unsigned kSpanBudgetMin = 8;
+    static constexpr unsigned kSpanBudgetMax = 1024;
+
+    /** Queue-region access guard for non-exclusive spans: memAddress
+     *  aborts the op (eagerAbort_) when a resolved address falls in a
+     *  message-queue region but outside [eagerQLo_, eagerQHi_), the
+     *  already-arrived prefix of the current level's head message as
+     *  frozen at span entry. */
+    bool eagerGuard_ = false;
+    bool eagerAbort_ = false;
+    bool eagerUndo_ = false;   ///< record store undo (optimistic spans)
+    Addr eagerQLo_ = 1;
+    Addr eagerQHi_ = 0;
+
+    /** Optimistic-span rollback snapshot (taken at span entry). */
+    struct SpanSnapshot
+    {
+        RegisterSet regs;
+        std::array<SegCacheEntry, 4> seg;
+        bool fetchKnown = false;
+        Addr fetchWord = 0;
+        std::uint64_t instructions = 0;
+        std::uint64_t instructionsOs = 0;
+        Cycle runCycles = 0;
+        std::array<std::uint64_t,
+            static_cast<std::size_t>(StatClass::NumClasses)> cyclesByClass{};
+        std::uint64_t segCacheHits = 0;
+        std::uint64_t segCacheMisses = 0;
+        std::uint64_t hsInstructions = 0;
+        std::uint64_t hsCycles = 0;
+    };
+    SpanSnapshot snap_;
+    std::vector<std::pair<Addr, Word>> undo_;  ///< store undo log
+
+    bool spanActive_ = false;     ///< an optimistic span may roll back
+    unsigned spanLvl_ = 0;
+    unsigned spanViolPrioMin_ = 0;///< arrivals at prio >= this violate
+    Cycle spanEntryNow_ = 0;
+    Cycle spanLastStart_ = 0;
+    unsigned spanBudget_ = 64;    ///< adaptive span length bound
+
+    /** Mid-op save of the segment-cache lookup side effects, so a
+     *  guard abort or optimistic fault can unwind them exactly. */
+    SegCacheEntry memSaveEntry_;
+    std::uint64_t memSaveHits_ = 0;
+    std::uint64_t memSaveMisses_ = 0;
 
     // Direct-mapped front cache over the XLATE table, guarded by the
     // table's version counter (ENTER / invalidate / clear bump it).

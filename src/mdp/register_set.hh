@@ -50,6 +50,8 @@ struct RegisterSet
 
     Word &operator[](std::uint8_t r) { return regs[r & 7]; }
     const Word &operator[](std::uint8_t r) const { return regs[r & 7]; }
+
+    bool operator==(const RegisterSet &other) const = default;
 };
 
 } // namespace jmsim

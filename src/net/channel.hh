@@ -12,11 +12,30 @@
 #ifndef JMSIM_NET_CHANNEL_HH
 #define JMSIM_NET_CHANNEL_HH
 
+#include <cstdint>
+#include <vector>
+
 #include "net/message.hh"
 #include "sim/types.hh"
 
 namespace jmsim
 {
+
+/**
+ * Bitmap over the mesh's channel array, one bit per channel index.
+ * The move phase marks every channel it writes; the commit phase scans
+ * the set bits in ascending word/bit order, which is exactly ascending
+ * channel index — the deterministic commit order — without the
+ * per-cycle pointer sort a touched-list would need.
+ */
+using ChannelBitmap = std::vector<std::uint64_t>;
+
+/** Mark channel @p index as written this cycle. */
+inline void
+markTouched(ChannelBitmap &bits, std::uint32_t index)
+{
+    bits[index >> 6] |= std::uint64_t{1} << (index & 63u);
+}
 
 /** Unidirectional link between two routers. */
 class Channel
@@ -37,6 +56,17 @@ class Channel
         inDir_ = static_cast<std::uint8_t>((axis * 2 + (positive ? 1 : 0)) ^
                                            1u);
     }
+
+    /** Position in the mesh's channel array (set once at construction;
+     *  the commit phase's bitmap is keyed by it). */
+    void setIndex(std::uint32_t index) { index_ = index; }
+    std::uint32_t index() const { return index_; }
+
+    /** Bisection accounting role, precomputed at construction: +1 if
+     *  this channel crosses the X mid-plane positively, -1 negatively,
+     *  0 (the overwhelmingly common case) if it doesn't cross. */
+    void setBisectRole(std::int8_t role) { bisectRole_ = role; }
+    std::int8_t bisectRole() const { return bisectRole_; }
 
     NodeId from() const { return from_; }
     NodeId to() const { return to_; }
@@ -94,9 +124,11 @@ class Channel
     bool nextValid_ = false;
     NodeId from_ = 0;
     NodeId to_ = 0;
+    std::uint32_t index_ = 0;
     unsigned axis_ = 0;
     bool positive_ = true;
     std::uint8_t inDir_ = 0;
+    std::int8_t bisectRole_ = 0;
 };
 
 } // namespace jmsim

@@ -1,6 +1,7 @@
 #include "net/mesh_network.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
@@ -48,7 +49,8 @@ MeshNetwork::MeshNetwork(const MeshDims &dims)
       routers_(dims.nodes()),
       channels_(static_cast<std::size_t>(dims.nodes()) * kNumDirs),
       routerShard_(dims.nodes(), 0),
-      activeFlag_(dims.nodes(), 0)
+      activeFlag_(dims.nodes(), 0),
+      busyHint_(dims.nodes(), 0)
 {
     for (NodeId id = 0; id < dims.nodes(); ++id) {
         const RouterAddr addr = dims.toCoord(id);
@@ -61,12 +63,20 @@ MeshNetwork::MeshNetwork(const MeshDims &dims)
             const NodeId to_id = dims.toLinear(to);
             Channel &ch = channels_[id * kNumDirs + dir];
             ch.setEndpoints(id, to_id, dir / 2, (dir & 1) != 0);
+            ch.setIndex(static_cast<std::uint32_t>(id * kNumDirs + dir));
+            if (dims.x > 1 && ch.axis() == 0) {
+                const unsigned mid = dims.x / 2;
+                if (ch.positive() && addr.x == mid - 1)
+                    ch.setBisectRole(1);
+                else if (!ch.positive() && addr.x == mid)
+                    ch.setBisectRole(-1);
+            }
             routers_[id].setOutChannel(static_cast<Direction>(dir), &ch);
             routers_[to_id].setInChannel(
                 static_cast<Direction>(oppositeDir(dir)), &ch);
         }
     }
-    commitChannels_.reserve(channels_.size());
+    commitBits_.assign((channels_.size() + 63) / 64, 0);
     setShards(1);
 }
 
@@ -151,21 +161,11 @@ MeshNetwork::setShards(unsigned shards)
             static_cast<std::uint64_t>(id) * shards / n);
     for (Shard &sh : shards_) {
         sh.active.reserve(n / shards + 1);
-        sh.touched.reserve(channels_.size() / shards + kNumDirs);
+        sh.touched.assign((channels_.size() + 63) / 64, 0);
     }
     for (const NodeId id : live)
         shards_[routerShard_[id]].active.push_back(id);
     pool_.setShards(shards);
-}
-
-void
-MeshNetwork::activate(NodeId id)
-{
-    if (!activeFlag_[id]) {
-        activeFlag_[id] = 1;
-        shards_[routerShard_[id]].active.push_back(id);
-        ++activeCount_;
-    }
 }
 
 void
@@ -246,8 +246,15 @@ MeshNetwork::moveShard(unsigned s, Cycle now)
 {
     Shard &sh = shards_[s];
     const std::size_t n = sh.active.size();
-    for (std::size_t i = 0; i < n; ++i)
-        routers_[sh.active[i]].movePhase(now, sh.touched);
+    for (std::size_t i = 0; i < n; ++i) {
+        const NodeId id = sh.active[i];
+        Router &r = routers_[id];
+        r.movePhase(now, sh.touched);
+        // Record the busy verdict while the router is hot in cache;
+        // the commit-phase compaction reads only this byte array.
+        busyHint_[id] =
+            r.residentFlits() > 0 || r.hasPendingInput() ? 1 : 0;
+    }
 }
 
 void
@@ -263,49 +270,56 @@ void
 MeshNetwork::commitPhase(Cycle now)
 {
     (void)now;
-    commitChannels_.clear();
+    // Union the shard bitmaps. Scanning the set bits in ascending
+    // word/bit order is exactly channel-index order — the same commit
+    // order the serial kernel produces, independent of how routers
+    // were sharded — with no per-cycle sort.
+    const std::size_t words = commitBits_.size();
     for (Shard &sh : shards_) {
-        commitChannels_.insert(commitChannels_.end(), sh.touched.begin(),
-                               sh.touched.end());
-        sh.touched.clear();
+        for (std::size_t w = 0; w < words; ++w) {
+            commitBits_[w] |= sh.touched[w];
+            sh.touched[w] = 0;
+        }
         stats_.messagesDelivered += sh.messagesDelivered;
         stats_.wordsDelivered += sh.wordsDelivered;
         sh.messagesDelivered = 0;
         sh.wordsDelivered = 0;
     }
-    // channels_ is one contiguous array, so sorting the pointers is
-    // exactly channel-index order — the same commit order the serial
-    // kernel produces, independent of how routers were sharded.
-    std::sort(commitChannels_.begin(), commitChannels_.end());
 
     // Commit only the channel pipeline registers written by this
     // cycle's moves, waking the downstream routers and counting
     // bisection crossings.
-    const unsigned mid = dims_.x / 2;
-    for (Channel *chp : commitChannels_) {
-        Channel &ch = *chp;
-        ch.commit();
-        routers_[ch.to()].notePendingIn(ch.inDir());
-        activate(ch.to());
-        if (dims_.x > 1 && ch.axis() == 0 && !ch.peek().isHead()) {
-            const RouterAddr from = dims_.toCoord(ch.from());
-            if (ch.positive() && from.x == mid - 1)
-                stats_.bisectionFlitsPos += 1;
-            else if (!ch.positive() && from.x == mid)
-                stats_.bisectionFlitsNeg += 1;
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t bits = commitBits_[w];
+        commitBits_[w] = 0;
+        while (bits) {
+            const unsigned bit =
+                static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            Channel &ch = channels_[w * 64 + bit];
+            ch.commit();
+            routers_[ch.to()].notePendingIn(ch.inDir());
+            busyHint_[ch.to()] = 1;  // wake arrived after the move phase
+            activate(ch.to());
+            if (ch.bisectRole() != 0 && !ch.peek().isHead()) {
+                if (ch.bisectRole() > 0)
+                    stats_.bisectionFlitsPos += 1;
+                else
+                    stats_.bisectionFlitsNeg += 1;
+            }
         }
     }
 
-    // Keep only routers that still have (or are about to have) work;
-    // routers woken during the commit loop carry a pending channel flit
-    // and so pass the hasPendingInput() test.
+    // Keep only routers that still have (or are about to have) work.
+    // busyHint_ was settled by moveShard (routers woken during the
+    // commit loop above had their hint re-raised), so the scan stays
+    // inside two contiguous byte arrays — no Router objects touched.
     std::size_t total = 0;
     for (Shard &sh : shards_) {
         std::size_t keep = 0;
         for (std::size_t i = 0; i < sh.active.size(); ++i) {
             const NodeId id = sh.active[i];
-            const Router &r = routers_[id];
-            if (r.residentFlits() > 0 || r.hasPendingInput()) {
+            if (busyHint_[id]) {
                 sh.active[keep++] = id;
             } else {
                 activeFlag_[id] = 0;

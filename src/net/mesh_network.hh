@@ -174,7 +174,17 @@ class MeshNetwork
     double bisectionCapacityBitsPerSec() const;
 
   private:
-    void activate(NodeId id);
+    /** Put router @p id on its shard's active bin (hot: inlined). */
+    void
+    activate(NodeId id)
+    {
+        if (!activeFlag_[id]) {
+            activeFlag_[id] = 1;
+            busyHint_[id] = 1;
+            shards_[routerShard_[id]].active.push_back(id);
+            ++activeCount_;
+        }
+    }
 
     /** One buffered injection awaiting the cycle barrier. */
     struct StagedFlit
@@ -187,7 +197,7 @@ class MeshNetwork
     struct alignas(64) Shard
     {
         std::vector<NodeId> active;       ///< routers to step this cycle
-        std::vector<Channel *> touched;   ///< channels written this cycle
+        ChannelBitmap touched;            ///< channels written this cycle
         std::uint64_t messagesDelivered = 0;  ///< folded at commitPhase
         std::uint64_t wordsDelivered = 0;
         /** Inject->deliver cycles of every delivery this shard saw.
@@ -206,12 +216,21 @@ class MeshNetwork
     std::vector<std::uint16_t> routerShard_;  ///< slab of each router
     std::size_t activeCount_ = 0;
     std::vector<std::uint8_t> activeFlag_;
+    /** Per-router "still has work" flag for the commit-phase bin
+     *  compaction. Written where the router state is already hot in
+     *  cache — by moveShard right after the router's move phase, by the
+     *  commit loop when a channel wake arrives, and by activate() — so
+     *  the compaction scan reads one contiguous byte array instead of
+     *  chasing two cold fields per Router object. Keeping an idle
+     *  router binned one cycle too long is harmless (its phases are
+     *  no-ops); the hint is never stale in the dropping direction. */
+    std::vector<std::uint8_t> busyHint_;
     bool staging_ = false;
     std::vector<std::vector<StagedFlit>> staged_;  ///< per worker shard
     /** Flits staged this cycle per (node, vn), for canInject. */
     std::vector<std::uint8_t> stagedInject_;
     std::vector<StagedFlit> commitScratch_;
-    std::vector<Channel *> commitChannels_;
+    ChannelBitmap commitBits_;  ///< per-cycle union of shard bitmaps
     NetworkStats stats_;
 };
 

@@ -80,6 +80,9 @@ struct Flit
     MsgHandle msg = kNullMsg;
     std::uint32_t index = 0;   ///< 0 = head flit
     std::uint8_t vn = 0;       ///< virtual network (= message priority)
+    /** Precomputed Message::tailAt(index), set at injection so the
+     *  per-hop move path never touches the message slab. */
+    std::uint8_t tail = 0;
 
     bool isHead() const { return index == 0; }
 

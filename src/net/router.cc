@@ -55,7 +55,7 @@ Router::route(const RouterAddr &dest) const
 
 bool
 Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
-                std::vector<Channel *> &touched)
+                ChannelBitmap &touched)
 {
     FlitFifo &fifo = fifos_[in][vn];
     if (out == kDeliverPort) {
@@ -65,7 +65,7 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
         --resident_;
         if (fifo.empty())
             occ_[vn] &= ~(1u << in);
-        const bool tail = pool_->get(flit.msg).tailAt(flit.index);
+        const bool tail = flit.tail != 0;
         stats_.flitsDelivered += 1;
         if (kTraceCompiledIn && trace_ && flit.isHead() &&
             trace_->wants(TraceKind::FlitForward)) {
@@ -93,7 +93,7 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
     --resident_;
     if (fifo.empty())
         occ_[vn] &= ~(1u << in);
-    const bool tail = pool_->get(flit.msg).tailAt(flit.index);
+    const bool tail = flit.tail != 0;
     stats_.flitsRouted += 1;
     if (kTraceCompiledIn && trace_ && flit.isHead() &&
         trace_->wants(TraceKind::FlitForward)) {
@@ -108,7 +108,7 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
         trace_->record(ev);
     }
     ch->send(flit);
-    touched.push_back(ch);
+    markTouched(touched, ch->index());
     setOwner(out, vn, tail ? -1 : static_cast<std::int8_t>(in));
     sentThisCycle_ = true;
     if (in == kInjectPort)
@@ -117,7 +117,7 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
 }
 
 bool
-Router::movePhase(Cycle now, std::vector<Channel *> &touched)
+Router::movePhase(Cycle now, ChannelBitmap &touched)
 {
     sentThisCycle_ = false;
     injectMoved_.fill(false);

@@ -135,10 +135,10 @@ class Router
     void pullPhase();
 
     /** Phase 2: arbitrate outputs and move at most 1 flit per output.
-     *  Channels written this cycle are appended to @p touched so the
+     *  Channels written this cycle are marked in @p touched so the
      *  mesh commits only those pipeline registers.
      *  @return true if any output channel was written. */
-    bool movePhase(Cycle now, std::vector<Channel *> &touched);
+    bool movePhase(Cycle now, ChannelBitmap &touched);
 
     /** May the NI enqueue a flit on the inject port? */
     bool
@@ -179,7 +179,7 @@ class Router
 
     /** Move one flit from input @p in to output @p out if possible. */
     bool tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
-                 std::vector<Channel *> &touched);
+                 ChannelBitmap &touched);
 
     /** Set the worm owning (output, vn), keeping ownerMask_ in sync. */
     void

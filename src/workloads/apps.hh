@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "isa/opcode.hh"
+#include "machine/jmachine.hh"
 #include "sim/types.hh"
 
 namespace jmsim
@@ -63,6 +64,11 @@ struct AppResult
     Cycle idleCycles = 0;
     /** Thread classes keyed by handler label (Table 4/5). */
     std::vector<ThreadClassStats> threadClasses;
+    /** Host-time phase breakdown of the final run() call. */
+    KernelProfile profile;
+    /** Counter-registry snapshot at the end of the final run() call
+     *  (pool traffic, network totals, ... — see CounterRegistry). */
+    std::vector<CounterSample> counters;
 
     double runMs() const { return cyclesToSeconds(runCycles) * 1e3; }
 };

@@ -12,6 +12,7 @@ namespace
 {
 unsigned dispatchOverride = 0;
 int threadsOverride = -1;
+int superblockOverride = -1;
 TraceConfig traceOverride;
 } // namespace
 
@@ -25,6 +26,12 @@ void
 setSimThreads(int threads)
 {
     threadsOverride = threads;
+}
+
+void
+setSuperblock(int enabled)
+{
+    superblockOverride = enabled;
 }
 
 void
@@ -48,6 +55,8 @@ standardConfig(unsigned nodes)
         cfg.proc.dispatchCycles = dispatchOverride;
     if (threadsOverride >= 0)
         cfg.threads = static_cast<unsigned>(threadsOverride);
+    if (superblockOverride >= 0)
+        cfg.proc.superblock = superblockOverride != 0;
     cfg.trace = traceOverride;
     return cfg;
 }
@@ -123,6 +132,15 @@ collectAppResult(const JMachine &m)
         tc.name = name;
         result.threadClasses.push_back(tc);
     }
+    return result;
+}
+
+AppResult
+collectAppResult(const JMachine &m, const RunResult &run)
+{
+    AppResult result = collectAppResult(m);
+    result.profile = run.profile;
+    result.counters = run.counters;
     return result;
 }
 

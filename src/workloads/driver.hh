@@ -34,6 +34,13 @@ void setDispatchCyclesForTesting(unsigned cycles);
  *  serial ones, so this only changes host-side wall-clock time. */
 void setSimThreads(int threads);
 
+/** Override superblock span execution used by standardConfig:
+ *  0 = force per-op interpretation, 1 = force span fusion,
+ *  -1 restores the default (on). Spans are a host-side execution
+ *  strategy only — counters and timing are bit-identical either way —
+ *  so this exists for A/B verification and perf triage. */
+void setSuperblock(int enabled);
+
 /** Trace every machine built by standardConfig with @p config (tools
  *  and benches route their --trace flags through this). */
 void setTraceConfig(const TraceConfig &config);
@@ -59,6 +66,10 @@ std::vector<std::int32_t> outInts(const JMachine &m, NodeId node);
 /** Aggregate the machine's statistics into an AppResult (Figure 6 /
  *  Table 4 material). runCycles and answer are filled by the caller. */
 AppResult collectAppResult(const JMachine &m);
+
+/** As above, but also attach the run's kernel profile and
+ *  counter-registry snapshot (pool traffic etc.) to the result. */
+AppResult collectAppResult(const JMachine &m, const RunResult &run);
 
 } // namespace workloads
 } // namespace jmsim

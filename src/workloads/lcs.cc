@@ -190,7 +190,7 @@ runLcs(const LcsConfig &config)
     if (out.size() != 1)
         fatal("LCS produced no result");
 
-    AppResult result = collectAppResult(*m);
+    AppResult result = collectAppResult(*m, r);
     result.runCycles = r.cycles;
     result.answer = out[0];
     const unsigned expect = referenceLcs(a, b);

@@ -277,7 +277,7 @@ runNQueens(const NQueensConfig &config)
     if (out.size() != 2)
         fatal("N-Queens produced no result");
 
-    AppResult result = collectAppResult(*m);
+    AppResult result = collectAppResult(*m, r);
     result.runCycles = r.cycles;
     result.answer = out[0];
     const std::uint64_t expect = referenceNQueens(config.queens);

@@ -443,7 +443,7 @@ runRadixSort(const RadixConfig &config)
         }
     }
 
-    AppResult result = collectAppResult(*m);
+    AppResult result = collectAppResult(*m, r);
     result.runCycles = r.cycles;
     result.answer = static_cast<std::int64_t>(config.keys);
     return result;

@@ -415,7 +415,7 @@ runTsp(const TspConfig &config)
     if (out.size() != 2)
         fatal("TSP produced no result");
 
-    AppResult result = collectAppResult(*m);
+    AppResult result = collectAppResult(*m, r);
     result.runCycles = r.cycles;
     result.answer = out[0];
     const std::int64_t expect = referenceTsp(dist);

@@ -31,6 +31,13 @@ struct ThreadsGuard
     ~ThreadsGuard() { workloads::setSimThreads(-1); }
 };
 
+/** Pin the superblock override for a scope, restoring default (on). */
+struct SuperblockGuard
+{
+    explicit SuperblockGuard(int on) { workloads::setSuperblock(on); }
+    ~SuperblockGuard() { workloads::setSuperblock(-1); }
+};
+
 void
 expectEqualProcStats(const ProcessorStats &a, const ProcessorStats &b)
 {
@@ -150,6 +157,53 @@ TEST(DeterminismSerial, RadixMatchesPreDecodeGolden)
     EXPECT_EQ(r.runCycles, 61436u);
     EXPECT_EQ(r.instructions, 551751u);
     EXPECT_EQ(r.dispatches, 7378u);
+}
+
+// Superblock span execution is a host-side strategy, not a model
+// change: with spans forced off (one op interpreted per cycle) the
+// golden numbers above must still hold exactly, at both kernel
+// configurations.
+TEST(DeterminismSerial, TrafficGoldenHoldsWithSuperblocksOff)
+{
+    SuperblockGuard sb(0);
+    const TrafficProbe p = trafficAt(64, 1, 2000);
+    EXPECT_EQ(p.run.cycles, 2000u);
+    EXPECT_EQ(p.instructions, 93827u);
+    EXPECT_EQ(p.procStats.runCycles, 128012u);
+    EXPECT_EQ(p.netStats.messagesDelivered, 618u);
+}
+
+TEST(DeterminismSerial, RadixGoldenHoldsWithSuperblocksOff)
+{
+    SuperblockGuard sb(0);
+    workloads::RadixConfig c;
+    c.nodes = 16;
+    c.keys = 1024;
+    ThreadsGuard guard(1);
+    const auto r = workloads::runRadixSort(c);
+    EXPECT_EQ(r.answer, 1024);
+    EXPECT_EQ(r.runCycles, 61436u);
+    EXPECT_EQ(r.instructions, 551751u);
+    EXPECT_EQ(r.dispatches, 7378u);
+}
+
+TEST(DeterminismThreaded, RadixSuperblocksOffMatchesSerialOn)
+{
+    workloads::RadixConfig c;
+    c.nodes = 16;
+    c.keys = 1024;
+    workloads::AppResult on, off;
+    {
+        ThreadsGuard guard(1);
+        on = workloads::runRadixSort(c);
+    }
+    {
+        SuperblockGuard sb(0);
+        ThreadsGuard guard(4);
+        off = workloads::runRadixSort(c);
+    }
+    EXPECT_EQ(on.answer, 1024);
+    expectEqualAppResults(on, off);
 }
 
 TEST(DeterminismSerial, RadixRepeatRunsIdentical)

@@ -66,6 +66,7 @@ injectWhole(MeshNetwork &net, MsgHandle h, Cycle &now)
         f.msg = h;
         f.index = i;
         f.vn = msg.priority;
+        f.tail = msg.tailAt(i);
         net.injectFlit(msg.src, f);
     }
 }

@@ -6,11 +6,16 @@
  *
  *   jasm_tool [--no-kernel] [--symbols] [--listing] file.jasm...
  *   jasm_tool --run [--nodes N] [--threads T] [--max-cycles C]
- *             [--trace out.json] [--trace-filter cats] file.jasm
+ *             [--superblock on|off] [--trace out.json]
+ *             [--trace-filter cats] file.jasm
  *
  * `--threads` selects the simulation kernel's worker count: 1 forces
  * the serial kernel, N > 1 runs N shards (bit-identical results), and
  * the default (0) picks from the host's hardware concurrency.
+ *
+ * `--superblock off` disables fused span execution and interprets one
+ * op per cycle (bit-identical results, slower host time) — an A/B
+ * switch for verifying or triaging the span engine.
  *
  * `--trace <file>` records a cycle-accurate event trace of the run and
  * writes it as Chrome trace-event JSON (open in chrome://tracing or
@@ -69,9 +74,10 @@ printListing(const Program &prog)
 /** Assemble + run one program on a machine; print the outcome. */
 int
 runProgram(const std::string &path, unsigned nodes, int threads,
-           Cycle max_cycles, const TraceConfig &trace)
+           int superblock, Cycle max_cycles, const TraceConfig &trace)
 {
     workloads::setSimThreads(threads);
+    workloads::setSuperblock(superblock);
     workloads::setTraceConfig(trace);
     auto m = workloads::buildMachine(nodes, path, readFile(path));
     std::printf("running %s on %u nodes (%u worker shard%s)\n",
@@ -80,6 +86,7 @@ runProgram(const std::string &path, unsigned nodes, int threads,
     const RunResult r = m->run(max_cycles);
     workloads::clearTraceConfig();
     workloads::setSimThreads(-1);
+    workloads::setSuperblock(-1);
     if (trace.enabled && m->exportTrace())
         std::printf("wrote %s (%zu events, %llu dropped)\n",
                     trace.outPath.c_str(), m->tracer()->collect().size(),
@@ -119,6 +126,7 @@ main(int argc, char **argv)
     bool run = false;
     unsigned nodes = 64;
     int threads = -1;       // -1 = driver default (auto)
+    int superblock = -1;    // -1 = driver default (on)
     Cycle max_cycles = 50'000'000;
     TraceConfig trace;
     std::vector<std::string> files;
@@ -137,6 +145,18 @@ main(int argc, char **argv)
             threads = std::atoi(argv[++i]);
         else if (!std::strcmp(argv[i], "--max-cycles") && i + 1 < argc)
             max_cycles = static_cast<Cycle>(std::atoll(argv[++i]));
+        else if (!std::strcmp(argv[i], "--superblock") && i + 1 < argc) {
+            const char *v = argv[++i];
+            if (!std::strcmp(v, "on"))
+                superblock = 1;
+            else if (!std::strcmp(v, "off"))
+                superblock = 0;
+            else {
+                std::fprintf(stderr,
+                             "bad --superblock '%s' (want on or off)\n", v);
+                return 2;
+            }
+        }
         else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
             trace.enabled = true;
             trace.outPath = argv[++i];
@@ -156,13 +176,15 @@ main(int argc, char **argv)
                      "usage: jasm_tool [--no-kernel] [--symbols] "
                      "[--listing] file.jasm...\n"
                      "       jasm_tool --run [--nodes N] [--threads T] "
-                     "[--max-cycles C] [--trace out.json] "
+                     "[--max-cycles C] [--superblock on|off] "
+                     "[--trace out.json] "
                      "[--trace-filter cats] file.jasm\n");
         return 2;
     }
     if (run) {
         try {
-            return runProgram(files[0], nodes, threads, max_cycles, trace);
+            return runProgram(files[0], nodes, threads, superblock,
+                              max_cycles, trace);
         } catch (const std::exception &e) {
             std::fprintf(stderr, "%s\n", e.what());
             return 1;
