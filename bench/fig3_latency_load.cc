@@ -112,5 +112,27 @@ main(int argc, char **argv)
                     p.efficiency);
     std::printf("\npaper: saturation ~6 of 14.4 Gb/s; 50%% efficiency at "
                 "100-300 cycles/message\n");
+
+    // Large-mesh extension: the same latency/load probe on a 4096-node
+    // (16x16x16) mesh — QCDSP-class sizes the wake scheduler makes
+    // affordable. Shorter window: the points are for curve shape, not
+    // saturation precision.
+    if (scale != bench::Scale::Quick) {
+        const unsigned big = 4096;
+        const Cycle big_window = 3000;
+        const MeshDims bd = MeshDims::forNodeCount(big);
+        const double bcap =
+            static_cast<double>(bd.y) * bd.z * 0.5 * 36 * 12.5e6 / 1e9;
+        bench::header("Figure 3 (large mesh): " + std::to_string(big) +
+                      " nodes (capacity " +
+                      std::to_string(bcap).substr(0, 5) + " Gb/s)");
+        std::printf("%6s %10s %14s %14s %12s\n", "words", "idle-iter",
+                    "traffic Mb/s", "latency cyc", "grain cyc");
+        for (unsigned idle : {0u, 100u, 400u}) {
+            const LoadPoint p = measureLoadPoint(big, 6, idle, big_window);
+            std::printf("%6u %10u %14.1f %14.1f %12.1f\n", 6u, idle,
+                        p.bisectionMbits, p.oneWayLatency, p.grainCycles);
+        }
+    }
     return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "workloads/driver.hh"
 #include "workloads/micro.hh"
 
 using namespace jmsim;
@@ -34,5 +35,26 @@ main(int argc, char **argv)
     }
     std::printf("\npeak %.1f Mbits/s (channel limit 200); paper peak ~190\n",
                 peak);
+
+    // Large-mesh extension: aggregate delivered bandwidth under fig4
+    // saturation traffic (24-word random-target messages, zero grain)
+    // at the paper's top size and the 16x16x16 mesh.
+    if (scale != bench::Scale::Quick) {
+        bench::header("Figure 4 extension: aggregate saturation bandwidth");
+        std::printf("%6s %10s %14s %14s\n", "nodes", "window",
+                    "msgs delivered", "agg Gbits/s");
+        for (unsigned n : {512u, 4096u}) {
+            const Cycle window = n > 1024 ? 1500 : 3000;
+            const TrafficProbe p = runFig4Load(n, window);
+            const double gbits =
+                static_cast<double>(p.netStats.wordsDelivered) * 36.0 *
+                12.5e6 / static_cast<double>(window) / 1e9;
+            std::printf("%6u %10llu %14llu %14.2f\n", n,
+                        static_cast<unsigned long long>(window),
+                        static_cast<unsigned long long>(
+                            p.netStats.messagesDelivered),
+                        gbits);
+        }
+    }
     return 0;
 }

@@ -81,5 +81,27 @@ main(int argc, char **argv)
     std::printf("\npaper shapes: LCS/NQueens near-linear into the "
                 "hundreds, radix with a glitch near the 64->128 "
                 "bisection-constant step, TSP super-linear early\n");
+
+    // Large-mesh extension (QCDSP-class sizes, see ROADMAP): LCS is
+    // the one macro-app whose jasm scales past 512 nodes — the other
+    // three carry a 544-word node->router table sized for the paper's
+    // machines. One string row per node; reported as throughput since
+    // a sequential baseline at these sizes would take longer than the
+    // whole sweep.
+    if (scale == bench::Scale::Full) {
+        bench::header("Figure 5 extension: large-mesh LCS");
+        std::printf("%6s %12s %16s\n", "nodes", "run ms", "cells/kcycle");
+        for (unsigned n : {1024u, 2048u, 4096u}) {
+            LcsConfig lc;
+            lc.nodes = n;
+            lc.lenA = n;
+            lc.lenB = lcs_b;
+            const AppResult r = runLcs(lc);
+            const double cells =
+                static_cast<double>(n) * lcs_b /
+                static_cast<double>(r.runCycles) * 1000.0;
+            std::printf("%6u %12.2f %16.1f\n", n, r.runMs(), cells);
+        }
+    }
     return 0;
 }

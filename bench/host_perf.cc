@@ -5,10 +5,20 @@
  * radix sort) at several machine sizes for worker-thread counts
  * {1, 2, 4, hw}, best of three runs per point, and reports
  * simulated-instructions-per-host-second plus the wall-clock speedup
- * of each threaded kernel over the serial one. Each traffic row also
- * carries the kernel's phase breakdown (node/net/commit host seconds)
- * and the message-pool counters. Emits `BENCH_host_perf.json` next to
- * the working directory for tooling.
+ * of each threaded kernel over the serial one. On a single-CPU host
+ * the threads > 1 rows are skipped — they measure barrier overhead,
+ * not the kernel. Each traffic row also carries the kernel's phase
+ * breakdown (node/net/commit host seconds), the message-pool counters,
+ * the machine's audited simulator-state bytes (footprint_bytes), and
+ * the process peak RSS. Emits `BENCH_host_perf.json` next to the
+ * working directory for tooling.
+ *
+ * Two scheduler rows ride along: sparse_ring (a token ring over eight
+ * hot nodes of a 4096-node mesh while every other node poll-spins,
+ * wake scheduler on) against sparse_ring_nosched (same workload,
+ * scheduler off) — the A/B proof that kernel cost tracks active nodes
+ * — and a timeout-bounded 4096-node (16x16x16) fig3 smoke row that
+ * pins the large-mesh footprint.
  *
  * Threaded runs are bit-identical to serial runs (see
  * tests/determinism_test.cc), so every row of a workload/size group
@@ -19,14 +29,16 @@
  * `--check <baseline.json>` runs a small perf-smoke instead: the
  * 64-node serial workloads, best of three, compared against the
  * committed BENCH_host_perf.json. A drop of more than 20% in
- * sim-instructions/host-second against the baseline fails the run
- * (registered in ctest as `perf_smoke`).
+ * sim-instructions/host-second against the baseline fails the run, as
+ * does a >20% growth of the 4096-node fig3 footprint over its baseline
+ * row (registered in ctest as `perf_smoke`).
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +48,10 @@
 #include "trace/tracer.hh"
 #include "workloads/driver.hh"
 #include "workloads/micro.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 using namespace jmsim;
 using namespace jmsim::workloads;
@@ -58,6 +74,8 @@ struct Sample
     std::uint64_t poolLiveHighWater = 0;
     std::uint64_t poolAllocs = 0;
     std::uint64_t poolRecycled = 0;
+    std::uint64_t footprintBytes = 0;  ///< audited simulator-state bytes
+    std::uint64_t peakRssBytes = 0;    ///< process high-water at sample time
 
     double
     instrPerHostSec() const
@@ -65,6 +83,23 @@ struct Sample
         return hostSeconds > 0 ? simInstructions / hostSeconds : 0;
     }
 };
+
+/** Process peak resident-set size, in bytes (0 where unsupported). */
+std::uint64_t
+peakRssBytes()
+{
+#if defined(__APPLE__)
+    rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+    rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#else
+    return 0;
+#endif
+}
 
 Sample
 fromProbe(const char *workload, unsigned nodes, unsigned threads,
@@ -81,7 +116,25 @@ fromProbe(const char *workload, unsigned nodes, unsigned threads,
     s.poolLiveHighWater = counterValue(p.run.counters, "pool.live_high_water");
     s.poolAllocs = counterValue(p.run.counters, "pool.allocs");
     s.poolRecycled = counterValue(p.run.counters, "pool.recycled");
+    s.footprintBytes = p.run.footprintBytes;
+    s.peakRssBytes = peakRssBytes();
     return s;
+}
+
+/** Heterogeneous-activity token ring (runSparseActivity): a handful
+ *  of hot nodes keep the fabric busy while thousands sit in a poll
+ *  spin — the sparse-activity workload the wake scheduler exists for,
+ *  sampled with the scheduler on or off for the A/B rows. */
+Sample
+sampleSparse(unsigned nodes, Cycle window, bool sched_on)
+{
+    setSimThreads(1);
+    setWakeScheduler(sched_on ? 1 : 0);
+    const TrafficProbe p = runSparseActivity(nodes, 8, window);
+    setWakeScheduler(-1);
+    setSimThreads(-1);
+    return fromProbe(sched_on ? "sparse_ring" : "sparse_ring_nosched",
+                     nodes, 1, p);
 }
 
 Sample
@@ -137,6 +190,8 @@ sampleRadix(unsigned nodes, unsigned threads, unsigned keys)
     s.poolLiveHighWater = counterValue(r.counters, "pool.live_high_water");
     s.poolAllocs = counterValue(r.counters, "pool.allocs");
     s.poolRecycled = counterValue(r.counters, "pool.recycled");
+    s.footprintBytes = r.footprintBytes;
+    s.peakRssBytes = peakRssBytes();
     return s;
 }
 
@@ -163,7 +218,8 @@ writeJson(const std::vector<Sample> &samples, unsigned hw)
             "\"speedup_vs_serial\": %.3f, "
             "\"node_sec\": %.6f, \"net_sec\": %.6f, \"commit_sec\": %.6f, "
             "\"pool_live_high_water\": %llu, \"pool_allocs\": %llu, "
-            "\"pool_recycled\": %llu}%s\n",
+            "\"pool_recycled\": %llu, \"footprint_bytes\": %llu, "
+            "\"peak_rss_bytes\": %llu}%s\n",
             s.workload.c_str(), s.nodes, s.threads, s.hostSeconds,
             static_cast<unsigned long long>(s.simCycles),
             static_cast<unsigned long long>(s.simInstructions),
@@ -173,6 +229,8 @@ writeJson(const std::vector<Sample> &samples, unsigned hw)
             static_cast<unsigned long long>(s.poolLiveHighWater),
             static_cast<unsigned long long>(s.poolAllocs),
             static_cast<unsigned long long>(s.poolRecycled),
+            static_cast<unsigned long long>(s.footprintBytes),
+            static_cast<unsigned long long>(s.peakRssBytes),
             i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -186,6 +244,7 @@ struct BaselineEntry
     unsigned nodes = 0;
     unsigned threads = 0;
     double rate = 0;
+    std::uint64_t footprintBytes = 0;  ///< 0 in pre-footprint baselines
 };
 
 /**
@@ -211,8 +270,15 @@ readBaseline(const char *path)
                         "\"sim_cycles\": %llu, \"sim_instructions\": %llu, "
                         "\"instr_per_host_sec\": %lf",
                         e.workload, &e.nodes, &e.threads, &secs, &cycles,
-                        &instr, &e.rate) == 7)
+                        &instr, &e.rate) == 7) {
+            // Appended fields are located by name so the prefix parse
+            // above keeps accepting pre-footprint baselines.
+            unsigned long long fp = 0;
+            if (const char *at = std::strstr(line, "\"footprint_bytes\": "))
+                std::sscanf(at, "\"footprint_bytes\": %llu", &fp);
+            e.footprintBytes = fp;
             entries.push_back(e);
+        }
     }
     std::fclose(f);
     return entries;
@@ -276,6 +342,33 @@ runCheck(const char *baseline_path, double floor)
             ok = false;
         }
     }
+
+    // Footprint check: one 4096-node fig3 smoke run; the audited
+    // simulator-state bytes may not grow more than 20% over the
+    // committed 4K baseline row (skipped against older baselines that
+    // carry no such row).
+    const BaselineEntry *ref4k = nullptr;
+    for (const BaselineEntry &e : base) {
+        if (std::string(e.workload) == "fig3_traffic" && e.nodes == 4096 &&
+            e.threads == 1 && e.footprintBytes > 0)
+            ref4k = &e;
+    }
+    if (ref4k) {
+        const Sample s = sampleTraffic(4096, 1, 400);
+        const double ratio =
+            static_cast<double>(s.footprintBytes) / ref4k->footprintBytes;
+        std::printf("%-14s %6u %16llu %16llu %6.2fx  (footprint bytes)\n",
+                    "fig3_traffic", 4096u,
+                    static_cast<unsigned long long>(ref4k->footprintBytes),
+                    static_cast<unsigned long long>(s.footprintBytes), ratio);
+        if (ratio > 1.20) {
+            std::fprintf(stderr,
+                         "perf-check: 4K-node footprint grew to %.2fx of "
+                         "baseline (limit 1.20x)\n",
+                         ratio);
+            ok = false;
+        }
+    }
     std::printf("%s\n", ok ? "perf-check OK" : "perf-check FAILED");
     return ok ? 0 : 1;
 }
@@ -311,7 +404,12 @@ main(int argc, char **argv)
     unsigned hw = std::thread::hardware_concurrency();
     if (hw == 0)
         hw = 1;
+    // Threaded rows on a 1-CPU host measure barrier overhead, not the
+    // kernel: skip them (the determinism suite still proves threaded
+    // equivalence) and cut the bench wall time.
     std::vector<unsigned> thread_counts = {1, 2, 4, hw};
+    if (hw == 1)
+        thread_counts = {1};
     std::sort(thread_counts.begin(), thread_counts.end());
     thread_counts.erase(
         std::unique(thread_counts.begin(), thread_counts.end()),
@@ -372,6 +470,55 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(s.simCycles),
                     s.instrPerHostSec(), s.speedup);
         samples.push_back(std::move(s));
+    }
+
+    // Sparse-activity A/B rows: a token ring over eight hot nodes of a
+    // 4096-node mesh while every other node sits in a poll spin. The
+    // nosched row rescans all of them each ticked cycle; the sched
+    // row's speedup column reports the wake scheduler's win over it.
+    {
+        const unsigned sparse_nodes = 4096;
+        const Cycle sparse_window =
+            scale == bench::Scale::Quick ? 10000 : 25000;
+        Sample off, on;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            Sample r = sampleSparse(sparse_nodes, sparse_window, false);
+            if (rep == 0 || r.hostSeconds < off.hostSeconds)
+                off = std::move(r);
+        }
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            Sample r = sampleSparse(sparse_nodes, sparse_window, true);
+            if (rep == 0 || r.hostSeconds < on.hostSeconds)
+                on = std::move(r);
+        }
+        on.speedup = on.hostSeconds > 0 && off.hostSeconds > 0
+                         ? off.hostSeconds / on.hostSeconds
+                         : 1.0;
+        for (const Sample *s : {&off, &on}) {
+            std::printf("%-14s %6u %8u %10.3f %14llu %16.0f %8.2fx\n",
+                        s->workload.c_str(), s->nodes, s->threads,
+                        s->hostSeconds,
+                        static_cast<unsigned long long>(s->simCycles),
+                        s->instrPerHostSec(), s->speedup);
+        }
+        samples.push_back(std::move(off));
+        samples.push_back(std::move(on));
+    }
+
+    // Large-mesh smoke row: one serial 4096-node (16x16x16) fig3 run
+    // over a short, timeout-bounded window. Pins the mesh's audited
+    // footprint for the --check regression gate.
+    {
+        const Sample s = sampleTraffic(4096, 1,
+                                       scale == bench::Scale::Quick ? 300
+                                                                    : 400);
+        std::printf("%-14s %6u %8u %10.3f %14llu %16.0f %8.2fx  "
+                    "(footprint %.1f MB)\n",
+                    s.workload.c_str(), s.nodes, s.threads, s.hostSeconds,
+                    static_cast<unsigned long long>(s.simCycles),
+                    s.instrPerHostSec(), s.speedup,
+                    s.footprintBytes / (1024.0 * 1024.0));
+        samples.push_back(s);
     }
 
     writeJson(samples, hw);

@@ -115,6 +115,21 @@ class Program
      *  priority-0 handler span can ever be preempted by P1 traffic. */
     bool hasP1Sends() const { return hasP1Sends_; }
 
+    /** Heap bytes behind the image and its predecode tables (shared
+     *  machine-wide: one copy regardless of mesh size; symbol/label
+     *  string storage is approximated by the container entries). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return code_.capacity() * sizeof(Instruction) +
+               present_.capacity() + klass_.capacity() * sizeof(StatClass) +
+               decoded_.capacity() * sizeof(DecodedOp) +
+               sbRunLen_.capacity() * sizeof(std::uint32_t) +
+               spinHead_.capacity() * sizeof(IAddr) +
+               data_.capacity() * sizeof(data_[0]) +
+               labels_.capacity() * sizeof(labels_[0]);
+    }
+
     // ---- assembler-side construction interface ----
 
     /** Record an instruction at @p iaddr. */

@@ -19,6 +19,7 @@ JMachine::JMachine(const MachineConfig &config, Program prog,
       net_(config.dims),
       activeFlag_(config.dims.nodes(), 0),
       dozeUntil_(config.dims.nodes(), 0),
+      parkedFlag_(config.dims.nodes(), 0),
       haltedFlag_(config.dims.nodes(), 0)
 {
     const unsigned n = config_.dims.nodes();
@@ -42,6 +43,9 @@ JMachine::JMachine(const MachineConfig &config, Program prog,
     for (NodeId id = 0; id < n; ++id)
         nodes_[id].registerCounters(counters_);
     net_.registerCounters(counters_);
+    counters_.addCounter("kernel.node_steps", &nodeSteps_);
+    counters_.addCounter("kernel.skipped_node_steps", &skippedNodeSteps_);
+    counters_.addCounter("kernel.idle_skipped_cycles", &idleSkipped_);
     for (NodeId id = 0; id < n; ++id)
         activateNode(id);
 }
@@ -98,7 +102,56 @@ JMachine::activateNode(NodeId id)
         activeFlag_[id] = 1;
         activeNodes_.push_back(id);
         nodes_[id].processor().noteWake(now_);
+    } else if (parkedFlag_[id]) {
+        // Early wake of a parked node: back on the step list now. Its
+        // heap entry is now stale (dozeUntil_ no longer matches) and
+        // gets discarded whenever it reaches the top. The core was
+        // never put to sleep, so there is no noteWake here.
+        parkedFlag_[id] = 0;
+        --parkedCount_;
+        activeNodes_.push_back(id);
     }
+}
+
+void
+JMachine::parkNode(NodeId id, Cycle until)
+{
+    parkedFlag_[id] = 1;
+    ++parkedCount_;
+    dozeUntil_[id] = until;
+    wakeHeap_.push_back({until, id});
+    std::push_heap(wakeHeap_.begin(), wakeHeap_.end(), wakeAfter);
+}
+
+void
+JMachine::wakeDueNodes()
+{
+    while (!wakeHeap_.empty() && wakeHeap_.front().at <= now_) {
+        const Wake w = wakeHeap_.front();
+        std::pop_heap(wakeHeap_.begin(), wakeHeap_.end(), wakeAfter);
+        wakeHeap_.pop_back();
+        // Live iff the node is still parked on exactly this horizon
+        // (an early message wake cleared dozeUntil_; a re-park after
+        // that wrote a different one).
+        if (parkedFlag_[w.id] && dozeUntil_[w.id] == w.at) {
+            parkedFlag_[w.id] = 0;
+            --parkedCount_;
+            activeNodes_.push_back(w.id);
+        }
+    }
+}
+
+Cycle
+JMachine::nextParkedWake()
+{
+    while (!wakeHeap_.empty()) {
+        const Wake w = wakeHeap_.front();
+        if (parkedFlag_[w.id] && dozeUntil_[w.id] == w.at)
+            return w.at;
+        std::pop_heap(wakeHeap_.begin(), wakeHeap_.end(), wakeAfter);
+        wakeHeap_.pop_back();
+    }
+    return ~Cycle{0};
 }
 
 void
@@ -126,17 +179,30 @@ JMachine::maybeIdleSkip(Cycle max_cycles)
     // busyUntil_, each tick would step nothing and change nothing, so
     // jumping the clock there is exact — serial and threaded kernels
     // run the identical check at the same point in the cycle.
-    if (net_.anyActive() || activeNodes_.empty())
+    if (net_.anyActive())
         return;
-    Cycle target = ~Cycle{0};
-    for (const NodeId id : activeNodes_) {
-        const Node &node = nodes_[id];
-        if (!node.ni().quiescent())
+    Cycle target;
+    if (config_.wakeScheduler) {
+        // Parked nodes carry their wake cycles in the heap; anything
+        // still on the step list needs stepping now or next cycle, so
+        // only an empty list can skip — one heap-top read instead of
+        // the all-active-nodes scan.
+        if (!activeNodes_.empty() || parkedCount_ == 0)
             return;
-        const Cycle ready = node.processor().nextEventCycle();
-        if (ready <= now_ + 1)
-            return;  // issues this cycle or the next: nothing to save
-        target = std::min(target, ready);
+        target = nextParkedWake();
+    } else {
+        if (activeNodes_.empty())
+            return;
+        target = ~Cycle{0};
+        for (const NodeId id : activeNodes_) {
+            const Node &node = nodes_[id];
+            if (!node.ni().quiescent())
+                return;
+            const Cycle ready = node.processor().nextEventCycle();
+            if (ready <= now_ + 1)
+                return;  // issues this cycle or the next: nothing to save
+            target = std::min(target, ready);
+        }
     }
     if (target > max_cycles)
         target = max_cycles;
@@ -173,6 +239,7 @@ JMachine::runSerial(Cycle max_cycles)
     result.reason = StopReason::CycleLimit;
     std::uint64_t node_ticks = 0, net_ticks = 0, commit_ticks = 0;
     std::uint64_t stepped = 0;
+    const Cycle skipped_at_entry = idleSkipped_;
     bool stopped = false;
     while (!stopped && now_ < max_cycles) {
         if (config_.idleSkip) {
@@ -180,27 +247,42 @@ JMachine::runSerial(Cycle max_cycles)
             if (now_ >= max_cycles)
                 break;
         }
+        if (!wakeHeap_.empty())
+            wakeDueNodes();
         const std::uint64_t t0 = hostTicks();
-        // With one active node and an empty fabric nothing can preempt
-        // that node: its core may fuse superblock spans unconditionally
-        // (bounded by the run horizon).
-        const bool exclusive =
-            activeNodes_.size() == 1 && !net_.anyActive();
+        // With one active node, no parked node, and an empty fabric
+        // nothing can preempt that node: its core may fuse superblock
+        // spans unconditionally (bounded by the run horizon).
+        const bool exclusive = activeNodes_.size() == 1 &&
+                               parkedCount_ == 0 && !net_.anyActive();
+        // The step calls this cycle avoids entirely: every parked node
+        // would have been a scan-and-skip in the tick-everything loop.
+        skippedNodeSteps_ += parkedCount_;
         // Step active nodes; compact the list as nodes go idle.
         std::size_t keep = 0;
         const std::size_t n = activeNodes_.size();
         for (std::size_t i = 0; i < n; ++i) {
             const NodeId id = activeNodes_[i];
             // Dozing node: the core is mid-span with a quiescent NI, so
-            // its step() would be a no-op (see dozeUntil_).
+            // its step() would be a no-op (see dozeUntil_). With the
+            // wake scheduler such nodes are parked instead, so this
+            // only triggers in scheduler-off mode (or on the cycle a
+            // wake raced a re-activation).
             if (now_ < dozeUntil_[id]) {
+                skippedNodeSteps_ += 1;
                 activeNodes_[keep++] = id;
                 continue;
             }
             Node &node = nodes_[id];
+            nodeSteps_ += 1;
             if (node.step(now_, max_cycles, exclusive)) {
-                dozeUntil_[id] = node.dozeHint(now_);
-                activeNodes_[keep++] = id;
+                const Cycle doze = node.dozeHint(now_);
+                if (doze != 0 && config_.wakeScheduler) {
+                    parkNode(id, doze);
+                } else {
+                    dozeUntil_[id] = doze;
+                    activeNodes_[keep++] = id;
+                }
             } else {
                 activeFlag_[id] = 0;
                 node.processor().noteSleep(now_);
@@ -235,7 +317,8 @@ JMachine::runSerial(Cycle max_cycles)
         if (haltedCount_ == nodeCount()) {
             result.reason = StopReason::AllHalted;
             stopped = true;
-        } else if (activeNodes_.empty() && !net_.anyActive()) {
+        } else if (activeNodes_.empty() && parkedCount_ == 0 &&
+                   !net_.anyActive()) {
             result.reason = StopReason::Quiescent;
             stopped = true;
         }
@@ -245,6 +328,8 @@ JMachine::runSerial(Cycle max_cycles)
     result.profile.netSeconds = hostSeconds(net_ticks);
     result.profile.commitSeconds = hostSeconds(commit_ticks);
     result.profile.steppedCycles = stepped;
+    result.profile.skippedCycles = idleSkipped_ - skipped_at_entry;
+    result.footprintBytes = footprintBytes();
     result.counters = counters_.snapshot();
     return result;
 }
@@ -256,19 +341,28 @@ JMachine::stepShard(unsigned shard, unsigned shards, std::size_t n,
     const std::size_t begin = n * shard / shards;
     const std::size_t end = n * (shard + 1) / shards;
     unsigned newly_halted = 0;
+    std::uint64_t steps = 0, skips = 0;
     for (std::size_t i = begin; i < end; ++i) {
         const NodeId id = activeNodes_[i];
         // Doze entries are only written by the shard that owns the
         // node's slot this cycle and only cleared at the barrier
         // (mergePendingWakes), so the check is race-free.
         if (now_ < dozeUntil_[id]) {
+            skips += 1;
             stillActive_[i] = 1;
             continue;
         }
         Node &node = nodes_[id];
+        steps += 1;
         if (node.step(now_, horizon, exclusive)) {
-            dozeUntil_[id] = node.dozeHint(now_);
-            stillActive_[i] = 1;
+            // Parking mutates the shared wake heap, so it is deferred
+            // to the barrier: record the doze horizon and mark the
+            // slot. A wake buffered this cycle clears dozeUntil_ at
+            // the merge, which cancels the park.
+            const Cycle doze = node.dozeHint(now_);
+            dozeUntil_[id] = doze;
+            stillActive_[i] =
+                doze != 0 && config_.wakeScheduler ? 2 : 1;
             continue;
         }
         stillActive_[i] = 0;
@@ -280,6 +374,8 @@ JMachine::stepShard(unsigned shard, unsigned shards, std::size_t n,
         }
     }
     shardHalted_[shard] = newly_halted;
+    shardSteps_[shard] = steps;
+    shardSkipped_[shard] = skips;
 }
 
 RunResult
@@ -288,6 +384,8 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
     if (!pool_ || pool_->shards() != shards)
         pool_ = std::make_unique<ThreadPool>(shards);
     shardHalted_.assign(shards, 0);
+    shardSteps_.assign(shards, 0);
+    shardSkipped_.assign(shards, 0);
     pendingWakes_.resize(shards);
     net_.beginStaging(shards);
     if (tracer_)
@@ -297,6 +395,7 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
     result.reason = StopReason::CycleLimit;
     std::uint64_t node_ticks = 0, net_ticks = 0, commit_ticks = 0;
     std::uint64_t stepped = 0;
+    const Cycle skipped_at_entry = idleSkipped_;
     bool stopped = false;
     while (!stopped && now_ < max_cycles) {
         if (config_.idleSkip) {
@@ -304,13 +403,16 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
             if (now_ >= max_cycles)
                 break;
         }
+        if (!wakeHeap_.empty())
+            wakeDueNodes();
         const std::size_t n = activeNodes_.size();
         stillActive_.resize(n);
         const std::uint64_t t0 = hostTicks();
         // Same exclusivity proof as the serial kernel; with one active
         // node only one shard has work, so the flag is race-free.
-        const bool exclusive =
-            activeNodes_.size() == 1 && !net_.anyActive();
+        const bool exclusive = activeNodes_.size() == 1 &&
+                               parkedCount_ == 0 && !net_.anyActive();
+        skippedNodeSteps_ += parkedCount_;
         // Fork A: node stepping fused with the fabric's pull phase.
         // The pull only reads channel outputs committed last cycle
         // (each owned by a router in the pulling shard's slab), so it
@@ -325,15 +427,26 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
         for (unsigned s = 0; s < shards; ++s) {
             haltedCount_ += shardHalted_[s];
             shardHalted_[s] = 0;
+            nodeSteps_ += shardSteps_[s];
+            shardSteps_[s] = 0;
+            skippedNodeSteps_ += shardSkipped_[s];
+            shardSkipped_[s] = 0;
         }
         // Barrier bookkeeping, all on the main thread: apply buffered
-        // wakes (appended past n, like the serial loop), compact the
-        // survivors, then commit staged injections in node-id order.
+        // wakes (appended past n, like the serial loop), park nodes
+        // the shards marked (a buffered wake cancels the park by
+        // clearing dozeUntil_), compact the survivors, then commit
+        // staged injections in node-id order.
         mergePendingWakes();
         std::size_t keep = 0;
         for (std::size_t i = 0; i < n; ++i) {
-            if (stillActive_[i])
-                activeNodes_[keep++] = activeNodes_[i];
+            if (!stillActive_[i])
+                continue;
+            const NodeId id = activeNodes_[i];
+            if (stillActive_[i] == 2 && dozeUntil_[id] > now_)
+                parkNode(id, dozeUntil_[id]);
+            else
+                activeNodes_[keep++] = id;
         }
         for (std::size_t i = n; i < activeNodes_.size(); ++i)
             activeNodes_[keep++] = activeNodes_[i];
@@ -366,7 +479,8 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
         if (haltedCount_ == nodeCount()) {
             result.reason = StopReason::AllHalted;
             stopped = true;
-        } else if (activeNodes_.empty() && !net_.anyActive()) {
+        } else if (activeNodes_.empty() && parkedCount_ == 0 &&
+                   !net_.anyActive()) {
             result.reason = StopReason::Quiescent;
             stopped = true;
         }
@@ -377,6 +491,8 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
     result.profile.netSeconds = hostSeconds(net_ticks);
     result.profile.commitSeconds = hostSeconds(commit_ticks);
     result.profile.steppedCycles = stepped;
+    result.profile.skippedCycles = idleSkipped_ - skipped_at_entry;
+    result.footprintBytes = footprintBytes();
     result.counters = counters_.snapshot();
     return result;
 }
@@ -431,6 +547,33 @@ JMachine::aggregateStats() const
     total.segCacheMisses = counters_.value("proc.seg_cache_misses");
     total.xlateCacheHits = counters_.value("proc.xlate_cache_hits");
     total.xlateCacheMisses = counters_.value("proc.xlate_cache_misses");
+    return total;
+}
+
+std::uint64_t
+JMachine::footprintBytes() const
+{
+    const unsigned n = nodeCount();
+    std::uint64_t total = sizeof(JMachine) + n * sizeof(Node);
+    for (NodeId id = 0; id < n; ++id)
+        total += nodes_[id].footprintBytes();
+    total += net_.footprintBytes();
+    total += prog_.footprintBytes();
+    if (tracer_)
+        total += sizeof(Tracer) + tracer_->footprintBytes();
+    // Kernel bookkeeping: the per-node arrays and the wake machinery.
+    total += activeNodes_.capacity() * sizeof(NodeId) +
+             activeFlag_.capacity() + parkedFlag_.capacity() +
+             haltedFlag_.capacity() + stillActive_.capacity() +
+             dozeUntil_.capacity() * sizeof(Cycle) +
+             wakeHeap_.capacity() * sizeof(Wake) +
+             wakeScratch_.capacity() * sizeof(NodeId) +
+             shardHalted_.capacity() * sizeof(unsigned) +
+             shardSteps_.capacity() * sizeof(std::uint64_t) +
+             shardSkipped_.capacity() * sizeof(std::uint64_t) +
+             pendingWakes_.capacity() * sizeof(pendingWakes_[0]);
+    for (const auto &q : pendingWakes_)
+        total += q.capacity() * sizeof(NodeId);
     return total;
 }
 

@@ -8,6 +8,19 @@
  * ends at a cycle limit, when every node has executed HALT, or when
  * the whole machine is quiescent (nothing running, nothing in flight).
  *
+ * On top of that, the event-driven wake scheduler (on by default)
+ * parks nodes whose next steps are provably no-ops — core burning a
+ * multi-cycle instruction or a fused superblock span, NI quiescent —
+ * in a cycle-keyed min-heap keyed on Processor::nextEventCycle(). A
+ * parked node is not scanned at all until its wake cycle pops, or a
+ * message header arrives and wakes it early. Per-cycle kernel cost is
+ * therefore proportional to the nodes with actual work this cycle
+ * (plus the fabric's own active-router bins), not to the mesh size,
+ * which is what makes 4K-node (16x16x16) meshes affordable. The
+ * machine-wide idle skip degenerates to reading the heap top: when
+ * the step list is empty and the fabric is idle, the clock jumps
+ * straight to the earliest scheduled wake.
+ *
  * With `MachineConfig::threads` > 1 each cycle runs as two fork-joins
  * over a persistent worker pool. Fork A fuses the node phase with the
  * fabric's pull phase: workers step their slice of the active-node
@@ -55,6 +68,13 @@ struct MachineConfig
      *  burning a multi-cycle instruction — a pure host-side
      *  optimization with no architectural effect (off for A/B tests). */
     bool idleSkip = true;
+    /** Event-driven wake scheduler: nodes whose next step is provably
+     *  a no-op (core mid-instruction or mid-span, NI quiescent) are
+     *  parked in a cycle-keyed wake heap instead of being rescanned
+     *  every cycle, so per-cycle kernel cost tracks nodes with actual
+     *  work. A message header arrival wakes a parked node early. Pure
+     *  host-side: runs are bit-identical on or off (off for A/B). */
+    bool wakeScheduler = true;
     /** Event tracing (off by default: taps reduce to a null test). */
     TraceConfig trace;
 };
@@ -73,7 +93,8 @@ struct KernelProfile
     double nodeSeconds = 0.0;    ///< node stepping (+ fused pull phase)
     double netSeconds = 0.0;     ///< fabric move phase
     double commitSeconds = 0.0;  ///< barrier bookkeeping and channel commit
-    std::uint64_t steppedCycles = 0;  ///< cycles actually ticked (not skipped)
+    std::uint64_t steppedCycles = 0;  ///< cycles actually ticked (this run)
+    std::uint64_t skippedCycles = 0;  ///< cycles jumped by idle-skip (this run)
 };
 
 /** Result of a run() call. */
@@ -82,6 +103,10 @@ struct RunResult
     Cycle cycles = 0;        ///< absolute cycle count at stop
     StopReason reason = StopReason::CycleLimit;
     KernelProfile profile;   ///< where the host time of this run went
+    /** Host-memory footprint of the whole machine at stop (simulator
+     *  state only: node memories, fabric, pool, rings — not the host
+     *  process). See JMachine::footprintBytes. */
+    std::uint64_t footprintBytes = 0;
     /** Name-sorted snapshot of every registered counter at stop. */
     std::vector<CounterSample> counters;
 };
@@ -148,6 +173,16 @@ class JMachine
     /** Cycles the run loop never ticked thanks to idle-skip. */
     Cycle idleSkippedCycles() const { return idleSkipped_; }
 
+    /** Nodes currently parked in the wake heap (mid-instruction or
+     *  mid-span with a quiescent NI; not scanned until their wake
+     *  cycle or an early message arrival). */
+    std::size_t parkedNodes() const { return parkedCount_; }
+
+    /** Total host bytes behind the simulated machine: node memories,
+     *  cores, NIs, fabric, message pool, trace rings, and kernel
+     *  bookkeeping. The 4K-node memory-audit number BENCH tracks. */
+    std::uint64_t footprintBytes() const;
+
     /** Reset all statistics (nodes, NIs, network) for a fresh window. */
     void resetStats();
 
@@ -165,6 +200,36 @@ class JMachine
     /** Apply wakes buffered during the parallel phase, in id order. */
     void mergePendingWakes();
 
+    // ---- event-driven wake scheduler (MachineConfig::wakeScheduler) ----
+
+    /** One scheduled wake: node @p id steps again at cycle @p at. */
+    struct Wake
+    {
+        Cycle at;
+        NodeId id;
+    };
+
+    /** Min-heap order on (cycle, id) — deterministic pop order. */
+    static bool
+    wakeAfter(const Wake &a, const Wake &b)
+    {
+        return a.at > b.at || (a.at == b.at && a.id > b.id);
+    }
+
+    /** Park an active node until @p until (its step is a provable
+     *  no-op before then). The node leaves the step list but stays
+     *  architecturally awake — noteSleep is NOT called. */
+    void parkNode(NodeId id, Cycle until);
+
+    /** Pop every wake due at or before now_ back onto the step list.
+     *  Stale entries (node unparked early by a message, or re-parked
+     *  on a different horizon) are discarded. */
+    void wakeDueNodes();
+
+    /** Earliest live wake cycle, or ~0 when every entry is stale.
+     *  Drops stale heap tops as a side effect. */
+    Cycle nextParkedWake();
+
     MachineConfig config_;
     Program prog_;
     MeshNetwork net_;
@@ -179,8 +244,21 @@ class JMachine
      *  step() is a provable no-op (core mid-instruction or mid-span,
      *  NI quiescent), so the run loop skips the call entirely. Cleared
      *  whenever a message header reaches the node (activateNode), which
-     *  also covers optimistic-span rollbacks shortening busyUntil. */
+     *  also covers optimistic-span rollbacks shortening busyUntil.
+     *  With the wake scheduler on, a nonzero entry doubles as the
+     *  node's scheduled wake cycle (heap entries are validated against
+     *  it, so clearing it also invalidates the heap entry). */
     std::vector<Cycle> dozeUntil_;
+    /** Cycle-keyed wake queue over the parked nodes. Entries are
+     *  lazily deleted: one is live iff its node is still parked with
+     *  exactly that doze horizon. Main-thread only. */
+    std::vector<Wake> wakeHeap_;
+    std::vector<std::uint8_t> parkedFlag_;
+    std::size_t parkedCount_ = 0;
+    /** Kernel work counters (registered as kernel.*): node.step calls
+     *  made vs. calls avoided by parking/dozing. */
+    std::uint64_t nodeSteps_ = 0;
+    std::uint64_t skippedNodeSteps_ = 0;
     Cycle now_ = 0;
     Cycle idleSkipped_ = 0;
     unsigned haltedCount_ = 0;
@@ -189,8 +267,12 @@ class JMachine
     // ---- threaded-kernel state ----
     std::unique_ptr<ThreadPool> pool_;
     bool inParallel_ = false;                ///< inside the node phase
-    std::vector<std::uint8_t> stillActive_;  ///< per active-list index
+    /** Per active-list index: 0 = inactive, 1 = keep stepping,
+     *  2 = park at the barrier (doze horizon in dozeUntil_). */
+    std::vector<std::uint8_t> stillActive_;
     std::vector<unsigned> shardHalted_;      ///< newly halted, per shard
+    std::vector<std::uint64_t> shardSteps_;  ///< node.step calls, per shard
+    std::vector<std::uint64_t> shardSkipped_;  ///< doze skips, per shard
     std::vector<std::vector<NodeId>> pendingWakes_;  ///< per shard
     std::vector<NodeId> wakeScratch_;
 };

@@ -92,6 +92,16 @@ class Node
         ni_.registerCounters(reg);
     }
 
+    /** Heap bytes behind this node: the off-arena NodeMemory object,
+     *  its SRAM/DRAM storage, and the core's and NI's grown buffers
+     *  (the Node object itself lives in the machine's node arena). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return sizeof(NodeMemory) + mem_->footprintBytes() +
+               ni_.footprintBytes() + proc_.footprintBytes();
+    }
+
     NodeMemory &memory() { return *mem_; }
     const NodeMemory &memory() const { return *mem_; }
     Processor &processor() { return proc_; }

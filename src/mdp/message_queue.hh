@@ -96,6 +96,13 @@ class MessageQueue
     const QueueStats &stats() const { return stats_; }
     void resetStats() { stats_ = QueueStats{}; }
 
+    /** Heap bytes behind the descriptor ring (payloads live in SRAM). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return messages_.capacity() * sizeof(QueuedMessage);
+    }
+
   private:
     Addr base_ = 0;
     std::uint32_t size_ = 0;

@@ -148,6 +148,20 @@ class NetworkInterface : public DeliverSink
     /** Register this NI's counters under the shared "ni." names. */
     void registerCounters(CounterRegistry &reg);
 
+    /** Heap bytes behind the send/bounce rings and queue descriptors
+     *  (all demand-grown; a never-sending node reports zero). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        std::uint64_t total = 0;
+        for (unsigned p = 0; p < 2; ++p) {
+            total += send_[p].pending.capacity() * sizeof(MsgHandle) +
+                     bounceReady_[p].capacity() * sizeof(MsgHandle) +
+                     queues_[p].footprintBytes();
+        }
+        return total;
+    }
+
   private:
     struct SendChannel
     {

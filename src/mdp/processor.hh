@@ -175,6 +175,14 @@ class Processor
     const std::vector<Word> &hostOut() const { return hostOut_; }
     std::vector<Word> &hostOut() { return hostOut_; }
 
+    /** Heap bytes behind the core (rollback undo log, host output). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return undo_.capacity() * sizeof(undo_[0]) +
+               hostOut_.capacity() * sizeof(Word);
+    }
+
     /** Direct register access (tests, drivers). The caller may write
      *  address registers behind the interpreter's back, so this drops
      *  the level's cached segment translations up front. */

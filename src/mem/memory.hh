@@ -110,6 +110,18 @@ class NodeMemory
     /** One-past-last valid external address. */
     Addr ememEnd() const { return kEmemBase + config_.ememWords; }
 
+    /** Heap bytes behind this memory: the SRAM array, the chunk
+     *  directory, and only the DRAM chunks actually backed so far. */
+    std::uint64_t
+    footprintBytes() const
+    {
+        std::uint64_t total = imem_.capacity() * sizeof(Word) +
+                              emem_.capacity() * sizeof(emem_[0]);
+        for (const std::vector<Word> &chunk : emem_)
+            total += chunk.capacity() * sizeof(Word);
+        return total;
+    }
+
   private:
     /** Words per external-memory chunk (must stay a power of two). */
     static constexpr std::uint32_t kEmemChunkWords = 4096;

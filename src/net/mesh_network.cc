@@ -377,4 +377,26 @@ MeshNetwork::bisectionCapacityBitsPerSec() const
     return channels * words_per_cycle * kBitsPerWord * kClockHz;
 }
 
+std::uint64_t
+MeshNetwork::footprintBytes() const
+{
+    std::uint64_t total = routers_.capacity() * sizeof(Router) +
+                          channels_.capacity() * sizeof(Channel) +
+                          shards_.capacity() * sizeof(Shard) +
+                          routerShard_.capacity() * sizeof(std::uint16_t) +
+                          activeFlag_.capacity() + busyHint_.capacity() +
+                          stagedInject_.capacity() +
+                          commitScratch_.capacity() * sizeof(StagedFlit) +
+                          commitBits_.capacity() * sizeof(std::uint64_t);
+    for (const Shard &sh : shards_) {
+        total += sh.active.capacity() * sizeof(NodeId) +
+                 sh.touched.capacity() * sizeof(std::uint64_t) +
+                 sh.latency.buckets().capacity() * sizeof(std::uint64_t);
+    }
+    total += staged_.capacity() * sizeof(staged_[0]);
+    for (const auto &q : staged_)
+        total += q.capacity() * sizeof(StagedFlit);
+    return total + pool_.footprintBytes();
+}
+
 } // namespace jmsim

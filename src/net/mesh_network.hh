@@ -173,6 +173,10 @@ class MeshNetwork
     /** One-direction bisection capacity in bits per second. */
     double bisectionCapacityBitsPerSec() const;
 
+    /** Heap bytes behind the fabric: routers, channels, shard state,
+     *  staging queues, activity arrays, and the message arena. */
+    std::uint64_t footprintBytes() const;
+
   private:
     /** Put router @p id on its shard's active bin (hot: inlined). */
     void

@@ -117,4 +117,19 @@ MessagePool::resetStats()
     liveHighWater_ = live();
 }
 
+std::uint64_t
+MessagePool::footprintBytes() const
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t s = 0; s < slabCount_; ++s) {
+        total += kSlabSize * sizeof(Message);
+        for (std::uint32_t i = 0; i < kSlabSize; ++i)
+            total += slabs_[s][i].words.capacity() * sizeof(Word);
+    }
+    for (const Shard &shard : shards_)
+        total += shard.freeList.capacity() * sizeof(MsgHandle);
+    total += shards_.capacity() * sizeof(Shard);
+    return total;
+}
+
 } // namespace jmsim

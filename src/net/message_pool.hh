@@ -100,6 +100,11 @@ class MessagePool
     /** Zero the counters; live accounting and free lists persist. */
     void resetStats();
 
+    /** Heap bytes behind the arena: every carved slab, each slot's
+     *  retained payload capacity, and the per-shard free lists (main
+     *  thread, workers idle — like stats()). */
+    std::uint64_t footprintBytes() const;
+
   private:
     struct alignas(64) Shard
     {

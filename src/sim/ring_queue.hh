@@ -26,6 +26,9 @@ class RingQueue
     bool empty() const { return count_ == 0; }
     std::size_t size() const { return count_; }
 
+    /** Allocated slots (the grown-to high-water mark, never shrunk). */
+    std::size_t capacity() const { return slots_.size(); }
+
     T &front() { return slots_[head_]; }
     const T &front() const { return slots_[head_]; }
 

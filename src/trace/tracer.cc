@@ -68,7 +68,9 @@ parseTraceCategories(const std::string &spec, std::uint32_t &mask)
 TraceRing::TraceRing(std::uint32_t capacity)
     : capacity_(capacity ? capacity : 1)
 {
-    slots_.resize(capacity_);
+    // Slot storage is allocated on the first push (see push): a machine
+    // built with tracing on but recording little — or nothing on most
+    // shards — should not pay capacity * 32 bytes per ring up front.
 }
 
 void
@@ -145,6 +147,15 @@ Tracer::dropped() const
     std::uint64_t total = 0;
     for (const auto &ring : rings_)
         total += ring->dropped();
+    return total;
+}
+
+std::uint64_t
+Tracer::footprintBytes() const
+{
+    std::uint64_t total = rings_.capacity() * sizeof(rings_[0]);
+    for (const auto &ring : rings_)
+        total += sizeof(TraceRing) + ring->footprintBytes();
     return total;
 }
 

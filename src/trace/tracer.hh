@@ -63,6 +63,8 @@ class TraceRing
     void
     push(const TraceEvent &ev)
     {
+        if (slots_.empty())
+            slots_.resize(capacity_);  // first event: back the ring
         if (count_ == capacity_) {
             slots_[head_] = ev;
             head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
@@ -79,6 +81,13 @@ class TraceRing
     std::uint32_t size() const { return count_; }
     std::uint32_t capacity() const { return capacity_; }
     std::uint64_t dropped() const { return dropped_; }
+
+    /** Heap bytes behind this ring (zero until the first push). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return slots_.capacity() * sizeof(TraceEvent);
+    }
 
     /** Append the buffered events, oldest first. */
     void appendTo(std::vector<TraceEvent> &out) const;
@@ -124,6 +133,9 @@ class Tracer
 
     /** Total events lost to ring overwrites, across all shards. */
     std::uint64_t dropped() const;
+
+    /** Heap bytes behind every shard's ring (rings allocate lazily). */
+    std::uint64_t footprintBytes() const;
 
   private:
     TraceConfig config_;

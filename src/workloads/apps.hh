@@ -66,6 +66,8 @@ struct AppResult
     std::vector<ThreadClassStats> threadClasses;
     /** Host-time phase breakdown of the final run() call. */
     KernelProfile profile;
+    /** Simulator-state bytes at the end of the final run() call. */
+    std::uint64_t footprintBytes = 0;
     /** Counter-registry snapshot at the end of the final run() call
      *  (pool traffic, network totals, ... — see CounterRegistry). */
     std::vector<CounterSample> counters;

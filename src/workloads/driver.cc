@@ -13,6 +13,7 @@ namespace
 unsigned dispatchOverride = 0;
 int threadsOverride = -1;
 int superblockOverride = -1;
+int wakeSchedulerOverride = -1;
 TraceConfig traceOverride;
 } // namespace
 
@@ -32,6 +33,12 @@ void
 setSuperblock(int enabled)
 {
     superblockOverride = enabled;
+}
+
+void
+setWakeScheduler(int enabled)
+{
+    wakeSchedulerOverride = enabled;
 }
 
 void
@@ -57,6 +64,8 @@ standardConfig(unsigned nodes)
         cfg.threads = static_cast<unsigned>(threadsOverride);
     if (superblockOverride >= 0)
         cfg.proc.superblock = superblockOverride != 0;
+    if (wakeSchedulerOverride >= 0)
+        cfg.wakeScheduler = wakeSchedulerOverride != 0;
     cfg.trace = traceOverride;
     return cfg;
 }
@@ -140,6 +149,7 @@ collectAppResult(const JMachine &m, const RunResult &run)
 {
     AppResult result = collectAppResult(m);
     result.profile = run.profile;
+    result.footprintBytes = run.footprintBytes;
     result.counters = run.counters;
     return result;
 }

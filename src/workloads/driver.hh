@@ -41,6 +41,13 @@ void setSimThreads(int threads);
  *  so this exists for A/B verification and perf triage. */
 void setSuperblock(int enabled);
 
+/** Override the event-driven wake scheduler used by standardConfig:
+ *  0 = tick-everything kernel, 1 = park provably-idle nodes in the
+ *  wake heap, -1 restores the default (on). Pure host-side execution
+ *  strategy — runs are bit-identical either way — so this exists for
+ *  A/B verification and perf triage. */
+void setWakeScheduler(int enabled);
+
 /** Trace every machine built by standardConfig with @p config (tools
  *  and benches route their --trace flags through this). */
 void setTraceConfig(const TraceConfig &config);

@@ -138,6 +138,69 @@ ackd_handler:
     SUSPEND
 )";
 
+const char *kSparseSource = R"(
+; Sparse-activity probe: tokens circulate a small ring of hot nodes
+; while every other node busy-waits on a flag nothing ever sets — the
+; activity shape of a distributed search after its work has drained to
+; a few nodes.  Params: +0 role (1 = hot), +1 ring mask (hot count - 1,
+; hot a power of two), +2 tokens injected at boot (first hot node
+; only).  State: +9 tokens forwarded.
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+0]
+    EQI R1, R0, #0
+    BF R1, hot_boot
+.region sync
+cold_spin:
+    LD R0, [A1+8]
+    EQI R1, R0, #0
+    BT R1, cold_spin
+    SUSPEND
+.region comp
+hot_boot:
+    LD R3, [A1+2]
+inject:
+    GTI R0, R3, #0
+    BF R0, hot_done
+    GETSP R0, NODEID
+    ADDI R0, R0, #1
+    ANDM R0, [A1+1]         ; next = (id + 1) & mask
+    CALL A2, jos_nnr
+    MOVEI R2, 0
+.region comm
+    SEND0 R0
+    LDL R1, hdr(tok_h, 6)
+    SEND0 R1
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND0E R2
+.region comp
+    ADDI R3, R3, #-1
+    BR inject
+hot_done:
+    SUSPEND
+
+tok_h:                      ; count the token, pass it along the ring
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+9]
+    ADDI R0, R0, #1
+    ST [A1+9], R0
+    GETSP R0, NODEID
+    ADDI R0, R0, #1
+    ANDM R0, [A1+1]
+    CALL A2, jos_nnr
+    MOVEI R2, 0
+.region comm
+    SEND0 R0
+    LDL R1, hdr(tok_h, 6)
+    SEND0 R1
+    SEND20 R2, R2
+    SEND20 R2, R2
+    SEND0E R2
+    SUSPEND
+)";
+
 const char *kLoadSource = R"(
 ; Figure 3: random-traffic latency vs offered load.
 ; Params (all nodes): +0 message length L (words, incl. header, >= 2),
@@ -807,50 +870,92 @@ measureLoadPoint(unsigned nodes, unsigned msg_words, unsigned idle_iters,
     return point;
 }
 
-TrafficProbe
-runFig3Traffic(unsigned nodes, unsigned msg_words, unsigned idle_iters,
-               Cycle window, std::uint32_t seed)
+namespace
+{
+
+/** Build a machine running the Figure 3 load program with per-node
+ *  PRNG seeds; the caller pokes the grain (param +1) afterwards. */
+std::unique_ptr<JMachine>
+buildLoadMachine(unsigned nodes, unsigned msg_words, std::uint32_t seed)
 {
     if (msg_words < 2)
         fatal("load messages need at least 2 words");
     auto m = buildMachine(nodes, "load.jasm", kLoadSource);
     pokeParamAll(*m, 0, static_cast<std::int32_t>(msg_words));
-    pokeParamAll(*m, 1, static_cast<std::int32_t>(idle_iters));
     pokeParamAll(*m, 2, 1);
     for (NodeId id = 0; id < m->nodeCount(); ++id) {
         const std::uint32_t s = (id + seed) * 2654435761u ^ 0x9e3779b9u;
         m->pokeInt(id, jos::kAppScratchBase + 10,
                    static_cast<std::int32_t>(s | 1));
     }
+    return m;
+}
 
+/** Run @p m for @p window cycles and collect the probe signature. */
+TrafficProbe
+collectTrafficProbe(JMachine &m, Cycle window)
+{
     TrafficProbe probe;
     const auto t0 = std::chrono::steady_clock::now();
-    probe.run = m->run(window);
+    probe.run = m.run(window);
     const auto t1 = std::chrono::steady_clock::now();
     probe.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
-    probe.procStats = m->aggregateStats();
+    probe.procStats = m.aggregateStats();
     probe.instructions = probe.procStats.instructions;
-    probe.netStats = m->network().stats();
+    probe.netStats = m.network().stats();
     // The per-node NI stats are registered machine-wide, so the
     // aggregate is a registry read instead of a hand-summed loop.
-    const CounterRegistry &reg = m->counters();
+    const CounterRegistry &reg = m.counters();
     probe.niStats.messagesSent = reg.value("ni.messages_sent");
     probe.niStats.wordsSent = reg.value("ni.words_sent");
     probe.niStats.sendFullEvents = reg.value("ni.send_full_events");
     probe.niStats.deliveryStallCycles = reg.value("ni.delivery_stall_cycles");
     probe.niStats.messagesBounced = reg.value("ni.messages_bounced");
-    probe.netLatency = m->network().latencyHistogram();
-    if (const Tracer *tracer = m->tracer()) {
+    probe.netLatency = m.network().latencyHistogram();
+    if (const Tracer *tracer = m.tracer()) {
         probe.trace = tracer->collect();
         probe.traceDropped = tracer->dropped();
     }
     return probe;
 }
 
+} // namespace
+
+TrafficProbe
+runFig3Traffic(unsigned nodes, unsigned msg_words, unsigned idle_iters,
+               Cycle window, std::uint32_t seed)
+{
+    auto m = buildLoadMachine(nodes, msg_words, seed);
+    pokeParamAll(*m, 1, static_cast<std::int32_t>(idle_iters));
+    return collectTrafficProbe(*m, window);
+}
+
 TrafficProbe
 runFig4Load(unsigned nodes, Cycle window, std::uint32_t seed)
 {
     return runFig3Traffic(nodes, 24, 0, window, seed);
+}
+
+TrafficProbe
+runSparseActivity(unsigned nodes, unsigned hot_nodes, Cycle window,
+                  std::uint32_t seed)
+{
+    if (hot_nodes < 2 || hot_nodes > nodes ||
+        (hot_nodes & (hot_nodes - 1)) != 0)
+        fatal("sparse activity needs a power-of-two hot set of >= 2");
+    auto m = buildMachine(nodes, "sparse.jasm", kSparseSource);
+    // Hot nodes are the low ids — one mesh-local corner — so the
+    // circulating tokens keep the fabric (and hence the kernel's tick
+    // loop) busy without touching the rest of the machine.  Everything
+    // else sits in cold_spin: architecturally awake, stepping to a
+    // no-op every cycle.  The seed varies how many tokens circulate.
+    for (unsigned h = 0; h < hot_nodes; ++h) {
+        pokeParam(*m, static_cast<NodeId>(h), 0, 1);
+        pokeParam(*m, static_cast<NodeId>(h), 1,
+                  static_cast<std::int32_t>(hot_nodes - 1));
+    }
+    pokeParam(*m, 0, 2, static_cast<std::int32_t>(2 + seed % 3));
+    return collectTrafficProbe(*m, window);
 }
 
 double

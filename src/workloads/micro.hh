@@ -111,6 +111,17 @@ TrafficProbe runFig3Traffic(unsigned nodes, unsigned msg_words,
 TrafficProbe runFig4Load(unsigned nodes, Cycle window,
                          std::uint32_t seed = 1);
 
+/** Heterogeneous-activity probe for the wake scheduler: @p hot_nodes
+ *  nodes (spread across the id range) exchange fig3 traffic
+ *  back-to-back while every other node sinks into a compute phase far
+ *  longer than the window after one boot-time exchange.  The fabric
+ *  stays busy — the global idle-skip never fires — but almost every
+ *  node is parked almost every cycle, so per-cycle kernel cost is
+ *  O(hot), not O(nodes).  This is the nqueens-tail activity shape as
+ *  a repeatable microbenchmark. */
+TrafficProbe runSparseActivity(unsigned nodes, unsigned hot_nodes,
+                               Cycle window, std::uint32_t seed = 1);
+
 /** Delivery handling for Figure 4. */
 enum class BlastMode : std::uint8_t
 {

@@ -303,5 +303,62 @@ TEST(DeterminismThreaded, ShardCountDoesNotMatter)
     expectEqualProbes(two, seven);
 }
 
+/** Pin the wake-scheduler override for a scope, restoring default. */
+struct WakeGuard
+{
+    explicit WakeGuard(int on) { workloads::setWakeScheduler(on); }
+    ~WakeGuard() { workloads::setWakeScheduler(-1); }
+};
+
+// Large-mesh determinism: the 1K (8x16x8) and 4K (16x16x16) meshes the
+// event-driven kernel was built for, serial vs threaded and scheduler
+// on vs off — all four configurations must produce one bit-identical
+// run. Short windows keep these inside the ctest budget; the absolute
+// goldens pin the numbers captured when the meshes first ran.
+TEST(DeterminismThreaded, TrafficMatchesSerialAt1KNodes)
+{
+    const TrafficProbe serial = trafficAt(1024, 1, 600);
+    const TrafficProbe two = trafficAt(1024, 2, 600);
+    const TrafficProbe four = trafficAt(1024, 4, 600);
+    EXPECT_EQ(serial.run.cycles, 600u);
+    EXPECT_GT(serial.instructions, 0u);
+    EXPECT_GT(serial.netStats.messagesDelivered, 0u);
+    expectEqualProbes(serial, two);
+    expectEqualProbes(serial, four);
+}
+
+TEST(DeterminismThreaded, TrafficSchedulerOffMatchesOnAt1KNodes)
+{
+    TrafficProbe on, off;
+    {
+        WakeGuard w(1);
+        on = trafficAt(1024, 1, 600);
+    }
+    {
+        WakeGuard w(0);
+        off = trafficAt(1024, 4, 600);
+    }
+    expectEqualProbes(on, off);
+}
+
+TEST(DeterminismThreaded, TrafficMatchesSerialAt4KNodes)
+{
+    const TrafficProbe serial = trafficAt(4096, 1, 400);
+    const TrafficProbe four = trafficAt(4096, 4, 400);
+    TrafficProbe off;
+    {
+        WakeGuard w(0);
+        off = trafficAt(4096, 2, 400);
+    }
+    EXPECT_EQ(serial.run.cycles, 400u);
+    EXPECT_GT(serial.instructions, 0u);
+    expectEqualProbes(serial, four);
+    expectEqualProbes(serial, off);
+    // The memory-audit acceptance bound: a 4096-node mesh stays far
+    // under 1 GB of simulator state.
+    EXPECT_GT(serial.run.footprintBytes, 0u);
+    EXPECT_LT(serial.run.footprintBytes, 1ull << 30);
+}
+
 } // namespace
 } // namespace jmsim
