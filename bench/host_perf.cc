@@ -13,12 +13,14 @@
  * the process peak RSS. Emits `BENCH_host_perf.json` next to the
  * working directory for tooling.
  *
- * Two scheduler rows ride along: sparse_ring (a token ring over eight
+ * Four scheduler rows ride along: sparse_ring (a token ring over eight
  * hot nodes of a 4096-node mesh while every other node poll-spins,
  * wake scheduler on) against sparse_ring_nosched (same workload,
  * scheduler off) — the A/B proof that kernel cost tracks active nodes
- * — and a timeout-bounded 4096-node (16x16x16) fig3 smoke row that
- * pins the large-mesh footprint.
+ * — fabric_quiet against fabric_quiet_nosched (same ring, the
+ * *network* scheduler as the knob — the A/B proof that mesh step cost
+ * tracks in-flight flits) — and a timeout-bounded 4096-node (16x16x16)
+ * fig3 smoke row that pins the large-mesh footprint.
  *
  * Threaded runs are bit-identical to serial runs (see
  * tests/determinism_test.cc), so every row of a workload/size group
@@ -30,8 +32,9 @@
  * 64-node serial workloads, best of three, compared against the
  * committed BENCH_host_perf.json. A drop of more than 20% in
  * sim-instructions/host-second against the baseline fails the run, as
- * does a >20% growth of the 4096-node fig3 footprint over its baseline
- * row (registered in ctest as `perf_smoke`).
+ * does a >20% growth of a row's fabric phase (net_sec + commit_sec)
+ * or of the 4096-node fig3 footprint over its baseline row
+ * (registered in ctest as `perf_smoke`).
  */
 
 #include <algorithm>
@@ -134,6 +137,22 @@ sampleSparse(unsigned nodes, Cycle window, bool sched_on)
     setWakeScheduler(-1);
     setSimThreads(-1);
     return fromProbe(sched_on ? "sparse_ring" : "sparse_ring_nosched",
+                     nodes, 1, p);
+}
+
+/** The same token ring, but the A/B knob is the *fabric* scheduler:
+ *  wake scheduling stays at its default so node cost is identical in
+ *  both rows, and the gap isolates the event-driven mesh stepping
+ *  (next-event skip, fused commit+push, serial fast path). */
+Sample
+sampleFabricQuiet(unsigned nodes, Cycle window, bool sched_on)
+{
+    setSimThreads(1);
+    setNetScheduler(sched_on ? 1 : 0);
+    const TrafficProbe p = runSparseActivity(nodes, 8, window);
+    setNetScheduler(-1);
+    setSimThreads(-1);
+    return fromProbe(sched_on ? "fabric_quiet" : "fabric_quiet_nosched",
                      nodes, 1, p);
 }
 
@@ -245,6 +264,7 @@ struct BaselineEntry
     unsigned threads = 0;
     double rate = 0;
     std::uint64_t footprintBytes = 0;  ///< 0 in pre-footprint baselines
+    double fabricSec = -1;  ///< net_sec + commit_sec; -1 in old baselines
 };
 
 /**
@@ -277,6 +297,12 @@ readBaseline(const char *path)
             if (const char *at = std::strstr(line, "\"footprint_bytes\": "))
                 std::sscanf(at, "\"footprint_bytes\": %llu", &fp);
             e.footprintBytes = fp;
+            double net = -1, commit = 0;
+            if (const char *at = std::strstr(line, "\"net_sec\": "))
+                std::sscanf(at, "\"net_sec\": %lf", &net);
+            if (const char *at = std::strstr(line, "\"commit_sec\": "))
+                std::sscanf(at, "\"commit_sec\": %lf", &commit);
+            e.fabricSec = net >= 0 ? net + commit : -1;
             entries.push_back(e);
         }
     }
@@ -325,11 +351,16 @@ runCheck(const char *baseline_path, double floor)
             return 2;
         }
         double best = 0;
+        double best_fabric = -1;
         for (unsigned rep = 0; rep < kReps; ++rep) {
             const Sample s = workload == std::string("fig3_traffic")
                                  ? sampleTraffic(kNodes, 1, kWindow)
                                  : sampleRadix(kNodes, 1, kKeys);
             best = std::max(best, s.instrPerHostSec());
+            const double fabric =
+                s.profile.netSeconds + s.profile.commitSeconds;
+            if (best_fabric < 0 || fabric < best_fabric)
+                best_fabric = fabric;
         }
         const double ratio = best / ref->rate;
         std::printf("%-14s %6u %16.0f %16.0f %6.2fx\n", workload, kNodes,
@@ -340,6 +371,23 @@ runCheck(const char *baseline_path, double floor)
                          "(floor %.2fx)\n",
                          workload, ratio, kFloor);
             ok = false;
+        }
+        // Fabric-phase gate: the mesh phases (net + commit host
+        // seconds, best of the reps) may not grow past 1/floor of the
+        // baseline row's. Tiny baseline phases are exempt — below a
+        // few milliseconds the host timer's noise exceeds the signal.
+        if (ref->fabricSec >= 0.005 && best_fabric >= 0) {
+            const double fratio = best_fabric / ref->fabricSec;
+            std::printf("%-14s %6u %16.6f %16.6f %6.2fx  (fabric sec)\n",
+                        workload, kNodes, ref->fabricSec, best_fabric,
+                        fratio);
+            if (fratio > 1.0 / kFloor) {
+                std::fprintf(stderr,
+                             "perf-check: %s fabric phase grew to %.2fx of "
+                             "baseline (limit %.2fx)\n",
+                             workload, fratio, 1.0 / kFloor);
+                ok = false;
+            }
         }
     }
 
@@ -500,6 +548,43 @@ main(int argc, char **argv)
                         s->hostSeconds,
                         static_cast<unsigned long long>(s->simCycles),
                         s->instrPerHostSec(), s->speedup);
+        }
+        samples.push_back(std::move(off));
+        samples.push_back(std::move(on));
+    }
+
+    // Fabric-scheduler A/B rows: the same heterogeneous ring, wake
+    // scheduling at its default in both, only the mesh stepping
+    // strategy differs. The nosched row walks the legacy sharded
+    // pull/move/commit; the sched row's speedup column reports the
+    // event-driven fabric's end-to-end win (the fabric-phase win is
+    // larger — compare the rows' net_sec + commit_sec).
+    {
+        const unsigned sparse_nodes = 4096;
+        const Cycle sparse_window =
+            scale == bench::Scale::Quick ? 10000 : 25000;
+        Sample off, on;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            Sample r = sampleFabricQuiet(sparse_nodes, sparse_window, false);
+            if (rep == 0 || r.hostSeconds < off.hostSeconds)
+                off = std::move(r);
+        }
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            Sample r = sampleFabricQuiet(sparse_nodes, sparse_window, true);
+            if (rep == 0 || r.hostSeconds < on.hostSeconds)
+                on = std::move(r);
+        }
+        on.speedup = on.hostSeconds > 0 && off.hostSeconds > 0
+                         ? off.hostSeconds / on.hostSeconds
+                         : 1.0;
+        for (const Sample *s : {&off, &on}) {
+            std::printf("%-14s %6u %8u %10.3f %14llu %16.0f %8.2fx  "
+                        "(fabric %.4fs)\n",
+                        s->workload.c_str(), s->nodes, s->threads,
+                        s->hostSeconds,
+                        static_cast<unsigned long long>(s->simCycles),
+                        s->instrPerHostSec(), s->speedup,
+                        s->profile.netSeconds + s->profile.commitSeconds);
         }
         samples.push_back(std::move(off));
         samples.push_back(std::move(on));

@@ -21,7 +21,7 @@ endif()
 
 execute_process(
     COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} --parallel
-            --target determinism_test message_pool_test
+            --target determinism_test message_pool_test fabric_sched_test
     RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
     message(FATAL_ERROR "tsan build failed")
@@ -45,4 +45,15 @@ execute_process(
     RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
     message(FATAL_ERROR "tsan message_pool run failed")
+endif()
+
+# The net-scheduler A/B under the sharded kernel: the event-driven
+# commit (fused pushInput, retry parking) racing worker shards is the
+# newest concurrent surface.
+execute_process(
+    COMMAND ${BINARY_DIR}/tests/fabric_sched_test
+            --gtest_filter=NetScheduler.Fig3OffMatchesOnThreaded:NetScheduler.Fig4SaturationOffMatchesOnBothKernels:NetScheduler.RouterStepInvariantExactThreaded
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "tsan fabric_sched run failed")
 endif()

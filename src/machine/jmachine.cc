@@ -23,6 +23,7 @@ JMachine::JMachine(const MachineConfig &config, Program prog,
       haltedFlag_(config.dims.nodes(), 0)
 {
     const unsigned n = config_.dims.nodes();
+    net_.setEventDriven(config_.netScheduler);
     // Translate the instruction store into the interpreter's flat
     // DecodedOp array before any node captures a pointer to it.
     prog_.predecode(kEmemBase);
@@ -179,7 +180,12 @@ JMachine::maybeIdleSkip(Cycle max_cycles)
     // busyUntil_, each tick would step nothing and change nothing, so
     // jumping the clock there is exact — serial and threaded kernels
     // run the identical check at the same point in the cycle.
-    if (net_.anyActive())
+    //
+    // The fabric's verdict comes from its deterministic next-event
+    // cycle: any in-flight flit (or committed flit awaiting its pull)
+    // means the mesh has work no later than next cycle, so there is
+    // nothing to skip.
+    if (net_.nextEventCycle(now_) <= now_ + 1)
         return;
     Cycle target;
     if (config_.wakeScheduler) {
@@ -219,6 +225,9 @@ JMachine::maybeIdleSkip(Cycle max_cycles)
         ev.a0 = target;
         tracer_->record(ev);
     }
+    // The whole jumped span is fabric-quiet by the check above: account
+    // the avoided router visits so steps + skipped stays exact.
+    net_.noteQuietCycles(target - now_);
     idleSkipped_ += target - now_;
     now_ = target;
 }
@@ -301,11 +310,23 @@ JMachine::runSerial(Cycle max_cycles)
 
         std::uint64_t t2 = t1, t3 = t1;
         if (net_.anyActive()) {
-            net_.pullShard(0);
-            net_.moveShard(0, now_);
-            t2 = hostTicks();
-            net_.commitPhase(now_);
-            t3 = hostTicks();
+            net_.noteStepBegin();
+            if (net_.fastPathEligible()) {
+                // Sparse cycle: one fused pass (pull worklist, move the
+                // few active routers, commit dirty words inline). The
+                // whole step bills to the net phase.
+                net_.stepFast(now_);
+                t2 = hostTicks();
+                t3 = t2;
+            } else {
+                net_.pullShard(0);
+                net_.moveShard(0, now_);
+                t2 = hostTicks();
+                net_.commitPhase(now_);
+                t3 = hostTicks();
+            }
+        } else {
+            net_.noteQuietCycles(1);
         }
         net_.pool().sampleHighWater();
         stepped += 1;
@@ -457,6 +478,7 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
 
         std::uint64_t t3 = t2, t4 = t2;
         if (net_.anyActive()) {
+            net_.noteStepBegin();
             // Fork B: the fabric's move phase per router slab. Writes
             // go only to channel `next` registers (unique upstream
             // owner) and the slab's own delivery sinks; delivery wakes
@@ -468,6 +490,8 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
             mergePendingWakes();
             net_.commitPhase(now_);
             t4 = hostTicks();
+        } else {
+            net_.noteQuietCycles(1);
         }
         net_.pool().sampleHighWater();
         stepped += 1;

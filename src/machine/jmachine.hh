@@ -75,6 +75,14 @@ struct MachineConfig
      *  work. A message header arrival wakes a parked node early. Pure
      *  host-side: runs are bit-identical on or off (off for A/B). */
     bool wakeScheduler = true;
+    /** Event-driven fabric scheduling: the mesh steps off commit-
+     *  produced pull worklists and dirty-word commit lists (cost
+     *  proportional to routers with work), the serial kernel fuses
+     *  sparse cycles into a single-pass fast step, and the idle skip
+     *  consults MeshNetwork::nextEventCycle. Pure host-side: runs are
+     *  bit-identical on or off (off = legacy full-scan paths, the
+     *  `--net-sched off` A/B). */
+    bool netScheduler = true;
     /** Event tracing (off by default: taps reduce to a null test). */
     TraceConfig trace;
 };

@@ -119,6 +119,13 @@ NetworkInterface::sendWords2(unsigned prio, Word w0, Word w1, bool end,
 void
 NetworkInterface::step(Cycle now)
 {
+    // Next-send hint: with nothing buffered to inject and no returned
+    // message waiting behind the send channel, the per-priority loop
+    // below is a provable no-op — the common case on compute-phase
+    // nodes, and the NI half of the fabric's next-event reasoning
+    // (MeshNetwork::nextEventCycle covers the in-flight half).
+    if (!sendBusy() && bounceReady_[0].empty() && bounceReady_[1].empty())
+        return;
     for (unsigned prio = 0; prio < 2; ++prio) {
         SendChannel &ch = send_[prio];
         // Queue captured bounce-backs behind any complete messages (a

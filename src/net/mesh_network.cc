@@ -107,6 +107,13 @@ MeshNetwork::registerCounters(CounterRegistry &reg)
     reg.addCounter("net.words_delivered", &stats_.wordsDelivered);
     reg.addCounter("net.bisection_flits_pos", &stats_.bisectionFlitsPos);
     reg.addCounter("net.bisection_flits_neg", &stats_.bisectionFlitsNeg);
+    // Fabric scheduling work accounting: router visits made vs avoided
+    // and whole fabric-quiet cycles. The kernel drives these so that
+    // router_steps + skipped_router_steps == routers * cycles exactly
+    // on a fresh machine (see tests/fabric_sched_test.cc).
+    reg.addCounter("net.router_steps", &routerSteps_);
+    reg.addCounter("net.skipped_router_steps", &skippedRouterSteps_);
+    reg.addCounter("net.event_skipped_cycles", &eventSkippedCycles_);
     for (const Router &r : routers_) {
         reg.addCounter("net.flits_routed", &r.stats().flitsRouted);
         reg.addCounter("net.flits_delivered", &r.stats().flitsDelivered);
@@ -143,7 +150,9 @@ MeshNetwork::setShards(unsigned shards)
     if (shards < 1)
         shards = 1;
     // Gather the live active set before the bins move under it, and
-    // fold the latency samples of shards about to be dropped.
+    // fold the latency samples of shards about to be dropped. The
+    // back-pressure retry list is unsharded (main-thread only), so it
+    // survives re-sharding untouched.
     std::vector<NodeId> live;
     live.reserve(activeCount_);
     for (Shard &sh : shards_) {
@@ -161,7 +170,7 @@ MeshNetwork::setShards(unsigned shards)
             static_cast<std::uint64_t>(id) * shards / n);
     for (Shard &sh : shards_) {
         sh.active.reserve(n / shards + 1);
-        sh.touched.assign((channels_.size() + 63) / 64, 0);
+        sh.touched.assign((channels_.size() + 63) / 64);
     }
     for (const NodeId id : live)
         shards_[routerShard_[id]].active.push_back(id);
@@ -171,6 +180,18 @@ MeshNetwork::setShards(unsigned shards)
 void
 MeshNetwork::injectFlit(NodeId id, Flit flit)
 {
+    // Routing-decision cache: the dimension-order route is a pure
+    // function of (source, destination), so compute the per-axis hop
+    // counts once here and let every router on the path read its
+    // output port straight off the flit (Router::headRoute) instead of
+    // loading the message slab and comparing addresses per hop.
+    if (flit.isHead()) {
+        const RouterAddr src = routers_[id].addr();
+        const RouterAddr &dst = pool_.get(flit.msg).destAddr;
+        flit.route[0] = encodeRouteHops(src.x, dst.x);
+        flit.route[1] = encodeRouteHops(src.y, dst.y);
+        flit.route[2] = encodeRouteHops(src.z, dst.z);
+    }
     if (staging_) {
         // Parallel node phase: only the shard stepping node id injects
         // into router id, so the per-(node, vn) counter needs no
@@ -230,8 +251,33 @@ MeshNetwork::endStaging()
 }
 
 void
+MeshNetwork::retryPulls()
+{
+    // Wormhole back-pressure at channel granularity: each entry holds a
+    // committed flit whose downstream FIFO was full when it committed.
+    // This runs after the move phase (pops) and before the fresh
+    // commits, which is exactly when the legacy pull of the next cycle
+    // would observe the same FIFO state.
+    std::size_t keep = 0;
+    const std::size_t n = retryPull_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t ci = retryPull_[i];
+        const Channel &ch = channels_[ci];
+        if (routers_[ch.to()].pullChannel(ch.inDir())) {
+            busyHint_[ch.to()] = 1;
+            activate(ch.to());
+        } else {
+            retryPull_[keep++] = ci;
+        }
+    }
+    retryPull_.resize(keep);
+}
+
+void
 MeshNetwork::pullShard(unsigned s)
 {
+    if (eventDriven_)
+        return;  // the commit phase already pushed every visible flit
     Shard &sh = shards_[s];
     // Index-based with a snapshot length: in the serial kernel a
     // delivery callback can inject (and so activate) mid-phase, which
@@ -267,19 +313,49 @@ MeshNetwork::noteMessageDelivered(const Message &msg)
 }
 
 void
+MeshNetwork::commitWord(std::size_t w, std::uint64_t bits)
+{
+    while (bits) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint32_t ci = static_cast<std::uint32_t>(w * 64 + bit);
+        Channel &ch = channels_[ci];
+        // Bisection counting reads the staged flit before it moves on.
+        if (ch.bisectRole() != 0 && !ch.staged().isHead()) {
+            if (ch.bisectRole() > 0)
+                stats_.bisectionFlitsPos += 1;
+            else
+                stats_.bisectionFlitsNeg += 1;
+        }
+        if (eventDriven_) {
+            // Fused push: hand the staged flit to the downstream FIFO
+            // directly — identical to next cycle's pull (nothing drains
+            // the FIFO in between) minus the round-trip through the
+            // channel's visible register. A refusal means the FIFO is
+            // full; the flit becomes visible in the channel (wormhole
+            // back-pressure: upstream canSend stays false) and the
+            // index parks on the retry list.
+            if (routers_[ch.to()].pushInput(ch.inDir(), ch.staged())) {
+                ch.dropStaged();
+            } else {
+                ch.commit();
+                retryPull_.push_back(ci);
+            }
+        } else {
+            ch.commit();
+            routers_[ch.to()].notePendingIn(ch.inDir());
+        }
+        busyHint_[ch.to()] = 1;  // wake arrived after the move phase
+        activate(ch.to());
+    }
+}
+
+void
 MeshNetwork::commitPhase(Cycle now)
 {
     (void)now;
-    // Union the shard bitmaps. Scanning the set bits in ascending
-    // word/bit order is exactly channel-index order — the same commit
-    // order the serial kernel produces, independent of how routers
-    // were sharded — with no per-cycle sort.
     const std::size_t words = commitBits_.size();
     for (Shard &sh : shards_) {
-        for (std::size_t w = 0; w < words; ++w) {
-            commitBits_[w] |= sh.touched[w];
-            sh.touched[w] = 0;
-        }
         stats_.messagesDelivered += sh.messagesDelivered;
         stats_.wordsDelivered += sh.wordsDelivered;
         sh.messagesDelivered = 0;
@@ -287,26 +363,58 @@ MeshNetwork::commitPhase(Cycle now)
     }
 
     // Commit only the channel pipeline registers written by this
-    // cycle's moves, waking the downstream routers and counting
-    // bisection crossings.
-    for (std::size_t w = 0; w < words; ++w) {
-        std::uint64_t bits = commitBits_[w];
-        commitBits_[w] = 0;
-        while (bits) {
-            const unsigned bit =
-                static_cast<unsigned>(std::countr_zero(bits));
-            bits &= bits - 1;
-            Channel &ch = channels_[w * 64 + bit];
-            ch.commit();
-            routers_[ch.to()].notePendingIn(ch.inDir());
-            busyHint_[ch.to()] = 1;  // wake arrived after the move phase
-            activate(ch.to());
-            if (ch.bisectRole() != 0 && !ch.peek().isHead()) {
-                if (ch.bisectRole() > 0)
-                    stats_.bisectionFlitsPos += 1;
-                else
-                    stats_.bisectionFlitsNeg += 1;
+    // cycle's moves, in ascending channel-index order — the same
+    // commit order the serial kernel produces, independent of how
+    // routers were sharded.
+    if (eventDriven_) {
+        // Back-pressured pushes first: their FIFOs may have drained in
+        // this cycle's move phase. (Order against the fresh commits is
+        // immaterial — the channel sets are disjoint and pushes are
+        // commutative.)
+        if (!retryPull_.empty())
+            retryPulls();
+        // Merge the shards' dirty-word lists: cost proportional to the
+        // channels written this cycle, not to the mesh size. A word can
+        // be dirty in two slabs only at a slab boundary; pushing on the
+        // union's 0->nonzero transition dedups it.
+        commitWords_.clear();
+        for (Shard &sh : shards_) {
+            for (const std::uint32_t w : sh.touched.dirtyWords()) {
+                if (commitBits_[w] == 0)
+                    commitWords_.push_back(w);
+                commitBits_[w] |= sh.touched.takeWord(w);
             }
+            sh.touched.clearDirty();
+        }
+        if (commitWords_.size() * 4 >= words) {
+            // Saturated cycle: most words are dirty, so the ascending
+            // full scan beats sorting the list — same visit order.
+            for (std::size_t w = 0; w < words; ++w) {
+                if (commitBits_[w] != 0) {
+                    commitWord(w, commitBits_[w]);
+                    commitBits_[w] = 0;
+                }
+            }
+        } else {
+            std::sort(commitWords_.begin(), commitWords_.end());
+            for (const std::uint32_t w : commitWords_) {
+                commitWord(w, commitBits_[w]);
+                commitBits_[w] = 0;
+            }
+        }
+    } else {
+        // Legacy full-scan path (`--net-sched off`): union and scan
+        // every bitmap word every cycle.
+        for (Shard &sh : shards_) {
+            for (std::size_t w = 0; w < words; ++w)
+                commitBits_[w] |= sh.touched.takeWord(w);
+            sh.touched.clearDirty();
+        }
+        for (std::size_t w = 0; w < words; ++w) {
+            const std::uint64_t bits = commitBits_[w];
+            commitBits_[w] = 0;
+            if (bits != 0)
+                commitWord(w, bits);
         }
     }
 
@@ -342,6 +450,68 @@ MeshNetwork::step(Cycle now)
     for (unsigned s = 0; s < shards; ++s)
         moveShard(s, now);
     commitPhase(now);
+}
+
+void
+MeshNetwork::stepFast(Cycle now)
+{
+    // Fused serial step for sparse cycles (fastPathEligible): the same
+    // move-all, commit-all phase order as the sharded path — a single
+    // pass per phase keeps the phased semantics (every move lands
+    // before any commit) while skipping the shard orchestration, the
+    // cross-shard bitmap union, and the per-shard counter folds. There
+    // is no pull pass: the previous commit already pushed every
+    // visible flit (see the file comment in mesh_network.hh).
+    Shard &sh = shards_[0];
+
+    // Snapshot length: a delivery callback can activate mid-loop,
+    // appending to the bin being walked.
+    const std::size_t n = sh.active.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const NodeId id = sh.active[i];
+        Router &r = routers_[id];
+        r.movePhase(now, sh.touched);
+        busyHint_[id] =
+            r.residentFlits() > 0 || r.hasPendingInput() ? 1 : 0;
+    }
+    stats_.messagesDelivered += sh.messagesDelivered;
+    stats_.wordsDelivered += sh.wordsDelivered;
+    sh.messagesDelivered = 0;
+    sh.wordsDelivered = 0;
+
+    // Commit straight off the single shard's dirty words — sorting the
+    // word list reproduces the ascending channel-index commit order; on
+    // a saturated cycle (most words dirty) the ascending full scan is
+    // cheaper than the sort and visits the same bits in the same order.
+    if (!retryPull_.empty())
+        retryPulls();
+    auto &dirty = sh.touched.dirtyWords();
+    const std::size_t words = sh.touched.words();
+    if (dirty.size() * 4 >= words) {
+        for (std::size_t w = 0; w < words; ++w) {
+            if (sh.touched.word(w) != 0)
+                commitWord(w, sh.touched.takeWord(w));
+        }
+    } else {
+        std::sort(dirty.begin(), dirty.end());
+        for (const std::uint32_t w : dirty)
+            commitWord(w, sh.touched.takeWord(w));
+    }
+    sh.touched.clearDirty();
+
+    // Compact the active bin exactly as commitPhase does (routers woken
+    // by the commit loop had their hint re-raised).
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < sh.active.size(); ++i) {
+        const NodeId id = sh.active[i];
+        if (busyHint_[id]) {
+            sh.active[keep++] = id;
+        } else {
+            activeFlag_[id] = 0;
+        }
+    }
+    sh.active.resize(keep);
+    activeCount_ = keep;
 }
 
 bool
@@ -387,10 +557,12 @@ MeshNetwork::footprintBytes() const
                           activeFlag_.capacity() + busyHint_.capacity() +
                           stagedInject_.capacity() +
                           commitScratch_.capacity() * sizeof(StagedFlit) +
-                          commitBits_.capacity() * sizeof(std::uint64_t);
+                          commitBits_.capacity() * sizeof(std::uint64_t) +
+                          commitWords_.capacity() * sizeof(std::uint32_t) +
+                          retryPull_.capacity() * sizeof(std::uint32_t);
     for (const Shard &sh : shards_) {
         total += sh.active.capacity() * sizeof(NodeId) +
-                 sh.touched.capacity() * sizeof(std::uint64_t) +
+                 sh.touched.footprintBytes() +
                  sh.latency.buckets().capacity() * sizeof(std::uint64_t);
     }
     total += staged_.capacity() * sizeof(staged_[0]);

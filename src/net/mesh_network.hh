@@ -30,6 +30,19 @@
  * phases are separated by the kernel's cycle barrier, so a sharded run
  * is bit-identical to the serial one (step() runs the same three
  * phases inline with a single shard).
+ *
+ * In the event-driven mode (MachineConfig::netScheduler, default on)
+ * the pull phase disappears entirely: commitPhase pushes each committed
+ * flit straight into the downstream input FIFO. This is exact, not an
+ * approximation — nothing drains an input FIFO between commit(t) and
+ * pull(t+1) (pops happen only in the move phase, which precedes the
+ * commit), so the FIFO state a fused push observes at commit(t) is
+ * bit-for-bit the state the legacy pull would observe at t+1, and a
+ * push succeeds iff that pull would. A push blocked by a full FIFO
+ * leaves the flit visible in the channel and parks the channel index on
+ * retryPull_, which is retried each commit — the same cycle the legacy
+ * pull would first succeed. Cost per cycle is therefore proportional
+ * to flits moved, with no per-cycle scan of routers or channels.
  */
 
 #ifndef JMSIM_NET_MESH_NETWORK_HH
@@ -51,6 +64,9 @@ namespace jmsim
 
 class CounterRegistry;
 class Tracer;
+
+/** MeshNetwork::nextEventCycle when the fabric is provably dead. */
+inline constexpr Cycle kNoFabricEvent = ~Cycle{0};
 
 /** Fabric-level statistics. */
 struct NetworkStats
@@ -101,6 +117,72 @@ class MeshNetwork
     /** Advance the fabric by one cycle (serial: all phases inline). */
     void step(Cycle now);
 
+    // ---- event-driven fabric scheduling (MachineConfig::netScheduler) ----
+
+    /** Select the event-driven stepping paths (commit-produced pull
+     *  worklists, dirty-word commit, fused serial fast path) or the
+     *  legacy full-scan ones. Pure host-side A/B: runs are
+     *  bit-identical either way. */
+    void setEventDriven(bool on) { eventDriven_ = on; }
+    bool eventDriven() const { return eventDriven_; }
+
+    /**
+     * Earliest cycle the fabric can change architectural state, given
+     * the clock stands at @p now: with any router active (a flit in a
+     * FIFO, a channel pipeline register occupied, or a committed flit
+     * awaiting its pull) the fabric has work next cycle; otherwise it
+     * is provably dead until an NI injects — kNoFabricEvent. Exact,
+     * not conservative: active routers are compacted away the cycle
+     * they drain, so a quiet verdict means no flit exists anywhere.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        return activeCount_ != 0 ? now + 1 : kNoFabricEvent;
+    }
+
+    /** May the serial kernel run the fused single-pass fast path this
+     *  cycle? Requires the event-driven mode and an unsharded fabric —
+     *  the fused step then strictly dominates the sharded sequence (it
+     *  runs the same phases over the same sets minus the cross-shard
+     *  bitmap union, and its commit makes the same sort-vs-scan choice
+     *  the sharded commit does). */
+    bool
+    fastPathEligible() const
+    {
+        return eventDriven_ && shards_.size() == 1;
+    }
+
+    /** Fused serial step: pull worklist, move the active routers, and
+     *  commit shard 0's dirty words inline — one pass, no cross-shard
+     *  union, no histogram folding beyond shard 0. Bit-identical to
+     *  pullShard(0)+moveShard(0)+commitPhase() by construction: the
+     *  three sub-loops run in the same phase order over the same sets,
+     *  and the commit still applies in ascending channel index. */
+    void stepFast(Cycle now);
+
+    /** Account one stepped fabric cycle: the active routers were
+     *  visited, every other router's step was skipped. */
+    void
+    noteStepBegin()
+    {
+        routerSteps_ += activeCount_;
+        skippedRouterSteps_ += dims_.nodes() - activeCount_;
+    }
+
+    /** Account @p cycles fabric-quiet cycles (single unticked-fabric
+     *  cycles and idle-skip jumps): every router's step was skipped,
+     *  and the cycles count as event-skipped. Together with
+     *  noteStepBegin this keeps router_steps + skipped_router_steps ==
+     *  routers * cycles exact on a fresh machine. */
+    void
+    noteQuietCycles(Cycle cycles)
+    {
+        skippedRouterSteps_ +=
+            static_cast<std::uint64_t>(cycles) * dims_.nodes();
+        eventSkippedCycles_ += cycles;
+    }
+
     // ---- sharded stepping (threaded kernel) ----
 
     /** Partition routers into @p shards contiguous node-id slabs and
@@ -110,7 +192,9 @@ class MeshNetwork
     unsigned shardCount() const { return static_cast<unsigned>(shards_.size()); }
 
     /** Phase 1 (parallel): pull committed channel flits into shard
-     *  @p s's active routers. */
+     *  @p s's active routers. A no-op in the event-driven mode, where
+     *  the commit phase already pushed the flits (see the file
+     *  comment). */
     void pullShard(unsigned s);
 
     /** Phase 2 (parallel): arbitrate and move shard @p s's active
@@ -211,6 +295,19 @@ class MeshNetwork
         Histogram latency{1, kLatencyHistBuckets};
     };
 
+    /** Retry the back-pressured fused pushes (event mode, main thread,
+     *  at commit time): each entry is a committed channel whose
+     *  downstream FIFO was full. Runs before the fresh commits; pushes
+     *  are commutative (each targets a distinct (channel, input-FIFO)
+     *  pair), so the list order never affects architectural state. */
+    void retryPulls();
+
+    /** Commit the set channels of bitmap word @p w: advance pipeline
+     *  registers, count bisection crossings, and hand each flit to its
+     *  downstream router (event mode: fused push into the input FIFO;
+     *  legacy: raise the pending-input bit for the next pull phase). */
+    void commitWord(std::size_t w, std::uint64_t bits);
+
     MeshDims dims_;
     MessagePool pool_;
     std::vector<Router> routers_;
@@ -234,7 +331,24 @@ class MeshNetwork
     /** Flits staged this cycle per (node, vn), for canInject. */
     std::vector<std::uint8_t> stagedInject_;
     std::vector<StagedFlit> commitScratch_;
-    ChannelBitmap commitBits_;  ///< per-cycle union of shard bitmaps
+    /** Per-cycle union of the shard bitmaps (legacy full-scan commit
+     *  and the event-driven multi-shard merge both stage here). */
+    std::vector<std::uint64_t> commitBits_;
+    /** Scratch: dirty word indices merged across shards, sorted so the
+     *  commit applies in ascending channel index. */
+    std::vector<std::uint32_t> commitWords_;
+    /** Committed channels whose fused push was refused by a full
+     *  downstream FIFO; retried each commit. A channel appears at most
+     *  once: while its flit is visible the upstream router cannot send
+     *  (canSend is false), so no fresh commit of it can occur. */
+    std::vector<std::uint32_t> retryPull_;
+    bool eventDriven_ = true;
+    /** Event accounting (net.router_steps / net.skipped_router_steps /
+     *  net.event_skipped_cycles): router visits made vs avoided, and
+     *  whole cycles the fabric never ticked. */
+    std::uint64_t routerSteps_ = 0;
+    std::uint64_t skippedRouterSteps_ = 0;
+    std::uint64_t eventSkippedCycles_ = 0;
     NetworkStats stats_;
 };
 

@@ -18,6 +18,7 @@
 #ifndef JMSIM_NET_MESSAGE_HH
 #define JMSIM_NET_MESSAGE_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -74,6 +75,15 @@ struct Message
     }
 };
 
+/** Per-axis remaining-hop encoding of a cached e-cube route: bit 7 is
+ *  the direction sign (set = negative), bits 0..6 the hop count. */
+inline std::uint8_t
+encodeRouteHops(unsigned from, unsigned to)
+{
+    return to >= from ? static_cast<std::uint8_t>(to - from)
+                      : static_cast<std::uint8_t>(0x80u | (from - to));
+}
+
 /** One flit: a POD cursor into a pooled message. */
 struct Flit
 {
@@ -83,6 +93,13 @@ struct Flit
     /** Precomputed Message::tailAt(index), set at injection so the
      *  per-hop move path never touches the message slab. */
     std::uint8_t tail = 0;
+    /** Cached dimension-order route of a head flit: remaining hops per
+     *  axis (encodeRouteHops), computed once at injection from
+     *  (source, destination) and decremented as the head moves, so the
+     *  per-hop routing decision never loads the message slab and does
+     *  no address arithmetic. Unused on body flits (they follow the
+     *  worm's allocated path). */
+    std::array<std::uint8_t, 3> route{};
 
     bool isHead() const { return index == 0; }
 

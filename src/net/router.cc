@@ -38,19 +38,9 @@ Router::pullPhase()
         pendingIn_ &= ~(1u << dir);
         occ_[vn] |= 1u << dir;
         ++resident_;
+        if (fifos_[dir][vn].size() == 1)
+            updateFront(dir, vn);
     }
-}
-
-unsigned
-Router::route(const RouterAddr &dest) const
-{
-    if (dest.x != addr_.x)
-        return dest.x > addr_.x ? kXPos : kXNeg;
-    if (dest.y != addr_.y)
-        return dest.y > addr_.y ? kYPos : kYNeg;
-    if (dest.z != addr_.z)
-        return dest.z > addr_.z ? kZPos : kZNeg;
-    return kDeliverPort;
 }
 
 bool
@@ -61,10 +51,11 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
     if (out == kDeliverPort) {
         if (!sink_->canAcceptFlit(fifo.front()))
             return false;
-        const Flit flit = fifo.pop();
-        --resident_;
-        if (fifo.empty())
-            occ_[vn] &= ~(1u << in);
+        // Forward the front by reference — the sink copies what it
+        // keeps — then drop it; msg/tail are captured first because
+        // drop() invalidates the reference.
+        const Flit &flit = fifo.front();
+        const MsgHandle msg_ref = flit.msg;
         const bool tail = flit.tail != 0;
         stats_.flitsDelivered += 1;
         if (kTraceCompiledIn && trace_ && flit.isHead() &&
@@ -80,19 +71,26 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
             trace_->record(ev);
         }
         sink_->acceptFlit(flit, now);
+        fifo.drop();
+        --resident_;
+        if (fifo.empty())
+            occ_[vn] &= ~(1u << in);
+        updateFront(in, vn);
         // The tail was the last live reference: recycle the message.
         if (tail)
-            pool_->release(flit.msg);
+            pool_->release(msg_ref);
         setOwner(out, vn, tail ? -1 : static_cast<std::int8_t>(in));
         return true;
     }
     Channel *ch = out_[out];
     if (!ch || !ch->canSend())
         return false;
-    const Flit flit = fifo.pop();
-    --resident_;
-    if (fifo.empty())
-        occ_[vn] &= ~(1u << in);
+    Flit &flit = fifo.frontMut();
+    // A head flit forwarded on an axis has one less hop to go on it.
+    // The hop count is nonzero (that is why this output was routed),
+    // so the decrement never borrows into the sign bit.
+    if (flit.isHead())
+        flit.route[out / 2] -= 1;
     const bool tail = flit.tail != 0;
     stats_.flitsRouted += 1;
     if (kTraceCompiledIn && trace_ && flit.isHead() &&
@@ -108,6 +106,11 @@ Router::tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
         trace_->record(ev);
     }
     ch->send(flit);
+    fifo.drop();
+    --resident_;
+    if (fifo.empty())
+        occ_[vn] &= ~(1u << in);
+    updateFront(in, vn);
     markTouched(touched, ch->index());
     setOwner(out, vn, tail ? -1 : static_cast<std::int8_t>(in));
     sentThisCycle_ = true;
@@ -124,32 +127,22 @@ Router::movePhase(Cycle now, ChannelBitmap &touched)
     if (resident_ == 0)
         return false;
 
-    // Snapshot the head flits once: which inputs front a head on each
-    // virtual network, and where each head routes. The output loop
-    // below then visits only ports that have a continuing worm or a
-    // head requesting them — routers typically carry one or two worms,
-    // so most of the 7x2 (port, vn) grid is dead on any given cycle.
-    // The snapshot is kept in sync as moves pop FIFOs; the occupancy
-    // masks make it touch only non-empty FIFOs.
-    std::array<std::array<std::uint8_t, kNumVns>, kNumInPorts> head_out;
-    std::array<unsigned, kNumVns> head_mask{};
+    // The head snapshot (which inputs front a head on each virtual
+    // network, and where each head routes) is persistent router state,
+    // maintained by updateFront at every FIFO front change — so the
+    // move phase does not rescan FIFO contents. Only the request mask
+    // is derived per cycle, from the few set snapshot bits. The output
+    // loop below then visits only ports that have a continuing worm or
+    // a head requesting them — routers typically carry one or two
+    // worms, so most of the 7x2 (port, vn) grid is dead on any given
+    // cycle.
     std::array<unsigned, kNumVns> want{};
-    const auto refresh = [&](unsigned in, unsigned vn) {
-        const FlitFifo &fifo = fifos_[in][vn];
-        head_mask[vn] &= ~(1u << in);
-        if (!fifo.empty() && fifo.front().isHead()) {
-            const unsigned out = route(pool_->get(fifo.front().msg).destAddr);
-            head_out[in][vn] = static_cast<std::uint8_t>(out);
-            head_mask[vn] |= 1u << in;
-            want[vn] |= 1u << out;
-        }
-    };
     for (unsigned vn = 0; vn < kNumVns; ++vn) {
-        unsigned m = occ_[vn];
+        unsigned m = headMask_[vn];
         while (m) {
             const unsigned in = static_cast<unsigned>(std::countr_zero(m));
             m &= m - 1;
-            refresh(in, vn);
+            want[vn] |= 1u << headOut_[in][vn];
         }
     }
 
@@ -173,12 +166,14 @@ Router::movePhase(Cycle now, ChannelBitmap &touched)
             const std::int8_t own = owner_[out][vn];
             if (own >= 0) {
                 // Continuing worm: only its body flits may use the port.
-                FlitFifo &fifo = fifos_[static_cast<unsigned>(own)][vn];
-                if (!fifo.empty()) {
-                    moved = tryMove(out, vn, static_cast<unsigned>(own), now,
-                                    touched);
-                    if (moved)
-                        refresh(static_cast<unsigned>(own), vn);
+                const unsigned in = static_cast<unsigned>(own);
+                if (!fifos_[in][vn].empty()) {
+                    moved = tryMove(out, vn, in, now, touched);
+                    // A head exposed by this move (tail retired, next
+                    // message fronting) may still claim a later port in
+                    // this sweep: fold it into the request mask.
+                    if (moved && (headMask_[vn] >> in & 1u))
+                        want[vn] |= 1u << headOut_[in][vn];
                 }
                 continue;
             }
@@ -192,13 +187,14 @@ Router::movePhase(Cycle now, ChannelBitmap &touched)
             const unsigned start = roundRobin_ ? rrNext_[out] : 0;
             for (unsigned k = 0; k < kNumInPorts; ++k) {
                 const unsigned in = (start + k) % kNumInPorts;
-                if (!(head_mask[vn] >> in & 1u))
+                if (!(headMask_[vn] >> in & 1u))
                     continue;
-                if (head_out[in][vn] != out)
+                if (headOut_[in][vn] != out)
                     continue;
                 if (tryMove(out, vn, in, now, touched)) {
                     moved = true;
-                    refresh(in, vn);
+                    if (headMask_[vn] >> in & 1u)
+                        want[vn] |= 1u << headOut_[in][vn];
                     if (roundRobin_)
                         rrNext_[out] =
                             static_cast<std::uint8_t>((in + 1) % kNumInPorts);
@@ -220,7 +216,7 @@ Router::movePhase(Cycle now, ChannelBitmap &touched)
     // it lost arbitration or its output was unavailable.
     if (kTraceCompiledIn && trace_ && trace_->wants(TraceKind::FlitBlock)) {
         for (unsigned vn = 0; vn < kNumVns; ++vn) {
-            unsigned m = head_mask[vn];
+            unsigned m = headMask_[vn];
             while (m) {
                 const unsigned in =
                     static_cast<unsigned>(std::countr_zero(m));
@@ -231,7 +227,7 @@ Router::movePhase(Cycle now, ChannelBitmap &touched)
                 ev.cycle = now;
                 ev.node = id_;
                 ev.kind = TraceKind::FlitBlock;
-                ev.arg8 = head_out[in][vn];
+                ev.arg8 = headOut_[in][vn];
                 ev.a0 = (static_cast<std::uint64_t>(msg.src) << 32) |
                         msg.srcSeq;
                 ev.a1 = in;
@@ -251,6 +247,8 @@ Router::inject(Flit flit)
     fifos_[kInjectPort][vn].push(std::move(flit));
     occ_[vn] |= 1u << kInjectPort;
     ++resident_;
+    if (fifos_[kInjectPort][vn].size() == 1)
+        updateFront(kInjectPort, vn);
 }
 
 bool

@@ -77,6 +77,7 @@ class FlitFifo
     }
 
     const Flit &front() const { return slots_[head_]; }
+    Flit &frontMut() { return slots_[head_]; }
 
     Flit
     pop()
@@ -85,6 +86,15 @@ class FlitFifo
         head_ = (head_ + 1) % kCapacity;
         --count_;
         return f;
+    }
+
+    /** Discard the front flit (pop without the copy out — movers that
+     *  already forwarded the front by reference). */
+    void
+    drop()
+    {
+        head_ = (head_ + 1) % kCapacity;
+        --count_;
     }
 
   private:
@@ -134,6 +144,46 @@ class Router
     /** Phase 1: drain visible flits from incoming channels. */
     void pullPhase();
 
+    /** Pull the single visible flit on input @p dir. The event-driven
+     *  mesh calls this at commit time (fused push) and from the
+     *  back-pressure retry list. @return false if the input FIFO is
+     *  full — the flit stays visible in the channel. */
+    bool
+    pullChannel(unsigned dir)
+    {
+        Channel *ch = in_[dir];
+        const unsigned vn = ch->peek().vn;
+        if (fifos_[dir][vn].full())
+            return false;  // back-pressure: the flit stays visible
+        fifos_[dir][vn].push(ch->take());
+        pendingIn_ &= ~(1u << dir);
+        occ_[vn] |= 1u << dir;
+        ++resident_;
+        if (fifos_[dir][vn].size() == 1)
+            updateFront(dir, vn);
+        return true;
+    }
+
+    /** Fused-commit push: append a committing channel's staged flit to
+     *  input @p dir without routing it through the channel's visible
+     *  register (the mesh drops the staged copy on success). @return
+     *  false if the input FIFO is full — the mesh then commits the
+     *  channel normally and parks it for retry. */
+    bool
+    pushInput(unsigned dir, const Flit &flit)
+    {
+        const unsigned vn = flit.vn;
+        FlitFifo &fifo = fifos_[dir][vn];
+        if (fifo.full())
+            return false;
+        fifo.push(flit);
+        occ_[vn] |= 1u << dir;
+        ++resident_;
+        if (fifo.size() == 1)
+            updateFront(dir, vn);
+        return true;
+    }
+
     /** Phase 2: arbitrate outputs and move at most 1 flit per output.
      *  Channels written this cycle are marked in @p touched so the
      *  mesh commits only those pipeline registers.
@@ -173,13 +223,42 @@ class Router
     NodeId id() const { return id_; }
     RouterAddr addr() const { return addr_; }
 
-  private:
-    /** E-cube output for a head flit addressed to @p dest. */
-    unsigned route(const RouterAddr &dest) const;
+    /** E-cube output port for a head flit, read off its cached route:
+     *  the first axis with remaining hops in dimension order, or the
+     *  delivery port when all three are spent. Pure function of the
+     *  flit — no message-slab load, no address arithmetic. */
+    static unsigned
+    headRoute(const Flit &flit)
+    {
+        for (unsigned axis = 0; axis < 3; ++axis) {
+            const std::uint8_t r = flit.route[axis];
+            if (r & 0x7fu)
+                return axis * 2 + ((r & 0x80u) ? 0u : 1u);
+        }
+        return kDeliverPort;
+    }
 
+  private:
     /** Move one flit from input @p in to output @p out if possible. */
     bool tryMove(unsigned out, unsigned vn, unsigned in, Cycle now,
                  ChannelBitmap &touched);
+
+    /** Re-derive the head-snapshot entry for (input, vn) from the FIFO
+     *  front. Called wherever the front changes — every pop, and every
+     *  push into an empty FIFO — so the snapshot is always current and
+     *  the move phase never rescans FIFO contents. */
+    void
+    updateFront(unsigned in, unsigned vn)
+    {
+        const FlitFifo &fifo = fifos_[in][vn];
+        if (!fifo.empty() && fifo.front().isHead()) {
+            headOut_[in][vn] =
+                static_cast<std::uint8_t>(headRoute(fifo.front()));
+            headMask_[vn] |= 1u << in;
+        } else {
+            headMask_[vn] &= ~(1u << in);
+        }
+    }
 
     /** Set the worm owning (output, vn), keeping ownerMask_ in sync. */
     void
@@ -205,6 +284,13 @@ class Router
     std::array<std::array<std::int8_t, kNumVns>, kNumOutPorts> owner_;
     /** Per-vn bitmask over inputs: FIFO non-empty (movePhase skip). */
     std::array<std::uint8_t, kNumVns> occ_{};
+    /** Persistent head snapshot: which inputs front a head flit on each
+     *  vn, and the output port each such head routes to. Maintained by
+     *  updateFront at every front change, so the move phase reads it
+     *  instead of rescanning FIFO contents every cycle. Entries of
+     *  headOut_ are meaningful only under a set headMask_ bit. */
+    std::array<std::array<std::uint8_t, kNumVns>, kNumInPorts> headOut_;
+    std::array<std::uint8_t, kNumVns> headMask_{};
     /** Bitmask over directions: in-channel holds a visible flit. */
     std::uint8_t pendingIn_ = 0;
     /** Per-vn bitmask over outputs: owner_ >= 0 (movePhase skip). */

@@ -14,6 +14,7 @@ unsigned dispatchOverride = 0;
 int threadsOverride = -1;
 int superblockOverride = -1;
 int wakeSchedulerOverride = -1;
+int netSchedulerOverride = -1;
 TraceConfig traceOverride;
 } // namespace
 
@@ -42,6 +43,12 @@ setWakeScheduler(int enabled)
 }
 
 void
+setNetScheduler(int enabled)
+{
+    netSchedulerOverride = enabled;
+}
+
+void
 setTraceConfig(const TraceConfig &config)
 {
     traceOverride = config;
@@ -66,8 +73,25 @@ standardConfig(unsigned nodes)
         cfg.proc.superblock = superblockOverride != 0;
     if (wakeSchedulerOverride >= 0)
         cfg.wakeScheduler = wakeSchedulerOverride != 0;
+    if (netSchedulerOverride >= 0)
+        cfg.netScheduler = netSchedulerOverride != 0;
     cfg.trace = traceOverride;
     return cfg;
+}
+
+std::string
+routerTablePrologue(unsigned nodes, unsigned small_len)
+{
+    // 32 header/constant words plus one router address per node. The
+    // external-memory base sits just past the largest on-chip-address
+    // user (radix's BUFB key buffer ends at word 204800) and is
+    // 64-word aligned as the large segment format requires.
+    const unsigned need = 32 + nodes;
+    if (need <= small_len) {
+        return ".equ TBL, 1024\n.equ TBLS, " + std::to_string(small_len) +
+               "\n";
+    }
+    return ".equ TBL, 204800\n.equ TBLS, " + std::to_string(need) + "\n";
 }
 
 std::unique_ptr<JMachine>

@@ -48,12 +48,31 @@ void setSuperblock(int enabled);
  *  A/B verification and perf triage. */
 void setWakeScheduler(int enabled);
 
+/** Override the event-driven fabric scheduler used by standardConfig:
+ *  0 = legacy full-scan mesh stepping, 1 = pull worklists, dirty-word
+ *  commits, and the fused sparse fast path, -1 restores the default
+ *  (on). Pure host-side execution strategy — runs are bit-identical
+ *  either way — so this exists for A/B verification and perf triage. */
+void setNetScheduler(int enabled);
+
 /** Trace every machine built by standardConfig with @p config (tools
  *  and benches route their --trace flags through this). */
 void setTraceConfig(const TraceConfig &config);
 
 /** Restore the default (tracing off). */
 void clearTraceConfig();
+
+/**
+ * Jasm prologue placing an application's node->router address table
+ * (32 header/constant words plus one router address per node, read
+ * with `seg(TBL, TBLS)`). Meshes the table fits on-chip keep the
+ * historical layout — TBL at SRAM word 1024, length @p small_len — so
+ * those programs assemble bit-identically to the old fixed-length
+ * sources; larger meshes relocate the table to external memory, where
+ * the 64-word-aligned large segment format reaches thousands of
+ * entries (at DRAM access cost).
+ */
+std::string routerTablePrologue(unsigned nodes, unsigned small_len);
 
 /** Assemble kernel(+barrier)+app and build a machine. */
 std::unique_ptr<JMachine> buildMachine(unsigned nodes,

@@ -23,7 +23,6 @@ namespace
  * (STK_P0 / STK_BG) since the handler may preempt the expander.
  */
 const char *kNQueensSource = R"(
-.equ TBL,    1024
 .equ STK_P0, 1600
 .equ STK_BG, 1700
 ; params: +4 full mask, +5 expansion depth E
@@ -37,7 +36,7 @@ boot:
     BT R1, park
     ; ---- node->router table (node 0 only needs it) ----
 .region nnr
-    LDL A0, seg(TBL, 544)
+    LDL A0, seg(TBL, TBLS)
     MOVEI R3, 0
 mk_addr:
     MOVE R0, R3
@@ -112,7 +111,7 @@ x_send:
     ADDI R3, R3, #1
     ST [A1+21], R3           ; boards++
     LD R3, [A1+22]           ; round-robin cursor
-    LDL A2, seg(TBL, 544)
+    LDL A2, seg(TBL, TBLS)
     LDL A3, #32
     ADD R3, R3, A3
     LDX A3, [A2+R3]          ; destination router address
@@ -264,7 +263,9 @@ runNQueens(const NQueensConfig &config)
         }
     }
 
-    auto m = buildMachine(config.nodes, "nqueens.jasm", kNQueensSource);
+    auto m = buildMachine(config.nodes, "nqueens.jasm",
+                          routerTablePrologue(config.nodes, 544) +
+                              kNQueensSource);
     pokeParamAll(*m, 4,
                  static_cast<std::int32_t>((1u << config.queens) - 1));
     pokeParamAll(*m, 5, static_cast<std::int32_t>(expand));

@@ -20,14 +20,15 @@ namespace
  * The tree doubles as the inter-pass synchronization point, exactly
  * as the paper notes.
  *
- * SRAM: TBL holds the node-base ranks (NB, [0..15]), per-pass
- * constants, and the node->router-address table ([32..]); HIST is the
- * local histogram; ACC/UPB/UPF are the tree's per-level partial sums,
- * receive buffers, and arrival flags. Key buffers live in external
- * memory (BUFA/BUFB, swapped per pass).
+ * TBL holds the node-base ranks (NB, [0..15]), per-pass constants,
+ * and the node->router-address table ([32..32+nodes)); its placement
+ * comes from routerTablePrologue — on-chip SRAM for machines it fits,
+ * external memory beyond that. HIST is the local histogram; ACC/UPB/
+ * UPF are the tree's per-level partial sums, receive buffers, and
+ * arrival flags. Key buffers live in external memory (BUFA/BUFB,
+ * swapped per pass).
  */
 const char *kRadixSource = R"(
-.equ TBL,  1024
 .equ HIST, 1664
 .equ ACC,  1696
 .equ UPB,  1856
@@ -41,7 +42,7 @@ boot:
     LDL A1, seg(APP_SCRATCH, 64)
     ; ---- node -> router address table ----
 .region nnr
-    LDL A0, seg(TBL, 576)
+    LDL A0, seg(TBL, TBLS)
     MOVEI R3, 0
 mk_addr:
     MOVE R0, R3
@@ -70,7 +71,7 @@ mk_addr:
 ; ======================= pass loop =======================
 pass_loop:
     LDL A1, seg(APP_SCRATCH, 64)
-    LDL A0, seg(TBL, 576)
+    LDL A0, seg(TBL, TBLS)
     ; per-pass constants: shift and WriteData header (parity)
     LD R0, [A1+16]
     ASHI R0, R0, #2
@@ -106,7 +107,7 @@ zh:
 src_b:
     LDL A0, seg(BUFB, 65536)
 src_done:
-    LDL A2, seg(TBL, 576)
+    LDL A2, seg(TBL, TBLS)
     LD R3, [A2+16]           ; shift
     LD R1, [A2+21]           ; kpn
     LDL A2, seg(HIST, 16)
@@ -185,7 +186,7 @@ up_send:
     GETSP R0, NODEID
     LD R1, [A1+13]
     SUB R0, R0, R1
-    LDL A0, seg(TBL, 576)
+    LDL A0, seg(TBL, TBLS)
     LDL R2, #32
     ADD R0, R0, R2
     LDX R0, [A0+R0]
@@ -218,7 +219,7 @@ w_down:
     BR tree_down
 tree_root:
     ; node 0: NB = exclusive scan of the global totals
-    LDL A0, seg(TBL, 576)
+    LDL A0, seg(TBL, TBLS)
     LDL A2, seg(HIST, 16)
     MOVEI R0, 0
     MOVEI R1, 0
@@ -241,7 +242,7 @@ down_loop:
     LSH R1, R1, R0
     GETSP R2, NODEID
     ADD R1, R1, R2
-    LDL A0, seg(TBL, 576)
+    LDL A0, seg(TBL, TBLS)
     LDL R2, #32
     ADD R1, R1, R2
     LDX R1, [A0+R1]
@@ -282,7 +283,7 @@ tree_done:
 rsrc_b:
     LDL A0, seg(BUFB, 65536)
 rsrc_done:
-    LDL A1, seg(TBL, 576)
+    LDL A1, seg(TBL, TBLS)
     MOVEI R0, 0
 reorder:
     LDX R1, [A0+R0]          ; key
@@ -352,7 +353,7 @@ ru_copy:
     SUSPEND
 
 rs_down:                     ; [hdr, b0..b15]
-    LDL A0, seg(TBL, 576)
+    LDL A0, seg(TBL, TBLS)
     MOVEI R1, 0
 rd_copy:
     ADDI R3, R1, #1
@@ -409,9 +410,18 @@ runRadixSort(const RadixConfig &config)
     if (config.digitBits != 4)
         fatal("radix: this implementation sorts 4 bits per digit");
 
+    // The combining/distributing tree carries 10 levels of 16-bucket
+    // partial sums (ACC/UPB are 160 words), so the jasm scales to
+    // 2^10 nodes; the node->router table itself no longer caps the
+    // machine (it relocates to external memory past 544 nodes).
+    if (config.nodes > 1024)
+        fatal("radix: the combining tree holds 10 levels (<= 1024 nodes)");
+
     const auto keys = radixKeys(config.keys, config.keyBits, config.seed);
 
-    auto m = buildMachine(config.nodes, "radix.jasm", kRadixSource);
+    auto m = buildMachine(config.nodes, "radix.jasm",
+                          routerTablePrologue(config.nodes, 576) +
+                              kRadixSource);
     pokeParamAll(*m, 0, static_cast<std::int32_t>(kpn));
     pokeParamAll(*m, 1, static_cast<std::int32_t>(log2kpn));
     pokeParamAll(*m, 2, static_cast<std::int32_t>(passes));

@@ -29,7 +29,6 @@ namespace
  * external memory, so a "null call" saves only the stack pointer.
  */
 const char *kTspSource = R"(
-.equ TBL,    1024
 .equ STK_BG, 1600
 .equ MAT,    73728
 .equ TASKS,  81920
@@ -60,7 +59,7 @@ ent:
 ent_done:
     ; ---- node->router table (all nodes broadcast bounds) ----
 .region nnr
-    LDL A0, seg(TBL, 544)
+    LDL A0, seg(TBL, TBLS)
     MOVEI R3, 0
 mk_addr:
     MOVE R0, R3
@@ -149,7 +148,7 @@ g_send:
     ST [A1+21], R2           ; tasks++
     LD R2, [A1+22]
     ST [A1+25], R3
-    LDL A3, seg(TBL, 544)
+    LDL A3, seg(TBL, TBLS)
     LDL R3, #32
     ADD R3, R3, R2
     LDX A3, [A3+R3]
@@ -293,7 +292,7 @@ bc_loop:
     GETSP R3, NODES
     LT R3, R0, R3
     BF R3, bc_done
-    LDL A2, seg(TBL, 544)
+    LDL A2, seg(TBL, TBLS)
     LDL R3, #32
     ADD R3, R3, R0
     LDX A3, [A2+R3]
@@ -393,7 +392,9 @@ runTsp(const TspConfig &config)
 
     const auto dist = tspMatrix(config.cities, config.seed);
 
-    auto m = buildMachine(config.nodes, "tsp.jasm", kTspSource);
+    auto m = buildMachine(config.nodes, "tsp.jasm",
+                          routerTablePrologue(config.nodes, 544) +
+                              kTspSource);
     pokeParamAll(*m, 4, static_cast<std::int32_t>(config.cities));
     pokeParamAll(*m, 5, static_cast<std::int32_t>(config.suspendPeriod));
     pokeParamAll(*m, 6,

@@ -56,6 +56,24 @@ TEST(Radix, SortsAcrossShapes)
     }
 }
 
+TEST(Radix, ThousandNodeMeshWithRelocatedRouterTable)
+{
+    // Past 544 nodes the node->router table no longer fits the on-chip
+    // layout and routerTablePrologue relocates it to external memory.
+    // runRadixSort validates every key against the reference sort, and
+    // the pinned cycle/instruction counts keep the large-segment
+    // variant deterministic.
+    RadixConfig c;
+    c.nodes = 1024;
+    c.keys = 4096;
+    c.keyBits = 8;
+    const AppResult r = runRadixSort(c);
+    EXPECT_EQ(r.answer, 4096);
+    EXPECT_EQ(r.runCycles, 60924u);
+    EXPECT_EQ(r.instructions, 38139074u);
+    EXPECT_EQ(r.dispatches, 12284u);
+}
+
 TEST(Radix, OneWriteDataPerKeyPerPass)
 {
     RadixConfig c;

@@ -7,7 +7,8 @@
  *   jasm_tool [--no-kernel] [--symbols] [--listing] file.jasm...
  *   jasm_tool --run [--nodes N] [--threads T] [--max-cycles C]
  *             [--superblock on|off] [--wake-sched on|off]
- *             [--trace out.json] [--trace-filter cats] file.jasm
+ *             [--net-sched on|off] [--trace out.json]
+ *             [--trace-filter cats] file.jasm
  *
  * `--threads` selects the simulation kernel's worker count: 1 forces
  * the serial kernel, N > 1 runs N shards (bit-identical results), and
@@ -21,6 +22,11 @@
  * rescans every non-halted node each cycle (bit-identical results,
  * slower host time on sparse-activity workloads) — the A/B switch for
  * the kernel's park/wake machinery.
+ *
+ * `--net-sched off` disables the event-driven fabric scheduler and
+ * steps the mesh with the legacy full-scan pull/commit phases
+ * (bit-identical results, slower host time when few routers carry
+ * flits) — the A/B switch for the fabric's worklist machinery.
  *
  * `--trace <file>` records a cycle-accurate event trace of the run and
  * writes it as Chrome trace-event JSON (open in chrome://tracing or
@@ -79,12 +85,13 @@ printListing(const Program &prog)
 /** Assemble + run one program on a machine; print the outcome. */
 int
 runProgram(const std::string &path, unsigned nodes, int threads,
-           int superblock, int wake_sched, Cycle max_cycles,
-           const TraceConfig &trace)
+           int superblock, int wake_sched, int net_sched,
+           Cycle max_cycles, const TraceConfig &trace)
 {
     workloads::setSimThreads(threads);
     workloads::setSuperblock(superblock);
     workloads::setWakeScheduler(wake_sched);
+    workloads::setNetScheduler(net_sched);
     workloads::setTraceConfig(trace);
     auto m = workloads::buildMachine(nodes, path, readFile(path));
     std::printf("running %s on %u nodes (%u worker shard%s)\n",
@@ -95,6 +102,7 @@ runProgram(const std::string &path, unsigned nodes, int threads,
     workloads::setSimThreads(-1);
     workloads::setSuperblock(-1);
     workloads::setWakeScheduler(-1);
+    workloads::setNetScheduler(-1);
     if (trace.enabled && m->exportTrace())
         std::printf("wrote %s (%zu events, %llu dropped)\n",
                     trace.outPath.c_str(), m->tracer()->collect().size(),
@@ -136,6 +144,7 @@ main(int argc, char **argv)
     int threads = -1;       // -1 = driver default (auto)
     int superblock = -1;    // -1 = driver default (on)
     int wake_sched = -1;    // -1 = driver default (on)
+    int net_sched = -1;     // -1 = driver default (on)
     Cycle max_cycles = 50'000'000;
     TraceConfig trace;
     std::vector<std::string> files;
@@ -178,6 +187,18 @@ main(int argc, char **argv)
                 return 2;
             }
         }
+        else if (!std::strcmp(argv[i], "--net-sched") && i + 1 < argc) {
+            const char *v = argv[++i];
+            if (!std::strcmp(v, "on"))
+                net_sched = 1;
+            else if (!std::strcmp(v, "off"))
+                net_sched = 0;
+            else {
+                std::fprintf(stderr,
+                             "bad --net-sched '%s' (want on or off)\n", v);
+                return 2;
+            }
+        }
         else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
             trace.enabled = true;
             trace.outPath = argv[++i];
@@ -198,14 +219,15 @@ main(int argc, char **argv)
                      "[--listing] file.jasm...\n"
                      "       jasm_tool --run [--nodes N] [--threads T] "
                      "[--max-cycles C] [--superblock on|off] "
-                     "[--wake-sched on|off] [--trace out.json] "
-                     "[--trace-filter cats] file.jasm\n");
+                     "[--wake-sched on|off] [--net-sched on|off] "
+                     "[--trace out.json] [--trace-filter cats] "
+                     "file.jasm\n");
         return 2;
     }
     if (run) {
         try {
             return runProgram(files[0], nodes, threads, superblock,
-                              wake_sched, max_cycles, trace);
+                              wake_sched, net_sched, max_cycles, trace);
         } catch (const std::exception &e) {
             std::fprintf(stderr, "%s\n", e.what());
             return 1;
