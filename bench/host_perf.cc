@@ -47,6 +47,8 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "ckpt/snapshot.hh"
+#include "sim/run_result_json.hh"
 #include "trace/counter_registry.hh"
 #include "trace/tracer.hh"
 #include "workloads/driver.hh"
@@ -78,12 +80,42 @@ struct Sample
     std::uint64_t poolAllocs = 0;
     std::uint64_t poolRecycled = 0;
     std::uint64_t footprintBytes = 0;  ///< audited simulator-state bytes
-    std::uint64_t peakRssBytes = 0;    ///< process high-water at sample time
+    /** Process-lifetime peak RSS at sample time. Cumulative, not
+     *  per-run: getrusage reports a high-water mark that never falls,
+     *  so rows sampled later in the process are >= earlier rows (and
+     *  same-sized workloads report the same value). Useful as a
+     *  whole-bench memory ceiling, not as a per-row footprint — that
+     *  is what footprintBytes audits. */
+    std::uint64_t peakRssBytes = 0;
+    double bootSeconds = 0;  ///< host seconds booting before cycle 0
 
     double
     instrPerHostSec() const
     {
         return hostSeconds > 0 ? simInstructions / hostSeconds : 0;
+    }
+
+    RunRow
+    toRow() const
+    {
+        RunRow row;
+        row.workload = workload;
+        row.nodes = nodes;
+        row.threads = threads;
+        row.hostSeconds = hostSeconds;
+        row.simCycles = simCycles;
+        row.simInstructions = simInstructions;
+        row.speedup = speedup;
+        row.nodeSec = profile.nodeSeconds;
+        row.netSec = profile.netSeconds;
+        row.commitSec = profile.commitSeconds;
+        row.poolLiveHighWater = poolLiveHighWater;
+        row.poolAllocs = poolAllocs;
+        row.poolRecycled = poolRecycled;
+        row.footprintBytes = footprintBytes;
+        row.peakRssBytes = peakRssBytes;
+        row.bootSec = bootSeconds;
+        return row;
     }
 };
 
@@ -104,6 +136,24 @@ peakRssBytes()
 #endif
 }
 
+/** peakRssBytes() with its invariant enforced: the kernel's high-water
+ *  mark is monotone over the process lifetime, so a sample below an
+ *  earlier one means the probe (or its unit scaling) broke. */
+std::uint64_t
+samplePeakRss()
+{
+    static std::uint64_t last = 0;
+    const std::uint64_t now = peakRssBytes();
+    if (now < last)
+        std::fprintf(stderr,
+                     "peak_rss_bytes went backwards (%llu -> %llu): "
+                     "the probe is broken\n",
+                     static_cast<unsigned long long>(last),
+                     static_cast<unsigned long long>(now));
+    last = std::max(last, now);
+    return now;
+}
+
 Sample
 fromProbe(const char *workload, unsigned nodes, unsigned threads,
           const TrafficProbe &p)
@@ -120,7 +170,8 @@ fromProbe(const char *workload, unsigned nodes, unsigned threads,
     s.poolAllocs = counterValue(p.run.counters, "pool.allocs");
     s.poolRecycled = counterValue(p.run.counters, "pool.recycled");
     s.footprintBytes = p.run.footprintBytes;
-    s.peakRssBytes = peakRssBytes();
+    s.peakRssBytes = samplePeakRss();
+    s.bootSeconds = p.bootSeconds;
     return s;
 }
 
@@ -210,7 +261,128 @@ sampleRadix(unsigned nodes, unsigned threads, unsigned keys)
     s.poolAllocs = counterValue(r.counters, "pool.allocs");
     s.poolRecycled = counterValue(r.counters, "pool.recycled");
     s.footprintBytes = r.footprintBytes;
-    s.peakRssBytes = peakRssBytes();
+    s.peakRssBytes = samplePeakRss();
+    s.bootSeconds = r.bootSeconds;
+    return s;
+}
+
+/** Shared toggle tuple of one sweep variant (defaults = machine
+ *  defaults; every field is applied on every job so variants never
+ *  leak into each other through a reused machine). */
+struct SweepVariant
+{
+    const char *tag;
+    unsigned threads = 1;
+    bool wakeScheduler = true;
+    bool netScheduler = true;
+    bool superblock = true;
+};
+
+constexpr SweepVariant kSweepVariants[] = {
+    {"default"},
+    {"t2", 2},
+    {"nosched", 1, false},
+    {"nosb", 1, true, true, false},
+};
+
+/** One boot group of the 12-job farm sweep: a workload size plus the
+ *  warmup prefix its variants share (parked near the end of the run,
+ *  where the amortization headroom is). */
+struct SweepGroup
+{
+    const char *workload;
+    Cycle warmup;
+};
+
+constexpr SweepGroup kSweepGroups[] = {
+    {"radix_sort", 59000},   // full run 61436 cycles at 16/1024
+    {"nqueens", 27000},      // full run 28575 cycles at 16 nodes, 8 queens
+    {"tsp", 205000},         // full run 208489 cycles at 16 nodes, 8 cities
+};
+
+PreparedApp
+prepareSweepApp(const char *workload)
+{
+    if (workload == std::string("radix_sort")) {
+        RadixConfig c;
+        c.nodes = 16;
+        c.keys = 1024;
+        return prepareRadixSort(c);
+    }
+    if (workload == std::string("nqueens")) {
+        NQueensConfig c;
+        c.nodes = 16;
+        c.queens = 8;
+        return prepareNQueens(c);
+    }
+    TspConfig c;
+    c.nodes = 16;
+    c.cities = 8;
+    return prepareTsp(c);
+}
+
+void
+applySweepVariant(JMachine &m, const SweepVariant &v)
+{
+    m.setThreads(v.threads);
+    m.setWakeScheduler(v.wakeScheduler);
+    m.setNetScheduler(v.netScheduler);
+    m.setSuperblock(v.superblock);
+}
+
+/**
+ * The 12-job config sweep (3 workload groups x 4 toggle variants),
+ * run two ways: cold boots every job from scratch (what the sweep
+ * scripts used to do); farm boots each group once, advances it
+ * through the shared warmup prefix, checkpoints, and restores the
+ * image per variant — the in-process equivalent of what
+ * `tools/jrun_server` does with fork(). The farm row's speedup column
+ * is the end-to-end win over the cold row.
+ */
+Sample
+sampleSweep(bool farm)
+{
+    Sample s;
+    s.workload = farm ? "sweep_farm" : "sweep_cold";
+    s.nodes = 16;
+    s.threads = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const SweepGroup &group : kSweepGroups) {
+        if (!farm) {
+            for (const SweepVariant &v : kSweepVariants) {
+                PreparedApp app = prepareSweepApp(group.workload);
+                s.bootSeconds += app.bootSeconds;
+                applySweepVariant(*app.machine, v);
+                const AppResult r = finishApp(app);
+                s.simCycles += r.runCycles;
+                s.simInstructions += r.instructions;
+            }
+            continue;
+        }
+        PreparedApp app = prepareSweepApp(group.workload);
+        s.bootSeconds += app.bootSeconds;
+        app.machine->run(group.warmup);
+        ckpt::Snapshot image;
+        app.machine->save(image);
+        bool first = true;
+        for (const SweepVariant &v : kSweepVariants) {
+            std::string err;
+            if (!first && !app.machine->restore(image, &err)) {
+                std::fprintf(stderr, "sweep restore failed: %s\n",
+                             err.c_str());
+                std::exit(2);
+            }
+            first = false;
+            applySweepVariant(*app.machine, v);
+            const AppResult r = finishApp(app);
+            s.simCycles += r.runCycles;
+            s.simInstructions += r.instructions;
+        }
+    }
+    s.hostSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    s.peakRssBytes = samplePeakRss();
     return s;
 }
 
@@ -224,34 +396,12 @@ writeJson(const std::vector<Sample> &samples, unsigned hw)
     }
     std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n  \"samples\": [\n",
                  hw);
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        const Sample &s = samples[i];
-        // New fields are appended after speedup_vs_serial so the rigid
-        // readBaseline() parser of older checkouts still matches the
-        // leading prefix.
-        std::fprintf(
-            f,
-            "    {\"workload\": \"%s\", \"nodes\": %u, \"threads\": %u, "
-            "\"host_seconds\": %.6f, \"sim_cycles\": %llu, "
-            "\"sim_instructions\": %llu, \"instr_per_host_sec\": %.1f, "
-            "\"speedup_vs_serial\": %.3f, "
-            "\"node_sec\": %.6f, \"net_sec\": %.6f, \"commit_sec\": %.6f, "
-            "\"pool_live_high_water\": %llu, \"pool_allocs\": %llu, "
-            "\"pool_recycled\": %llu, \"footprint_bytes\": %llu, "
-            "\"peak_rss_bytes\": %llu}%s\n",
-            s.workload.c_str(), s.nodes, s.threads, s.hostSeconds,
-            static_cast<unsigned long long>(s.simCycles),
-            static_cast<unsigned long long>(s.simInstructions),
-            s.instrPerHostSec(), s.speedup,
-            s.profile.nodeSeconds, s.profile.netSeconds,
-            s.profile.commitSeconds,
-            static_cast<unsigned long long>(s.poolLiveHighWater),
-            static_cast<unsigned long long>(s.poolAllocs),
-            static_cast<unsigned long long>(s.poolRecycled),
-            static_cast<unsigned long long>(s.footprintBytes),
-            static_cast<unsigned long long>(s.peakRssBytes),
-            i + 1 < samples.size() ? "," : "");
-    }
+    // Sample lines use the shared run-result schema (see
+    // sim/run_result_json.hh) that jrun_server streams too; the rigid
+    // readBaseline() parser below matches its leading prefix.
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        std::fprintf(f, "    %s%s\n", runRowJson(samples[i].toRow()).c_str(),
+                     i + 1 < samples.size() ? "," : "");
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
 }
@@ -388,6 +538,30 @@ runCheck(const char *baseline_path, double floor)
                              workload, fratio, 1.0 / kFloor);
                 ok = false;
             }
+        }
+    }
+
+    // Sweep-throughput check: rerun the 12-job farm sweep and hold its
+    // sim-instructions/host-second to the same floor (skipped against
+    // baselines from before the farm rows existed).
+    const BaselineEntry *refSweep = nullptr;
+    for (const BaselineEntry &e : base) {
+        if (std::string(e.workload) == "sweep_farm" && e.threads == 1)
+            refSweep = &e;
+    }
+    if (refSweep && refSweep->rate > 0) {
+        double best = 0;
+        for (unsigned rep = 0; rep < kReps; ++rep)
+            best = std::max(best, sampleSweep(true).instrPerHostSec());
+        const double ratio = best / refSweep->rate;
+        std::printf("%-14s %6u %16.0f %16.0f %6.2fx\n", "sweep_farm", 16u,
+                    refSweep->rate, best, ratio);
+        if (ratio < kFloor) {
+            std::fprintf(stderr,
+                         "perf-check: sweep_farm regressed to %.2fx of "
+                         "baseline (floor %.2fx)\n",
+                         ratio, kFloor);
+            ok = false;
         }
     }
 
@@ -604,6 +778,31 @@ main(int argc, char **argv)
                     s.instrPerHostSec(), s.speedup,
                     s.footprintBytes / (1024.0 * 1024.0));
         samples.push_back(s);
+    }
+
+    // Sweep-throughput A/B rows: the 12-job radix/nqueens/tsp config
+    // sweep, cold-booted per job vs farmed from warmed checkpoints
+    // (the in-process equivalent of tools/jrun_server). The farm row's
+    // speedup column is the end-to-end amortization win; both rows
+    // simulate identical cycles and instructions.
+    {
+        Sample cold = sampleSweep(false);
+        Sample farmed = sampleSweep(true);
+        farmed.speedup = farmed.hostSeconds > 0 && cold.hostSeconds > 0
+                             ? cold.hostSeconds / farmed.hostSeconds
+                             : 1.0;
+        for (const Sample *s : {&cold, &farmed}) {
+            std::printf("%-14s %6u %8u %10.3f %14llu %16.0f %8.2fx  "
+                        "(%.0f jobs/min, boot %.3fs)\n",
+                        s->workload.c_str(), s->nodes, s->threads,
+                        s->hostSeconds,
+                        static_cast<unsigned long long>(s->simCycles),
+                        s->instrPerHostSec(), s->speedup,
+                        s->hostSeconds > 0 ? 12 * 60.0 / s->hostSeconds : 0.0,
+                        s->bootSeconds);
+        }
+        samples.push_back(std::move(cold));
+        samples.push_back(std::move(farmed));
     }
 
     writeJson(samples, hw);

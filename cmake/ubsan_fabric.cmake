@@ -21,7 +21,7 @@ endif()
 
 execute_process(
     COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} --parallel
-            --target fabric_sched_test network_test
+            --target fabric_sched_test network_test ckpt_test
     RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
     message(FATAL_ERROR "ubsan build failed")
@@ -42,4 +42,15 @@ execute_process(
     RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
     message(FATAL_ERROR "ubsan network run failed")
+endif()
+
+# Checkpoint round-trips push raw bytes through the snapshot
+# reader/writer (unaligned loads, varint-free fixed-width packing,
+# bounds-checked cursors); run the full ckpt suite under the
+# sanitizer too.
+execute_process(
+    COMMAND ${BINARY_DIR}/tests/ckpt_test
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "ubsan ckpt run failed")
 endif()

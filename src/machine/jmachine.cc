@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "ckpt/snapshot.hh"
 #include "machine/loader.hh"
 #include "sim/host_timer.hh"
 #include "sim/logging.hh"
@@ -612,6 +613,313 @@ JMachine::resetStats()
         node.ni().queue(1).resetStats();
     }
     net_.resetStats();
+}
+
+std::uint64_t
+JMachine::configDigest() const
+{
+    ckpt::Digest d;
+    d.mix(config_.dims.x);
+    d.mix(config_.dims.y);
+    d.mix(config_.dims.z);
+    d.mix(config_.memory.imemWords);
+    d.mix(config_.memory.ememWords);
+    d.mix(config_.memory.ememAccessCycles);
+    d.mix(config_.memory.imemExtraCycles);
+    d.mix(config_.ni.sendBufferWords);
+    d.mix(config_.ni.queueBase0);
+    d.mix(config_.ni.queueWords0);
+    d.mix(config_.ni.queueBase1);
+    d.mix(config_.ni.queueWords1);
+    d.mix(config_.ni.returnToSender ? 1 : 0);
+    d.mix(config_.proc.dispatchCycles);
+    d.mix(config_.proc.faultEntryCycles);
+    d.mix(config_.proc.takenBranchPenalty);
+    d.mix(config_.proc.ememFetchCycles);
+    for (std::size_t f = 0; f < kNumFaults; ++f) {
+        d.mix(config_.proc.hasVector[f] ? 1 : 0);
+        d.mix(config_.proc.vectors[f]);
+    }
+    d.mix(config_.roundRobinArbitration ? 1 : 0);
+    // The program image: a snapshot only restores into a machine that
+    // loaded the exact same code and initialized data.
+    d.mix(prog_.instructionCount());
+    d.mix(prog_.codeEndWord());
+    d.mix(prog_.data().size());
+    for (const auto &[addr, word] : prog_.data()) {
+        d.mix(addr);
+        d.mix(word.bits);
+        d.mix(static_cast<std::uint64_t>(word.tag));
+    }
+    d.mix(prog_.sbRunLens().size());
+    for (const std::uint32_t len : prog_.sbRunLens())
+        d.mix(len);
+    d.mix(prog_.spinHeads().size());
+    for (const IAddr head : prog_.spinHeads())
+        d.mix(head);
+    d.mix(prog_.hasP1Sends() ? 1 : 0);
+    d.mix(prog_.decodedOps().size());
+    return d.value();
+}
+
+void
+JMachine::save(ckpt::Snapshot &out) const
+{
+    if (inParallel_)
+        panic("checkpoint: save called from inside the parallel phase");
+    ckpt::Writer w;
+    const unsigned n = nodeCount();
+
+    // ---- header ----
+    w.u32(ckpt::kMagic);
+    w.u32(ckpt::kVersion);
+    w.u64(configDigest());
+
+    // ---- kernel section ----
+    w.u64(now_);
+    w.u64(idleSkipped_);
+    w.u32(haltedCount_);
+    w.u64(nodeSteps_);
+    w.u64(skippedNodeSteps_);
+    w.u64(parkedCount_);
+    // The step list in its exact order: compaction order is part of
+    // the deterministic step sequence.
+    w.u32(static_cast<std::uint32_t>(activeNodes_.size()));
+    for (const NodeId id : activeNodes_)
+        w.u32(id);
+    for (unsigned id = 0; id < n; ++id)
+        w.u8(activeFlag_[id]);
+    for (unsigned id = 0; id < n; ++id)
+        w.u8(parkedFlag_[id]);
+    for (unsigned id = 0; id < n; ++id)
+        w.u8(haltedFlag_[id]);
+    for (unsigned id = 0; id < n; ++id)
+        w.u64(dozeUntil_[id]);
+    // The raw heap array (already a valid heap; stale entries and all —
+    // they are part of the lazy-deletion state).
+    w.u32(static_cast<std::uint32_t>(wakeHeap_.size()));
+    for (const Wake &wk : wakeHeap_) {
+        w.u64(wk.at);
+        w.u32(wk.id);
+    }
+
+    // ---- pool section: every live message, by dense ordinal ----
+    // Handles are pool-allocation names (free-list order depends on the
+    // shard count), so collection order defines the ordinals: per node
+    // in id order (NI send rings, bounce buffers), then the fabric
+    // (router FIFOs in port/vn order, then channel registers). The
+    // same handle can appear many times (one per flit); the first
+    // sighting assigns its ordinal.
+    std::vector<MsgHandle> held;
+    for (unsigned id = 0; id < n; ++id)
+        nodes_[id].collectHandles(held);
+    net_.collectHandles(held);
+    ckpt::HandleMap map;
+    std::vector<MsgHandle> ordered;
+    for (const MsgHandle h : held) {
+        if (map.toOrdinal.count(h))
+            continue;
+        map.toOrdinal.emplace(h,
+                              static_cast<std::uint32_t>(ordered.size()));
+        ordered.push_back(h);
+    }
+    const MessagePool &pool = net_.pool();
+    w.u32(static_cast<std::uint32_t>(ordered.size()));
+    for (const MsgHandle h : ordered) {
+        const Message &msg = pool.get(h);
+        w.u32(msg.src);
+        w.u32(msg.dest);
+        w.u8(msg.destAddr.x);
+        w.u8(msg.destAddr.y);
+        w.u8(msg.destAddr.z);
+        w.u8(msg.priority);
+        w.u32(static_cast<std::uint32_t>(msg.words.size()));
+        for (const Word &word : msg.words)
+            w.word(word);
+        w.u64(msg.injectCycle);
+        w.u64(msg.deliverCycle);
+        w.u32(msg.srcSeq);
+        w.b(msg.finalized);
+    }
+    const PoolStats ps = pool.stats();
+    w.u64(ps.allocs);
+    w.u64(ps.recycled);
+    w.u64(ps.released);
+    w.u64(ps.liveNow);
+    w.u64(ps.liveHighWater);
+
+    // ---- per-node and fabric sections ----
+    for (unsigned id = 0; id < n; ++id)
+        nodes_[id].save(w, map);
+    net_.save(w, map);
+
+    out.bytes = std::move(w.buffer());
+}
+
+bool
+JMachine::restore(const ckpt::Snapshot &snap, std::string *err)
+{
+    const unsigned n = nodeCount();
+    // Header checks leave the machine untouched on failure.
+    if (snap.bytes.size() < 16) {
+        if (err)
+            *err = "snapshot too short for a header";
+        return false;
+    }
+    ckpt::Reader r(snap.bytes.data(), snap.bytes.size());
+    const std::uint32_t magic = r.u32();
+    if (magic != ckpt::kMagic) {
+        if (err)
+            *err = "bad snapshot magic";
+        return false;
+    }
+    const std::uint32_t version = r.u32();
+    if (version != ckpt::kVersion) {
+        if (err)
+            *err = "unsupported snapshot version " + std::to_string(version);
+        return false;
+    }
+    const std::uint64_t digest = r.u64();
+    if (digest != configDigest()) {
+        if (err)
+            *err = "snapshot was taken on a different machine "
+                   "configuration or program";
+        return false;
+    }
+
+    // ---- kernel section ----
+    now_ = r.u64();
+    idleSkipped_ = r.u64();
+    haltedCount_ = r.u32();
+    nodeSteps_ = r.u64();
+    skippedNodeSteps_ = r.u64();
+    parkedCount_ = r.u64();
+    const std::uint32_t activeCount = r.u32();
+    if (activeCount > n)
+        fatal("checkpoint: active-node list longer than the machine");
+    activeNodes_.clear();
+    activeNodes_.reserve(activeCount);
+    for (std::uint32_t i = 0; i < activeCount; ++i) {
+        const NodeId id = r.u32();
+        if (id >= n)
+            fatal("checkpoint: active node id out of range");
+        activeNodes_.push_back(id);
+    }
+    for (unsigned id = 0; id < n; ++id)
+        activeFlag_[id] = r.u8();
+    for (unsigned id = 0; id < n; ++id)
+        parkedFlag_[id] = r.u8();
+    for (unsigned id = 0; id < n; ++id)
+        haltedFlag_[id] = r.u8();
+    for (unsigned id = 0; id < n; ++id)
+        dozeUntil_[id] = r.u64();
+    const std::uint32_t heapCount = r.u32();
+    wakeHeap_.clear();
+    wakeHeap_.reserve(heapCount);
+    for (std::uint32_t i = 0; i < heapCount; ++i) {
+        Wake wk;
+        wk.at = r.u64();
+        wk.id = r.u32();
+        if (wk.id >= n)
+            fatal("checkpoint: wake-heap node id out of range");
+        wakeHeap_.push_back(wk);
+    }
+
+    // ---- pool section ----
+    // Rebuild the pool from scratch on the calling (main) shard so the
+    // restored free-list state is independent of how the saving side
+    // had sharded its allocations.
+    MessagePool &pool = net_.pool();
+    pool.resetAll();
+    const std::uint32_t msgCount = r.u32();
+    ckpt::HandleMap map;
+    map.toHandle.reserve(msgCount);
+    for (std::uint32_t i = 0; i < msgCount; ++i) {
+        const MsgHandle h = pool.alloc();
+        Message &msg = pool.get(h);
+        msg.src = r.u32();
+        msg.dest = r.u32();
+        msg.destAddr.x = r.u8();
+        msg.destAddr.y = r.u8();
+        msg.destAddr.z = r.u8();
+        msg.priority = r.u8();
+        const std::uint32_t wordCount = r.u32();
+        msg.words.reserve(wordCount);
+        for (std::uint32_t j = 0; j < wordCount; ++j)
+            msg.words.push_back(r.word());
+        msg.injectCycle = r.u64();
+        msg.deliverCycle = r.u64();
+        msg.srcSeq = r.u32();
+        msg.finalized = r.b();
+        map.toHandle.push_back(h);
+    }
+    const std::uint64_t allocs = r.u64();
+    const std::uint64_t recycled = r.u64();
+    const std::uint64_t released = r.u64();
+    const std::uint64_t liveNow = r.u64();
+    const std::uint64_t liveHighWater = r.u64();
+    pool.restoreCounters(allocs, recycled, released, liveNow,
+                         liveHighWater);
+
+    // ---- per-node and fabric sections ----
+    for (unsigned id = 0; id < n; ++id)
+        nodes_[id].restore(r, map);
+    net_.restore(r, map);
+
+    if (r.remaining() != 0)
+        fatal("checkpoint: " + std::to_string(r.remaining()) +
+              " trailing bytes after the image");
+
+    // Transient threaded-kernel state never crosses a snapshot: the
+    // next runThreaded() re-establishes its own staging.
+    inParallel_ = false;
+    for (auto &shard : pendingWakes_)
+        shard.clear();
+    wakeScratch_.clear();
+
+    // The image may carry parked nodes from a scheduler-on saver; a
+    // scheduler-off kernel tracks dozing nodes on the step list
+    // instead (see setWakeScheduler).
+    if (!config_.wakeScheduler)
+        unparkAllNodes();
+    return true;
+}
+
+void
+JMachine::setWakeScheduler(bool on)
+{
+    config_.wakeScheduler = on;
+    if (!on)
+        unparkAllNodes();
+}
+
+void
+JMachine::unparkAllNodes()
+{
+    // Hand every parked node back to the step list with its dozeUntil_
+    // horizon intact: the scheduler-off kernel skips it there until
+    // its wake cycle, and the off-mode idle-skip scan (which consults
+    // only the step list) sees the horizon. Ascending id keeps the
+    // list in the order a from-boot scheduler-off run would grow it.
+    if (parkedCount_ > 0) {
+        const NodeId n = nodeCount();
+        for (NodeId id = 0; id < n; ++id) {
+            if (parkedFlag_[id]) {
+                parkedFlag_[id] = 0;
+                activeNodes_.push_back(id);
+            }
+        }
+        parkedCount_ = 0;
+    }
+    wakeHeap_.clear();
+}
+
+void
+JMachine::setSuperblock(bool on)
+{
+    config_.proc.superblock = on;
+    for (NodeId id = 0; id < nodeCount(); ++id)
+        nodes_[id].processor().setSuperblock(on);
 }
 
 } // namespace jmsim

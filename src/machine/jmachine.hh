@@ -51,6 +51,11 @@ namespace jmsim
 
 class ThreadPool;
 
+namespace ckpt
+{
+struct Snapshot;
+} // namespace ckpt
+
 /** Everything configurable about a machine. */
 struct MachineConfig
 {
@@ -194,7 +199,58 @@ class JMachine
     /** Reset all statistics (nodes, NIs, network) for a fresh window. */
     void resetStats();
 
+    // ---- checkpointing (src/ckpt) ----
+
+    /**
+     * Serialize the complete architectural state into @p out (between
+     * run() calls only). The image is deterministic — two machines in
+     * the same architectural state produce identical bytes — and is
+     * independent of the host toggles (threads, idleSkip, schedulers,
+     * superblock, trace), so it restores into a machine running any
+     * execution strategy.
+     */
+    void save(ckpt::Snapshot &out) const;
+
+    /**
+     * Restore from @p snap. Header problems (bad magic/version, or a
+     * digest from a different machine configuration or program) leave
+     * the machine untouched, set @p err if non-null, and return false.
+     * Body corruption past a valid header is fatal.
+     */
+    bool restore(const ckpt::Snapshot &snap, std::string *err = nullptr);
+
+    /** FNV-1a digest over the architectural configuration and program
+     *  image (host toggles excluded) — the snapshot compatibility key. */
+    std::uint64_t configDigest() const;
+
+    // ---- post-boot host-toggle setters (checkpoint farm: one booted
+    // machine serves jobs with different execution strategies) ----
+
+    void setThreads(unsigned threads) { config_.threads = threads; }
+    void setIdleSkip(bool on) { config_.idleSkip = on; }
+
+    /** Switch wake scheduling between cycles. Turning it off hands
+     *  every parked node back to the step list (the scheduler-off
+     *  kernel tracks dozing nodes there against dozeUntil_, and its
+     *  idle-skip scan consults only the step list), so a live flip
+     *  never strands a parked node past its wake cycle. */
+    void setWakeScheduler(bool on);
+
+    void
+    setNetScheduler(bool on)
+    {
+        config_.netScheduler = on;
+        net_.setEventDriven(on);
+    }
+
+    /** Propagates to every core (each holds its own config copy). */
+    void setSuperblock(bool on);
+
   private:
+    /** Move every parked node back onto the step list (see
+     *  setWakeScheduler) and drop the wake heap. */
+    void unparkAllNodes();
+
     RunResult runSerial(Cycle max_cycles);
     RunResult runThreaded(Cycle max_cycles, unsigned shards);
 

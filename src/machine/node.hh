@@ -111,6 +111,28 @@ class Node
 
     NodeId id() const { return id_; }
 
+    /** Live pool handles held by this node (the NI's buffers). */
+    void collectHandles(std::vector<MsgHandle> &out) const
+    {
+        ni_.collectHandles(out);
+    }
+
+    void
+    save(ckpt::Writer &w, const ckpt::HandleMap &map) const
+    {
+        mem_->save(w);
+        proc_.save(w);
+        ni_.save(w, map);
+    }
+
+    void
+    restore(ckpt::Reader &r, const ckpt::HandleMap &map)
+    {
+        mem_->restore(r);
+        proc_.restore(r);
+        ni_.restore(r, map);
+    }
+
   private:
     NodeId id_ = 0;
     std::unique_ptr<NodeMemory> mem_;

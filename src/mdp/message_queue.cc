@@ -1,9 +1,54 @@
 #include "mdp/message_queue.hh"
 
+#include "ckpt/snapshot.hh"
 #include "sim/logging.hh"
 
 namespace jmsim
 {
+
+void
+MessageQueue::save(ckpt::Writer &w) const
+{
+    w.u32(tail_);
+    w.u32(used_);
+    w.u32(static_cast<std::uint32_t>(messages_.size()));
+    for (std::size_t i = 0; i < messages_.size(); ++i) {
+        const QueuedMessage &m = messages_.at(i);
+        w.u32(m.start);
+        w.u32(m.length);
+        w.u32(m.arrived);
+        w.u32(m.padBefore);
+        w.u32(m.src);
+        w.u64(m.firstWordCycle);
+    }
+    w.u64(stats_.messagesAccepted);
+    w.u64(stats_.wordsAccepted);
+    w.u64(stats_.refusals);
+    w.u32(stats_.maxWordsUsed);
+}
+
+void
+MessageQueue::restore(ckpt::Reader &r)
+{
+    tail_ = r.u32();
+    used_ = r.u32();
+    messages_.clear();
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        QueuedMessage m;
+        m.start = r.u32();
+        m.length = r.u32();
+        m.arrived = r.u32();
+        m.padBefore = r.u32();
+        m.src = r.u32();
+        m.firstWordCycle = r.u64();
+        messages_.push_back(m);
+    }
+    stats_.messagesAccepted = r.u64();
+    stats_.wordsAccepted = r.u64();
+    stats_.refusals = r.u64();
+    stats_.maxWordsUsed = r.u32();
+}
 
 void
 MessageQueue::configure(Addr base, std::uint32_t size_words)

@@ -28,6 +28,12 @@
 namespace jmsim
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Allocation record for one buffered message. */
 struct QueuedMessage
 {
@@ -102,6 +108,9 @@ class MessageQueue
     {
         return messages_.capacity() * sizeof(QueuedMessage);
     }
+
+    void save(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     Addr base_ = 0;

@@ -1,5 +1,6 @@
 #include "mdp/network_interface.hh"
 
+#include "ckpt/snapshot.hh"
 #include "sim/logging.hh"
 #include "trace/counter_registry.hh"
 #include "trace/tracer.hh"
@@ -306,6 +307,74 @@ NetworkInterface::acceptFlit(const Flit &flit, Cycle now)
     // Header arrival makes the message dispatchable; wake the node.
     if (word == 0 && wake_)
         wake_();
+}
+
+void
+NetworkInterface::collectHandles(std::vector<MsgHandle> &out) const
+{
+    for (unsigned p = 0; p < 2; ++p) {
+        for (std::size_t i = 0; i < send_[p].pending.size(); ++i)
+            out.push_back(send_[p].pending.at(i));
+        if (bounce_[p].active)
+            out.push_back(bounce_[p].msg);
+        for (std::size_t i = 0; i < bounceReady_[p].size(); ++i)
+            out.push_back(bounceReady_[p].at(i));
+    }
+}
+
+void
+NetworkInterface::save(ckpt::Writer &w, const ckpt::HandleMap &map) const
+{
+    for (unsigned p = 0; p < 2; ++p) {
+        const SendChannel &sc = send_[p];
+        w.u32(static_cast<std::uint32_t>(sc.pending.size()));
+        for (std::size_t i = 0; i < sc.pending.size(); ++i)
+            w.u32(map.ordinalOf(sc.pending.at(i)));
+        w.u32(sc.flitsInjected);
+        w.u32(sc.bufferedWords);
+        w.b(sc.buildingStarted);
+        queues_[p].save(w);
+        w.b(bounce_[p].active);
+        w.u32(bounce_[p].active ? map.ordinalOf(bounce_[p].msg)
+                                : ckpt::kNullOrdinal);
+        w.u32(static_cast<std::uint32_t>(bounceReady_[p].size()));
+        for (std::size_t i = 0; i < bounceReady_[p].size(); ++i)
+            w.u32(map.ordinalOf(bounceReady_[p].at(i)));
+    }
+    w.u64(stats_.messagesSent);
+    w.u64(stats_.wordsSent);
+    w.u64(stats_.sendFullEvents);
+    w.u64(stats_.deliveryStallCycles);
+    w.u64(stats_.messagesBounced);
+    w.u32(sendSeq_);
+}
+
+void
+NetworkInterface::restore(ckpt::Reader &r, const ckpt::HandleMap &map)
+{
+    for (unsigned p = 0; p < 2; ++p) {
+        SendChannel &sc = send_[p];
+        sc.pending.clear();
+        const std::uint32_t pendCount = r.u32();
+        for (std::uint32_t i = 0; i < pendCount; ++i)
+            sc.pending.push_back(map.handleOf(r.u32()));
+        sc.flitsInjected = r.u32();
+        sc.bufferedWords = r.u32();
+        sc.buildingStarted = r.b();
+        queues_[p].restore(r);
+        bounce_[p].active = r.b();
+        bounce_[p].msg = map.handleOf(r.u32());
+        bounceReady_[p].clear();
+        const std::uint32_t readyCount = r.u32();
+        for (std::uint32_t i = 0; i < readyCount; ++i)
+            bounceReady_[p].push_back(map.handleOf(r.u32()));
+    }
+    stats_.messagesSent = r.u64();
+    stats_.wordsSent = r.u64();
+    stats_.sendFullEvents = r.u64();
+    stats_.deliveryStallCycles = r.u64();
+    stats_.messagesBounced = r.u64();
+    sendSeq_ = r.u32();
 }
 
 } // namespace jmsim

@@ -148,6 +148,12 @@ class NetworkInterface : public DeliverSink
     /** Register this NI's counters under the shared "ni." names. */
     void registerCounters(CounterRegistry &reg);
 
+    /** Live pool handles this NI holds, in deterministic order. */
+    void collectHandles(std::vector<MsgHandle> &out) const;
+
+    void save(ckpt::Writer &w, const ckpt::HandleMap &map) const;
+    void restore(ckpt::Reader &r, const ckpt::HandleMap &map);
+
     /** Heap bytes behind the send/bounce rings and queue descriptors
      *  (all demand-grown; a never-sending node reports zero). */
     std::uint64_t

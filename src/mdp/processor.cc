@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "ckpt/snapshot.hh"
 #include "isa/superblock.hh"
 #include "sim/logging.hh"
 #include "trace/counter_registry.hh"
@@ -1649,6 +1650,269 @@ Processor::noteDispatchable(unsigned prio, Cycle now)
     runSpanOps(spanEntryNow_, now + 1, ~0u, SpanTier::Optimistic);
     eagerGuard_ = false;
     spanBudget_ = std::max(spanBudget_ / 2, kSpanBudgetMin);
+}
+
+// ---- checkpointing --------------------------------------------------
+
+namespace
+{
+
+void
+saveRegs(ckpt::Writer &w, const RegisterSet &rs)
+{
+    for (const Word &word : rs.regs)
+        w.word(word);
+    w.u32(rs.ip);
+    w.b(rs.live);
+    w.b(rs.parked);
+    w.b(rs.sending);
+    w.b(rs.inFault);
+    w.u32(rs.faultIp);
+    w.word(rs.fval0);
+    w.word(rs.fval1);
+    for (const Word &word : rs.tmp)
+        w.word(word);
+}
+
+void
+restoreRegs(ckpt::Reader &r, RegisterSet &rs)
+{
+    for (Word &word : rs.regs)
+        word = r.word();
+    rs.ip = r.u32();
+    rs.live = r.b();
+    rs.parked = r.b();
+    rs.sending = r.b();
+    rs.inFault = r.b();
+    rs.faultIp = r.u32();
+    rs.fval0 = r.word();
+    rs.fval1 = r.word();
+    for (Word &word : rs.tmp)
+        word = r.word();
+}
+
+} // namespace
+
+void
+Processor::save(ckpt::Writer &w) const
+{
+    xlate_.save(w);
+    for (const RegisterSet &rs : sets_)
+        saveRegs(w, rs);
+    w.u8(static_cast<std::uint8_t>(current_));
+    w.b(currentValid_);
+    w.b(halted_);
+    w.u64(busyUntil_);
+    for (unsigned l = 0; l < kNumLevels; ++l) {
+        w.u32(lastFetchWord_[l]);
+        w.b(fetchKnown_[l]);
+    }
+    w.b(faultPending_);
+    w.u8(static_cast<std::uint8_t>(faultKind_));
+    w.word(faultVal0_);
+    w.word(faultVal1_);
+    w.u32(xNext_);
+    w.u32(xCost_);
+    w.b(xStall_);
+    w.u64(xNow_);
+    auto saveSegEntry = [&](const SegCacheEntry &e) {
+        w.b(e.valid);
+        w.b(e.uniform);
+        w.u32(e.penalty);
+        w.u32(e.desc.base);
+        w.u32(e.desc.length);
+    };
+    for (const auto &level : segCache_)
+        for (const SegCacheEntry &e : level)
+            saveSegEntry(e);
+    w.b(eagerGuard_);
+    w.b(eagerAbort_);
+    w.b(eagerUndo_);
+    w.u32(eagerQLo_);
+    w.u32(eagerQHi_);
+    saveRegs(w, snap_.regs);
+    for (const SegCacheEntry &e : snap_.seg)
+        saveSegEntry(e);
+    w.b(snap_.fetchKnown);
+    w.u32(snap_.fetchWord);
+    w.u64(snap_.instructions);
+    w.u64(snap_.instructionsOs);
+    w.u64(snap_.runCycles);
+    for (std::uint64_t c : snap_.cyclesByClass)
+        w.u64(c);
+    w.u64(snap_.segCacheHits);
+    w.u64(snap_.segCacheMisses);
+    w.u64(snap_.hsInstructions);
+    w.u64(snap_.hsCycles);
+    w.u32(static_cast<std::uint32_t>(undo_.size()));
+    for (const auto &[addr, word] : undo_) {
+        w.u32(addr);
+        w.word(word);
+    }
+    w.b(spanActive_);
+    w.u32(spanLvl_);
+    w.u32(spanViolPrioMin_);
+    w.u64(spanEntryNow_);
+    w.u64(spanLastStart_);
+    w.u32(spanBudget_);
+    saveSegEntry(memSaveEntry_);
+    w.u64(memSaveHits_);
+    w.u64(memSaveMisses_);
+    for (const XlateCacheEntry &e : xlateCache_) {
+        w.b(e.valid);
+        w.word(e.key);
+        w.word(e.value);
+    }
+    w.u64(xlateCacheVersion_);
+    w.b(sleeping_);
+    w.u64(sleepStart_);
+    for (IAddr e : handlerEntry_)
+        w.u32(e);
+    w.u32(static_cast<std::uint32_t>(hostOut_.size()));
+    for (const Word &word : hostOut_)
+        w.word(word);
+    for (std::uint64_t c : stats_.cyclesByClass)
+        w.u64(c);
+    w.u64(stats_.instructions);
+    w.u64(stats_.instructionsOs);
+    w.u64(stats_.dispatches);
+    w.u64(stats_.suspends);
+    for (std::uint64_t f : stats_.faults)
+        w.u64(f);
+    w.u64(stats_.queueStallCycles);
+    w.u64(stats_.runCycles);
+    w.u64(stats_.idleCycles);
+    w.u64(stats_.segCacheHits);
+    w.u64(stats_.segCacheMisses);
+    w.u64(stats_.xlateCacheHits);
+    w.u64(stats_.xlateCacheMisses);
+    // Handler map in sorted iaddr order so the image is deterministic
+    // regardless of hash-map iteration order.
+    std::vector<std::pair<IAddr, const HandlerStats *>> handlers;
+    handlers.reserve(handlerStats_.size());
+    for (const auto &[iaddr, hs] : handlerStats_)
+        handlers.emplace_back(iaddr, &hs);
+    std::sort(handlers.begin(), handlers.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    w.u32(static_cast<std::uint32_t>(handlers.size()));
+    for (const auto &[iaddr, hs] : handlers) {
+        w.u32(iaddr);
+        w.u64(hs->dispatches);
+        w.u64(hs->instructions);
+        w.u64(hs->cycles);
+        w.u64(hs->messageWords);
+    }
+}
+
+void
+Processor::restore(ckpt::Reader &r)
+{
+    xlate_.restore(r);
+    for (RegisterSet &rs : sets_)
+        restoreRegs(r, rs);
+    current_ = static_cast<Level>(r.u8());
+    currentValid_ = r.b();
+    halted_ = r.b();
+    busyUntil_ = r.u64();
+    for (unsigned l = 0; l < kNumLevels; ++l) {
+        lastFetchWord_[l] = r.u32();
+        fetchKnown_[l] = r.b();
+    }
+    faultPending_ = r.b();
+    faultKind_ = static_cast<FaultKind>(r.u8());
+    faultVal0_ = r.word();
+    faultVal1_ = r.word();
+    xNext_ = r.u32();
+    xCost_ = r.u32();
+    xStall_ = r.b();
+    xNow_ = r.u64();
+    auto restoreSegEntry = [&](SegCacheEntry &e) {
+        e.valid = r.b();
+        e.uniform = r.b();
+        e.penalty = r.u32();
+        e.desc.base = r.u32();
+        e.desc.length = r.u32();
+    };
+    for (auto &level : segCache_)
+        for (SegCacheEntry &e : level)
+            restoreSegEntry(e);
+    eagerGuard_ = r.b();
+    eagerAbort_ = r.b();
+    eagerUndo_ = r.b();
+    eagerQLo_ = r.u32();
+    eagerQHi_ = r.u32();
+    restoreRegs(r, snap_.regs);
+    for (SegCacheEntry &e : snap_.seg)
+        restoreSegEntry(e);
+    snap_.fetchKnown = r.b();
+    snap_.fetchWord = r.u32();
+    snap_.instructions = r.u64();
+    snap_.instructionsOs = r.u64();
+    snap_.runCycles = r.u64();
+    for (std::uint64_t &c : snap_.cyclesByClass)
+        c = r.u64();
+    snap_.segCacheHits = r.u64();
+    snap_.segCacheMisses = r.u64();
+    snap_.hsInstructions = r.u64();
+    snap_.hsCycles = r.u64();
+    undo_.clear();
+    const std::uint32_t undoCount = r.u32();
+    for (std::uint32_t i = 0; i < undoCount; ++i) {
+        const Addr addr = r.u32();
+        undo_.emplace_back(addr, r.word());
+    }
+    spanActive_ = r.b();
+    spanLvl_ = r.u32();
+    spanViolPrioMin_ = r.u32();
+    spanEntryNow_ = r.u64();
+    spanLastStart_ = r.u64();
+    spanBudget_ = r.u32();
+    restoreSegEntry(memSaveEntry_);
+    memSaveHits_ = r.u64();
+    memSaveMisses_ = r.u64();
+    for (XlateCacheEntry &e : xlateCache_) {
+        e.valid = r.b();
+        e.key = r.word();
+        e.value = r.word();
+    }
+    xlateCacheVersion_ = r.u64();
+    sleeping_ = r.b();
+    sleepStart_ = r.u64();
+    for (IAddr &e : handlerEntry_)
+        e = r.u32();
+    hostOut_.clear();
+    const std::uint32_t outCount = r.u32();
+    hostOut_.reserve(outCount);
+    for (std::uint32_t i = 0; i < outCount; ++i)
+        hostOut_.push_back(r.word());
+    for (std::uint64_t &c : stats_.cyclesByClass)
+        c = r.u64();
+    stats_.instructions = r.u64();
+    stats_.instructionsOs = r.u64();
+    stats_.dispatches = r.u64();
+    stats_.suspends = r.u64();
+    for (std::uint64_t &f : stats_.faults)
+        f = r.u64();
+    stats_.queueStallCycles = r.u64();
+    stats_.runCycles = r.u64();
+    stats_.idleCycles = r.u64();
+    stats_.segCacheHits = r.u64();
+    stats_.segCacheMisses = r.u64();
+    stats_.xlateCacheHits = r.u64();
+    stats_.xlateCacheMisses = r.u64();
+    handlerStats_.clear();
+    // Map values move on rehash; the cached per-level slots re-resolve
+    // lazily from handlerEntry_ (handlerSlot()).
+    handlerSlot_.fill(nullptr);
+    const std::uint32_t handlerCount = r.u32();
+    for (std::uint32_t i = 0; i < handlerCount; ++i) {
+        const IAddr iaddr = r.u32();
+        HandlerStats &hs = handlerStats_[iaddr];
+        hs.dispatches = r.u64();
+        hs.instructions = r.u64();
+        hs.cycles = r.u64();
+        hs.messageWords = r.u64();
+    }
 }
 
 } // namespace jmsim

@@ -50,6 +50,12 @@
 namespace jmsim
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Processor timing and fault-vector configuration. */
 struct ProcessorConfig
 {
@@ -225,6 +231,14 @@ class Processor
 
     /** Register this core's counters under the shared "proc." names. */
     void registerCounters(CounterRegistry &reg);
+
+    /** Flip superblock execution after machine build (checkpoint
+     *  restores may land in a machine configured the other way). */
+    void setSuperblock(bool on) { config_.superblock = on; }
+
+    /** Serialize the core's architectural + interpreter state. */
+    void save(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     /** Per-opcode handler implementations (defined in processor.cc). */

@@ -1,5 +1,6 @@
 #include "mem/memory.hh"
 
+#include "ckpt/snapshot.hh"
 #include "sim/logging.hh"
 
 namespace jmsim
@@ -21,6 +22,51 @@ NodeMemory::fillChunk(std::vector<Word> &chunk)
 {
     chunk.assign(kEmemChunkWords, Word::makeBad());
     ememTouched_ = true;
+}
+
+void
+NodeMemory::save(ckpt::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(imem_.size()));
+    for (const Word &word : imem_)
+        w.word(word);
+    std::uint32_t backed = 0;
+    for (const std::vector<Word> &chunk : emem_)
+        backed += !chunk.empty();
+    w.u32(backed);
+    for (std::size_t i = 0; i < emem_.size(); ++i) {
+        if (emem_[i].empty())
+            continue;
+        w.u32(static_cast<std::uint32_t>(i));
+        for (const Word &word : emem_[i])
+            w.word(word);
+    }
+    w.b(ememTouched_);
+}
+
+void
+NodeMemory::restore(ckpt::Reader &r)
+{
+    if (r.u32() != imem_.size())
+        fatal("checkpoint: internal-memory size mismatch");
+    for (Word &word : imem_)
+        word = r.word();
+    // Release backed chunks first so chunks absent from the image
+    // revert to unbacked (reads of them return Bad again).
+    for (std::vector<Word> &chunk : emem_)
+        if (!chunk.empty())
+            std::vector<Word>().swap(chunk);
+    const std::uint32_t backed = r.u32();
+    for (std::uint32_t n = 0; n < backed; ++n) {
+        const std::uint32_t idx = r.u32();
+        if (idx >= emem_.size())
+            fatal("checkpoint: external chunk index out of range");
+        std::vector<Word> &chunk = emem_[idx];
+        chunk.resize(kEmemChunkWords);
+        for (Word &word : chunk)
+            word = r.word();
+    }
+    ememTouched_ = r.b();
 }
 
 void

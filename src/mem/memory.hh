@@ -22,6 +22,12 @@
 namespace jmsim
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Geometry and timing constants of a node's memory system. */
 struct MemoryConfig
 {
@@ -121,6 +127,12 @@ class NodeMemory
             total += chunk.capacity() * sizeof(Word);
         return total;
     }
+
+    /** Serialize SRAM plus only the backed DRAM chunks. */
+    void save(ckpt::Writer &w) const;
+
+    /** Restore; previously backed chunks absent from the image drop. */
+    void restore(ckpt::Reader &r);
 
   private:
     /** Words per external-memory chunk (must stay a power of two). */

@@ -1,9 +1,46 @@
 #include "mem/xlate_table.hh"
 
+#include "ckpt/snapshot.hh"
 #include "sim/logging.hh"
 
 namespace jmsim
 {
+
+void
+XlateTable::save(ckpt::Writer &w) const
+{
+    w.u64(version_);
+    for (const Entry &e : entries_) {
+        w.b(e.valid);
+        w.word(e.key);
+        w.word(e.value);
+    }
+    for (std::uint8_t v : victim_)
+        w.u8(v);
+    w.u64(stats_.lookups);
+    w.u64(stats_.hits);
+    w.u64(stats_.misses);
+    w.u64(stats_.inserts);
+    w.u64(stats_.evictions);
+}
+
+void
+XlateTable::restore(ckpt::Reader &r)
+{
+    version_ = r.u64();
+    for (Entry &e : entries_) {
+        e.valid = r.b();
+        e.key = r.word();
+        e.value = r.word();
+    }
+    for (std::uint8_t &v : victim_)
+        v = r.u8();
+    stats_.lookups = r.u64();
+    stats_.hits = r.u64();
+    stats_.misses = r.u64();
+    stats_.inserts = r.u64();
+    stats_.evictions = r.u64();
+}
 
 XlateTable::XlateTable(unsigned num_sets, unsigned ways)
     : numSets_(num_sets), ways_(ways),

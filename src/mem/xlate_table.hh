@@ -22,6 +22,12 @@
 namespace jmsim
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Statistics kept by the translation table. */
 struct XlateStats
 {
@@ -79,6 +85,9 @@ class XlateTable
 
     unsigned numSets() const { return numSets_; }
     unsigned ways() const { return ways_; }
+
+    void save(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     struct Entry

@@ -21,6 +21,13 @@
 namespace jmsim
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+struct HandleMap;
+} // namespace ckpt
+
 /**
  * Bitmap over the mesh's channel array, one bit per channel index,
  * plus a dirty-word list so the commit phase pays for the channels
@@ -183,6 +190,13 @@ class Channel
 
     /** True if the channel holds anything at all. */
     bool busy() const { return curValid_ || nextValid_; }
+
+    /** Live pool handles in the pipeline register (visible + staged). */
+    void collectHandles(std::vector<MsgHandle> &out) const;
+
+    /** Serialize the dynamic register state (wiring is rebuilt). */
+    void save(ckpt::Writer &w, const ckpt::HandleMap &map) const;
+    void restore(ckpt::Reader &r, const ckpt::HandleMap &map);
 
   private:
     Flit cur_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "ckpt/snapshot.hh"
 #include "sim/logging.hh"
 #include "sim/thread_pool.hh"
 #include "trace/counter_registry.hh"
@@ -569,6 +570,184 @@ MeshNetwork::footprintBytes() const
     for (const auto &q : staged_)
         total += q.capacity() * sizeof(StagedFlit);
     return total + pool_.footprintBytes();
+}
+
+// ---- checkpointing --------------------------------------------------
+
+void
+Channel::collectHandles(std::vector<MsgHandle> &out) const
+{
+    if (curValid_)
+        out.push_back(cur_.msg);
+    if (nextValid_)
+        out.push_back(next_.msg);
+}
+
+namespace
+{
+
+void
+saveChannelFlit(ckpt::Writer &w, const ckpt::HandleMap &map, const Flit &flit)
+{
+    w.u32(map.ordinalOf(flit.msg));
+    w.u32(flit.index);
+    w.u8(flit.vn);
+    w.u8(flit.tail);
+    for (std::uint8_t hop : flit.route)
+        w.u8(hop);
+}
+
+Flit
+restoreChannelFlit(ckpt::Reader &r, const ckpt::HandleMap &map)
+{
+    Flit flit;
+    flit.msg = map.handleOf(r.u32());
+    flit.index = r.u32();
+    flit.vn = r.u8();
+    flit.tail = r.u8();
+    for (std::uint8_t &hop : flit.route)
+        hop = r.u8();
+    return flit;
+}
+
+} // namespace
+
+void
+Channel::save(ckpt::Writer &w, const ckpt::HandleMap &map) const
+{
+    w.b(curValid_);
+    if (curValid_)
+        saveChannelFlit(w, map, cur_);
+    w.b(nextValid_);
+    if (nextValid_)
+        saveChannelFlit(w, map, next_);
+}
+
+void
+Channel::restore(ckpt::Reader &r, const ckpt::HandleMap &map)
+{
+    curValid_ = r.b();
+    cur_ = curValid_ ? restoreChannelFlit(r, map) : Flit{};
+    nextValid_ = r.b();
+    next_ = nextValid_ ? restoreChannelFlit(r, map) : Flit{};
+}
+
+void
+MeshNetwork::collectHandles(std::vector<MsgHandle> &out) const
+{
+    for (const Router &router : routers_)
+        router.collectHandles(out);
+    for (const Channel &ch : channels_)
+        ch.collectHandles(out);
+}
+
+void
+MeshNetwork::setEventDriven(bool on)
+{
+    if (eventDriven_ == on)
+        return;
+    eventDriven_ = on;
+    rebuildUndrainedTracking();
+}
+
+void
+MeshNetwork::rebuildUndrainedTracking()
+{
+    // Between cycles, a channel's visible cur_ flit is exactly a
+    // committed word the downstream router has not pulled yet. The
+    // legacy pull phase finds those through the router's pendingIn_
+    // bits; the event-driven fabric through retryPull_. Rebuild from
+    // the channels in ascending index (each channel feeds a distinct
+    // (router, direction) FIFO, so the order is architecturally
+    // immaterial; ascending keeps save/restore/save byte-identical).
+    retryPull_.clear();
+    for (Router &router : routers_)
+        router.clearPendingIn();
+    for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+        const Channel &ch = channels_[ci];
+        if (!ch.hasFlit())
+            continue;
+        if (eventDriven_)
+            retryPull_.push_back(static_cast<std::uint32_t>(ci));
+        else
+            routers_[ch.to()].notePendingIn(ch.inDir());
+    }
+}
+
+void
+MeshNetwork::save(ckpt::Writer &w, const ckpt::HandleMap &map) const
+{
+    if (staging_)
+        panic("MeshNetwork::save while staging (mid-threaded-cycle)");
+    for (const Router &router : routers_)
+        router.save(w, map);
+    for (const Channel &ch : channels_)
+        ch.save(w, map);
+    const NodeId n = dims_.nodes();
+    for (NodeId id = 0; id < n; ++id)
+        w.u8(activeFlag_[id]);
+    w.u64(routerSteps_);
+    w.u64(skippedRouterSteps_);
+    w.u64(eventSkippedCycles_);
+    w.u64(stats_.messagesDelivered);
+    w.u64(stats_.wordsDelivered);
+    w.u64(stats_.bisectionFlitsPos);
+    w.u64(stats_.bisectionFlitsNeg);
+    // Latency samples merged across shards: the shard split is a host
+    // concern and the merge is commutative, so one folded histogram is
+    // the canonical architectural value.
+    latencyHistogram().save(w);
+}
+
+void
+MeshNetwork::restore(ckpt::Reader &r, const ckpt::HandleMap &map)
+{
+    if (staging_)
+        panic("MeshNetwork::restore while staging (mid-threaded-cycle)");
+    for (Router &router : routers_)
+        router.restore(r, map);
+    for (Channel &ch : channels_)
+        ch.restore(r, map);
+    const NodeId n = dims_.nodes();
+    for (NodeId id = 0; id < n; ++id)
+        activeFlag_[id] = r.u8();
+    // Rebuild the active bins in ascending node id (the order the
+    // serial kernel would have produced) and align the busy hints: a
+    // set hint for an idle router is harmless, a clear one for a busy
+    // router is not, and activeFlag_ covers exactly the routers with
+    // work.
+    activeCount_ = 0;
+    for (Shard &sh : shards_)
+        sh.active.clear();
+    for (NodeId id = 0; id < n; ++id) {
+        busyHint_[id] = activeFlag_[id];
+        if (activeFlag_[id]) {
+            shards_[routerShard_[id]].active.push_back(id);
+            ++activeCount_;
+        }
+    }
+    // A committed-but-undrained channel flit (visible cur_) is tracked
+    // by whichever side the fabric scheduler mode makes responsible;
+    // the image stores neither side — rebuild the one this machine
+    // needs.
+    rebuildUndrainedTracking();
+    routerSteps_ = r.u64();
+    skippedRouterSteps_ = r.u64();
+    eventSkippedCycles_ = r.u64();
+    stats_.messagesDelivered = r.u64();
+    stats_.wordsDelivered = r.u64();
+    stats_.bisectionFlitsPos = r.u64();
+    stats_.bisectionFlitsNeg = r.u64();
+    // All samples land in shard 0; per-shard split is host-side only.
+    for (Shard &sh : shards_)
+        sh.latency.reset();
+    shards_[0].latency.restore(r);
+    // Per-cycle scratch is empty between cycles by construction.
+    for (Shard &sh : shards_) {
+        sh.messagesDelivered = 0;
+        sh.wordsDelivered = 0;
+        sh.touched.assign(sh.touched.words());
+    }
 }
 
 } // namespace jmsim

@@ -123,7 +123,10 @@ class MeshNetwork
      *  worklists, dirty-word commit, fused serial fast path) or the
      *  legacy full-scan ones. Pure host-side A/B: runs are
      *  bit-identical either way. */
-    void setEventDriven(bool on) { eventDriven_ = on; }
+    /** Switch stepping strategy between cycles. Re-homes the tracking
+     *  of committed-but-undrained channel flits (retry list vs router
+     *  pendingIn_ bits) so a live flip never strands a worm. */
+    void setEventDriven(bool on);
     bool eventDriven() const { return eventDriven_; }
 
     /**
@@ -261,7 +264,23 @@ class MeshNetwork
      *  staging queues, activity arrays, and the message arena. */
     std::uint64_t footprintBytes() const;
 
+    /** Live pool handles buffered in routers and channels, appended in
+     *  deterministic (router-id, then channel-index) order. */
+    void collectHandles(std::vector<MsgHandle> &out) const;
+
+    /** Serialize routers, channels, activity state, and fabric
+     *  counters. Must be between cycles with staging off. */
+    void save(ckpt::Writer &w, const ckpt::HandleMap &map) const;
+    void restore(ckpt::Reader &r, const ckpt::HandleMap &map);
+
   private:
+    /** Re-derive the mode-specific tracking of committed-but-undrained
+     *  channel flits from the channels themselves: the event-driven
+     *  fabric retries them from retryPull_, the legacy pull phase
+     *  consumes the downstream router's pendingIn_ bits. Called after
+     *  a restore and on a live scheduler-mode flip. */
+    void rebuildUndrainedTracking();
+
     /** Put router @p id on its shard's active bin (hot: inlined). */
     void
     activate(NodeId id)

@@ -117,6 +117,41 @@ MessagePool::resetStats()
     liveHighWater_ = live();
 }
 
+void
+MessagePool::resetAll()
+{
+    for (Shard &shard : shards_) {
+        shard.freeList.clear();
+        shard.allocs = 0;
+        shard.recycled = 0;
+        shard.released = 0;
+        shard.liveDelta = 0;
+    }
+    for (std::uint32_t s = 0; s < slabCount_; ++s)
+        slabs_[s].reset();
+    slabCount_ = 0;
+    liveHighWater_ = 0;
+}
+
+void
+MessagePool::restoreCounters(std::uint64_t allocs, std::uint64_t recycled,
+                             std::uint64_t released, std::uint64_t liveNow,
+                             std::uint64_t liveHighWater)
+{
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+        shards_[s].allocs = 0;
+        shards_[s].recycled = 0;
+        shards_[s].released = 0;
+        // liveDelta stays: resetAll zeroed it and restore allocations
+        // all ran on the calling (main) shard.
+    }
+    shards_[0].allocs = allocs;
+    shards_[0].recycled = recycled;
+    shards_[0].released = released;
+    shards_[0].liveDelta = static_cast<std::int64_t>(liveNow);
+    liveHighWater_ = liveHighWater;
+}
+
 std::uint64_t
 MessagePool::footprintBytes() const
 {

@@ -100,6 +100,17 @@ class MessagePool
     /** Zero the counters; live accounting and free lists persist. */
     void resetStats();
 
+    /** Drop every slab, free list, and counter (checkpoint restore:
+     *  live messages are re-alloc()ed from the image afterwards). */
+    void resetAll();
+
+    /** Overwrite the folded counters after a restore. The restore path
+     *  re-allocates live messages (bumping shard-0 allocs), so this
+     *  runs last and installs the image's exact values. */
+    void restoreCounters(std::uint64_t allocs, std::uint64_t recycled,
+                         std::uint64_t released, std::uint64_t liveNow,
+                         std::uint64_t liveHighWater);
+
     /** Heap bytes behind the arena: every carved slab, each slot's
      *  retained payload capacity, and the per-shard free lists (main
      *  thread, workers idle — like stats()). */

@@ -28,6 +28,13 @@ namespace jmsim
 
 class Tracer;
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+struct HandleMap;
+} // namespace ckpt
+
 /** Input/output directions; Inject/Deliver are the local ports. */
 enum Direction : std::uint8_t
 {
@@ -78,6 +85,16 @@ class FlitFifo
 
     const Flit &front() const { return slots_[head_]; }
     Flit &frontMut() { return slots_[head_]; }
+
+    /** i-th flit from the front (0 == front()), for serialization. */
+    const Flit &at(unsigned i) const { return slots_[(head_ + i) % kCapacity]; }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
 
     Flit
     pop()
@@ -210,6 +227,7 @@ class Router
 
     /** Mesh: a committed channel made a flit visible on input @p dir. */
     void notePendingIn(unsigned dir) { pendingIn_ |= 1u << dir; }
+    void clearPendingIn() { pendingIn_ = 0; }
 
     /** Total flits buffered in this router. */
     unsigned residentFlits() const { return resident_; }
@@ -237,6 +255,16 @@ class Router
         }
         return kDeliverPort;
     }
+
+    /** Live pool handles buffered in this router's FIFOs, in
+     *  deterministic (port, vn, FIFO) order. */
+    void collectHandles(std::vector<MsgHandle> &out) const;
+
+    /** Serialize FIFO contents, worm ownership, and statistics; the
+     *  derived masks (occ_/head snapshot/ownerMask_) are recomputed on
+     *  restore. */
+    void save(ckpt::Writer &w, const ckpt::HandleMap &map) const;
+    void restore(ckpt::Reader &r, const ckpt::HandleMap &map);
 
   private:
     /** Move one flit from input @p in to output @p out if possible. */

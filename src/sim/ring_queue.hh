@@ -35,6 +35,9 @@ class RingQueue
     T &back() { return slots_[wrap(head_ + count_ - 1)]; }
     const T &back() const { return slots_[wrap(head_ + count_ - 1)]; }
 
+    /** i-th element from the front (0 == front()), for iteration. */
+    const T &at(std::size_t i) const { return slots_[wrap(head_ + i)]; }
+
     void
     push_back(T value)
     {

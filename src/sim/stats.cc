@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "ckpt/snapshot.hh"
 #include "sim/logging.hh"
 
 namespace jmsim
@@ -63,6 +64,44 @@ Histogram::percentile(double fraction) const
             return (i + 1) * bucketWidth_ - 1;
     }
     return static_cast<std::uint64_t>(stat_.max());
+}
+
+void
+SampleStat::save(ckpt::Writer &w) const
+{
+    w.f64(sum_);
+    w.f64(min_);
+    w.f64(max_);
+    w.u64(count_);
+}
+
+void
+SampleStat::restore(ckpt::Reader &r)
+{
+    sum_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+    count_ = r.u64();
+}
+
+void
+Histogram::save(ckpt::Writer &w) const
+{
+    w.u64(bucketWidth_);
+    w.u64(buckets_.size());
+    for (std::uint64_t b : buckets_)
+        w.u64(b);
+    stat_.save(w);
+}
+
+void
+Histogram::restore(ckpt::Reader &r)
+{
+    if (r.u64() != bucketWidth_ || r.u64() != buckets_.size())
+        fatal("checkpoint: histogram geometry mismatch");
+    for (auto &b : buckets_)
+        b = r.u64();
+    stat_.restore(r);
 }
 
 std::string

@@ -19,6 +19,12 @@
 namespace jmsim
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Running mean/min/max/count accumulator for scalar samples. */
 class SampleStat
 {
@@ -65,6 +71,9 @@ class SampleStat
     double max() const { return count_ ? max_ : 0; }
     double mean() const { return count_ ? sum_ / count_ : 0; }
 
+    void save(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
+
   private:
     double sum_ = 0;
     double min_ = 0;
@@ -104,6 +113,10 @@ class Histogram
 
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     std::uint64_t bucketWidth() const { return bucketWidth_; }
+
+    /** Serialize counts only; geometry must match on restore. */
+    void save(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     std::uint64_t bucketWidth_;

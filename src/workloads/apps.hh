@@ -14,7 +14,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -72,8 +74,35 @@ struct AppResult
      *  (pool traffic, network totals, ... — see CounterRegistry). */
     std::vector<CounterSample> counters;
 
+    /** Host seconds spent booting the machine before the first stepped
+     *  cycle: assembly, predecode/superblock discovery, machine build,
+     *  and input poking. The cost the checkpoint farm amortizes. */
+    double bootSeconds = 0.0;
+
     double runMs() const { return cyclesToSeconds(runCycles) * 1e3; }
 };
+
+/**
+ * A workload machine booted to its run-ready state with the run phase
+ * packaged alongside — the unit the checkpoint/fork sweep farm works
+ * in: boot once (expensive: assemble, predecode, build, poke inputs),
+ * then run-and-validate many times from snapshots or forked images.
+ */
+struct PreparedApp
+{
+    std::unique_ptr<JMachine> machine;
+    std::string name;
+    Cycle cycleLimit = 0;
+    /** AllHalted required (radix); false accepts Quiescent too. */
+    bool requireAllHalted = true;
+    double bootSeconds = 0.0;   ///< host seconds spent booting
+    /** Check the machine's final state against the reference
+     *  implementation (fatal on mismatch) and return the answer. */
+    std::function<std::int64_t(JMachine &)> validate;
+};
+
+/** Run a prepared app to completion, validate, and collect stats. */
+AppResult finishApp(PreparedApp &app);
 
 /** Longest Common Subsequence: systolic, one char per message. */
 struct LcsConfig
@@ -117,6 +146,12 @@ struct TspConfig
     unsigned suspendPeriod = 12;
 };
 AppResult runTsp(const TspConfig &config);
+
+// ---- boot/run separation (checkpoint farm and round-trip tests) ----
+
+PreparedApp prepareRadixSort(const RadixConfig &config);
+PreparedApp prepareNQueens(const NQueensConfig &config);
+PreparedApp prepareTsp(const TspConfig &config);
 
 // ---- sequential jasm baselines (Figure 5 speedup bases) ----
 

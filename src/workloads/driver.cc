@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <map>
 
+#include "sim/logging.hh"
+
 namespace jmsim
 {
 namespace workloads
@@ -175,6 +177,25 @@ collectAppResult(const JMachine &m, const RunResult &run)
     result.profile = run.profile;
     result.footprintBytes = run.footprintBytes;
     result.counters = run.counters;
+    return result;
+}
+
+AppResult
+finishApp(PreparedApp &app)
+{
+    JMachine &m = *app.machine;
+    const RunResult r = m.run(app.cycleLimit);
+    const bool finished = app.requireAllHalted
+                              ? r.reason == StopReason::AllHalted
+                              : r.reason != StopReason::CycleLimit;
+    if (!finished)
+        fatal(app.name + " did not finish");
+
+    AppResult result = collectAppResult(m, r);
+    result.runCycles = r.cycles;
+    if (app.validate)
+        result.answer = app.validate(m);
+    result.bootSeconds = app.bootSeconds;
     return result;
 }
 

@@ -925,15 +925,27 @@ TrafficProbe
 runFig3Traffic(unsigned nodes, unsigned msg_words, unsigned idle_iters,
                Cycle window, std::uint32_t seed)
 {
+    const auto b0 = std::chrono::steady_clock::now();
     auto m = buildLoadMachine(nodes, msg_words, seed);
     pokeParamAll(*m, 1, static_cast<std::int32_t>(idle_iters));
-    return collectTrafficProbe(*m, window);
+    const auto b1 = std::chrono::steady_clock::now();
+    TrafficProbe probe = collectTrafficProbe(*m, window);
+    probe.bootSeconds = std::chrono::duration<double>(b1 - b0).count();
+    return probe;
 }
 
 TrafficProbe
 runFig4Load(unsigned nodes, Cycle window, std::uint32_t seed)
 {
     return runFig3Traffic(nodes, 24, 0, window, seed);
+}
+
+std::unique_ptr<JMachine>
+buildFig4Machine(unsigned nodes, std::uint32_t seed)
+{
+    auto m = buildLoadMachine(nodes, 24, seed);
+    pokeParamAll(*m, 1, 0);
+    return m;
 }
 
 TrafficProbe
@@ -943,6 +955,7 @@ runSparseActivity(unsigned nodes, unsigned hot_nodes, Cycle window,
     if (hot_nodes < 2 || hot_nodes > nodes ||
         (hot_nodes & (hot_nodes - 1)) != 0)
         fatal("sparse activity needs a power-of-two hot set of >= 2");
+    const auto b0 = std::chrono::steady_clock::now();
     auto m = buildMachine(nodes, "sparse.jasm", kSparseSource);
     // Hot nodes are the low ids — one mesh-local corner — so the
     // circulating tokens keep the fabric (and hence the kernel's tick
@@ -955,7 +968,10 @@ runSparseActivity(unsigned nodes, unsigned hot_nodes, Cycle window,
                   static_cast<std::int32_t>(hot_nodes - 1));
     }
     pokeParam(*m, 0, 2, static_cast<std::int32_t>(2 + seed % 3));
-    return collectTrafficProbe(*m, window);
+    const auto b1 = std::chrono::steady_clock::now();
+    TrafficProbe probe = collectTrafficProbe(*m, window);
+    probe.bootSeconds = std::chrono::duration<double>(b1 - b0).count();
+    return probe;
 }
 
 double

@@ -14,6 +14,7 @@
 #define JMSIM_WORKLOADS_MICRO_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "machine/jmachine.hh"
@@ -88,6 +89,9 @@ struct TrafficProbe
     RunResult run;                   ///< stop state after the window
     std::uint64_t instructions = 0;  ///< simulated instructions executed
     double hostSeconds = 0;          ///< wall-clock time inside run()
+    /** Host seconds spent booting (assemble, predecode, build, poke)
+     *  before the first stepped cycle. */
+    double bootSeconds = 0;
     ProcessorStats procStats;        ///< aggregate over every node
     NetworkStats netStats;           ///< fabric statistics
     NiStats niStats;                 ///< aggregate NI statistics
@@ -110,6 +114,12 @@ TrafficProbe runFig3Traffic(unsigned nodes, unsigned msg_words,
  *  host-perf sweep and the high-load determinism golden. */
 TrafficProbe runFig4Load(unsigned nodes, Cycle window,
                          std::uint32_t seed = 1);
+
+/** Build (but do not run) the fig4 saturation-load machine: the
+ *  checkpoint tests snapshot it mid-flight, with the fabric full of
+ *  in-transit worms. Run it with runFor() and collect stats by hand. */
+std::unique_ptr<JMachine> buildFig4Machine(unsigned nodes,
+                                           std::uint32_t seed = 1);
 
 /** Heterogeneous-activity probe for the wake scheduler: @p hot_nodes
  *  nodes (spread across the id range) exchange fig3 traffic

@@ -1,5 +1,6 @@
 #include "workloads/apps.hh"
 
+#include "sim/host_timer.hh"
 #include "sim/logging.hh"
 #include "workloads/driver.hh"
 
@@ -246,8 +247,8 @@ nqdone:                      ; [hdr, count, pad]
 
 } // namespace
 
-AppResult
-runNQueens(const NQueensConfig &config)
+PreparedApp
+prepareNQueens(const NQueensConfig &config)
 {
     if (config.queens < 4 || config.queens > 16)
         fatal("N-Queens: queens must be in [4, 16]");
@@ -263,6 +264,7 @@ runNQueens(const NQueensConfig &config)
         }
     }
 
+    const std::uint64_t boot0 = hostTicks();
     auto m = buildMachine(config.nodes, "nqueens.jasm",
                           routerTablePrologue(config.nodes, 544) +
                               kNQueensSource);
@@ -270,22 +272,30 @@ runNQueens(const NQueensConfig &config)
                  static_cast<std::int32_t>((1u << config.queens) - 1));
     pokeParamAll(*m, 5, static_cast<std::int32_t>(expand));
 
-    const Cycle limit = 4'000'000'000ull;
-    const RunResult r = m->run(limit);
-    if (r.reason == StopReason::CycleLimit)
-        fatal("N-Queens did not finish");
-    const auto out = outInts(*m, 0);
-    if (out.size() != 2)
-        fatal("N-Queens produced no result");
+    PreparedApp app;
+    app.machine = std::move(m);
+    app.name = "N-Queens";
+    app.cycleLimit = 4'000'000'000ull;
+    app.requireAllHalted = false;
+    app.validate = [config](JMachine &machine) -> std::int64_t {
+        const auto out = outInts(machine, 0);
+        if (out.size() != 2)
+            fatal("N-Queens produced no result");
+        const std::uint64_t expect = referenceNQueens(config.queens);
+        if (static_cast<std::uint64_t>(out[0]) != expect)
+            fatal("N-Queens wrong answer: " + std::to_string(out[0]) +
+                  " vs " + std::to_string(expect));
+        return out[0];
+    };
+    app.bootSeconds = hostSeconds(hostTicks() - boot0);
+    return app;
+}
 
-    AppResult result = collectAppResult(*m, r);
-    result.runCycles = r.cycles;
-    result.answer = out[0];
-    const std::uint64_t expect = referenceNQueens(config.queens);
-    if (static_cast<std::uint64_t>(out[0]) != expect)
-        fatal("N-Queens wrong answer: " + std::to_string(out[0]) +
-              " vs " + std::to_string(expect));
-    return result;
+AppResult
+runNQueens(const NQueensConfig &config)
+{
+    PreparedApp app = prepareNQueens(config);
+    return finishApp(app);
 }
 
 } // namespace workloads

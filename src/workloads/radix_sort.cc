@@ -1,5 +1,6 @@
 #include "workloads/apps.hh"
 
+#include "sim/host_timer.hh"
 #include "sim/logging.hh"
 #include "workloads/driver.hh"
 
@@ -392,8 +393,8 @@ writedata_b:                 ; odd pass: write into BUFA
 
 } // namespace
 
-AppResult
-runRadixSort(const RadixConfig &config)
+PreparedApp
+prepareRadixSort(const RadixConfig &config)
 {
     if (config.keys % config.nodes != 0)
         fatal("radix: keys must divide evenly across nodes");
@@ -417,6 +418,7 @@ runRadixSort(const RadixConfig &config)
     if (config.nodes > 1024)
         fatal("radix: the combining tree holds 10 levels (<= 1024 nodes)");
 
+    const std::uint64_t boot0 = hostTicks();
     const auto keys = radixKeys(config.keys, config.keyBits, config.seed);
 
     auto m = buildMachine(config.nodes, "radix.jasm",
@@ -434,29 +436,37 @@ runRadixSort(const RadixConfig &config)
         }
     }
 
-    const Cycle limit = static_cast<Cycle>(passes) *
-                            (static_cast<Cycle>(kpn) * 120 + 100000) +
-                        1000000;
-    const RunResult r = m->run(limit);
-    if (r.reason != StopReason::AllHalted)
-        fatal("radix sort did not finish");
-
-    // Validate against the reference.
-    const auto expect = referenceSort(keys);
-    const Addr final_buf = (passes % 2) ? bufb : bufa;
-    for (NodeId id = 0; id < config.nodes; ++id) {
-        for (unsigned i = 0; i < kpn; ++i) {
-            const std::int32_t got = m->peekInt(id, final_buf + i);
-            if (got != static_cast<std::int32_t>(expect[id * kpn + i]))
-                fatal("radix sort wrong value at rank " +
-                      std::to_string(id * kpn + i));
+    PreparedApp app;
+    app.machine = std::move(m);
+    app.name = "radix sort";
+    app.cycleLimit = static_cast<Cycle>(passes) *
+                         (static_cast<Cycle>(kpn) * 120 + 100000) +
+                     1000000;
+    app.requireAllHalted = true;
+    app.validate = [config, kpn, passes, bufa, bufb,
+                    keys](JMachine &machine) -> std::int64_t {
+        const auto expect = referenceSort(keys);
+        const Addr final_buf = (passes % 2) ? bufb : bufa;
+        for (NodeId id = 0; id < config.nodes; ++id) {
+            for (unsigned i = 0; i < kpn; ++i) {
+                const std::int32_t got =
+                    machine.peekInt(id, final_buf + i);
+                if (got != static_cast<std::int32_t>(expect[id * kpn + i]))
+                    fatal("radix sort wrong value at rank " +
+                          std::to_string(id * kpn + i));
+            }
         }
-    }
+        return static_cast<std::int64_t>(config.keys);
+    };
+    app.bootSeconds = hostSeconds(hostTicks() - boot0);
+    return app;
+}
 
-    AppResult result = collectAppResult(*m, r);
-    result.runCycles = r.cycles;
-    result.answer = static_cast<std::int64_t>(config.keys);
-    return result;
+AppResult
+runRadixSort(const RadixConfig &config)
+{
+    PreparedApp app = prepareRadixSort(config);
+    return finishApp(app);
 }
 
 } // namespace workloads

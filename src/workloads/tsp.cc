@@ -1,5 +1,6 @@
 #include "workloads/apps.hh"
 
+#include "sim/host_timer.hh"
 #include "sim/logging.hh"
 #include "workloads/driver.hh"
 
@@ -367,8 +368,8 @@ tsp_done:                    ; [hdr, 1, pad]
 
 } // namespace
 
-AppResult
-runTsp(const TspConfig &config)
+PreparedApp
+prepareTsp(const TspConfig &config)
 {
     if (config.cities < 4 || config.cities > 16)
         fatal("TSP: cities must be in [4, 16]");
@@ -390,6 +391,7 @@ runTsp(const TspConfig &config)
     if ((tasks + config.nodes - 1) / config.nodes > 512)
         fatal("TSP: too many tasks per node");
 
+    const std::uint64_t boot0 = hostTicks();
     const auto dist = tspMatrix(config.cities, config.seed);
 
     auto m = buildMachine(config.nodes, "tsp.jasm",
@@ -409,21 +411,30 @@ runTsp(const TspConfig &config)
         }
     }
 
-    const RunResult r = m->run(8'000'000'000ull);
-    if (r.reason == StopReason::CycleLimit)
-        fatal("TSP did not finish");
-    const auto out = outInts(*m, 0);
-    if (out.size() != 2)
-        fatal("TSP produced no result");
+    PreparedApp app;
+    app.machine = std::move(m);
+    app.name = "TSP";
+    app.cycleLimit = 8'000'000'000ull;
+    app.requireAllHalted = false;
+    app.validate = [dist](JMachine &machine) -> std::int64_t {
+        const auto out = outInts(machine, 0);
+        if (out.size() != 2)
+            fatal("TSP produced no result");
+        const std::int64_t expect = referenceTsp(dist);
+        if (out[0] != expect)
+            fatal("TSP wrong answer: " + std::to_string(out[0]) +
+                  " vs " + std::to_string(expect));
+        return out[0];
+    };
+    app.bootSeconds = hostSeconds(hostTicks() - boot0);
+    return app;
+}
 
-    AppResult result = collectAppResult(*m, r);
-    result.runCycles = r.cycles;
-    result.answer = out[0];
-    const std::int64_t expect = referenceTsp(dist);
-    if (out[0] != expect)
-        fatal("TSP wrong answer: " + std::to_string(out[0]) + " vs " +
-              std::to_string(expect));
-    return result;
+AppResult
+runTsp(const TspConfig &config)
+{
+    PreparedApp app = prepareTsp(config);
+    return finishApp(app);
 }
 
 } // namespace workloads

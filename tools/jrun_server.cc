@@ -1,0 +1,459 @@
+/**
+ * @file
+ * jrun_server: batch job server for workload sweeps.
+ *
+ * Reads a JSON-lines sweep spec (one flat object per line, `--spec
+ * FILE` or stdin), groups the jobs by machine image — workload plus
+ * its size parameters, ignoring host toggles — and boots each image
+ * exactly once (assemble, predecode/superblock discovery, build, poke
+ * inputs). Every job of a group then runs from that image: by default
+ * the server fork()s a worker per job, so the booted machine is shared
+ * copy-on-write and the parent's image stays pristine for the next
+ * job; with `--no-fork` it instead saves a checkpoint of the booted
+ * machine and restores it before each job, sequentially in-process.
+ * Either way the sweep pays each boot once instead of once per row.
+ *
+ * Spec fields: `workload` ("radix_sort" | "nqueens" | "tsp"),
+ * `nodes`, the workload's size (`keys` / `queens` / `cities`), an
+ * optional `label`, an optional `warmup` cycle count, and the host
+ * toggles `threads`, `wake_scheduler`, `net_scheduler`, `superblock`,
+ * `idle_skip` (0/1 or true/false; omitted = machine default). Toggles
+ * never change simulated results — the rows of a group differ only in
+ * host cost — which is what makes a toggle sweep from one image sound.
+ *
+ * `warmup` (group-level, read from the group's first job; `--warmup
+ * N` sets the default) advances the freshly booted image N cycles
+ * before it is shared, so the jobs of a group also split the cost of
+ * their common run prefix, not just the boot. That prefix is where
+ * the amortization headroom lives: with the image parked near the end
+ * of the run, a 4-variant toggle group pays boot + prefix once and
+ * four short tails, where a cold sweep pays four full runs.
+ *
+ * Output: one RunResult JSON line per job as it finishes (the shared
+ * sim/run_result_json schema; `boot_sec` carries the group's boot
+ * cost on the row that paid it and 0 on rows that reused the image),
+ * then a final `{"summary": ...}` line with sweep totals and
+ * jobs-per-minute. `--cold` disables all sharing — every job boots
+ * and runs from cycle 0 — and exists as the honest baseline for
+ * measuring what the farm saves.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define JRUN_HAVE_FORK 1
+#endif
+
+#include "ckpt/snapshot.hh"
+#include "sim/run_result_json.hh"
+#include "trace/counter_registry.hh"
+#include "workloads/apps.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+namespace
+{
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** One parsed spec line. */
+struct Job
+{
+    std::string label;
+    std::string workload;
+    unsigned nodes = 64;
+    unsigned keys = 65536;   ///< radix_sort
+    unsigned queens = 10;    ///< nqueens
+    unsigned cities = 10;    ///< tsp
+    long warmup = -1;        ///< group warmup cycles; -1 = CLI default
+    // Host toggles; -1 = leave the machine default.
+    int threads = -1;
+    int wakeScheduler = -1;
+    int netScheduler = -1;
+    int superblock = -1;
+    int idleSkip = -1;
+
+    /** Jobs with the same key share one booted machine image. */
+    std::string
+    bootKey() const
+    {
+        return workload + "/" + std::to_string(nodes) + "/" +
+               std::to_string(keys) + "/" + std::to_string(queens) + "/" +
+               std::to_string(cities);
+    }
+};
+
+// ---- flat JSON-line parsing --------------------------------------
+// The spec is our own format: one object per line, string / integer /
+// boolean values, no nesting. A rigid scanner beats a JSON library
+// dependency here.
+
+const char *
+findKey(const std::string &line, const char *key)
+{
+    const std::string quoted = std::string("\"") + key + "\"";
+    std::size_t at = line.find(quoted);
+    if (at == std::string::npos)
+        return nullptr;
+    at += quoted.size();
+    while (at < line.size() && (line[at] == ' ' || line[at] == ':'))
+        ++at;
+    return at < line.size() ? line.c_str() + at : nullptr;
+}
+
+bool
+parseString(const std::string &line, const char *key, std::string *out)
+{
+    const char *v = findKey(line, key);
+    if (!v || *v != '"')
+        return false;
+    const char *end = std::strchr(v + 1, '"');
+    if (!end)
+        return false;
+    out->assign(v + 1, end);
+    return true;
+}
+
+bool
+parseInt(const std::string &line, const char *key, long *out)
+{
+    const char *v = findKey(line, key);
+    if (!v)
+        return false;
+    if (!std::strncmp(v, "true", 4)) {
+        *out = 1;
+        return true;
+    }
+    if (!std::strncmp(v, "false", 5)) {
+        *out = 0;
+        return true;
+    }
+    char *end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v)
+        return false;
+    *out = n;
+    return true;
+}
+
+bool
+parseJob(const std::string &line, Job *job, std::string *err)
+{
+    if (!parseString(line, "workload", &job->workload)) {
+        *err = "missing \"workload\"";
+        return false;
+    }
+    if (job->workload != "radix_sort" && job->workload != "nqueens" &&
+        job->workload != "tsp") {
+        *err = "unknown workload \"" + job->workload + "\"";
+        return false;
+    }
+    parseString(line, "label", &job->label);
+    if (job->label.empty())
+        job->label = job->workload;
+    long v = 0;
+    if (parseInt(line, "nodes", &v))
+        job->nodes = static_cast<unsigned>(v);
+    if (parseInt(line, "keys", &v))
+        job->keys = static_cast<unsigned>(v);
+    if (parseInt(line, "queens", &v))
+        job->queens = static_cast<unsigned>(v);
+    if (parseInt(line, "cities", &v))
+        job->cities = static_cast<unsigned>(v);
+    if (parseInt(line, "warmup", &v))
+        job->warmup = v;
+    if (parseInt(line, "threads", &v))
+        job->threads = static_cast<int>(v);
+    if (parseInt(line, "wake_scheduler", &v))
+        job->wakeScheduler = v ? 1 : 0;
+    if (parseInt(line, "net_scheduler", &v))
+        job->netScheduler = v ? 1 : 0;
+    if (parseInt(line, "superblock", &v))
+        job->superblock = v ? 1 : 0;
+    if (parseInt(line, "idle_skip", &v))
+        job->idleSkip = v ? 1 : 0;
+    return true;
+}
+
+// ---- job execution -----------------------------------------------
+
+PreparedApp
+bootJob(const Job &job)
+{
+    if (job.workload == "radix_sort") {
+        RadixConfig c;
+        c.nodes = job.nodes;
+        c.keys = job.keys;
+        return prepareRadixSort(c);
+    }
+    if (job.workload == "nqueens") {
+        NQueensConfig c;
+        c.nodes = job.nodes;
+        c.queens = job.queens;
+        return prepareNQueens(c);
+    }
+    TspConfig c;
+    c.nodes = job.nodes;
+    c.cities = job.cities;
+    return prepareTsp(c);
+}
+
+void
+applyToggles(JMachine &m, const Job &job)
+{
+    if (job.threads >= 0)
+        m.setThreads(static_cast<unsigned>(job.threads));
+    if (job.wakeScheduler >= 0)
+        m.setWakeScheduler(job.wakeScheduler != 0);
+    if (job.netScheduler >= 0)
+        m.setNetScheduler(job.netScheduler != 0);
+    if (job.superblock >= 0)
+        m.setSuperblock(job.superblock != 0);
+    if (job.idleSkip >= 0)
+        m.setIdleSkip(job.idleSkip != 0);
+}
+
+/** Run @p app's machine to completion for @p job and print its row.
+ *  @p boot_sec is the boot this row is charged for (the group's cost
+ *  on the row that paid it, 0 on rows that reused the image). */
+void
+emitJob(PreparedApp &app, const Job &job, double boot_sec)
+{
+    applyToggles(*app.machine, job);
+    const auto t0 = std::chrono::steady_clock::now();
+    const AppResult r = finishApp(app);
+    RunRow row;
+    row.workload = job.label;
+    row.nodes = job.nodes;
+    row.threads = job.threads > 0 ? static_cast<unsigned>(job.threads) : 1;
+    row.hostSeconds = secondsSince(t0);
+    row.simCycles = r.runCycles;
+    row.simInstructions = r.instructions;
+    row.nodeSec = r.profile.nodeSeconds;
+    row.netSec = r.profile.netSeconds;
+    row.commitSec = r.profile.commitSeconds;
+    row.poolLiveHighWater = counterValue(r.counters, "pool.live_high_water");
+    row.poolAllocs = counterValue(r.counters, "pool.allocs");
+    row.poolRecycled = counterValue(r.counters, "pool.recycled");
+    row.footprintBytes = r.footprintBytes;
+    row.bootSec = boot_sec;
+    std::printf("%s\n", runRowJson(row).c_str());
+}
+
+void
+emitError(const Job &job, const std::string &what)
+{
+    std::printf("{\"workload\": \"%s\", \"error\": \"%s\"}\n",
+                job.label.c_str(), what.c_str());
+}
+
+struct SweepTotals
+{
+    unsigned jobs = 0;
+    unsigned failed = 0;
+    double bootSec = 0;
+};
+
+/** Run one boot group: jobs sharing a machine image, spec order. */
+void
+runGroup(const std::vector<const Job *> &group, bool use_fork, Cycle warmup,
+         SweepTotals *totals)
+{
+    PreparedApp app;
+    try {
+        app = bootJob(*group.front());
+        const long group_warmup = group.front()->warmup >= 0
+                                      ? group.front()->warmup
+                                      : static_cast<long>(warmup);
+        if (group_warmup > 0)
+            app.machine->run(static_cast<Cycle>(group_warmup));
+    } catch (const std::exception &e) {
+        for (const Job *job : group)
+            emitError(*job, e.what());
+        totals->failed += static_cast<unsigned>(group.size());
+        return;
+    }
+    totals->bootSec += app.bootSeconds;
+
+    // In checkpoint mode the image backs every job after the first
+    // (which runs straight off the booted machine); a singleton group
+    // never needs it.
+    ckpt::Snapshot image;
+    if (!use_fork && group.size() > 1)
+        app.machine->save(image);
+
+    double boot_owed = app.bootSeconds;
+    bool first = true;
+    for (const Job *job : group) {
+        bool ok = true;
+#if JRUN_HAVE_FORK
+        if (use_fork) {
+            std::fflush(stdout);
+            std::fflush(stderr);
+            const pid_t pid = fork();
+            if (pid == 0) {
+                // Worker: a copy-on-write image of the booted machine.
+                int rc = 0;
+                try {
+                    emitJob(app, *job, boot_owed);
+                } catch (const std::exception &e) {
+                    emitError(*job, e.what());
+                    rc = 1;
+                }
+                std::fflush(stdout);
+                _exit(rc);
+            }
+            int status = 0;
+            ok = pid > 0 && waitpid(pid, &status, 0) == pid &&
+                 WIFEXITED(status) && WEXITSTATUS(status) == 0;
+            if (pid > 0 && !ok && WIFSIGNALED(status))
+                emitError(*job, "worker killed by signal");
+        }
+#endif
+        if (!use_fork) {
+            try {
+                // Each job starts from the boot-time checkpoint; the
+                // previous job's completed run is discarded.
+                std::string err;
+                if (!first && !app.machine->restore(image, &err))
+                    throw std::runtime_error(err);
+                emitJob(app, *job, boot_owed);
+            } catch (const std::exception &e) {
+                emitError(*job, e.what());
+                ok = false;
+            }
+        }
+        totals->jobs += 1;
+        if (!ok)
+            totals->failed += 1;
+        boot_owed = 0;  // the image is paid for
+        first = false;
+    }
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--spec FILE] [--no-fork] [--warmup CYCLES] [--cold]\n"
+        "  Reads a JSON-lines sweep spec (stdin without --spec), boots\n"
+        "  each (workload, size) once, runs every job from that image\n"
+        "  (fork by default, checkpoint restore with --no-fork), and\n"
+        "  streams one RunResult JSON line per job plus a summary.\n"
+        "  --cold disables all sharing (boot + full run per job): the\n"
+        "  baseline the farm modes are measured against.\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *spec_path = nullptr;
+    bool use_fork = true;
+    bool cold = false;
+    Cycle warmup = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--spec") && i + 1 < argc)
+            spec_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--no-fork"))
+            use_fork = false;
+        else if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
+            warmup = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--cold"))
+            cold = true;
+        else
+            return usage(argv[0]);
+    }
+    if (cold) {
+        use_fork = false;
+        warmup = 0;
+    }
+#if !JRUN_HAVE_FORK
+    use_fork = false;  // in-process sequential fallback
+#endif
+
+    std::FILE *spec = spec_path ? std::fopen(spec_path, "r") : stdin;
+    if (!spec) {
+        std::fprintf(stderr, "cannot read spec %s\n", spec_path);
+        return 2;
+    }
+    std::vector<Job> jobs;
+    char line[1024];
+    unsigned lineno = 0;
+    while (std::fgets(line, sizeof line, spec)) {
+        ++lineno;
+        std::string text(line);
+        if (text.find_first_not_of(" \t\r\n") == std::string::npos)
+            continue;
+        Job job;
+        std::string err;
+        if (!parseJob(text, &job, &err)) {
+            std::fprintf(stderr, "spec line %u: %s\n", lineno, err.c_str());
+            if (spec != stdin)
+                std::fclose(spec);
+            return 2;
+        }
+        jobs.push_back(std::move(job));
+    }
+    if (spec != stdin)
+        std::fclose(spec);
+    if (jobs.empty()) {
+        std::fprintf(stderr, "empty sweep spec\n");
+        return 2;
+    }
+
+    // Group by machine image, preserving first-appearance order. Cold
+    // mode makes every job its own boot — the per-row cost the farm
+    // is there to amortize.
+    std::vector<std::pair<std::string, std::vector<const Job *>>> groups;
+    std::map<std::string, std::size_t> group_at;
+    for (Job &job : jobs) {
+        if (cold) {
+            job.warmup = 0;
+            groups.push_back({job.bootKey(), {&job}});
+            continue;
+        }
+        const std::string key = job.bootKey();
+        const auto it = group_at.find(key);
+        if (it == group_at.end()) {
+            group_at.emplace(key, groups.size());
+            groups.push_back({key, {&job}});
+        } else {
+            groups[it->second].second.push_back(&job);
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    SweepTotals totals;
+    for (const auto &group : groups)
+        runGroup(group.second, use_fork, warmup, &totals);
+    const double wall = secondsSince(t0);
+
+    std::printf("{\"summary\": true, \"jobs\": %u, \"failed\": %u, "
+                "\"boots\": %zu, \"boot_sec\": %.6f, \"wall_sec\": %.6f, "
+                "\"jobs_per_min\": %.2f, \"mode\": \"%s\"}\n",
+                totals.jobs, totals.failed, groups.size(), totals.bootSec,
+                wall, wall > 0 ? totals.jobs * 60.0 / wall : 0.0,
+                cold ? "cold" : use_fork ? "fork" : "checkpoint");
+    return totals.failed == 0 ? 0 : 1;
+}
