@@ -20,12 +20,12 @@ main()
     bench::header("Table 2: producer-consumer synchronization (cycles)");
     std::printf("%-10s %12s %12s %16s\n", "event", "tags", "no tags",
                 "save/restore");
-    std::printf("%-10s %12.0f %12.0f\n", "success", c.tagSuccess,
+    std::printf("%-10s %12.1f %12.1f\n", "success", c.tagSuccess,
                 c.noTagSuccess);
-    std::printf("%-10s %12.0f %12.0f %13.0f\n", "failure", c.tagFailure,
+    std::printf("%-10s %12.1f %12.1f %13.1f\n", "failure", c.tagFailure,
                 c.noTagFailure, c.tagSave);
-    std::printf("%-10s %12.0f %12.0f\n", "write", c.tagWrite, c.noTagWrite);
-    std::printf("%-10s %12d %12d %13.0f\n", "restart", 0, 0, c.tagRestore);
+    std::printf("%-10s %12.1f %12.1f\n", "write", c.tagWrite, c.noTagWrite);
+    std::printf("%-10s %12d %12d %13.1f\n", "restart", 0, 0, c.tagRestore);
     std::printf("\npaper: success 2/5, failure 6/7, write 4/6, restart 0/0,"
                 " save 30-50, restore 20-50\n");
     return 0;

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "bench_util.hh"
 #include "workloads/micro.hh"
@@ -37,9 +38,11 @@ main(int argc, char **argv)
                 "paper-J", "EM4", "KSR", "iPSC/860", "Delta");
     const auto col = [](const std::map<unsigned, double> &m, unsigned n) {
         auto it = m.find(n);
-        return it == m.end() ? std::string("      -")
-                             : (std::string(" ") +
-                                std::to_string(it->second).substr(0, 6));
+        if (it == m.end())
+            return std::string("      -");
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", it->second);
+        return std::string(buf);
     };
     for (unsigned n = 2; n <= max_nodes; n *= 2) {
         const double us = measureBarrierUs(n);

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * In-network computing ablation (EXPERIMENTS.md): barrier cost under
+ * three implementations — the paper's software scan barrier (Table 3),
+ * a fetch-and-add counting barrier, and the hardware reduce/broadcast
+ * tree — beside the paper's published J-Machine column, plus the
+ * router-combining on/off ablation on hotspot fetch-and-add traffic.
+ *
+ * Accepts `--quick` / `--full` or the equivalent `--scale quick|full`.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench_util.hh"
+#include "workloads/innet.hh"
+#include "workloads/micro.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+int
+main(int argc, char **argv)
+{
+    bench::Scale scale = bench::parseScale(argc, argv);
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale"))
+            continue;
+        if (!std::strcmp(argv[i + 1], "quick"))
+            scale = bench::Scale::Quick;
+        else if (!std::strcmp(argv[i + 1], "full"))
+            scale = bench::Scale::Full;
+    }
+    const unsigned max_nodes = scale == bench::Scale::Quick ? 64 : 512;
+
+    // The paper's Table 3 J-Machine column, for context.
+    const std::map<unsigned, double> paper_j = {
+        {2, 4.4},   {4, 6.5},    {8, 8.7},    {16, 11.7}, {32, 14.4},
+        {64, 16.5}, {128, 20.7}, {256, 24.4}, {512, 27.4}};
+
+    bench::header("Table 6: barrier cost by implementation (us)");
+    std::printf("%6s %10s %10s %10s %10s\n", "nodes", "sw-scan", "faa-cnt",
+                "hw-tree", "paper-J");
+    for (unsigned n = 2; n <= max_nodes; n *= 2) {
+        const double sw = measureBarrierUs(n);
+        const double faa = measureFaaBarrierUs(n);
+        const double hw = measureTreeBarrierUs(n);
+        char pj[32];
+        auto it = paper_j.find(n);
+        if (it == paper_j.end())
+            std::snprintf(pj, sizeof(pj), "-");
+        else
+            std::snprintf(pj, sizeof(pj), "%.1f", it->second);
+        std::printf("%6u %10.1f %10.1f %10.1f %10s\n", n, sw, faa, hw, pj);
+    }
+
+    const unsigned hot_nodes = scale == bench::Scale::Quick ? 32 : 64;
+    const unsigned ops = scale == bench::Scale::Quick ? 16 : 64;
+    bench::header("Table 6b: hotspot fetch-and-add, combining off vs on");
+    std::printf("%6s %6s %10s %12s %12s %10s\n", "nodes", "ops/n",
+                "combining", "cycles/op", "combine-hits", "speedup");
+    const HotspotResult off = runFaaHotspot(hot_nodes, ops, false);
+    const HotspotResult on = runFaaHotspot(hot_nodes, ops, true);
+    std::printf("%6u %6u %10s %12.1f %12llu %10s\n", hot_nodes, ops, "off",
+                off.cyclesPerOp,
+                static_cast<unsigned long long>(off.combineHits), "-");
+    std::printf("%6u %6u %10s %12.1f %12llu %9.2fx\n", hot_nodes, ops, "on",
+                on.cyclesPerOp,
+                static_cast<unsigned long long>(on.combineHits),
+                off.cyclesPerOp / on.cyclesPerOp);
+    return 0;
+}

@@ -22,6 +22,7 @@ endif()
 execute_process(
     COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} --parallel
             --target determinism_test message_pool_test fabric_sched_test
+                     netops_test
     RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
     message(FATAL_ERROR "tsan build failed")
@@ -56,4 +57,16 @@ execute_process(
     RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
     message(FATAL_ERROR "tsan fabric_sched run failed")
+endif()
+
+# The netops engine's staged-issue commit (worker shards filling
+# per-shard buffers, main thread sorting and draining them) is the same
+# pattern TSAN watches in the pool; run the sharded barrier and hotspot
+# determinism checks against it.
+execute_process(
+    COMMAND ${BINARY_DIR}/tests/netops_test
+            --gtest_filter=NetOpsBarrier.DeterministicAcrossKernels:NetOpsCombine.HotspotHitsAndCorrectTotal
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "tsan netops run failed")
 endif()

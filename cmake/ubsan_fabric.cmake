@@ -21,7 +21,7 @@ endif()
 
 execute_process(
     COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} --parallel
-            --target fabric_sched_test network_test ckpt_test
+            --target fabric_sched_test network_test ckpt_test netops_test
     RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
     message(FATAL_ERROR "ubsan build failed")
@@ -53,4 +53,15 @@ execute_process(
     RESULT_VARIABLE rv)
 if(NOT rv EQUAL 0)
     message(FATAL_ERROR "ubsan ckpt run failed")
+endif()
+
+# The netops engine adds wraparound fetch-and-add arithmetic, e-cube
+# hop math on packed router bytes, and its own snapshot section; the
+# full suite (including the mid-flight checkpoint round-trips) runs
+# under the sanitizer.
+execute_process(
+    COMMAND ${BINARY_DIR}/tests/netops_test
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "ubsan netops run failed")
 endif()

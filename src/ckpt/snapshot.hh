@@ -48,7 +48,9 @@ namespace ckpt
 {
 
 inline constexpr std::uint32_t kMagic = 0x4A4D434Bu;  ///< "JMCK"
-inline constexpr std::uint32_t kVersion = 1;
+/** v2: Message::netop byte in the pool section + the netops engine
+ *  section (combine tables, in-flight requests, barrier tree). */
+inline constexpr std::uint32_t kVersion = 2;
 
 /** Little-endian byte sink the component save() methods write into. */
 class Writer

@@ -35,16 +35,30 @@ JMachine::JMachine(const MachineConfig &config, Program prog,
                         config_.proc, &net_, &prog_,
                         [this, id] { activateNode(id); });
     }
+    if (config_.netops.enabled()) {
+        netops_ = std::make_unique<NetOps>(config_.netops, &net_);
+        std::vector<NetworkInterface *> nis;
+        nis.reserve(n);
+        for (NodeId id = 0; id < n; ++id)
+            nis.push_back(&nodes_[id].ni());
+        netops_->attachNis(std::move(nis));
+        for (NodeId id = 0; id < n; ++id)
+            nodes_[id].ni().setNetOps(netops_.get());
+    }
     loadProgram(*this, boot_label);
     if (kTraceCompiledIn && config_.trace.enabled) {
         tracer_ = std::make_unique<Tracer>(config_.trace);
         net_.setTracer(tracer_.get());
         for (NodeId id = 0; id < n; ++id)
             nodes_[id].setTracer(tracer_.get());
+        if (netops_)
+            netops_->setTracer(tracer_.get());
     }
     for (NodeId id = 0; id < n; ++id)
         nodes_[id].registerCounters(counters_);
     net_.registerCounters(counters_);
+    if (netops_)
+        netops_->registerCounters(counters_);
     counters_.addCounter("kernel.node_steps", &nodeSteps_);
     counters_.addCounter("kernel.skipped_node_steps", &skippedNodeSteps_);
     counters_.addCounter("kernel.idle_skipped_cycles", &idleSkipped_);
@@ -188,6 +202,10 @@ JMachine::maybeIdleSkip(Cycle max_cycles)
     // nothing to skip.
     if (net_.nextEventCycle(now_) <= now_ + 1)
         return;
+    // Same reasoning for the netops engine: its event heap names the
+    // next cycle anything in it can happen.
+    if (netops_ && netops_->nextEventCycle() <= now_ + 1)
+        return;
     Cycle target;
     if (config_.wakeScheduler) {
         // Parked nodes carry their wake cycles in the heap; anything
@@ -211,6 +229,8 @@ JMachine::maybeIdleSkip(Cycle max_cycles)
             target = std::min(target, ready);
         }
     }
+    if (netops_)
+        target = std::min(target, netops_->nextEventCycle());
     if (target > max_cycles)
         target = max_cycles;
     if (target <= now_)
@@ -264,7 +284,8 @@ JMachine::runSerial(Cycle max_cycles)
         // nothing can preempt that node: its core may fuse superblock
         // spans unconditionally (bounded by the run horizon).
         const bool exclusive = activeNodes_.size() == 1 &&
-                               parkedCount_ == 0 && !net_.anyActive();
+                               parkedCount_ == 0 && !net_.anyActive() &&
+                               (!netops_ || netops_->idle());
         // The step calls this cycle avoids entirely: every parked node
         // would have been a scan-and-skip in the tick-everything loop.
         skippedNodeSteps_ += parkedCount_;
@@ -329,6 +350,8 @@ JMachine::runSerial(Cycle max_cycles)
         } else {
             net_.noteQuietCycles(1);
         }
+        if (netops_)
+            netops_->step(now_);
         net_.pool().sampleHighWater();
         stepped += 1;
         now_ += 1;
@@ -340,7 +363,7 @@ JMachine::runSerial(Cycle max_cycles)
             result.reason = StopReason::AllHalted;
             stopped = true;
         } else if (activeNodes_.empty() && parkedCount_ == 0 &&
-                   !net_.anyActive()) {
+                   !net_.anyActive() && (!netops_ || netops_->idle())) {
             result.reason = StopReason::Quiescent;
             stopped = true;
         }
@@ -410,6 +433,8 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
     shardSkipped_.assign(shards, 0);
     pendingWakes_.resize(shards);
     net_.beginStaging(shards);
+    if (netops_)
+        netops_->setStageShards(shards);
     if (tracer_)
         tracer_->ensureShards(shards);
 
@@ -433,7 +458,8 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
         // Same exclusivity proof as the serial kernel; with one active
         // node only one shard has work, so the flag is race-free.
         const bool exclusive = activeNodes_.size() == 1 &&
-                               parkedCount_ == 0 && !net_.anyActive();
+                               parkedCount_ == 0 && !net_.anyActive() &&
+                               (!netops_ || netops_->idle());
         skippedNodeSteps_ += parkedCount_;
         // Fork A: node stepping fused with the fabric's pull phase.
         // The pull only reads channel outputs committed last cycle
@@ -494,6 +520,12 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
         } else {
             net_.noteQuietCycles(1);
         }
+        // The netops engine steps on the main thread after both forks,
+        // exactly where the serial kernel steps it: staged issues from
+        // the node phase commit in canonical (src, seq) order and any
+        // reply deliveries land through the normal DeliverSink path.
+        if (netops_)
+            netops_->step(now_);
         net_.pool().sampleHighWater();
         stepped += 1;
         now_ += 1;
@@ -505,7 +537,7 @@ JMachine::runThreaded(Cycle max_cycles, unsigned shards)
             result.reason = StopReason::AllHalted;
             stopped = true;
         } else if (activeNodes_.empty() && parkedCount_ == 0 &&
-                   !net_.anyActive()) {
+                   !net_.anyActive() && (!netops_ || netops_->idle())) {
             result.reason = StopReason::Quiescent;
             stopped = true;
         }
@@ -586,6 +618,8 @@ JMachine::footprintBytes() const
     total += prog_.footprintBytes();
     if (tracer_)
         total += sizeof(Tracer) + tracer_->footprintBytes();
+    if (netops_)
+        total += sizeof(NetOps) + netops_->footprintBytes();
     // Kernel bookkeeping: the per-node arrays and the wake machinery.
     total += activeNodes_.capacity() * sizeof(NodeId) +
              activeFlag_.capacity() + parkedFlag_.capacity() +
@@ -613,6 +647,8 @@ JMachine::resetStats()
         node.ni().queue(1).resetStats();
     }
     net_.resetStats();
+    if (netops_)
+        netops_->resetStats();
 }
 
 std::uint64_t
@@ -641,6 +677,20 @@ JMachine::configDigest() const
         d.mix(config_.proc.vectors[f]);
     }
     d.mix(config_.roundRobinArbitration ? 1 : 0);
+    // In-network computing options are architectural: a snapshot from a
+    // combining-on machine must not restore into a combining-off one.
+    d.mix(config_.netops.combining ? 1 : 0);
+    d.mix(config_.netops.faa ? 1 : 0);
+    d.mix(config_.netops.barrierTree ? 1 : 0);
+    d.mix(config_.netops.combineEntries);
+    d.mix(config_.netops.combineFanIn);
+    d.mix(config_.netops.issueCycles);
+    d.mix(config_.netops.hopCycles);
+    d.mix(config_.netops.serviceCycles);
+    d.mix(config_.netops.memCycles);
+    d.mix(config_.netops.treeHopCycles);
+    d.mix(config_.netops.treeCombineCycles);
+    d.mix(config_.netops.slotsPerNode);
     // The program image: a snapshot only restores into a machine that
     // loaded the exact same code and initialized data.
     d.mix(prog_.instructionCount());
@@ -714,6 +764,8 @@ JMachine::save(ckpt::Snapshot &out) const
     for (unsigned id = 0; id < n; ++id)
         nodes_[id].collectHandles(held);
     net_.collectHandles(held);
+    if (netops_)
+        netops_->collectHandles(held);
     ckpt::HandleMap map;
     std::vector<MsgHandle> ordered;
     for (const MsgHandle h : held) {
@@ -740,6 +792,7 @@ JMachine::save(ckpt::Snapshot &out) const
         w.u64(msg.deliverCycle);
         w.u32(msg.srcSeq);
         w.b(msg.finalized);
+        w.u8(msg.netop);
     }
     const PoolStats ps = pool.stats();
     w.u64(ps.allocs);
@@ -752,6 +805,10 @@ JMachine::save(ckpt::Snapshot &out) const
     for (unsigned id = 0; id < n; ++id)
         nodes_[id].save(w, map);
     net_.save(w, map);
+    // The netops section exists iff the engine does; both sides agree
+    // because the toggles are part of the config digest.
+    if (netops_)
+        netops_->save(w, map);
 
     out.bytes = std::move(w.buffer());
 }
@@ -851,6 +908,7 @@ JMachine::restore(const ckpt::Snapshot &snap, std::string *err)
         msg.deliverCycle = r.u64();
         msg.srcSeq = r.u32();
         msg.finalized = r.b();
+        msg.netop = r.u8();
         map.toHandle.push_back(h);
     }
     const std::uint64_t allocs = r.u64();
@@ -865,6 +923,8 @@ JMachine::restore(const ckpt::Snapshot &snap, std::string *err)
     for (unsigned id = 0; id < n; ++id)
         nodes_[id].restore(r, map);
     net_.restore(r, map);
+    if (netops_)
+        netops_->restore(r, map);
 
     if (r.remaining() != 0)
         fatal("checkpoint: " + std::to_string(r.remaining()) +

@@ -43,6 +43,7 @@
 #include "jasm/program.hh"
 #include "machine/node.hh"
 #include "net/mesh_network.hh"
+#include "netops/netops.hh"
 #include "trace/counter_registry.hh"
 #include "trace/tracer.hh"
 
@@ -88,6 +89,11 @@ struct MachineConfig
      *  bit-identical on or off (off = legacy full-scan paths, the
      *  `--net-sched off` A/B). */
     bool netScheduler = true;
+    /** In-network computing: router combining, fetch-and-add, hardware
+     *  barrier tree (all off by default; see netops/netops.hh). Unlike
+     *  the kernel toggles above these are *architectural* — they change
+     *  simulated behavior and are covered by the config digest. */
+    NetOpsConfig netops;
     /** Event tracing (off by default: taps reduce to a null test). */
     TraceConfig trace;
 };
@@ -176,6 +182,10 @@ class JMachine
     /** The machine's tracer, or null when tracing is off. */
     Tracer *tracer() { return tracer_.get(); }
     const Tracer *tracer() const { return tracer_.get(); }
+
+    /** The in-network computing engine, or null when netops is off. */
+    NetOps *netops() { return netops_.get(); }
+    const NetOps *netops() const { return netops_.get(); }
 
     /** Write the collected trace to config().trace.outPath as Chrome
      *  trace-event JSON. Returns false if tracing is off, the path is
@@ -298,6 +308,7 @@ class JMachine
     Program prog_;
     MeshNetwork net_;
     std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<NetOps> netops_;
     CounterRegistry counters_;
     bool traceExported_ = false;
     /** Contiguous node arena (cache-friendly sequential stepping). */

@@ -1,6 +1,7 @@
 #include "mdp/network_interface.hh"
 
 #include "ckpt/snapshot.hh"
+#include "netops/netops.hh"
 #include "sim/logging.hh"
 #include "trace/counter_registry.hh"
 #include "trace/tracer.hh"
@@ -40,6 +41,31 @@ NetworkInterface::appendWord(unsigned prio, Word word, bool end, Cycle now)
         // First word of a new message: the destination router address.
         if (end)
             return SendResult::BadFormat;  // dest-only message
+        if (netops_ && word.tag == Tag::User0) {
+            // In-network computing request: the "destination" word is a
+            // User0-tagged NetOp opcode. Build it like a message (the
+            // payload carries handler ip, variable, operand) but mark
+            // it for handoff to the netops engine instead of the
+            // inject port. The real destination is fixed at SEND*E.
+            const std::uint32_t op = word.bits;
+            const bool faa_op =
+                op < kNetOpFaaCount && netops_->config().faa;
+            const bool bar_op =
+                op == static_cast<std::uint32_t>(NetOp::Barrier) &&
+                netops_->config().barrierTree;
+            if (!faa_op && !bar_op)
+                return SendResult::BadFormat;
+            const MsgHandle h = net_->pool().alloc();
+            Message &msg = net_->pool().get(h);
+            msg.src = id_;
+            msg.dest = id_;
+            msg.destAddr = net_->dims().toCoord(id_);
+            msg.priority = static_cast<std::uint8_t>(prio);
+            msg.netop = static_cast<std::uint8_t>(1 + op);
+            ch.pending.push_back(h);
+            ch.buildingStarted = true;
+            return SendResult::Ok;
+        }
         if (word.tag != Tag::Int && word.tag != Tag::Sym)
             return SendResult::BadFormat;
         const RouterAddr dest = RouterAddr::unpack(word.bits);
@@ -66,6 +92,26 @@ NetworkInterface::appendWord(unsigned prio, Word word, bool end, Cycle now)
         const MsgHeader hdr = MsgHeader::decode(msg.words[0]);
         if (hdr.length != msg.words.size())
             return SendResult::BadFormat;
+        if (msg.netop != 0) {
+            // Shape-check the request and resolve its true target.
+            const std::uint8_t op = static_cast<std::uint8_t>(msg.netop - 1);
+            if (op < kNetOpFaaCount) {
+                // {reply header, variable, operand}
+                if (msg.words.size() != 3 ||
+                    msg.words[1].tag != Tag::Int ||
+                    msg.words[2].tag != Tag::Int)
+                    return SendResult::BadFormat;
+                const std::int32_t var = msg.words[1].asInt();
+                if (var < 0 || static_cast<std::uint32_t>(var) >=
+                                   netops_->slotCount())
+                    return SendResult::BadDest;
+                msg.dest = static_cast<std::uint32_t>(var) %
+                           net_->dims().nodes();
+                msg.destAddr = net_->dims().toCoord(msg.dest);
+            } else if (msg.words.size() != 1) {
+                return SendResult::BadFormat;  // barrier: header only
+            }
+        }
         msg.finalized = true;
         ch.buildingStarted = false;
         msg.srcSeq = ++sendSeq_;
@@ -146,6 +192,28 @@ NetworkInterface::step(Cycle now)
                 break;
             const MsgHandle h = ch.pending.front();
             Message &msg = net_->pool().get(h);
+            if (msg.netop != 0) {
+                // Netops request: hand the complete message to the
+                // engine — it never occupies the inject port. An
+                // unfinished one blocks the channel like cut-through.
+                if (!msg.finalized)
+                    break;
+                ch.bufferedWords -=
+                    static_cast<std::uint32_t>(msg.words.size());
+                ch.pending.pop_front();
+                ch.flitsInjected = 0;
+                const std::uint8_t op =
+                    static_cast<std::uint8_t>(msg.netop - 1);
+                const bool is_faa = op < kNetOpFaaCount;
+                netops_->stageIssue(
+                    id_, static_cast<std::uint8_t>(prio), op,
+                    is_faa ? msg.words[1].asInt() : 0,
+                    is_faa ? msg.words[2].asInt() : 0,
+                    MsgHeader::decode(msg.words[0]).handlerIp, msg.srcSeq,
+                    now);
+                net_->pool().release(h);
+                continue;
+            }
             // Flits that exist so far: head + 2 per appended word.
             const std::uint32_t available = msg.flitCount();
             if (ch.flitsInjected >= available)

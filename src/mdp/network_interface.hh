@@ -32,6 +32,8 @@
 namespace jmsim
 {
 
+class NetOps;
+
 /** Result of offering a word to the send buffer. */
 enum class SendResult : std::uint8_t
 {
@@ -145,6 +147,16 @@ class NetworkInterface : public DeliverSink
     /** Attach the machine's tracer (null = tracing off). */
     void setTracer(Tracer *tracer) { trace_ = tracer; }
 
+    /** Attach the in-network computing engine (null = netops off): SEND
+     *  sequences whose destination word is User0-tagged become netops
+     *  requests handed to the engine instead of the inject port. */
+    void setNetOps(NetOps *netops) { netops_ = netops; }
+
+    /** Stamp the next sender sequence number. The netops engine uses
+     *  this for the reply messages it synthesizes on a node's behalf,
+     *  so (src, srcSeq) stays a unique message identity. */
+    std::uint32_t allocSendSeq() { return ++sendSeq_; }
+
     /** Register this NI's counters under the shared "ni." names. */
     void registerCounters(CounterRegistry &reg);
 
@@ -200,6 +212,7 @@ class NetworkInterface : public DeliverSink
     IAddr bounceHandler_ = 0;
     NiStats stats_;
     Tracer *trace_ = nullptr;
+    NetOps *netops_ = nullptr;
     /** Sequence stamped into outgoing messages; (id_, sendSeq_) is the
      *  deterministic message identity traces rely on. */
     std::uint32_t sendSeq_ = 0;

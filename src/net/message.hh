@@ -59,6 +59,10 @@ struct Message
     /** Cut-through: words may still be appended until the sender's
      *  SEND*E executes; only then is the last flit a tail. */
     bool finalized = false;
+    /** 0 = regular message; else 1 + the NetOp opcode — an in-network
+     *  computing request the NI hands to the NetOps engine instead of
+     *  the inject port (see netops/netops.hh). */
+    std::uint8_t netop = 0;
 
     /** Total flits on a channel so far: head + 2 per word. */
     std::uint32_t

@@ -52,6 +52,7 @@ MessagePool::alloc()
     msg.deliverCycle = 0;
     msg.srcSeq = 0;
     msg.finalized = false;
+    msg.netop = 0;
     return handle;
 }
 

@@ -402,14 +402,100 @@ bar_handler:
 )";
 }
 
+const char *
+netopsSource()
+{
+    return R"(
+; ======================================================================
+; In-network computing library (needs MachineConfig::netops enabled).
+; A request is a SEND whose destination word carries the User0 tag: the
+; NI hands it to the fabric's netops engine instead of injecting it,
+; and the engine's reply comes back as a normal message that dispatches
+; the handler named in the request header.
+;
+; nop_faa: R0 = variable, R1 = operand, R2 = op (0 add, 1 min, 2 max,
+; 3 or). Returns R0 = fetched (pre-op) value. CALL A2, nop_faa;
+; clobbers R0-R3, A0.
+; nop_barrier: hardware tree barrier. CALL A2, nop_barrier; clobbers
+; R1-R3, A0.
+; State at NOP_BASE (top of APP_SCRATCH, zeroed by the driver):
+; +0 replies seen, +1 reply value, +2 requests issued, +3 releases
+; seen, +4 barriers entered, +5/+6 saved links.
+; ======================================================================
+.equ NOP_BASE, 4080
+.region sync
+nop_faa:
+    LDL A0, seg(NOP_BASE, 16)
+    ST [A0+5], A2
+    LD R3, [A0+2]
+    ADDI R3, R3, #1
+    ST [A0+2], R3           ; requests issued += 1
+.region comm
+    WTAG R2, R2, #user0
+    SEND0 R2                ; User0 opcode opens the request
+    LDL R2, hdr(nop_reply, 3)
+    SEND0 R2
+    SEND20E R0, R1          ; variable, operand
+.region sync
+nop_faa_spin:
+    LD R1, [A0+0]           ; replies seen
+    LD R2, [A0+2]
+    LT R1, R1, R2
+    BT R1, nop_faa_spin
+    LD R0, [A0+1]           ; the fetched value
+    LD A2, [A0+5]
+    JMP A2
+
+nop_reply:
+    LDL A0, seg(NOP_BASE, 16)
+    LD R0, [A3+1]
+    ST [A0+1], R0
+    LD R0, [A0+0]
+    ADDI R0, R0, #1
+    ST [A0+0], R0
+    SUSPEND
+
+nop_barrier:
+    LDL A0, seg(NOP_BASE, 16)
+    ST [A0+6], A2
+    LD R3, [A0+4]
+    ADDI R3, R3, #1
+    ST [A0+4], R3           ; barriers entered += 1
+.region comm
+    MOVEI R2, 4
+    WTAG R2, R2, #user0
+    SEND0 R2
+    LDL R1, hdr(nop_bar_reply, 1)
+    SEND0E R1               ; header-only request
+.region sync
+nop_bar_spin:
+    LD R1, [A0+3]           ; releases seen
+    LD R2, [A0+4]
+    LT R1, R1, R2
+    BT R1, nop_bar_spin
+    LD A2, [A0+6]
+    JMP A2
+
+nop_bar_reply:
+    LDL A0, seg(NOP_BASE, 16)
+    LD R0, [A0+3]
+    ADDI R0, R0, #1
+    ST [A0+3], R0
+    SUSPEND
+.region comp
+)";
+}
+
 std::vector<SourceFile>
 withKernel(const std::string &app_name, const std::string &app_source,
-           bool with_barrier)
+           bool with_barrier, bool with_netops)
 {
     std::vector<SourceFile> sources;
     sources.push_back({"jos.jasm", kernelSource()});
     if (with_barrier)
         sources.push_back({"barrier.jasm", barrierSource()});
+    if (with_netops)
+        sources.push_back({"netops.jasm", netopsSource()});
     sources.push_back({app_name, app_source});
     return sources;
 }

@@ -65,14 +65,23 @@ const char *kernelSource();
 /** The scan-style barrier library source. */
 const char *barrierSource();
 
+/** SRAM words used by the netops library (top of application scratch:
+ *  the driver zeroes the whole APP_SCRATCH region at build). */
+inline constexpr Addr kNetOpsScratchBase = 4080;
+
+/** The in-network computing library source (nop_faa, nop_barrier);
+ *  needs MachineConfig::netops toggles on or every call send-faults. */
+const char *netopsSource();
+
 /**
- * Bundle the kernel (and optionally the barrier library) with an
- * application for assembly. The kernel comes first so its code sits at
- * low SRAM addresses.
+ * Bundle the kernel (and optionally the barrier and netops libraries)
+ * with an application for assembly. The kernel comes first so its code
+ * sits at low SRAM addresses.
  */
 std::vector<SourceFile> withKernel(const std::string &app_name,
                                    const std::string &app_source,
-                                   bool with_barrier = true);
+                                   bool with_barrier = true,
+                                   bool with_netops = false);
 
 } // namespace jos
 } // namespace jmsim

@@ -41,6 +41,7 @@ enum class TraceKind : std::uint8_t
     FlitBlock,    ///< arg8=wanted output port, a0=(src<<32)|seq, a1=input
     // ---- main-thread kernel ----
     IdleSkip,     ///< cycle=span start, a0=span end (exclusive)
+    NetCombine,   ///< arg8=NetOp, a0=(owner src<<32)|seq, a1=(child src<<32)|seq
 
     NumKinds,
 };
@@ -120,6 +121,7 @@ categoryOf(TraceKind kind)
         return kTraceCatNi;
       case TraceKind::FlitForward:
       case TraceKind::FlitBlock:
+      case TraceKind::NetCombine:
         return kTraceCatNet;
       default:
         return kTraceCatKernel;

@@ -22,6 +22,7 @@ traceKindName(TraceKind kind)
       case TraceKind::FlitForward: return "flit.fwd";
       case TraceKind::FlitBlock: return "flit.blk";
       case TraceKind::IdleSkip: return "idle.skip";
+      case TraceKind::NetCombine: return "net.combine";
       default: return "?";
     }
 }

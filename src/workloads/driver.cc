@@ -17,6 +17,7 @@ int threadsOverride = -1;
 int superblockOverride = -1;
 int wakeSchedulerOverride = -1;
 int netSchedulerOverride = -1;
+NetOpsConfig netopsOverride;
 TraceConfig traceOverride;
 } // namespace
 
@@ -51,6 +52,18 @@ setNetScheduler(int enabled)
 }
 
 void
+setNetOpsConfig(const NetOpsConfig &cfg)
+{
+    netopsOverride = cfg;
+}
+
+void
+clearNetOpsConfig()
+{
+    netopsOverride = NetOpsConfig{};
+}
+
+void
 setTraceConfig(const TraceConfig &config)
 {
     traceOverride = config;
@@ -77,6 +90,7 @@ standardConfig(unsigned nodes)
         cfg.wakeScheduler = wakeSchedulerOverride != 0;
     if (netSchedulerOverride >= 0)
         cfg.netScheduler = netSchedulerOverride != 0;
+    cfg.netops = netopsOverride;
     cfg.trace = traceOverride;
     return cfg;
 }
@@ -100,8 +114,8 @@ std::unique_ptr<JMachine>
 buildMachine(unsigned nodes, const std::string &app_name,
              const std::string &app_source, bool with_barrier)
 {
-    Program prog =
-        assemble(jos::withKernel(app_name, app_source, with_barrier));
+    Program prog = assemble(jos::withKernel(app_name, app_source, with_barrier,
+                                            netopsOverride.enabled()));
     auto m = std::make_unique<JMachine>(standardConfig(nodes),
                                         std::move(prog));
     // Zero the application scratch area so programs can keep counters

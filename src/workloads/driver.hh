@@ -55,6 +55,17 @@ void setWakeScheduler(int enabled);
  *  either way — so this exists for A/B verification and perf triage. */
 void setNetScheduler(int enabled);
 
+/** Override the in-network computing options used by standardConfig.
+ *  Unlike the host-side toggles above this is ARCHITECTURAL: it turns
+ *  on router combining / fetch-and-add / the hardware barrier tree,
+ *  changes the config digest, and makes buildMachine bundle the netops
+ *  jasm library. Benches and jasm_tool route their --combining /
+ *  --faa / --barrier-tree flags through this. */
+void setNetOpsConfig(const NetOpsConfig &cfg);
+
+/** Restore the default (all in-network computing off). */
+void clearNetOpsConfig();
+
 /** Trace every machine built by standardConfig with @p config (tools
  *  and benches route their --trace flags through this). */
 void setTraceConfig(const TraceConfig &config);

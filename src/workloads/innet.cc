@@ -1,0 +1,253 @@
+#include "workloads/innet.hh"
+
+#include <string>
+
+#include "netops/netops.hh"
+#include "runtime/jos.hh"
+#include "sim/logging.hh"
+#include "workloads/driver.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+
+namespace
+{
+
+const char *kTreeBarrierSource = R"(
+; Hardware-tree barrier timing: every node runs K waves through
+; nop_barrier; node 0 stamps before and after. Param +0: K.
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+0]
+    ST [A1+10], R0
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, others
+    GETSP R0, CYCLELO
+    ST [A1+9], R0
+others:
+    CALL A2, nop_barrier
+    LD R0, [A1+10]
+    ADDI R0, R0, #-1
+    ST [A1+10], R0
+    GTI R1, R0, #0
+    BT R1, others
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, done
+    GETSP R0, CYCLELO
+    LD R1, [A1+9]
+    SUB R0, R0, R1
+    OUT R0
+done:
+    HALT
+)";
+
+const char *kFaaBarrierSource = R"(
+; Fetch-and-add counting barrier: arrive with faa(0, +1), then poll
+; faa(0, +0) until the counter reaches wave * NODES. The counter only
+; grows, so a fast node entering wave k+1 cannot confuse a slow
+; node's wave-k poll. Param +0: K waves.
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+0]
+    ST [A1+10], R0          ; waves remaining
+    MOVEI R0, 0
+    ST [A1+11], R0          ; release target
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, wave
+    GETSP R0, CYCLELO
+    ST [A1+9], R0
+wave:
+    LD R0, [A1+11]
+    GETSP R1, NODES
+    ADD R0, R0, R1
+    ST [A1+11], R0          ; target += NODES
+    MOVEI R0, 0
+    MOVEI R1, 1
+    MOVEI R2, 0
+    CALL A2, nop_faa        ; arrive
+poll:
+    MOVEI R0, 0
+    MOVEI R1, 0
+    MOVEI R2, 0
+    CALL A2, nop_faa        ; R0 = current count
+    LD R1, [A1+11]
+    LT R2, R0, R1
+    BT R2, poll
+    LD R0, [A1+10]
+    ADDI R0, R0, #-1
+    ST [A1+10], R0
+    GTI R1, R0, #0
+    BT R1, wave
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, done
+    GETSP R0, CYCLELO
+    LD R1, [A1+9]
+    SUB R0, R0, R1
+    OUT R0
+done:
+    HALT
+)";
+
+const char *kFaaHotspotSource = R"(
+; Hotspot stress: every node fires K faa(0, +1) requests back to back;
+; node 0 then polls faa(0, +0) until the counter reaches the poked
+; total and stamps the elapsed cycles. Params: +0 K, +1 nodes * K.
+boot:
+    CALL A2, jos_init
+    LDL A1, seg(APP_SCRATCH, 64)
+    LD R0, [A1+0]
+    ST [A1+10], R0          ; ops remaining
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, ops
+    GETSP R0, CYCLELO
+    ST [A1+9], R0
+ops:
+    MOVEI R0, 0
+    MOVEI R1, 1
+    MOVEI R2, 0
+    CALL A2, nop_faa
+    LD R0, [A1+10]
+    ADDI R0, R0, #-1
+    ST [A1+10], R0
+    GTI R1, R0, #0
+    BT R1, ops
+    GETSP R0, NODEID
+    NEI R1, R0, #0
+    BT R1, done
+wait_all:
+    MOVEI R0, 0
+    MOVEI R1, 0
+    MOVEI R2, 0
+    CALL A2, nop_faa
+    LD R1, [A1+1]
+    LT R2, R0, R1
+    BT R2, wait_all
+    GETSP R0, CYCLELO
+    LD R1, [A1+9]
+    SUB R0, R0, R1
+    OUT R0
+done:
+    HALT
+)";
+
+/** Like driver buildMachine, but with an explicit netops block (the
+ *  global override would leak between ablation arms) and the optional
+ *  round-robin NI arbitration used by the determinism tests. */
+std::unique_ptr<JMachine>
+buildNetOpsMachine(unsigned nodes, const std::string &name,
+                   const std::string &source, const NetOpsConfig &nops,
+                   bool round_robin)
+{
+    Program prog = assemble(jos::withKernel(name, source, false, true));
+    MachineConfig cfg = standardConfig(nodes);
+    cfg.netops = nops;
+    if (round_robin)
+        cfg.roundRobinArbitration = true;
+    auto m = std::make_unique<JMachine>(cfg, std::move(prog));
+    for (NodeId id = 0; id < m->nodeCount(); ++id) {
+        for (Addr a = jos::kAppScratchBase; a < 4096; ++a)
+            m->pokeInt(id, a, 0);
+    }
+    return m;
+}
+
+double
+finishBarrierRun(JMachine &m, const char *what, unsigned iterations)
+{
+    const RunResult r = m.run(80'000'000);
+    if (r.reason == StopReason::CycleLimit)
+        fatal(std::string(what) + " benchmark did not finish");
+    const auto out = outInts(m, 0);
+    if (out.size() != 1)
+        fatal(std::string(what) + " benchmark produced no result");
+    return cyclesToUs(static_cast<Cycle>(out[0])) / iterations;
+}
+
+} // namespace
+
+std::unique_ptr<JMachine>
+buildTreeBarrierMachine(unsigned nodes, unsigned iterations)
+{
+    NetOpsConfig nops;
+    nops.barrierTree = true;
+    auto m = buildNetOpsMachine(nodes, "treebar.jasm", kTreeBarrierSource,
+                                nops, false);
+    pokeParamAll(*m, 0, static_cast<std::int32_t>(iterations));
+    return m;
+}
+
+std::unique_ptr<JMachine>
+buildFaaBarrierMachine(unsigned nodes, unsigned iterations, bool combining)
+{
+    NetOpsConfig nops;
+    nops.faa = true;
+    nops.combining = combining;
+    auto m = buildNetOpsMachine(nodes, "faabar.jasm", kFaaBarrierSource,
+                                nops, false);
+    pokeParamAll(*m, 0, static_cast<std::int32_t>(iterations));
+    return m;
+}
+
+std::unique_ptr<JMachine>
+buildFaaHotspotMachine(unsigned nodes, unsigned ops_per_node, bool combining,
+                       bool round_robin)
+{
+    NetOpsConfig nops;
+    nops.faa = true;
+    nops.combining = combining;
+    auto m = buildNetOpsMachine(nodes, "hotspot.jasm", kFaaHotspotSource,
+                                nops, round_robin);
+    pokeParamAll(*m, 0, static_cast<std::int32_t>(ops_per_node));
+    pokeParamAll(*m, 1, static_cast<std::int32_t>(nodes * ops_per_node));
+    return m;
+}
+
+double
+measureTreeBarrierUs(unsigned nodes, unsigned iterations)
+{
+    auto m = buildTreeBarrierMachine(nodes, iterations);
+    return finishBarrierRun(*m, "tree barrier", iterations);
+}
+
+double
+measureFaaBarrierUs(unsigned nodes, unsigned iterations, bool combining)
+{
+    auto m = buildFaaBarrierMachine(nodes, iterations, combining);
+    return finishBarrierRun(*m, "faa barrier", iterations);
+}
+
+HotspotResult
+runFaaHotspot(unsigned nodes, unsigned ops_per_node, bool combining,
+              bool round_robin)
+{
+    auto m = buildFaaHotspotMachine(nodes, ops_per_node, combining,
+                                    round_robin);
+    const RunResult r = m->run(80'000'000);
+    if (r.reason == StopReason::CycleLimit)
+        fatal("hotspot benchmark did not finish");
+    const auto out = outInts(*m, 0);
+    if (out.size() != 1)
+        fatal("hotspot benchmark produced no result");
+
+    HotspotResult result;
+    result.runCycles = r.cycles;
+    result.cyclesPerOp = static_cast<double>(out[0]) /
+                         (static_cast<double>(nodes) * ops_per_node);
+    const NetOps *nops = m->netops();
+    result.combineHits = nops->combineHits();
+    result.faaOps = nops->faaOps();
+    result.finalValue = nops->slotValue(0);
+    return result;
+}
+
+} // namespace workloads
+} // namespace jmsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * In-network computing workloads: the ablation material behind
+ * bench/table6_innet (EXPERIMENTS.md "in-network ablation").
+ *
+ * Three barrier implementations at matched iteration counts — the
+ * software scan barrier of Table 3, a fetch-and-add counting barrier,
+ * and the hardware tree — plus a hotspot fetch-and-add stress that
+ * exercises router combining. Builders are exposed separately from the
+ * measure functions so the netops tests can snapshot machines
+ * mid-flight.
+ */
+
+#ifndef JMSIM_WORKLOADS_INNET_HH
+#define JMSIM_WORKLOADS_INNET_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "machine/jmachine.hh"
+#include "sim/types.hh"
+
+namespace jmsim
+{
+namespace workloads
+{
+
+/** Build (but do not run) the hardware-tree barrier program: every
+ *  node runs @p iterations nop_barrier calls, node 0 stamps elapsed
+ *  cycles to OUT. */
+std::unique_ptr<JMachine> buildTreeBarrierMachine(unsigned nodes,
+                                                  unsigned iterations);
+
+/** Build the fetch-and-add counting barrier: arrive with faa(0, +1),
+ *  then poll faa(0, +0) until the count reaches iteration * nodes. */
+std::unique_ptr<JMachine> buildFaaBarrierMachine(unsigned nodes,
+                                                 unsigned iterations,
+                                                 bool combining);
+
+/** Build the hotspot stress: every node issues @p ops_per_node
+ *  faa(0, +1) requests back to back; node 0 polls until the counter
+ *  reaches nodes * ops_per_node and stamps elapsed cycles to OUT. */
+std::unique_ptr<JMachine> buildFaaHotspotMachine(unsigned nodes,
+                                                 unsigned ops_per_node,
+                                                 bool combining,
+                                                 bool round_robin = false);
+
+/** Microseconds per hardware-tree barrier (Table 3 companion column). */
+double measureTreeBarrierUs(unsigned nodes, unsigned iterations = 8);
+
+/** Microseconds per fetch-and-add counting barrier. */
+double measureFaaBarrierUs(unsigned nodes, unsigned iterations = 8,
+                           bool combining = true);
+
+/** Hotspot run summary (per-op latency plus the engine's counters). */
+struct HotspotResult
+{
+    double cyclesPerOp = 0;         ///< elapsed / (nodes * ops_per_node)
+    std::uint64_t combineHits = 0;  ///< net.combine_hits
+    std::uint64_t faaOps = 0;       ///< net.faa_ops (includes the polls)
+    std::int32_t finalValue = 0;    ///< variable 0 after the run
+    Cycle runCycles = 0;
+};
+
+HotspotResult runFaaHotspot(unsigned nodes, unsigned ops_per_node,
+                            bool combining, bool round_robin = false);
+
+} // namespace workloads
+} // namespace jmsim
+
+#endif // JMSIM_WORKLOADS_INNET_HH

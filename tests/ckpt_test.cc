@@ -358,3 +358,33 @@ TEST(CkptReject, TrailingGarbageIsFatal)
     auto b = buildFig4Machine(kNodes);
     EXPECT_THROW(b->restore(snap), FatalError);
 }
+
+// Fuzz-lite: a valid image truncated at every 64-byte boundary must be
+// refused cleanly — restore() returns false (header cuts) or throws a
+// recoverable FatalError (body cuts) — and must never read out of
+// bounds or corrupt the machine beyond re-restoring. The ubsan preset
+// runs this same binary, so decode-side UB trips there.
+TEST(CkptReject, TruncationAtEveryBlockBoundaryIsClean)
+{
+    ckpt::Snapshot snap;
+    auto a = buildFig4Machine(4);
+    a->run(600);
+    a->save(snap);
+
+    auto b = buildFig4Machine(4);
+    std::string err;
+    for (std::size_t cut = 0; cut < snap.bytes.size(); cut += 64) {
+        ckpt::Snapshot trunc;
+        trunc.bytes.assign(snap.bytes.begin(), snap.bytes.begin() + cut);
+        bool ok = true;
+        try {
+            ok = b->restore(trunc, &err);
+        } catch (const FatalError &) {
+            continue; // body cut: detected and reported
+        }
+        EXPECT_FALSE(ok) << "truncated image accepted at byte " << cut;
+    }
+    // Whatever the truncated attempts did, the full image still lands.
+    ASSERT_TRUE(b->restore(snap, &err)) << err;
+    EXPECT_EQ(b->now(), 600u);
+}

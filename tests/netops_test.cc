@@ -1,0 +1,201 @@
+/**
+ * @file
+ * In-network computing tests: combine-table hit/miss semantics, FAA
+ * correctness under either NI arbitration policy, barrier-tree wave
+ * determinism across host kernels, mid-barrier checkpoint round-trips,
+ * and cross-config restore rejection (DESIGN.md §3k).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ckpt/snapshot.hh"
+#include "netops/netops.hh"
+#include "workloads/driver.hh"
+#include "workloads/innet.hh"
+
+using namespace jmsim;
+using namespace jmsim::workloads;
+
+namespace
+{
+
+constexpr unsigned kNodes = 16;
+constexpr unsigned kOpsPerNode = 8;
+constexpr Cycle kRunLimit = 10'000'000;
+
+/** Run a tree-barrier machine to completion; return (cycles, out[0]). */
+struct BarrierRun
+{
+    Cycle cycles = 0;
+    std::int32_t elapsed = 0;
+    std::uint64_t waves = 0;
+};
+
+BarrierRun
+runTreeBarrier(unsigned nodes, unsigned iterations)
+{
+    auto m = buildTreeBarrierMachine(nodes, iterations);
+    const RunResult r = m->run(kRunLimit);
+    BarrierRun out;
+    EXPECT_EQ(r.reason, StopReason::AllHalted);
+    out.cycles = r.cycles;
+    const auto ints = outInts(*m, 0);
+    EXPECT_EQ(ints.size(), 1u);
+    if (!ints.empty())
+        out.elapsed = ints[0];
+    out.waves = m->netops()->waves();
+    return out;
+}
+
+} // namespace
+
+TEST(NetOpsCombine, HotspotHitsAndCorrectTotal)
+{
+    const HotspotResult on = runFaaHotspot(kNodes, kOpsPerNode, true);
+    EXPECT_GT(on.combineHits, 0u);
+    EXPECT_EQ(on.finalValue,
+              static_cast<std::int32_t>(kNodes * kOpsPerNode));
+    // faa_ops counts every merged request at apply time, so the total
+    // covers all N*K increments plus node 0's completion polls.
+    EXPECT_GE(on.faaOps, static_cast<std::uint64_t>(kNodes * kOpsPerNode));
+}
+
+TEST(NetOpsCombine, OffMeansNoHitsAndHigherLatency)
+{
+    const HotspotResult off = runFaaHotspot(kNodes, kOpsPerNode, false);
+    const HotspotResult on = runFaaHotspot(kNodes, kOpsPerNode, true);
+    EXPECT_EQ(off.combineHits, 0u);
+    EXPECT_EQ(off.finalValue, on.finalValue);
+    // Combining merges hotspot requests in flight, so the serialized
+    // home-memory bottleneck relaxes and per-op latency drops.
+    EXPECT_LT(on.cyclesPerOp, off.cyclesPerOp);
+}
+
+TEST(NetOpsCombine, ResultIdenticalUnderEitherArbitration)
+{
+    const HotspotResult fixed = runFaaHotspot(kNodes, kOpsPerNode, true,
+                                              false);
+    const HotspotResult rr = runFaaHotspot(kNodes, kOpsPerNode, true, true);
+    EXPECT_EQ(fixed.finalValue,
+              static_cast<std::int32_t>(kNodes * kOpsPerNode));
+    EXPECT_EQ(rr.finalValue, fixed.finalValue);
+}
+
+TEST(NetOpsBarrier, WaveCountMatchesIterations)
+{
+    const unsigned iters = 5;
+    const BarrierRun r = runTreeBarrier(kNodes, iters);
+    EXPECT_EQ(r.waves, iters);
+    EXPECT_GT(r.elapsed, 0);
+}
+
+TEST(NetOpsBarrier, DeterministicAcrossKernels)
+{
+    const BarrierRun serial = runTreeBarrier(kNodes, 4);
+    for (const int threads : {2, 4}) {
+        setSimThreads(threads);
+        const BarrierRun t = runTreeBarrier(kNodes, 4);
+        setSimThreads(-1);
+        EXPECT_EQ(t.cycles, serial.cycles) << threads << " shards";
+        EXPECT_EQ(t.elapsed, serial.elapsed) << threads << " shards";
+        EXPECT_EQ(t.waves, serial.waves) << threads << " shards";
+    }
+
+    setSuperblock(0);
+    setWakeScheduler(0);
+    setNetScheduler(0);
+    const BarrierRun plain = runTreeBarrier(kNodes, 4);
+    setSuperblock(-1);
+    setWakeScheduler(-1);
+    setNetScheduler(-1);
+    EXPECT_EQ(plain.cycles, serial.cycles);
+    EXPECT_EQ(plain.elapsed, serial.elapsed);
+    EXPECT_EQ(plain.waves, serial.waves);
+}
+
+TEST(NetOpsCkpt, MidBarrierRoundTripMatchesUninterrupted)
+{
+    const unsigned iters = 6;
+    auto a = buildTreeBarrierMachine(kNodes, iters);
+
+    // Advance until a release wave has happened AND tree events are in
+    // flight: the image then carries a barrier caught mid-climb.
+    while (a->netops()->waves() < 1 || a->netops()->idle()) {
+        const RunResult r = a->runFor(1);
+        ASSERT_NE(r.reason, StopReason::AllHalted);
+        ASSERT_LT(a->now(), 200'000u);
+    }
+    ckpt::Snapshot snap;
+    a->save(snap);
+    const Cycle snapCycle = a->now();
+    const RunResult full = a->run(kRunLimit);
+    ASSERT_EQ(full.reason, StopReason::AllHalted);
+
+    // Continue the restored machine under a different kernel mix.
+    auto b = buildTreeBarrierMachine(kNodes, iters);
+    b->setThreads(4);
+    b->setSuperblock(false);
+    std::string err;
+    ASSERT_TRUE(b->restore(snap, &err)) << err;
+    EXPECT_EQ(b->now(), snapCycle);
+    const RunResult cont = b->run(kRunLimit);
+
+    EXPECT_EQ(cont.cycles, full.cycles);
+    EXPECT_EQ(outInts(*b, 0), outInts(*a, 0));
+    EXPECT_EQ(b->netops()->waves(), iters);
+
+    // And the image itself is stable: save-restore-save round-trips.
+    auto c = buildTreeBarrierMachine(kNodes, iters);
+    ASSERT_TRUE(c->restore(snap, &err)) << err;
+    ckpt::Snapshot second;
+    c->save(second);
+    EXPECT_EQ(snap.bytes, second.bytes);
+}
+
+TEST(NetOpsCkpt, MidHotspotRoundTripKeepsCombineState)
+{
+    auto a = buildFaaHotspotMachine(kNodes, kOpsPerNode, true);
+    while (a->netops()->idle() || a->netops()->faaOps() == 0) {
+        const RunResult r = a->runFor(1);
+        ASSERT_NE(r.reason, StopReason::AllHalted);
+        ASSERT_LT(a->now(), 200'000u);
+    }
+    ckpt::Snapshot snap;
+    a->save(snap);
+    const RunResult full = a->run(kRunLimit);
+    ASSERT_EQ(full.reason, StopReason::AllHalted);
+
+    auto b = buildFaaHotspotMachine(kNodes, kOpsPerNode, true);
+    std::string err;
+    ASSERT_TRUE(b->restore(snap, &err)) << err;
+    const RunResult cont = b->run(kRunLimit);
+
+    EXPECT_EQ(cont.cycles, full.cycles);
+    EXPECT_EQ(b->netops()->slotValue(0),
+              static_cast<std::int32_t>(kNodes * kOpsPerNode));
+    EXPECT_EQ(b->netops()->combineHits(), a->netops()->combineHits());
+    EXPECT_EQ(b->netops()->faaOps(), a->netops()->faaOps());
+}
+
+TEST(NetOpsCkpt, CrossConfigRestoreIsRejected)
+{
+    // Combining is architectural: an image saved with it on must not
+    // restore into a machine with it off (or vice versa).
+    auto a = buildFaaHotspotMachine(kNodes, kOpsPerNode, true);
+    a->runFor(200);
+    ckpt::Snapshot snap;
+    a->save(snap);
+
+    auto b = buildFaaHotspotMachine(kNodes, kOpsPerNode, false);
+    std::string err;
+    EXPECT_FALSE(b->restore(snap, &err));
+    EXPECT_NE(err.find("configuration"), std::string::npos) << err;
+    EXPECT_EQ(b->now(), 0u);
+
+    // A netops image also refuses a netops-free machine of the same
+    // mesh (different digest, and the section would be unparseable).
+    auto c = buildFaaHotspotMachine(kNodes, kOpsPerNode, true);
+    EXPECT_TRUE(c->restore(snap, &err)) << err;
+}

@@ -7,7 +7,8 @@
  *   jasm_tool [--no-kernel] [--symbols] [--listing] file.jasm...
  *   jasm_tool --run [--nodes N] [--threads T] [--max-cycles C]
  *             [--superblock on|off] [--wake-sched on|off]
- *             [--net-sched on|off] [--trace out.json]
+ *             [--net-sched on|off] [--faa on|off] [--combining on|off]
+ *             [--barrier-tree on|off] [--trace out.json]
  *             [--trace-filter cats] file.jasm
  *
  * `--threads` selects the simulation kernel's worker count: 1 forces
@@ -27,6 +28,13 @@
  * steps the mesh with the legacy full-scan pull/commit phases
  * (bit-identical results, slower host time when few routers carry
  * flits) — the A/B switch for the fabric's worklist machinery.
+ *
+ * `--faa on`, `--combining on`, and `--barrier-tree on` enable the
+ * in-network computing options (fetch-and-add requests, router-level
+ * combining, and the hardware barrier tree). Unlike the host toggles
+ * above these are ARCHITECTURAL — they change cycle counts — and they
+ * bundle the netops jasm library so programs can CALL nop_faa and
+ * nop_barrier.
  *
  * `--trace <file>` records a cycle-accurate event trace of the run and
  * writes it as Chrome trace-event JSON (open in chrome://tracing or
@@ -86,12 +94,14 @@ printListing(const Program &prog)
 int
 runProgram(const std::string &path, unsigned nodes, int threads,
            int superblock, int wake_sched, int net_sched,
-           Cycle max_cycles, const TraceConfig &trace)
+           const NetOpsConfig &netops, Cycle max_cycles,
+           const TraceConfig &trace)
 {
     workloads::setSimThreads(threads);
     workloads::setSuperblock(superblock);
     workloads::setWakeScheduler(wake_sched);
     workloads::setNetScheduler(net_sched);
+    workloads::setNetOpsConfig(netops);
     workloads::setTraceConfig(trace);
     auto m = workloads::buildMachine(nodes, path, readFile(path));
     std::printf("running %s on %u nodes (%u worker shard%s)\n",
@@ -99,6 +109,7 @@ runProgram(const std::string &path, unsigned nodes, int threads,
                 m->resolvedThreads() == 1 ? "" : "s");
     const RunResult r = m->run(max_cycles);
     workloads::clearTraceConfig();
+    workloads::clearNetOpsConfig();
     workloads::setSimThreads(-1);
     workloads::setSuperblock(-1);
     workloads::setWakeScheduler(-1);
@@ -108,6 +119,12 @@ runProgram(const std::string &path, unsigned nodes, int threads,
                     trace.outPath.c_str(), m->tracer()->collect().size(),
                     static_cast<unsigned long long>(m->tracer()->dropped()));
 
+    if (const NetOps *nops = m->netops())
+        std::printf("netops: %llu faa ops, %llu combine hits, "
+                    "%llu barrier waves\n",
+                    static_cast<unsigned long long>(nops->faaOps()),
+                    static_cast<unsigned long long>(nops->combineHits()),
+                    static_cast<unsigned long long>(nops->waves()));
     const char *reason = r.reason == StopReason::AllHalted ? "all-halted"
                          : r.reason == StopReason::Quiescent ? "quiescent"
                                                              : "cycle-limit";
@@ -146,9 +163,40 @@ main(int argc, char **argv)
     int wake_sched = -1;    // -1 = driver default (on)
     int net_sched = -1;     // -1 = driver default (on)
     Cycle max_cycles = 50'000'000;
+    NetOpsConfig netops;
     TraceConfig trace;
     std::vector<std::string> files;
+    // On/off flags sharing the --superblock parse shape.
+    struct BoolFlag
+    {
+        const char *name;
+        bool *value;
+    };
+    const BoolFlag netops_flags[] = {
+        {"--faa", &netops.faa},
+        {"--combining", &netops.combining},
+        {"--barrier-tree", &netops.barrierTree},
+    };
     for (int i = 1; i < argc; ++i) {
+        bool matched = false;
+        for (const BoolFlag &f : netops_flags) {
+            if (std::strcmp(argv[i], f.name) || i + 1 >= argc)
+                continue;
+            const char *v = argv[++i];
+            if (!std::strcmp(v, "on"))
+                *f.value = true;
+            else if (!std::strcmp(v, "off"))
+                *f.value = false;
+            else {
+                std::fprintf(stderr, "bad %s '%s' (want on or off)\n",
+                             f.name, v);
+                return 2;
+            }
+            matched = true;
+            break;
+        }
+        if (matched)
+            continue;
         if (!std::strcmp(argv[i], "--no-kernel"))
             with_kernel = false;
         else if (!std::strcmp(argv[i], "--symbols"))
@@ -220,6 +268,8 @@ main(int argc, char **argv)
                      "       jasm_tool --run [--nodes N] [--threads T] "
                      "[--max-cycles C] [--superblock on|off] "
                      "[--wake-sched on|off] [--net-sched on|off] "
+                     "[--faa on|off] [--combining on|off] "
+                     "[--barrier-tree on|off] "
                      "[--trace out.json] [--trace-filter cats] "
                      "file.jasm\n");
         return 2;
@@ -227,7 +277,8 @@ main(int argc, char **argv)
     if (run) {
         try {
             return runProgram(files[0], nodes, threads, superblock,
-                              wake_sched, net_sched, max_cycles, trace);
+                              wake_sched, net_sched, netops, max_cycles,
+                              trace);
         } catch (const std::exception &e) {
             std::fprintf(stderr, "%s\n", e.what());
             return 1;

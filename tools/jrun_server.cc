@@ -29,6 +29,13 @@
  * of the run, a 4-variant toggle group pays boot + prefix once and
  * four short tails, where a cold sweep pays four full runs.
  *
+ * `--jobs N` (fork mode only, default 1) keeps up to N forked workers
+ * running at once. Each worker's stdout is redirected into a pipe and
+ * the parent prints completed rows strictly in spec order, so the
+ * output stream is byte-identical to a sequential sweep. The summary
+ * reports the summed worker run time (`work_sec`) and the resulting
+ * wall-clock `speedup` over running those same workers one at a time.
+ *
  * Output: one RunResult JSON line per job as it finishes (the shared
  * sim/run_result_json schema; `boot_sec` carries the group's boot
  * cost on the row that paid it and 0 on rows that reused the image),
@@ -268,13 +275,172 @@ struct SweepTotals
     unsigned jobs = 0;
     unsigned failed = 0;
     double bootSec = 0;
+    /** Summed per-job run time (fork -> exit, or the in-process run):
+     *  what a one-at-a-time sweep would have spent inside jobs. */
+    double workSec = 0;
 };
+
+#if JRUN_HAVE_FORK
+/** Concurrent fork workers (--jobs N). Each worker's stdout goes into
+ *  a pipe; rows print in launch order once the worker is done, so N-way
+ *  sweeps emit the same byte stream as sequential ones. */
+class ForkFarm
+{
+  public:
+    ForkFarm(unsigned window, SweepTotals *totals)
+        : window_(window ? window : 1), totals_(totals)
+    {
+    }
+
+    /** Fork a worker for @p job off the booted @p app. Blocks (reaping
+     *  the oldest workers) while the window is full. */
+    void
+    launch(PreparedApp &app, const Job &job, double boot_owed)
+    {
+        while (liveCount() >= window_)
+            reapOne();
+        std::fflush(stdout);
+        std::fflush(stderr);
+        int fds[2];
+        if (pipe(fds) != 0) {
+            emitError(job, "pipe failed");
+            totals_->jobs += 1;
+            totals_->failed += 1;
+            return;
+        }
+        const pid_t pid = fork();
+        if (pid == 0) {
+            // Worker: close the farm's other pipe ends so siblings see
+            // EOF the moment their owner exits, then write the row to
+            // our own pipe.
+            close(fds[0]);
+            for (const Child &c : children_)
+                if (!c.done)
+                    close(c.fd);
+            dup2(fds[1], STDOUT_FILENO);
+            close(fds[1]);
+            int rc = 0;
+            try {
+                emitJob(app, job, boot_owed);
+            } catch (const std::exception &e) {
+                emitError(job, e.what());
+                rc = 1;
+            }
+            std::fflush(stdout);
+            _exit(rc);
+        }
+        close(fds[1]);
+        if (pid < 0) {
+            close(fds[0]);
+            emitError(job, "fork failed");
+            totals_->jobs += 1;
+            totals_->failed += 1;
+            return;
+        }
+        Child c;
+        c.pid = pid;
+        c.fd = fds[0];
+        c.job = &job;
+        c.start = std::chrono::steady_clock::now();
+        children_.push_back(std::move(c));
+        totals_->jobs += 1;
+    }
+
+    /** Wait for every outstanding worker and print its row. */
+    void
+    drain()
+    {
+        while (liveCount() > 0)
+            reapOne();
+        printReady();
+    }
+
+  private:
+    struct Child
+    {
+        pid_t pid = -1;
+        int fd = -1;
+        const Job *job = nullptr;
+        std::chrono::steady_clock::time_point start;
+        std::string out;
+        bool done = false;
+        bool ok = false;
+        bool printed = false;
+    };
+
+    std::size_t
+    liveCount() const
+    {
+        std::size_t n = 0;
+        for (const Child &c : children_)
+            n += c.done ? 0 : 1;
+        return n;
+    }
+
+    /** Block until any worker exits; record its output and duration. */
+    void
+    reapOne()
+    {
+        int status = 0;
+        const pid_t pid = waitpid(-1, &status, 0);
+        if (pid <= 0)
+            return;
+        for (Child &c : children_) {
+            if (c.pid != pid || c.done)
+                continue;
+            char buf[4096];
+            ssize_t n;
+            while ((n = read(c.fd, buf, sizeof buf)) > 0)
+                c.out.append(buf, static_cast<std::size_t>(n));
+            close(c.fd);
+            c.done = true;
+            c.ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+            if (WIFSIGNALED(status))
+                emitError(*c.job, "worker killed by signal");
+            totals_->workSec += secondsSince(c.start);
+            if (!c.ok)
+                totals_->failed += 1;
+            break;
+        }
+        printReady();
+    }
+
+    /** Emit finished rows in launch order; drop fully-printed heads. */
+    void
+    printReady()
+    {
+        std::size_t head = 0;
+        for (Child &c : children_) {
+            if (!c.done)
+                break;
+            if (!c.printed) {
+                std::fwrite(c.out.data(), 1, c.out.size(), stdout);
+                c.printed = true;
+            }
+            ++head;
+        }
+        children_.erase(children_.begin(),
+                        children_.begin() + static_cast<long>(head));
+    }
+
+    unsigned window_;
+    SweepTotals *totals_;
+    std::vector<Child> children_;
+};
+#endif
+
+#if JRUN_HAVE_FORK
+using Farm = ForkFarm;
+#else
+using Farm = void;
+#endif
 
 /** Run one boot group: jobs sharing a machine image, spec order. */
 void
-runGroup(const std::vector<const Job *> &group, bool use_fork, Cycle warmup,
+runGroup(const std::vector<const Job *> &group, Farm *farm, Cycle warmup,
          SweepTotals *totals)
 {
+    const bool use_fork = farm != nullptr;
     PreparedApp app;
     try {
         app = bootJob(*group.front());
@@ -284,6 +450,11 @@ runGroup(const std::vector<const Job *> &group, bool use_fork, Cycle warmup,
         if (group_warmup > 0)
             app.machine->run(static_cast<Cycle>(group_warmup));
     } catch (const std::exception &e) {
+#if JRUN_HAVE_FORK
+        // Keep the stream in spec order: outstanding rows first.
+        if (farm)
+            farm->drain();
+#endif
         for (const Job *job : group)
             emitError(*job, e.what());
         totals->failed += static_cast<unsigned>(group.size());
@@ -301,44 +472,28 @@ runGroup(const std::vector<const Job *> &group, bool use_fork, Cycle warmup,
     double boot_owed = app.bootSeconds;
     bool first = true;
     for (const Job *job : group) {
-        bool ok = true;
 #if JRUN_HAVE_FORK
         if (use_fork) {
-            std::fflush(stdout);
-            std::fflush(stderr);
-            const pid_t pid = fork();
-            if (pid == 0) {
-                // Worker: a copy-on-write image of the booted machine.
-                int rc = 0;
-                try {
-                    emitJob(app, *job, boot_owed);
-                } catch (const std::exception &e) {
-                    emitError(*job, e.what());
-                    rc = 1;
-                }
-                std::fflush(stdout);
-                _exit(rc);
-            }
-            int status = 0;
-            ok = pid > 0 && waitpid(pid, &status, 0) == pid &&
-                 WIFEXITED(status) && WEXITSTATUS(status) == 0;
-            if (pid > 0 && !ok && WIFSIGNALED(status))
-                emitError(*job, "worker killed by signal");
+            // Worker: a copy-on-write image of the booted machine.
+            farm->launch(app, *job, boot_owed);
+            boot_owed = 0;  // the image is paid for
+            continue;
         }
 #endif
-        if (!use_fork) {
-            try {
-                // Each job starts from the boot-time checkpoint; the
-                // previous job's completed run is discarded.
-                std::string err;
-                if (!first && !app.machine->restore(image, &err))
-                    throw std::runtime_error(err);
-                emitJob(app, *job, boot_owed);
-            } catch (const std::exception &e) {
-                emitError(*job, e.what());
-                ok = false;
-            }
+        bool ok = true;
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            // Each job starts from the boot-time checkpoint; the
+            // previous job's completed run is discarded.
+            std::string err;
+            if (!first && !app.machine->restore(image, &err))
+                throw std::runtime_error(err);
+            emitJob(app, *job, boot_owed);
+        } catch (const std::exception &e) {
+            emitError(*job, e.what());
+            ok = false;
         }
+        totals->workSec += secondsSince(t0);
         totals->jobs += 1;
         if (!ok)
             totals->failed += 1;
@@ -352,11 +507,14 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--spec FILE] [--no-fork] [--warmup CYCLES] [--cold]\n"
+        "usage: %s [--spec FILE] [--no-fork] [--jobs N] [--warmup CYCLES] "
+        "[--cold]\n"
         "  Reads a JSON-lines sweep spec (stdin without --spec), boots\n"
         "  each (workload, size) once, runs every job from that image\n"
         "  (fork by default, checkpoint restore with --no-fork), and\n"
         "  streams one RunResult JSON line per job plus a summary.\n"
+        "  --jobs N keeps up to N forked workers running at once\n"
+        "  (default 1 = sequential; rows still print in spec order).\n"
         "  --cold disables all sharing (boot + full run per job): the\n"
         "  baseline the farm modes are measured against.\n",
         argv0);
@@ -371,13 +529,19 @@ main(int argc, char **argv)
     const char *spec_path = nullptr;
     bool use_fork = true;
     bool cold = false;
+    unsigned jobs_n = 1;
     Cycle warmup = 0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--spec") && i + 1 < argc)
             spec_path = argv[++i];
         else if (!std::strcmp(argv[i], "--no-fork"))
             use_fork = false;
-        else if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            if (n < 1)
+                return usage(argv[0]);
+            jobs_n = static_cast<unsigned>(n);
+        } else if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
             warmup = std::strtoull(argv[++i], nullptr, 10);
         else if (!std::strcmp(argv[i], "--cold"))
             cold = true;
@@ -445,15 +609,29 @@ main(int argc, char **argv)
 
     const auto t0 = std::chrono::steady_clock::now();
     SweepTotals totals;
+#if JRUN_HAVE_FORK
+    ForkFarm farm(jobs_n, &totals);
+    Farm *farm_ptr = use_fork ? &farm : nullptr;
+#else
+    Farm *farm_ptr = nullptr;
+#endif
     for (const auto &group : groups)
-        runGroup(group.second, use_fork, warmup, &totals);
+        runGroup(group.second, farm_ptr, warmup, &totals);
+#if JRUN_HAVE_FORK
+    if (farm_ptr)
+        farm.drain();
+#endif
     const double wall = secondsSince(t0);
 
+    // speedup: summed worker time over wall clock — what running the
+    // same workers one at a time would have cost, relative to now.
     std::printf("{\"summary\": true, \"jobs\": %u, \"failed\": %u, "
                 "\"boots\": %zu, \"boot_sec\": %.6f, \"wall_sec\": %.6f, "
-                "\"jobs_per_min\": %.2f, \"mode\": \"%s\"}\n",
+                "\"jobs_per_min\": %.2f, \"jobs_n\": %u, "
+                "\"work_sec\": %.6f, \"speedup\": %.2f, \"mode\": \"%s\"}\n",
                 totals.jobs, totals.failed, groups.size(), totals.bootSec,
-                wall, wall > 0 ? totals.jobs * 60.0 / wall : 0.0,
+                wall, wall > 0 ? totals.jobs * 60.0 / wall : 0.0, jobs_n,
+                totals.workSec, wall > 0 ? totals.workSec / wall : 0.0,
                 cold ? "cold" : use_fork ? "fork" : "checkpoint");
     return totals.failed == 0 ? 0 : 1;
 }
